@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark
+regenerates one table/figure of the paper, prints the paper-vs-measured
+report, and asserts the qualitative shape (who wins, by roughly what
+factor, where trends bend) rather than absolute equality.
+"""
+
+import pytest
+
+
+def emit(report: str) -> None:
+    """Print an experiment report so it appears in the benchmark log."""
+    print("\n" + report + "\n")
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Run a callable exactly once per session and cache its result."""
+    cache = {}
+
+    def runner(key, fn):
+        if key not in cache:
+            cache[key] = fn()
+        return cache[key]
+
+    return runner

@@ -1,0 +1,18 @@
+"""Section 6.2: the chip bring-up mechanism battery."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_bringup_battery
+
+
+def test_bringup_battery(benchmark):
+    result = benchmark.pedantic(run_bringup_battery, rounds=1, iterations=1)
+    emit(result["report"])
+    # Every mechanism behaves identically in ideal simulation and under
+    # fabrication-like jitter (the paper's chip-vs-simulation agreement).
+    assert result["ideal"].passed
+    assert result["jittered"].passed
+    # And the full-scale (10-SC, 1024-state) NPE passes the same battery.
+    assert result["full_scale"].passed
+    # Timing sign-off: every constraint family runs with positive slack.
+    assert result["min_slack_ps"] > 0

@@ -1,0 +1,22 @@
+"""Section 6.3A: transmission delay share of per-pulse processing time
+(paper: ~6% at 1x1, ~53% at 16x16)."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_delay_fraction
+
+
+def test_delay_fraction(benchmark):
+    result = benchmark.pedantic(run_delay_fraction, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    shares = [row["model_share_pct"] for row in rows]
+    assert shares == sorted(shares)  # grows with mesh span
+    assert abs(shares[0] - 6.0) < 1.0
+    assert abs(shares[-1] - 53.0) < 2.0
+    # Gate-level cross-check: measured netlist shares grow too and the
+    # 1x1 point lands on the paper's 6%.
+    measured = [row["gate_level_pct"] for row in rows
+                if row["gate_level_pct"] != "-"]
+    assert measured == sorted(measured)
+    assert abs(measured[0] - 6.0) < 1.5

@@ -1,0 +1,23 @@
+"""Design-space exploration: mesh size vs FPS, area and energy on the
+real digit workload (extension; section 4.2.3's scalability knob)."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_design_space
+
+
+def test_design_space(benchmark):
+    result = benchmark.pedantic(run_design_space, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    # Bigger meshes always cut passes and latency...
+    passes = [row["passes"] for row in rows]
+    latency = [row["latency_us"] for row in rows]
+    assert passes == sorted(passes, reverse=True)
+    assert latency == sorted(latency, reverse=True)
+    # ...but density/energy peak at an interior optimum: the sweep must
+    # not be monotone in FPS/mm^2 (the trade-off is real), and the
+    # optimum matches the paper's chosen 16x16 deployment.
+    densities = [row["fps_per_mm2"] for row in rows]
+    assert densities != sorted(densities)
+    assert result["best_density"] == "16x16"

@@ -1,0 +1,23 @@
+"""Fig. 13: JJ count and area scaling with the number of NPEs."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_fig13
+
+
+def test_fig13_scaling(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    # Monotone growth in both JJs and area.
+    totals = [row["total_jj"] for row in rows]
+    areas = [row["area_mm2"] for row in rows]
+    assert totals == sorted(totals)
+    assert areas == sorted(areas)
+    # Tracks the linear reference, only slightly exceeding it at scale.
+    for row in rows:
+        assert row["total_jj"] <= 1.5 * row["linear_ref_jj"]
+    assert rows[-1]["total_jj"] >= rows[-1]["linear_ref_jj"]
+    # Endpoint anchors (paper: 99,982 JJs / 103.75 mm^2 at 32 NPEs).
+    assert abs(rows[-1]["total_jj"] - 99_982) / 99_982 < 0.02
+    assert abs(rows[-1]["area_mm2"] - 103.75) / 103.75 < 0.05

@@ -1,0 +1,21 @@
+"""Fig. 19: performance (GSOPS) vs number of NPEs."""
+
+from conftest import emit
+
+from repro.baselines import TRUENORTH
+from repro.harness.experiments import run_fig19
+
+
+def test_fig19_performance(benchmark):
+    result = benchmark.pedantic(run_fig19, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    gsops = [row["gsops"] for row in rows]
+    # Monotone growth, sublinear at scale (wiring penalty).
+    assert gsops == sorted(gsops)
+    assert gsops[-1] < 2 * gsops[-2] * 1.01
+    # Peak 1,355 GSOPS (23x TrueNorth).
+    assert abs(gsops[-1] - 1355) / 1355 < 0.02
+    # Crossover with TrueNorth happens at the smallest configuration
+    # already; every SUSHI point clears the TrueNorth line.
+    assert all(g > TRUENORTH.gsops for g in gsops)

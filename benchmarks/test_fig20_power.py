@@ -1,0 +1,19 @@
+"""Fig. 20: power consumption vs number of NPEs."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_fig20
+
+
+def test_fig20_power(benchmark):
+    result = benchmark.pedantic(run_fig20, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    powers = [row["power_mw"] for row in rows]
+    # Monotone and slightly superlinear in NPE count (wiring growth).
+    assert powers == sorted(powers)
+    per_npe = [p / row["npes"] for p, row in zip(powers, rows)]
+    assert per_npe[-1] > per_npe[1]
+    # Peak power 41.87 mW at 32 NPEs -- milliwatts, three orders below
+    # the CMOS baselines.
+    assert abs(result["peak_power_mw"] - 41.87) / 41.87 < 0.02

@@ -1,0 +1,22 @@
+"""Fig. 21: power efficiency (GSOPS/W) vs number of NPEs."""
+
+from conftest import emit
+
+from repro.baselines import TIANJIC, TRUENORTH
+from repro.harness.experiments import run_fig21
+
+
+def test_fig21_efficiency(benchmark):
+    result = benchmark.pedantic(run_fig21, rounds=1, iterations=1)
+    emit(result["report"])
+    rows = result["rows"]
+    efficiencies = [row["gsops_per_w"] for row in rows]
+    # Every configuration beats both CMOS baselines by a wide margin.
+    for eff in efficiencies:
+        assert eff > 10 * TRUENORTH.gsops_per_w
+        assert eff > 10 * TIANJIC.gsops_per_w
+    # Efficiency erodes as the mesh grows (transmission-line energy), the
+    # paper's "slightly impacted ... in larger designs" observation.
+    assert efficiencies[0] > efficiencies[-1]
+    # Peak configuration lands at the published 32,366 GSOPS/W.
+    assert abs(efficiencies[-1] - 32_366) / 32_366 < 0.02

@@ -1,0 +1,11 @@
+"""Section 6.3: frame rate on the MNIST network (paper: 2.61e5 FPS)."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_fps
+
+
+def test_fps(benchmark):
+    result = benchmark.pedantic(run_fps, rounds=1, iterations=1)
+    emit(result["report"])
+    assert abs(result["fps"] - 2.61e5) / 2.61e5 < 0.02

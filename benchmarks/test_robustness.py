@@ -1,0 +1,18 @@
+"""Extension: chip-inference robustness to encoding stochasticity and
+input corruption."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_robustness
+
+
+def test_robustness(benchmark):
+    result = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+    emit(result["report"])
+    # Fresh Poisson draws barely move accuracy (rate coding averages out).
+    assert result["seed_spread"] < 0.06
+    assert min(result["seed_accs"]) > 0.85
+    # Degradation under noise is graceful, not catastrophic.
+    accs = [row["chip_accuracy"] for row in result["noise_rows"]]
+    assert accs[0] >= accs[-1]          # more noise never helps
+    assert accs[-1] > accs[0] - 0.35    # and never collapses

@@ -1,0 +1,23 @@
+"""Table 1: RSFQ cell timing constraints and their enforcement."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_table1
+
+
+def test_table1_constraints(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(result["report"])
+    # Every cell family of the paper's table is present.
+    cells = {row["cell"] for row in result["rows"]}
+    assert {"CB", "SPL", "NDRO", "TFF", "DFF", "JTL"} <= cells
+    # The simulator catches a too-fast pulse pair on every cell family.
+    assert all(check["violation_detected"] for check in result["checks"])
+    # Spot-check the published values.
+    values = {
+        (row["cell"], row["constraint"]): row["min_lag_ps"]
+        for row in result["rows"]
+    }
+    assert values[("CB", "dinA/B-dinB/A")] == 5.7
+    assert values[("NDRO", "din/rst-rst/din")] == 39.9
+    assert values[("DFF", "din-clk")] == 8.53

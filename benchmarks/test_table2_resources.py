@@ -1,0 +1,18 @@
+"""Table 2: resource overhead of the configurable 4x4 mesh."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_table2
+
+
+def test_table2_resources(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(result["report"])
+    measured = result["measured"]
+    # Paper: 45,542 total JJs, 31,026 wiring (68.13%), 44.73 mm^2.
+    assert abs(measured.total_jj - 45_542) / 45_542 < 0.05
+    assert abs(measured.wiring_jj - 31_026) / 31_026 < 0.05
+    assert abs(measured.total_area_mm2 - 44.73) / 44.73 < 0.05
+    # Wiring dominates, as on every RSFQ chip -- but stays well under the
+    # ~80% typical of synchronous designs (the paper's headline claim).
+    assert 0.60 < measured.wiring_fraction < 0.80

@@ -1,0 +1,40 @@
+"""Table 3: inference accuracy and consistency, reference vs SUSHI.
+
+Absolute accuracies use the synthetic stand-in datasets (see DESIGN.md);
+the assertions check the paper's *shape*: high agreement between the two
+platforms, a small accuracy change from the SSNN optimisations, digits
+easier than fashion, and consistency lower on the harder dataset.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import run_table3
+
+
+def test_table3_accuracy(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    emit(result["report"])
+    digits = result["results"]["digits"]
+    fashion = result["results"]["fashion"]
+
+    # Both platforms learn both tasks well above chance.
+    assert digits["reference_acc"] > 0.85
+    assert fashion["reference_acc"] > 0.55
+
+    # The SSNN conversion costs little accuracy (paper: -0.8% / -2.7%).
+    assert abs(digits["sushi_acc"] - digits["reference_acc"]) < 0.05
+    assert abs(fashion["sushi_acc"] - fashion["reference_acc"]) < 0.08
+
+    # Platforms agree on most samples, more on the easier dataset
+    # (paper: 98.18% vs 88.71%).
+    assert digits["consistency"] > 0.9
+    assert fashion["consistency"] > 0.75
+    assert digits["consistency"] > fashion["consistency"]
+
+    # Digits are easier than fashion on both platforms (paper: ~10 pts).
+    assert digits["reference_acc"] > fashion["reference_acc"]
+    assert digits["sushi_acc"] > fashion["sushi_acc"]
+
+    # Bucketing guarantees no spurious hardware decisions.
+    assert digits["spurious"] == 0
+    assert fashion["spurious"] == 0

@@ -1,0 +1,22 @@
+"""Table 4: SUSHI vs TrueNorth vs Tianjic."""
+
+from conftest import emit
+
+from repro.baselines import TIANJIC, TRUENORTH
+from repro.harness.experiments import run_table4
+
+
+def test_table4_comparison(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    emit(result["report"])
+    gsops = result["gsops"]
+    efficiency = result["efficiency"]
+    # Headline numbers (paper: 1,355 GSOPS; 32,366 GSOPS/W; 41.87 mW).
+    assert abs(gsops - 1355) / 1355 < 0.02
+    assert abs(efficiency - 32_366) / 32_366 < 0.02
+    assert abs(result["power_mw"] - 41.87) / 41.87 < 0.02
+    # Who wins and by what factor: 23x TrueNorth throughput; 81x / 50x
+    # power efficiency over TrueNorth / Tianjic.
+    assert 21 < gsops / TRUENORTH.gsops < 25
+    assert 75 < efficiency / TRUENORTH.gsops_per_w < 87
+    assert 46 < efficiency / TIANJIC.gsops_per_w < 54

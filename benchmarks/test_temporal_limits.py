@@ -1,0 +1,16 @@
+"""Extension: the stateless SSNN neuron's cost on temporal workloads."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_temporal_limits
+
+
+def test_temporal_limits(benchmark):
+    result = benchmark.pedantic(run_temporal_limits, rounds=1, iterations=1)
+    emit(result["report"])
+    # Stateful IF solves the motion task (information lives across steps).
+    assert result["stateful_acc"] > 0.9
+    # The stateless simplification loses most of that information...
+    assert result["stateless_acc"] < result["stateful_acc"] - 0.3
+    # ...while staying above chance (edge positions leak a little).
+    assert result["stateless_acc"] > 0.25

@@ -1,0 +1,18 @@
+"""Extension: graceful degradation under dead crosspoints."""
+
+from conftest import emit
+
+from repro.harness.experiments import run_yield_tolerance
+
+
+def test_yield_tolerance(benchmark):
+    result = benchmark.pedantic(run_yield_tolerance, rounds=1, iterations=1)
+    emit(result["report"])
+    accs = result["accs"]
+    fractions = sorted(accs)
+    # Healthy chip performs; small defect rates barely matter (population
+    # coding); heavy damage degrades smoothly, never to chance collapse.
+    assert accs[0.0] > 0.9
+    assert accs[0.02] > accs[0.0] - 0.05
+    assert accs[fractions[-1]] < accs[0.0]
+    assert accs[fractions[-1]] > 0.4

@@ -1,0 +1,27 @@
+"""Scaling study: resources, performance, power, and efficiency vs mesh
+size -- the paper's Figs. 13, 19, 20, 21 and Table 4 in one report.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.harness.experiments import (
+    run_delay_fraction,
+    run_fig13,
+    run_fig19,
+    run_fig20,
+    run_fig21,
+    run_fps,
+    run_table2,
+    run_table4,
+)
+
+
+def main() -> None:
+    for runner in (run_table2, run_fig13, run_fig19, run_fig20, run_fig21,
+                   run_table4, run_fps, run_delay_fraction):
+        print(runner()["report"])
+        print()
+
+
+if __name__ == "__main__":
+    main()

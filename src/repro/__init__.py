@@ -1,0 +1,87 @@
+"""SUSHI reproduction: a superconducting SFQ neuromorphic chip in Python.
+
+This package reproduces *SUSHI: Ultra-High-Speed and Ultra-Low-Power
+Neuromorphic Chip Using Superconducting Single-Flux-Quantum Circuits*
+(Liu et al., MICRO 2023), end to end:
+
+* :mod:`repro.rsfq` -- discrete-event simulator of RSFQ standard cells
+  (JTL/SPL/CB/DFF/NDRO/TFF) with Table 1 timing-constraint checking;
+* :mod:`repro.neuro` -- the SUSHI architecture: state controllers, NPEs
+  (SC-chain ripple counters holding the membrane in flux states),
+  pulse-gain weight structures, and the mesh chip, each in behavioural and
+  gate-level form;
+* :mod:`repro.autograd` / :mod:`repro.snn` -- a from-scratch SNN training
+  stack (reverse-mode autodiff, IF neurons, surrogate gradients, Poisson
+  coding, Adam, XNOR binarization);
+* :mod:`repro.ssnn` -- the SSNN methodology: synapse reordering/bucketing,
+  the bit-slice method, pulse-stream encoding, and the chip runtime;
+* :mod:`repro.resources` / :mod:`repro.baselines` -- calibrated resource,
+  power and throughput models plus TrueNorth/Tianjic baselines;
+* :mod:`repro.data` -- synthetic MNIST/Fashion stand-in datasets;
+* :mod:`repro.harness` -- one experiment runner per paper table/figure.
+
+Quickstart::
+
+    from repro import (SpikingClassifier, Trainer, TrainerConfig,
+                       binarize_network, SushiRuntime, load_digits)
+
+    data = load_digits(train_size=500, test_size=100)
+    model = SpikingClassifier.mlp(hidden_size=64, binary_aware=True)
+    Trainer(model, TrainerConfig(epochs=5)).fit(
+        data.train_images, data.train_labels)
+    network = binarize_network(model)
+    # ... encode spikes and run them on the chip model via SushiRuntime.
+"""
+
+from repro.data import Dataset, load_digits, load_fashion
+from repro.neuro import (
+    BehavioralChip,
+    BehavioralNPE,
+    ChipConfig,
+    GateLevelChip,
+    GateLevelNPE,
+    Polarity,
+)
+from repro.resources import (
+    PerformanceModel,
+    PowerModel,
+    estimate_resources,
+)
+from repro.snn import (
+    SpikingClassifier,
+    Trainer,
+    TrainerConfig,
+    accuracy,
+    binarize_network,
+    consistency,
+    quantize_network,
+)
+from repro.ssnn import SushiRuntime, encode_inference, plan_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "load_digits",
+    "load_fashion",
+    "BehavioralChip",
+    "BehavioralNPE",
+    "ChipConfig",
+    "GateLevelChip",
+    "GateLevelNPE",
+    "Polarity",
+    "PerformanceModel",
+    "PowerModel",
+    "estimate_resources",
+    "SpikingClassifier",
+    "Trainer",
+    "TrainerConfig",
+    "accuracy",
+    "binarize_network",
+    "consistency",
+    "quantize_network",
+    "SushiRuntime",
+    "encode_inference",
+    "plan_network",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                # show available experiments
+    python -m repro table2 fig13        # run selected experiments
+    python -m repro all                 # everything (trains models; slow)
+    python -m repro all --fast          # model-only experiments (seconds)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+
+#: Experiment name -> (runner, needs_training).
+EXPERIMENTS = {
+    "table1": (experiments.run_table1, False),
+    "table2": (experiments.run_table2, False),
+    "fig13": (experiments.run_fig13, False),
+    "fig14": (experiments.run_fig14, False),
+    "table3": (experiments.run_table3, True),
+    "fig16": (experiments.run_fig16, True),
+    "table4": (experiments.run_table4, False),
+    "fig19": (experiments.run_fig19, False),
+    "fig20": (experiments.run_fig20, False),
+    "fig21": (experiments.run_fig21, False),
+    "fps": (experiments.run_fps, False),
+    "delay": (experiments.run_delay_fraction, False),
+    "reload": (experiments.run_reload_overhead, True),
+    "bucketing": (experiments.run_ablation_bucketing, True),
+    "quantization": (experiments.run_ablation_quantization, True),
+    "sync-overhead": (experiments.run_motivation_sync_overhead, False),
+    "reload-opt": (experiments.run_reload_optimization, True),
+    "design-space": (experiments.run_design_space, True),
+    "conversion": (experiments.run_conversion_comparison, True),
+    "robustness": (experiments.run_robustness, True),
+    "bringup": (experiments.run_bringup_battery, False),
+    "temporal": (experiments.run_temporal_limits, False),
+    "yield": (experiments.run_yield_tolerance, True),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SUSHI paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names", nargs="*", default=["all"],
+        help="experiment names (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip experiments that need model training",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names == ["list"]:
+        for name, (_, trains) in EXPERIMENTS.items():
+            tag = " (trains a model)" if trains else ""
+            print(f"  {name}{tag}")
+        return 0
+
+    names = (list(EXPERIMENTS) if args.names in (["all"], [])
+             else args.names)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}; "
+              "run 'python -m repro list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        runner, trains = EXPERIMENTS[name]
+        if args.fast and trains:
+            print(f"== {name}: skipped (--fast) ==\n")
+            continue
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        print(f"== {name} ({elapsed:.1f}s) ==")
+        print(result["report"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

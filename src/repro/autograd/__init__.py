@@ -1,0 +1,51 @@
+"""Reverse-mode automatic differentiation on numpy.
+
+A compact autodiff engine standing in for the PyTorch substrate that
+SpikingJelly (the paper's SNN framework) runs on.  It provides exactly what
+surrogate-gradient SNN training needs: broadcast-aware tensor arithmetic,
+matmul, reductions, activations, the Heaviside step with configurable
+surrogate gradients, softmax losses, and SGD/Adam optimisers.
+
+Example::
+
+    from repro.autograd import Tensor
+
+    w = Tensor.randn(3, 2, requires_grad=True, seed=0)
+    x = Tensor.from_array([[1.0, 2.0, 3.0]])
+    loss = (x @ w).sum()
+    loss.backward()
+    assert w.grad.shape == (3, 2)
+"""
+
+from repro.autograd.tensor import Tensor, concatenate, no_grad, stack
+from repro.autograd.functional import (
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+    one_hot,
+    softmax,
+)
+from repro.autograd.surrogate import (
+    ArctanSurrogate,
+    SigmoidSurrogate,
+    heaviside,
+)
+from repro.autograd.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "cross_entropy",
+    "log_softmax",
+    "mse_loss",
+    "one_hot",
+    "softmax",
+    "ArctanSurrogate",
+    "SigmoidSurrogate",
+    "heaviside",
+    "SGD",
+    "Adam",
+    "Optimizer",
+]

@@ -1,0 +1,53 @@
+"""Losses and classification helpers built on :class:`Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import TrainingError
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = logits - Tensor.from_array(
+        logits.data.max(axis=axis, keepdims=True)
+    )
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = logits - Tensor.from_array(
+        logits.data.max(axis=axis, keepdims=True)
+    )
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> Tensor:
+    """Integer labels -> one-hot float matrix (no gradient)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise TrainingError("labels must be a 1-D integer array")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise TrainingError(
+            f"labels out of range for {num_classes} classes"
+        )
+    eye = np.zeros((labels.size, num_classes))
+    eye[np.arange(labels.size), labels] = 1.0
+    return Tensor.from_array(eye)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between row logits and integer labels."""
+    if logits.ndim != 2:
+        raise TrainingError("cross_entropy expects (batch, classes) logits")
+    targets = one_hot(labels, logits.shape[1])
+    return -(log_softmax(logits) * targets).sum(axis=1).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()

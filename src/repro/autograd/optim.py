@@ -1,0 +1,101 @@
+"""Gradient-descent optimisers over :class:`~repro.autograd.tensor.Tensor`
+parameters.  Adam matches the paper's training setup (section 6: "We use
+adam as the optimizer, with a learning rate of 1e-3")."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError, TrainingError
+
+
+class Optimizer:
+    """Base optimiser: holds parameters, zeroes and applies gradients."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        if any(not p.requires_grad for p in self.parameters):
+            raise ConfigurationError(
+                "all optimised parameters must require gradients"
+            )
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grads(self) -> List[np.ndarray]:
+        grads = []
+        for p in self.parameters:
+            if p.grad is None:
+                raise TrainingError(
+                    "parameter has no gradient; call backward() before step()"
+                )
+            grads.append(p.grad)
+        return grads
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v, g in zip(self.parameters, self._velocity, self._grads()):
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                update = v
+            else:
+                update = g
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2017) -- the paper's optimiser."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v, g in zip(self.parameters, self._m, self._v, self._grads()):
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,59 @@
+"""The Heaviside step with surrogate gradients.
+
+The spike decision ``S = Theta(H - V_th)`` (paper equation (2)) has zero
+gradient almost everywhere, so surrogate-gradient training replaces the
+backward pass with a smooth pseudo-derivative while keeping the exact step
+in the forward pass.  These are the two surrogates commonly used by
+SpikingJelly-trained networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+class SigmoidSurrogate:
+    """Backward: derivative of ``sigmoid(alpha * x)``."""
+
+    def __init__(self, alpha: float = 4.0):
+        if alpha <= 0:
+            raise ConfigurationError("surrogate alpha must be positive")
+        self.alpha = alpha
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        s = 1.0 / (1.0 + np.exp(-np.clip(self.alpha * x, -60.0, 60.0)))
+        return self.alpha * s * (1.0 - s)
+
+
+class ArctanSurrogate:
+    """Backward: derivative of ``(1/pi) * arctan(pi * alpha * x / 2)``."""
+
+    def __init__(self, alpha: float = 2.0):
+        if alpha <= 0:
+            raise ConfigurationError("surrogate alpha must be positive")
+        self.alpha = alpha
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return (self.alpha / 2.0) / (
+            1.0 + (np.pi * self.alpha * x / 2.0) ** 2
+        )
+
+
+def heaviside(x: Tensor, surrogate=None) -> Tensor:
+    """Exact step forward; surrogate pseudo-derivative backward.
+
+    Args:
+        x: Pre-threshold values (typically ``membrane - V_th``).
+        surrogate: A surrogate object with a ``gradient(ndarray)`` method;
+            defaults to :class:`ArctanSurrogate`.
+    """
+    surrogate = surrogate or ArctanSurrogate()
+    out_data = (x.data >= 0.0).astype(np.float64)
+
+    def backward(grad):
+        return ((x, grad * surrogate.gradient(x.data)),)
+
+    return x._make(out_data, (x,), backward, "heaviside")

@@ -1,0 +1,510 @@
+"""The reverse-mode :class:`Tensor`.
+
+Each operation records its parents and a backward closure; calling
+:meth:`Tensor.backward` runs a topological sweep accumulating gradients.
+Broadcasting follows numpy semantics, with gradients summed back to the
+parent shapes (:func:`_unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+Scalar = Union[int, float]
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def _grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autodiff history."""
+
+    __array_priority__ = 100  # so numpy defers to our __radd__ etc.
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        _op: str = "",
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and _grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self._op = _op
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_array(cls, values, requires_grad: bool = False) -> "Tensor":
+        return cls(np.asarray(values, dtype=np.float64), requires_grad)
+
+    @classmethod
+    def zeros(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
+        return cls(np.zeros(shape), requires_grad)
+
+    @classmethod
+    def ones(cls, *shape: int, requires_grad: bool = False) -> "Tensor":
+        return cls(np.ones(shape), requires_grad)
+
+    @classmethod
+    def randn(
+        cls, *shape: int, requires_grad: bool = False,
+        scale: float = 1.0, seed: Optional[int] = None,
+    ) -> "Tensor":
+        rng = np.random.default_rng(seed)
+        return cls(rng.standard_normal(shape) * scale, requires_grad)
+
+    # -- shape properties ---------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (a copy, detached from the graph)."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # -- graph machinery -----------------------------------------------------
+
+    def _make(self, data, parents, backward, op) -> "Tensor":
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
+        return Tensor(
+            data,
+            requires_grad=requires,
+            _parents=parents if requires else (),
+            _backward=backward if requires else None,
+            _op=op,
+        )
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run the reverse sweep from this tensor.
+
+        ``grad`` defaults to 1 for scalars; non-scalar roots require an
+        explicit seed gradient.
+        """
+        if not self.requires_grad:
+            raise TrainingError("backward() on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise TrainingError(
+                    "backward() on a non-scalar requires an explicit gradient"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if not np.all(np.isfinite(self.data)):
+            raise TrainingError(f"non-finite values in '{self._op}' output")
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+        # Reversed topological order guarantees every node is processed only
+        # after all its children have contributed their gradients.
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                node.grad = (
+                    node_grad if node.grad is None else node.grad + node_grad
+                )
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                grads[key] = (
+                    grads[key] + parent_grad if key in grads else parent_grad
+                )
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- arithmetic ----------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor.from_array(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(grad, other.shape)),
+            )
+
+        return self._make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            return ((self, -grad),)
+
+        return self._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad * other.data, self.shape)),
+                (other, _unbroadcast(grad * self.data, other.shape)),
+            )
+
+        return self._make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad / other.data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(
+                        -grad * self.data / (other.data ** 2), other.shape
+                    ),
+                ),
+            )
+
+        return self._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TrainingError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
+
+        return self._make(out_data, (self,), backward, "pow")
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            return (
+                (self, grad @ other.data.T),
+                (other, self.data.T @ grad),
+            )
+
+        return self._make(out_data, (self, other), backward, "matmul")
+
+    # -- reductions / shaping --------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return ((self, np.broadcast_to(g, self.shape).copy()),)
+
+        return self._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad):
+            return ((self, grad.reshape(self.shape)),)
+
+        return self._make(out_data, (self,), backward, "reshape")
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad):
+            return ((self, grad.T),)
+
+        return self._make(out_data, (self,), backward, "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def permute(self, *axes: int) -> "Tensor":
+        """Reorder dimensions (general transpose)."""
+        if len(axes) != self.ndim:
+            raise TrainingError(
+                f"permute needs {self.ndim} axes, got {len(axes)}"
+            )
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            return ((self, grad.transpose(inverse)),)
+
+        return self._make(
+            self.data.transpose(axes), (self,), backward, "permute"
+        )
+
+    def unfold2d(self, kernel: int, stride: int = 1) -> "Tensor":
+        """im2col: extract sliding windows from a (B, C, H, W) tensor.
+
+        Returns ``(B, OH*OW, C*kernel*kernel)`` patches where
+        ``OH = (H - kernel) // stride + 1`` (no padding).  The backward
+        pass scatter-adds gradients back to the overlapping windows --
+        the core op behind :class:`repro.snn.conv.Conv2d`.
+        """
+        if self.ndim != 4:
+            raise TrainingError("unfold2d expects a (B, C, H, W) tensor")
+        if kernel < 1 or stride < 1:
+            raise TrainingError("kernel and stride must be >= 1")
+        batch, channels, height, width = self.shape
+        if kernel > height or kernel > width:
+            raise TrainingError("kernel larger than the input")
+        out_h = (height - kernel) // stride + 1
+        out_w = (width - kernel) // stride + 1
+        windows = np.lib.stride_tricks.sliding_window_view(
+            self.data, (kernel, kernel), axis=(2, 3)
+        )[:, :, ::stride, ::stride]  # (B, C, OH, OW, k, k)
+        out_data = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+            batch, out_h * out_w, channels * kernel * kernel
+        )
+
+        def backward(grad):
+            g = grad.reshape(batch, out_h, out_w, channels, kernel, kernel)
+            dx = np.zeros_like(self.data)
+            for i in range(kernel):
+                for j in range(kernel):
+                    dx[:, :, i:i + stride * out_h:stride,
+                       j:j + stride * out_w:stride] += (
+                        g[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+                    )
+            return ((self, dx),)
+
+        return self._make(out_data, (self,), backward, "unfold2d")
+
+    # -- activations -------------------------------------------------------------
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return self._make(self.data * mask, (self,), backward, "relu")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad):
+            return ((self, grad * out_data * (1.0 - out_data)),)
+
+        return self._make(out_data, (self,), backward, "sigmoid")
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+
+        def backward(grad):
+            return ((self, grad * out_data),)
+
+        return self._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(grad):
+            return ((self, grad / self.data),)
+
+        return self._make(np.log(self.data), (self,), backward, "log")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad):
+            return ((self, grad * sign),)
+
+        return self._make(np.abs(self.data), (self,), backward, "abs")
+
+    def ste_sign(self) -> "Tensor":
+        """Sign with the straight-through estimator backward pass.
+
+        Forward: ``sign(x)`` (zeros map to +1).  Backward: the gradient
+        passes through unchanged where ``|x| <= 1`` and is clipped to zero
+        outside (the XNOR-Net binarization rule used for binarization-aware
+        training, paper section 5.1).
+        """
+        mask = np.abs(self.data) <= 1.0
+        out_data = np.where(self.data >= 0.0, 1.0, -1.0)
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return self._make(out_data, (self,), backward, "ste_sign")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return self._make(
+            np.clip(self.data, low, high), (self,), backward, "clip"
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        """Slice / fancy-index with gradient scatter-add on backward."""
+        out_data = self.data[index]
+
+        def backward(grad):
+            dx = np.zeros_like(self.data)
+            np.add.at(dx, index, grad)
+            return ((self, dx),)
+
+        return self._make(out_data, (self,), backward, "getitem")
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded)
+            # Split gradient across ties to keep the sum rule exact.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            return ((self, mask * g / counts),)
+
+        return self._make(out_data, (self,), backward, "max")
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance built from differentiable primitives."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centred = self - mean
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    def __repr__(self) -> str:
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad}, op='{self._op or 'leaf'}')"
+
+
+def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+    """Concatenate tensors along ``axis`` (gradient splits back)."""
+    if not tensors:
+        raise TrainingError("concatenate needs at least one tensor")
+    tensors = [t if isinstance(t, Tensor) else Tensor.from_array(t)
+               for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        moved = np.moveaxis(grad, axis, 0)
+        grads = []
+        for tensor, start, end in zip(tensors, offsets, offsets[1:]):
+            grads.append(
+                (tensor, np.moveaxis(moved[start:end], 0, axis))
+            )
+        return tuple(grads)
+
+    requires = _grad_enabled() and any(t.requires_grad for t in tensors)
+    return Tensor(
+        out_data,
+        requires_grad=requires,
+        _parents=tuple(tensors) if requires else (),
+        _backward=backward if requires else None,
+        _op="concatenate",
+    )
+
+
+def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+    """Stack tensors along a new axis."""
+    if not tensors:
+        raise TrainingError("stack needs at least one tensor")
+    expanded = []
+    for t in tensors:
+        t = t if isinstance(t, Tensor) else Tensor.from_array(t)
+        shape = list(t.shape)
+        shape.insert(axis if axis >= 0 else len(shape) + 1 + axis, 1)
+        expanded.append(t.reshape(*shape))
+    return concatenate(expanded, axis=axis)

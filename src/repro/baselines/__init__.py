@@ -1,0 +1,29 @@
+"""Baseline neuromorphic chips (paper Table 4 and Figs. 19/21).
+
+The paper compares SUSHI against the published specifications of TrueNorth
+(Merolla et al., Science 2014) and Tianjic (Pei et al., Nature 2019); Loihi
+is included for context.  :class:`ChipSpec` records those specs, and
+:func:`analytical_sops` provides the standard SOPS model (average firing
+rate x average active synapses) used for sanity checks against the
+published throughput numbers.
+"""
+
+from repro.baselines.specs import (
+    LOIHI,
+    SUSHI_PAPER,
+    TIANJIC,
+    TRUENORTH,
+    ChipSpec,
+    all_baselines,
+    analytical_sops,
+)
+
+__all__ = [
+    "ChipSpec",
+    "TRUENORTH",
+    "TIANJIC",
+    "LOIHI",
+    "SUSHI_PAPER",
+    "all_baselines",
+    "analytical_sops",
+]

@@ -1,0 +1,115 @@
+"""Published specifications of the comparison chips (paper Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Published figures of a neuromorphic chip.
+
+    Power may be a range (min, max) as published for TrueNorth (63-300 mW
+    depending on workload); ``gsops`` or ``gsops_per_w`` may be None when
+    the source does not report them (Table 4 leaves Tianjic's GSOPS blank).
+    """
+
+    name: str
+    model: str
+    memory: str
+    technology: str
+    clock_mhz: Optional[float]  # None = asynchronous
+    area_mm2: float
+    power_mw: Tuple[float, float]
+    gsops: Optional[float]
+    gsops_per_w: Optional[float]
+
+    @property
+    def is_async(self) -> bool:
+        return self.clock_mhz is None
+
+    @property
+    def typical_power_mw(self) -> float:
+        low, high = self.power_mw
+        return (low + high) / 2.0
+
+    def peak_power_efficiency(self) -> float:
+        """GSOPS/W from the published numbers (best case: min power)."""
+        if self.gsops_per_w is not None:
+            return self.gsops_per_w
+        if self.gsops is None:
+            raise ConfigurationError(
+                f"{self.name}: neither GSOPS/W nor GSOPS published"
+            )
+        return self.gsops / (self.power_mw[0] * 1e-3)
+
+
+#: TrueNorth (Merolla et al. 2014; Cassidy et al. 2014): 4096 cores,
+#: 1M neurons, 256M synapses, 28 nm CMOS, asynchronous.
+TRUENORTH = ChipSpec(
+    name="TrueNorth",
+    model="SNN",
+    memory="SRAM",
+    technology="CMOS, 28 nm",
+    clock_mhz=None,
+    area_mm2=430.0,
+    power_mw=(63.0, 300.0),
+    gsops=58.0,
+    gsops_per_w=400.0,
+)
+
+#: Tianjic (Pei et al. 2019): 156 cores, hybrid ANN/SNN, 28 nm CMOS.
+TIANJIC = ChipSpec(
+    name="Tianjic",
+    model="Hybrid",
+    memory="SRAM",
+    technology="CMOS, 28 nm",
+    clock_mhz=300.0,
+    area_mm2=14.44,
+    power_mw=(950.0, 950.0),
+    gsops=None,
+    gsops_per_w=649.0,
+)
+
+#: Loihi (Davies et al. 2018), for context: 14 nm, 128 cores, on-chip
+#: learning.  Not part of the paper's Table 4 but useful in reports.
+LOIHI = ChipSpec(
+    name="Loihi",
+    model="SNN",
+    memory="SRAM",
+    technology="CMOS, 14 nm",
+    clock_mhz=None,
+    area_mm2=60.0,
+    power_mw=(74.0, 110.0),
+    gsops=30.0,
+    gsops_per_w=277.0,
+)
+
+#: SUSHI's published column of Table 4 (for paper-vs-measured reports).
+SUSHI_PAPER = ChipSpec(
+    name="SUSHI (paper)",
+    model="SSNN",
+    memory="-",
+    technology="RSFQ, 2 um",
+    clock_mhz=None,
+    area_mm2=103.75,
+    power_mw=(41.87, 41.87),
+    gsops=1355.0,
+    gsops_per_w=32366.0,
+)
+
+
+def all_baselines() -> Tuple[ChipSpec, ...]:
+    """The chips of the paper's comparison (TrueNorth, Tianjic)."""
+    return (TRUENORTH, TIANJIC)
+
+
+def analytical_sops(avg_firing_rate_hz: float, active_synapses: float) -> float:
+    """The standard SOPS model: ``avg.firing.rate x avg.active.synapses``
+    (paper section 6.3, following Cassidy et al.)."""
+    if avg_firing_rate_hz < 0 or active_synapses < 0:
+        raise ConfigurationError("rates and synapse counts must be >= 0")
+    return avg_firing_rate_hz * active_synapses

@@ -1,0 +1,16 @@
+"""Synthetic datasets standing in for MNIST and Fashion-MNIST.
+
+The evaluation environment has no network access, so the paper's datasets
+are replaced with deterministic procedural generators that exercise the
+identical pipeline: 28x28 grayscale images in [0, 1], ten classes, train
+and test splits.  ``digits`` renders glyph bitmaps of the digits 0-9 with
+random affine jitter and noise (the MNIST stand-in); ``fashion`` renders
+clothing silhouettes with heavier intra-class variation and inter-class
+overlap, making it deliberately harder (mirroring Fashion-MNIST being
+harder than MNIST).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.datasets import Dataset, load_digits, load_fashion
+from repro.data.events import EventDataset, load_moving_bars
+
+__all__ = ["Dataset", "load_digits", "load_fashion", "EventDataset", "load_moving_bars"]

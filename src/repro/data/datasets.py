@@ -1,0 +1,139 @@
+"""Procedural 28x28 image dataset generators (MNIST/Fashion stand-ins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.glyphs import DIGIT_GLYPHS, FASHION_CLASS_NAMES, FASHION_GLYPHS
+from repro.errors import ConfigurationError
+
+IMAGE_SIZE = 28
+NUM_CLASSES = 10
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A train/test split of images in [0, 1] with integer labels."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self):
+        for images, labels in (
+            (self.train_images, self.train_labels),
+            (self.test_images, self.test_labels),
+        ):
+            if len(images) != len(labels):
+                raise ConfigurationError("image/label count mismatch")
+            if images.min(initial=0.0) < 0.0 or images.max(initial=1.0) > 1.0:
+                raise ConfigurationError("intensities must lie in [0, 1]")
+
+    @property
+    def num_classes(self) -> int:
+        return NUM_CLASSES
+
+
+def _place_glyph(glyph: np.ndarray, rng: np.random.Generator,
+                 jitter: float, noise: float, blur: float) -> np.ndarray:
+    """Upscale a glyph into a 28x28 canvas with random affine jitter,
+    neighbourhood smudging and salt noise."""
+    gh, gw = glyph.shape
+    # Size-normalised scale (like MNIST's preprocessing), with occasional
+    # one-step shrink for mild size variation.
+    scale = max(1, min(IMAGE_SIZE // gh, IMAGE_SIZE // gw))
+    if scale > 1 and rng.random() < 0.25:
+        scale -= 1
+    big = np.kron(glyph, np.ones((scale, scale)))
+    canvas = np.zeros((IMAGE_SIZE, IMAGE_SIZE))
+    max_dy = IMAGE_SIZE - big.shape[0]
+    max_dx = IMAGE_SIZE - big.shape[1]
+    jr = max(1, int(round(jitter * 2)))
+    dy = int(np.clip(max_dy // 2 + rng.integers(-jr, jr + 1), 0, max_dy))
+    dx = int(np.clip(max_dx // 2 + rng.integers(-jr, jr + 1), 0, max_dx))
+    canvas[dy:dy + big.shape[0], dx:dx + big.shape[1]] = big
+    # Random shear: shift each row by a slowly-varying offset.
+    shear = rng.uniform(-jitter, jitter)
+    sheared = np.zeros_like(canvas)
+    for row in range(IMAGE_SIZE):
+        offset = int(round(shear * (row - IMAGE_SIZE / 2) / 4))
+        sheared[row] = np.roll(canvas[row], offset)
+    canvas = sheared
+    # Smudge: average with shifted copies (cheap blur).
+    if blur > 0:
+        acc = canvas.copy()
+        for shift_y, shift_x in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+            acc += np.roll(np.roll(canvas, shift_y, axis=0), shift_x, axis=1)
+        canvas = (1.0 - blur) * canvas + blur * (acc / 5.0)
+    # Pixel noise: additive speckle plus random dropout.
+    canvas += rng.normal(0.0, noise, canvas.shape)
+    drop = rng.random(canvas.shape) < (noise / 2.0)
+    canvas[drop] = 0.0
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def _generate(
+    glyphs,
+    name: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+    jitter: float,
+    noise: float,
+    blur: float,
+) -> Dataset:
+    if train_size < NUM_CLASSES or test_size < NUM_CLASSES:
+        raise ConfigurationError(
+            "need at least one sample per class in each split"
+        )
+    rng = np.random.default_rng(seed)
+
+    def split(count: int):
+        labels = rng.integers(0, NUM_CLASSES, size=count)
+        images = np.stack([
+            _place_glyph(glyphs[label], rng, jitter, noise, blur)
+            for label in labels
+        ])
+        return images, labels.astype(np.int64)
+
+    train_images, train_labels = split(train_size)
+    test_images, test_labels = split(test_size)
+    return Dataset(train_images, train_labels, test_images, test_labels,
+                   name=name)
+
+
+def load_digits(
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 0,
+) -> Dataset:
+    """The MNIST stand-in: rendered digits, mild jitter and noise."""
+    return _generate(
+        DIGIT_GLYPHS, "digits", train_size, test_size, seed,
+        jitter=1.5, noise=0.14, blur=0.4,
+    )
+
+
+def load_fashion(
+    train_size: int = 2000,
+    test_size: int = 500,
+    seed: int = 1,
+) -> Dataset:
+    """The Fashion-MNIST stand-in: clothing silhouettes with heavier
+    jitter, noise and blur (deliberately harder than the digits)."""
+    return _generate(
+        FASHION_GLYPHS, "fashion", train_size, test_size, seed,
+        jitter=3.0, noise=0.28, blur=0.6,
+    )
+
+
+def class_names(dataset_name: str):
+    """Human-readable class names for reports."""
+    if dataset_name == "fashion":
+        return list(FASHION_CLASS_NAMES)
+    return [str(d) for d in range(10)]

@@ -1,0 +1,114 @@
+"""Synthetic event-stream dataset (DVS-style moving bars).
+
+A temporal workload for spiking networks: each sample is a ``(T, H, W)``
+binary event movie of a bar sweeping across the frame in one of several
+directions; the label is the motion direction.  Unlike the rate-coded
+image datasets, the information here lives *across* time steps -- so it
+separates the paper's stateless SSNN neuron (membrane cleared each step,
+section 5.1) from the stateful IF model: direction is invisible to any
+single frame.
+
+Used by the stateless-cost experiment (`run_temporal_limits`), which
+quantifies what the superconducting-circuit-friendly simplification gives
+up on genuinely temporal data (the paper's MNIST workload is rate-coded,
+where the simplification is nearly free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Motion directions: name -> (dy, dx) per time step.
+DIRECTIONS = {
+    "right": (0, 1),
+    "left": (0, -1),
+    "down": (1, 0),
+    "up": (-1, 0),
+}
+DIRECTION_NAMES = tuple(DIRECTIONS)
+
+
+@dataclass(frozen=True)
+class EventDataset:
+    """Train/test split of event movies.
+
+    ``train_events`` / ``test_events`` have shape (N, T, H, W) with binary
+    entries; labels index :data:`DIRECTION_NAMES`.
+    """
+
+    train_events: np.ndarray
+    train_labels: np.ndarray
+    test_events: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return len(DIRECTION_NAMES)
+
+    @property
+    def time_steps(self) -> int:
+        return self.train_events.shape[1]
+
+    @property
+    def frame_size(self) -> int:
+        return self.train_events.shape[2]
+
+
+def _render_sample(rng: np.random.Generator, side: int, steps: int,
+                   direction: str, noise: float) -> np.ndarray:
+    """One moving-bar movie: a 1-pixel-wide bar sweeping ``direction``."""
+    dy, dx = DIRECTIONS[direction]
+    movie = np.zeros((steps, side, side))
+    # Bar orientation is perpendicular to the motion.
+    vertical_bar = dx != 0
+    span0 = int(rng.integers(0, side // 2))
+    span1 = int(rng.integers(side // 2 + 1, side + 1))
+    if vertical_bar:
+        position = 0 if dx > 0 else side - 1
+    else:
+        position = 0 if dy > 0 else side - 1
+    for t in range(steps):
+        frame = movie[t]
+        pos = int(np.clip(position, 0, side - 1))
+        if vertical_bar:
+            frame[span0:span1, pos] = 1.0
+        else:
+            frame[pos, span0:span1] = 1.0
+        # Event noise: spurious and dropped events.
+        flips = rng.random((side, side)) < noise
+        frame[flips] = 1.0 - frame[flips]
+        position += dx if vertical_bar else dy
+    return movie
+
+
+def load_moving_bars(
+    train_size: int = 400,
+    test_size: int = 100,
+    side: int = 8,
+    steps: int = 8,
+    noise: float = 0.02,
+    seed: int = 0,
+) -> EventDataset:
+    """Generate the moving-bar event dataset."""
+    if side < 3 or steps < 2:
+        raise ConfigurationError("need side >= 3 and steps >= 2")
+    if not 0.0 <= noise < 0.5:
+        raise ConfigurationError("noise must be in [0, 0.5)")
+    rng = np.random.default_rng(seed)
+
+    def split(count: int):
+        labels = rng.integers(0, len(DIRECTION_NAMES), size=count)
+        events = np.stack([
+            _render_sample(rng, side, steps, DIRECTION_NAMES[label], noise)
+            for label in labels
+        ])
+        return events, labels.astype(np.int64)
+
+    train_events, train_labels = split(train_size)
+    test_events, test_labels = split(test_size)
+    return EventDataset(train_events, train_labels,
+                        test_events, test_labels)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the SUSHI reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConstraintViolationError(ReproError):
+    """A pulse arrived closer to a previous pulse than an RSFQ cell allows.
+
+    Raised only when the simulator runs in strict mode; otherwise violations
+    are recorded on :attr:`repro.rsfq.simulator.Simulator.violations`.
+    """
+
+
+class ProtocolError(ReproError):
+    """A control sequence violated the asynchronous neuron timing protocol.
+
+    Examples: writing to a state controller before resetting it, or feeding
+    input pulses before the polarity has been selected (see paper section
+    5.2).
+    """
+
+
+class ConfigurationError(ReproError):
+    """A component was built or configured with inconsistent parameters."""
+
+
+class CapacityError(ReproError):
+    """A workload does not fit the targeted hardware configuration.
+
+    Raised, for example, when a neuron's membrane-state range would underflow
+    or overflow the SC chain of an NPE and bucketing cannot bound it.
+    """
+
+
+class TrainingError(ReproError):
+    """Gradient-based training could not proceed (bad shapes, NaNs, ...)."""

@@ -1,0 +1,20 @@
+"""Experiment harness: one runner per paper table/figure plus reporting.
+
+Each ``run_*`` function in :mod:`repro.harness.experiments` regenerates one
+artefact of the paper's evaluation (see DESIGN.md's experiment index) and
+returns a structured result that the benchmarks print as paper-vs-measured
+tables.  Trained models are cached on disk (:mod:`repro.harness.artifacts`)
+so repeated benchmark runs do not retrain.
+"""
+
+from repro.harness.reporting import format_table, paper_vs_measured
+from repro.harness.artifacts import get_trained_bundle, TrainedBundle
+from repro.harness import experiments
+
+__all__ = [
+    "format_table",
+    "paper_vs_measured",
+    "get_trained_bundle",
+    "TrainedBundle",
+    "experiments",
+]

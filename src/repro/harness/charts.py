@@ -1,0 +1,97 @@
+"""ASCII line charts for the figure reports.
+
+The paper's Figs. 13 and 19-21 are line plots; the benchmark logs render
+them as terminal charts so trends (who wins, where curves bend) are
+visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more series over shared x values as ASCII.
+
+    Points are plotted with per-series glyphs on a ``width`` x ``height``
+    grid with a simple linear y-axis; a legend line maps glyphs to names.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(SERIES_GLYPHS)} series supported"
+        )
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small to draw")
+    x_values = list(x_values)
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigurationError(
+                f"series '{name}' length differs from x values"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    y_min = min(all_y + [0.0])
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1,
+                   int(round((x - x_min) / (x_max - x_min) * (width - 1))))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, int(round((1.0 - frac) * (height - 1))))
+
+    for glyph, (name, ys) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(x_values, ys):
+            grid[row(y)][col(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:,.0f}" if abs(y_max) >= 10 else f"{y_max:.3g}"
+    bottom_label = f"{y_min:,.0f}" if abs(y_min) >= 10 else f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(grid_row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * label_width}  {x_left}{' ' * max(pad, 1)}{x_right}"
+    )
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for glyph, name in zip(SERIES_GLYPHS, series.keys())
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

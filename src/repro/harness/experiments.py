@@ -1,0 +1,1127 @@
+"""One runner per paper artefact (see DESIGN.md's experiment index).
+
+Every ``run_*`` function returns a dict with a human-readable ``report``
+string plus structured fields the benchmarks assert on.  Paper values are
+embedded for the paper-vs-measured comparison; absolute accuracy numbers
+differ by construction (synthetic datasets -- see DESIGN.md) while the
+hardware-model numbers are calibrated and should match closely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines import SUSHI_PAPER, TIANJIC, TRUENORTH
+from repro.harness.artifacts import get_trained_bundle
+from repro.harness.charts import line_chart
+from repro.harness.reporting import format_table, paper_vs_measured
+from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
+from repro.neuro.state_controller import Polarity
+from repro.resources.estimator import PAPER_SWEEP_SIZES, estimate_resources
+from repro.resources.performance import (
+    PerformanceModel,
+    mnist_synops_per_frame,
+)
+from repro.resources.power import PowerModel
+from repro.rsfq.constraints import paper_table1
+from repro.rsfq.waveform import render_waveform
+from repro.snn import binarize_network, consistency
+from repro.snn.encoding import PoissonEncoder
+from repro.ssnn import SushiRuntime, encode_inference, plan_network
+
+# Paper values for Table 3.
+PAPER_TABLE3 = {
+    "digits": {"reference_acc": 0.9865, "sushi_acc": 0.9784,
+               "consistency": 0.9818},
+    "fashion": {"reference_acc": 0.8890, "sushi_acc": 0.8623,
+                "consistency": 0.8871},
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 1 -- RSFQ cell constraints
+# ---------------------------------------------------------------------------
+
+def run_table1() -> Dict:
+    """Print Table 1 and verify the simulator enforces every constraint."""
+    from repro.rsfq import Netlist, Simulator, library
+
+    table = paper_table1()
+    rows = [
+        {"cell": cell, "constraint": name, "min_lag_ps": value}
+        for cell, constraints in table.items()
+        for name, value in constraints.items()
+    ]
+    # Enforcement check: drive each representative constraint too fast and
+    # confirm a violation is recorded.
+    checks = []
+    scenarios = [
+        ("JTL", library.JTL, [("din", 0.0), ("din", 10.0)]),
+        ("SPL", library.SPL, [("din", 0.0), ("din", 10.0)]),
+        ("CB cross", library.CB, [("dinA", 0.0), ("dinB", 2.0)]),
+        ("DFF din-clk", library.DFF, [("din", 0.0), ("clk", 3.0)]),
+        ("NDRO din-rst", library.NDRO, [("din", 0.0), ("rst", 10.0)]),
+        ("TFF", library.TFFL, [("din", 0.0), ("din", 10.0)]),
+    ]
+    for label, cls, pulses in scenarios:
+        net = Netlist("check")
+        cell = net.add(cls("c"))
+        sim = Simulator(net)
+        for port, time in pulses:
+            sim.schedule_input(cell, port, time)
+        sim.run()
+        checks.append({"scenario": label,
+                       "violation_detected": bool(sim.violations)})
+    report = format_table(rows, title="Table 1: RSFQ cell constraints (ps)")
+    report += "\n\n" + format_table(checks,
+                                    title="Constraint enforcement checks")
+    return {"rows": rows, "checks": checks, "report": report}
+
+
+# ---------------------------------------------------------------------------
+# Table 2 -- resource overhead of the configurable 4x4 mesh
+# ---------------------------------------------------------------------------
+
+def run_table2() -> Dict:
+    measured = estimate_resources(4, with_weights=True, max_strength=4)
+    entries = [
+        {"metric": "total JJs", "paper": 45_542,
+         "measured": measured.total_jj},
+        {"metric": "wiring JJs", "paper": 31_026,
+         "measured": measured.wiring_jj},
+        {"metric": "logic JJs", "paper": 14_516,
+         "measured": measured.logic_jj},
+        {"metric": "wiring share (%)", "paper": 68.13,
+         "measured": round(100 * measured.wiring_fraction, 2)},
+        {"metric": "total area (mm^2)", "paper": 44.73,
+         "measured": round(measured.total_area_mm2, 2)},
+    ]
+    return {
+        "measured": measured,
+        "entries": entries,
+        "report": paper_vs_measured(
+            entries, title="Table 2: 4x4 configurable mesh resources"
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 -- JJ / area scaling with NPE count
+# ---------------------------------------------------------------------------
+
+def run_fig13() -> Dict:
+    rows = []
+    base = None
+    for n in PAPER_SWEEP_SIZES:
+        r = estimate_resources(n, with_weights=False)
+        if base is None:
+            base = r.total_jj
+        rows.append({
+            "npes": r.npe_count,
+            "network": f"{n}x{n}",
+            "total_jj": r.total_jj,
+            "logic_jj": r.logic_jj,
+            "wiring_jj": r.wiring_jj,
+            "area_mm2": round(r.total_area_mm2, 2),
+            "linear_ref_jj": base * n,
+        })
+    report = format_table(
+        rows, title="Fig. 13: resource scaling with NPE count"
+    )
+    report += "\n\n" + line_chart(
+        [row["npes"] for row in rows],
+        {
+            "total JJs": [row["total_jj"] for row in rows],
+            "logic JJs": [row["logic_jj"] for row in rows],
+            "wiring JJs": [row["wiring_jj"] for row in rows],
+            "linear ref": [row["linear_ref_jj"] for row in rows],
+        },
+        title="Fig. 13(a): JJs vs NPEs", y_label="JJs",
+    )
+    anchors = paper_vs_measured([
+        {"metric": "total JJs @ 32 NPEs", "paper": 99_982,
+         "measured": rows[-1]["total_jj"]},
+        {"metric": "area @ 32 NPEs (mm^2)", "paper": 103.75,
+         "measured": rows[-1]["area_mm2"]},
+    ], title="Fig. 13 anchors")
+    return {"rows": rows, "report": report + "\n\n" + anchors}
+
+
+# ---------------------------------------------------------------------------
+# Table 3 -- inference accuracy and consistency
+# ---------------------------------------------------------------------------
+
+def run_table3(
+    datasets: Sequence[str] = ("digits", "fashion"),
+    hidden: int = 384,
+    epochs: int = 25,
+    train_size: int = 3500,
+    test_size: int = 400,
+    chip_n: int = 16,
+) -> Dict:
+    """Reference (stateful, SpikingJelly stand-in) vs SUSHI chip inference.
+
+    Absolute accuracies use the synthetic datasets and a scaled-down
+    network; the paper-shape assertions are (1) SUSHI accuracy is slightly
+    below the reference, (2) consistency is high but below 100%, and (3)
+    the fashion dataset is harder on both platforms."""
+    results = {}
+    rows = []
+    for name in datasets:
+        bundle = get_trained_bundle(
+            dataset=name, hidden=hidden, epochs=epochs,
+            train_size=train_size, test_size=test_size,
+        )
+        model, data = bundle.model, bundle.dataset
+        # The reference platform ("SpikingJelly") evaluates the trained
+        # network with float arithmetic and *stateful* IF neurons; SUSHI
+        # adds the integer conversion and the stateless simplification.
+        reference_preds = model.predict(data.test_images)
+        network = binarize_network(model)
+        encoder = PoissonEncoder(seed=model.encoder_seed)
+        trains = encoder.encode_steps(
+            data.test_images.reshape(len(data.test_images), -1),
+            model.time_steps,
+        )
+        runtime = SushiRuntime(chip_n=chip_n)
+        chip_result = runtime.infer(network, trains)
+        ref_acc = float((reference_preds == data.test_labels).mean())
+        sushi_acc = float(
+            (chip_result.predictions == data.test_labels).mean()
+        )
+        agree = consistency(chip_result.predictions, reference_preds)
+        paper = PAPER_TABLE3[name]
+        results[name] = {
+            "reference_acc": ref_acc,
+            "sushi_acc": sushi_acc,
+            "consistency": agree,
+            "spurious": chip_result.spurious_decisions,
+        }
+        rows.extend([
+            {"dataset": name, "metric": "reference accuracy",
+             "paper": paper["reference_acc"], "measured": round(ref_acc, 4)},
+            {"dataset": name, "metric": "SUSHI accuracy",
+             "paper": paper["sushi_acc"], "measured": round(sushi_acc, 4)},
+            {"dataset": name, "metric": "consistency",
+             "paper": paper["consistency"], "measured": round(agree, 4)},
+        ])
+    report = format_table(
+        rows, ["dataset", "metric", "paper", "measured"],
+        title="Table 3: SpikingJelly-reference vs SUSHI inference "
+              "(synthetic datasets -- compare shapes, not absolutes)",
+    )
+    return {"results": results, "rows": rows, "report": report}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 -- chip waveforms vs simulation, inference readout
+# ---------------------------------------------------------------------------
+
+def run_fig16(jitter_ps: float = 0.35, sample_index: int = None) -> Dict:
+    """Gate-level 2-NPE chip (the fabricated configuration) vs behavioural
+    simulation, plus the per-label output pulse streams of Fig. 16(d).
+
+    A small network (7x7-pooled digits, 16 hidden units) is trained and its
+    ten output neurons are evaluated one at a time on the 1x1 gate-level
+    chip via bit-slicing.  The "chip" side re-runs the identical pulse
+    schedule with Gaussian wire-delay jitter standing in for fabrication
+    variation; the waveform comparison mirrors the paper's
+    oscilloscope-vs-VCS figure."""
+    bundle = get_trained_bundle(
+        dataset="digits", hidden=16, epochs=12, train_size=800,
+        test_size=60, downsample=4,
+    )
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    if sample_index is None:
+        # Pick the first test sample the deployed (binarized) network
+        # classifies correctly -- the paper's figure shows a successful
+        # inference.  Each candidate is encoded exactly as the chip run
+        # below will encode it (fresh encoder, single sample).
+        sample_index = 0
+        for i in range(len(data.test_images)):
+            candidate = PoissonEncoder(seed=model.encoder_seed).encode_steps(
+                data.test_images[i:i + 1].reshape(1, -1), model.time_steps
+            )
+            if int(network.predict(candidate)[0]) == int(data.test_labels[i]):
+                sample_index = i
+                break
+    image = data.test_images[sample_index:sample_index + 1]
+    label = int(data.test_labels[sample_index])
+    trains = encoder.encode_steps(image.reshape(1, -1), model.time_steps)
+
+    # Per-label output streams over the whole network (behavioural chip).
+    runtime = SushiRuntime(chip_n=1, sc_per_npe=10, engine="behavioral")
+    result = runtime.infer(network, trains)
+    raster = result.output_raster[:, 0, :]  # (T, 10)
+    label_streams = {
+        f"label{k}": "-".join(str(int(v)) for v in raster[:, k])
+        for k in range(raster.shape[1])
+    }
+    prediction = int(result.predictions[0])
+
+    # Gate-level vs jittered gate-level on the winning output neuron: the
+    # hidden spikes of each step stream through NPE0 (relay) into NPE1.
+    hidden_spikes = network.layers[0].forward(trains[:, 0, :])  # (T, 16)
+    weights = network.layers[1].signed_weights[:, prediction]
+    threshold = int(network.layers[1].thresholds[prediction])
+
+    from repro.rsfq.waveform import PulseTrace
+
+    def run_gate(seed, jitter):
+        chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=10))
+        trace = PulseTrace()
+        sim = chip.simulator(jitter_ps=jitter, seed=seed, trace=trace)
+        driver = ChipDriver(chip, sim)
+        step_outputs = []
+        for t in range(hidden_spikes.shape[0]):
+            driver.begin_timestep([threshold])
+            before = len(chip.fire_times(0))
+            for polarity, sign in ((Polarity.SET0, -1), (Polarity.SET1, 1)):
+                for axon in range(hidden_spikes.shape[1]):
+                    if hidden_spikes[t, axon] and weights[axon] == sign:
+                        driver.configure_weights([[1]])
+                        driver.run_pass(polarity, [True])
+            step_outputs.append(
+                1 if len(chip.fire_times(0)) > before else 0
+            )
+        # NPE0 (relay) pulses are observed where the row line leaves it.
+        relay_times = trace.times("rowline0.thru", "din")
+        return chip, step_outputs, relay_times
+
+    ideal_chip, ideal_outputs, ideal_relay = run_gate(seed=1, jitter=0.0)
+    jitter_chip, jitter_outputs, jitter_relay = run_gate(
+        seed=2, jitter=jitter_ps
+    )
+
+    # Detailed view (the paper's Fig. 16(b)): a window around the output
+    # spike, showing the relay (NPE0) activity and the neuron (NPE1) fire.
+    fire_times = ideal_chip.fire_times(0) or [ideal_relay[-1]]
+    t_mid = fire_times[0]
+    t_start, t_end = max(0.0, t_mid - 30_000.0), t_mid + 5_000.0
+    window = lambda times: [t for t in times if t_start <= t < t_end]
+    waveforms = render_waveform(
+        {
+            "NPE0 (sim)": window(ideal_relay),
+            "NPE0 (chip)": window(jitter_relay),
+            "NPE1 (sim)": window(ideal_chip.fire_times(0)),
+            "NPE1 (chip)": window(jitter_chip.fire_times(0)),
+        },
+        t_start=t_start, t_end=t_end, width=72,
+    )
+    consistent = ideal_outputs == jitter_outputs
+    pulse_match = (
+        len(ideal_relay) == len(jitter_relay)
+        and len(ideal_chip.fire_times(0)) == len(jitter_chip.fire_times(0))
+    )
+    stream_report = "\n".join(
+        f"=> {name}: {stream}" for name, stream in label_streams.items()
+    )
+    report = (
+        "Fig. 16: simulation vs (jittered) chip waveforms, detailed view "
+        f"around the output spike [{t_start:.0f}, {t_end:.0f}] ps\n"
+        + waveforms
+        + f"\n\nPer-label output pulse streams (T={model.time_steps}):\n"
+        + stream_report
+        + f"\n\nInference result: {prediction} (true label {label}); "
+        + f"sim/chip step outputs identical: {consistent}; "
+        + f"pulse counts identical: {pulse_match}"
+    )
+    return {
+        "label_streams": label_streams,
+        "prediction": prediction,
+        "true_label": label,
+        "ideal_outputs": ideal_outputs,
+        "jitter_outputs": jitter_outputs,
+        "consistent": consistent,
+        "pulse_match": pulse_match,
+        "report": report,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 -- asynchronous neuron timing example
+# ---------------------------------------------------------------------------
+
+def run_fig14() -> Dict:
+    """Reproduce the section 5.2 timing example on a gate-level NPE.
+
+    The protocol channels (rst, write, set, in) drive the hardware in the
+    paper's mandated order; the oscilloscope view shows the input pulses
+    and the level-inverting real output.  The three asynchronous
+    constraints are checked on the observed pulse times:
+
+    1. write follows rst;  2. input follows set;  3. the read output is
+    triggered by (aligned with) rst.
+    """
+    from repro.neuro.npe import GateLevelNPE
+    from repro.neuro.timing import NPEDriver
+    from repro.rsfq import Netlist, Simulator
+    from repro.rsfq.waveform import PulseTrace, pulses_to_levels
+
+    net = Netlist("fig14")
+    npe = GateLevelNPE(net, "npe", n_sc=4)
+    trace = PulseTrace()
+    sim = Simulator(net, trace=trace)
+    driver = NPEDriver(sim, npe)
+
+    t_rst1 = driver.reset()
+    driver.write_preload(0b1010)     # arbitrary prior state to read back
+    t_rst2 = driver.reset()          # read channels report bits 1 and 3
+    driver.configure_threshold(4)
+    t_set = driver.cursor
+    driver.set_polarity(Polarity.SET1)
+    t_inputs_start = driver.cursor
+    driver.pulses(6)                 # six input pulses, as in the figure
+    driver.run()
+
+    input_times = trace.times("npe.sc0.in_cb", "dinA")
+    output_times = npe.fire_times
+    read_times = sorted(
+        t for i in range(npe.n_sc) for t in npe.read_times(i)
+    )
+    t_end = sim.now + 200.0
+    channels = {
+        "input": input_times,
+        "real output (level)": output_times,
+        "read": read_times,
+    }
+    waveform = render_waveform(channels, t_end=t_end, width=76)
+    levels = pulses_to_levels(output_times, t_end=t_end, dt=t_end / 76)
+    checks = {
+        "write follows rst": t_rst1 < t_rst2,  # writes sit between resets
+        "input follows set": bool(input_times) and min(input_times) > t_set,
+        "read aligned with rst": bool(read_times)
+        and all(t_rst2 <= t < t_set + 1.0 for t in read_times),
+        "output inverts level per pulse": int(levels[-1]) == len(
+            output_times
+        ) % 2,
+        "no timing violations": not sim.violations,
+    }
+    report = (
+        "Fig. 14: asynchronous neuron timing on a gate-level NPE\n"
+        + waveform
+        + "\n\nconstraint checks: "
+        + ", ".join(f"{k}={v}" for k, v in checks.items())
+        + f"\ninput pulses: {len(input_times)}; output pulses: "
+        + f"{len(output_times)}; read pulses: {len(read_times)}"
+    )
+    return {
+        "checks": checks,
+        "input_count": len(input_times),
+        "output_count": len(output_times),
+        "read_count": len(read_times),
+        "report": report,
+    }
+
+
+def run_bringup_battery(jitter_ps: float = 0.4) -> Dict:
+    """Section 6.2 bring-up: the NPE mechanism battery (flip, carry, fire,
+    reset/read, polarity, relay) on the gate-level chip, under ideal and
+    jittered ("fabricated") wire delays."""
+    from repro.neuro.bringup import run_bringup
+
+    ideal = run_bringup(sc_per_npe=4)
+    jittered = run_bringup(sc_per_npe=4, jitter_ps=jitter_ps, seed=7)
+    full_scale = run_bringup(sc_per_npe=10)
+    rows = []
+    for check_i, check_j in zip(ideal.checks, jittered.checks):
+        rows.append({
+            "mechanism": check_i.name,
+            "expected": check_i.expected,
+            "sim": check_i.observed,
+            "chip(jitter)": check_j.observed,
+            "pass": check_i.passed and check_j.passed,
+        })
+    report = format_table(
+        rows, title="Section 6.2 bring-up: NPE mechanism battery"
+    )
+    report += (
+        f"\n\nviolations: sim={ideal.violations}, "
+        f"chip={jittered.violations}; 10-SC NPE battery: "
+        f"{'PASS' if full_scale.passed else 'FAIL'}"
+    )
+    # Timing sign-off: tightest slack per constraint family over a full
+    # protocol run (all must be positive).
+    from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
+
+    chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=4, max_strength=2))
+    driver = ChipDriver(chip)
+    driver.begin_timestep([3, 5])
+    driver.configure_weights([[1, 2], [2, 1]])
+    driver.run_pass(Polarity.SET1, [True, True])
+    driver.run_pass(Polarity.SET0, [True, False])
+    margin_rows = driver.sim.margin_report()[:8]
+    report += "\n\n" + format_table(
+        margin_rows, title="Timing sign-off: tightest slack per "
+                           "constraint family (ps)"
+    )
+    return {
+        "ideal": ideal,
+        "jittered": jittered,
+        "full_scale": full_scale,
+        "rows": rows,
+        "margin_rows": margin_rows,
+        "min_slack_ps": min(r["slack_ps"] for r in margin_rows),
+        "report": report,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 4 -- comparison with TrueNorth and Tianjic
+# ---------------------------------------------------------------------------
+
+def run_table4() -> Dict:
+    perf = PerformanceModel(16)
+    resources = estimate_resources(16, with_weights=False)
+    power = PowerModel(resources).total_mw(perf.peak_sops())
+    gsops = perf.peak_gsops()
+    efficiency = gsops / (power * 1e-3)
+    rows = [
+        {
+            "platform": spec.name,
+            "model": spec.model,
+            "technology": spec.technology,
+            "clock_mhz": spec.clock_mhz or "Async",
+            "area_mm2": spec.area_mm2,
+            "power_mw": (
+                f"{spec.power_mw[0]:g}-{spec.power_mw[1]:g}"
+                if spec.power_mw[0] != spec.power_mw[1]
+                else f"{spec.power_mw[0]:g}"
+            ),
+            "gsops": spec.gsops if spec.gsops is not None else "-",
+            "gsops_per_w": spec.gsops_per_w,
+        }
+        for spec in (TRUENORTH, TIANJIC)
+    ]
+    rows.append({
+        "platform": "SUSHI (measured)",
+        "model": "SSNN",
+        "technology": "RSFQ, 2 um",
+        "clock_mhz": "Async",
+        "area_mm2": round(resources.total_area_mm2, 2),
+        "power_mw": f"{power:.2f}",
+        "gsops": round(gsops, 0),
+        "gsops_per_w": round(efficiency, 0),
+    })
+    entries = [
+        {"metric": "GSOPS", "paper": SUSHI_PAPER.gsops,
+         "measured": round(gsops, 1)},
+        {"metric": "GSOPS/W", "paper": SUSHI_PAPER.gsops_per_w,
+         "measured": round(efficiency, 0)},
+        {"metric": "power (mW)", "paper": 41.87,
+         "measured": round(power, 2)},
+        {"metric": "area (mm^2)", "paper": 103.75,
+         "measured": round(resources.total_area_mm2, 2)},
+        {"metric": "speedup vs TrueNorth", "paper": 23.0,
+         "measured": round(gsops / TRUENORTH.gsops, 1)},
+        {"metric": "efficiency vs TrueNorth", "paper": 81.0,
+         "measured": round(efficiency / TRUENORTH.gsops_per_w, 1)},
+        {"metric": "efficiency vs Tianjic", "paper": 50.0,
+         "measured": round(efficiency / TIANJIC.gsops_per_w, 1)},
+    ]
+    report = (
+        format_table(rows, title="Table 4: platform comparison")
+        + "\n\n"
+        + paper_vs_measured(entries, title="SUSHI column, paper vs measured")
+    )
+    return {"rows": rows, "entries": entries, "gsops": gsops,
+            "efficiency": efficiency, "power_mw": power, "report": report}
+
+
+# ---------------------------------------------------------------------------
+# Figs. 19-21 -- scaling of performance, power, efficiency
+# ---------------------------------------------------------------------------
+
+def run_fig19() -> Dict:
+    rows = []
+    for n in PAPER_SWEEP_SIZES:
+        perf = PerformanceModel(n)
+        rows.append({
+            "npes": perf.npe_count,
+            "network": f"{n}x{n}",
+            "gsops": round(perf.peak_gsops(), 1),
+            "truenorth_gsops": TRUENORTH.gsops,
+        })
+    report = format_table(
+        rows, title="Fig. 19: performance vs NPE count"
+    )
+    report += "\n\n" + line_chart(
+        [row["npes"] for row in rows],
+        {
+            "SUSHI": [row["gsops"] for row in rows],
+            "TrueNorth": [row["truenorth_gsops"] for row in rows],
+        },
+        title="Fig. 19: GSOPS vs NPEs", y_label="GSOPS",
+    )
+    return {"rows": rows, "peak": rows[-1]["gsops"], "report": report}
+
+
+def run_fig20() -> Dict:
+    rows = []
+    for n in PAPER_SWEEP_SIZES:
+        perf = PerformanceModel(n)
+        power = PowerModel.for_mesh(n, with_weights=False).total_mw(
+            perf.peak_sops()
+        )
+        rows.append({
+            "npes": 2 * n,
+            "network": f"{n}x{n}",
+            "power_mw": round(power, 2),
+        })
+    report = format_table(rows, title="Fig. 20: power vs NPE count")
+    report += "\n\n" + line_chart(
+        [row["npes"] for row in rows],
+        {"SUSHI": [row["power_mw"] for row in rows]},
+        title="Fig. 20: power (mW) vs NPEs", y_label="mW",
+    )
+    return {"rows": rows, "peak_power_mw": rows[-1]["power_mw"],
+            "report": report}
+
+
+def run_fig21() -> Dict:
+    rows = []
+    for n in PAPER_SWEEP_SIZES:
+        perf = PerformanceModel(n)
+        rows.append({
+            "npes": 2 * n,
+            "network": f"{n}x{n}",
+            "gsops_per_w": round(
+                perf.power_efficiency_gsops_per_w(with_weights=False), 0
+            ),
+            "truenorth": TRUENORTH.gsops_per_w,
+            "tianjic": TIANJIC.gsops_per_w,
+        })
+    report = format_table(
+        rows, title="Fig. 21: power efficiency vs NPE count"
+    )
+    report += "\n\n" + line_chart(
+        [row["npes"] for row in rows],
+        {
+            "SUSHI": [row["gsops_per_w"] for row in rows],
+            "TrueNorth": [row["truenorth"] for row in rows],
+            "Tianjic": [row["tianjic"] for row in rows],
+        },
+        title="Fig. 21: GSOPS/W vs NPEs", y_label="GSOPS/W",
+    )
+    return {"rows": rows, "report": report}
+
+
+# ---------------------------------------------------------------------------
+# Section 6.3 scalars -- FPS, delay fraction, reload overhead, ablation
+# ---------------------------------------------------------------------------
+
+def run_fps() -> Dict:
+    perf = PerformanceModel(16)
+    synops = mnist_synops_per_frame()
+    fps = perf.fps(synops, reload_fraction=0.2, utilisation=0.765)
+    entries = [
+        {"metric": "MNIST-network FPS @ 16x16", "paper": 2.61e5,
+         "measured": round(fps, 0)},
+        {"metric": "synops per frame", "paper": synops,
+         "measured": synops},
+    ]
+    return {"fps": fps, "entries": entries,
+            "report": paper_vs_measured(entries,
+                                        title="Section 6.3: frame rate")}
+
+
+def run_delay_fraction() -> Dict:
+    """Transmission-delay share of per-pulse processing: the calibrated
+    analytic model over the full sweep, cross-checked at small meshes by
+    static timing analysis of the actual gate-level netlists."""
+    from repro.rsfq.analysis import chip_transmission_fraction
+
+    rows = []
+    for n in PAPER_SWEEP_SIZES:
+        share = PerformanceModel(n).transmission_delay_share()
+        row = {
+            "network": f"{n}x{n}",
+            "model_share_pct": round(100 * share, 1),
+            "gate_level_pct": "-",
+        }
+        if n <= 4:  # gate-level chips are built cell by cell; keep small
+            chip = GateLevelChip(ChipConfig(n=n, sc_per_npe=4))
+            row["gate_level_pct"] = round(
+                100 * chip_transmission_fraction(chip), 1
+            )
+        rows.append(row)
+    entries = [
+        {"metric": "share @ 1x1, model (%)", "paper": 6.0,
+         "measured": rows[0]["model_share_pct"]},
+        {"metric": "share @ 1x1, gate-level (%)", "paper": 6.0,
+         "measured": rows[0]["gate_level_pct"]},
+        {"metric": "share @ 16x16, model (%)", "paper": 53.0,
+         "measured": rows[-1]["model_share_pct"]},
+    ]
+    report = (
+        format_table(rows, title="Section 6.3A: transmission delay share")
+        + "\n\n" + paper_vs_measured(entries)
+    )
+    return {"rows": rows, "entries": entries, "report": report}
+
+
+def run_reload_overhead(chip_n: int = 16, samples: int = 5) -> Dict:
+    """Measure the weight-reload share of inference time on the real
+    (scaled-down) workload -- the paper reports ~20% on average."""
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    plan = plan_network(network, chip_n)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    fractions, fps_values = [], []
+    for i in range(samples):
+        trains = encoder.encode_steps(
+            data.test_images[i:i + 1].reshape(1, -1), model.time_steps
+        )[:, 0, :]
+        enc = encode_inference(plan, trains)
+        fractions.append(enc.reload_fraction)
+        fps_values.append(enc.fps)
+    mean_fraction = float(np.mean(fractions))
+    entries = [
+        {"metric": "reload share of inference time (%)", "paper": 20.0,
+         "measured": round(100 * mean_fraction, 1)},
+    ]
+    return {
+        "reload_fraction": mean_fraction,
+        "fps_values": fps_values,
+        "entries": entries,
+        "report": paper_vs_measured(
+            entries, title="Section 4.2.2: weight-reload overhead"
+        ),
+    }
+
+
+def run_yield_tolerance(dead_fractions=(0.0, 0.02, 0.05, 0.1, 0.2),
+                        test_size: int = 300, seed: int = 0) -> Dict:
+    """Extension: accuracy under fabrication defects.
+
+    Superconducting fabrication is still maturing ("the current
+    superconducting fabrication technique is more stable for chips with
+    low JJ density", section 6) -- so a deployment must know how gracefully
+    inference degrades when crosspoints die.  A dead crosspoint NDRO is a
+    synapse stuck at strength 0; we knock out random fractions of the
+    deployed network's synapses and measure chip accuracy."""
+    from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    images = data.test_images[:test_size]
+    labels = data.test_labels[:test_size]
+    trains = encoder.encode_steps(images.reshape(len(images), -1),
+                                  model.time_steps)
+    rng = np.random.default_rng(seed)
+    runtime = SushiRuntime(chip_n=16)
+    rows = []
+    accs = {}
+    for fraction in dead_fractions:
+        layers = []
+        for layer in network.layers:
+            weights = layer.signed_weights.copy()
+            dead = rng.random(weights.shape) < fraction
+            weights[dead] = 0
+            layers.append(BinarizedLayer(weights, layer.thresholds))
+        degraded = BinarizedNetwork(layers)
+        result = runtime.infer(degraded, trains)
+        acc = float((result.predictions == labels).mean())
+        accs[fraction] = acc
+        rows.append({
+            "dead_synapse_fraction": fraction,
+            "chip_accuracy": round(acc, 4),
+        })
+    report = format_table(
+        rows, title="Extension: accuracy under dead crosspoints "
+                    "(fabrication yield)"
+    )
+    return {"accs": accs, "rows": rows, "report": report}
+
+
+def run_temporal_limits(train_size: int = 400, test_size: int = 120,
+                        epochs: int = 20) -> Dict:
+    """Extension: what the stateless SSNN neuron gives up on temporal data.
+
+    On the paper's rate-coded image workloads, clearing the membrane at
+    each time step (section 5.1) costs almost nothing -- every step
+    carries the full stimulus.  On an event-stream workload (DVS-style
+    moving bars, :mod:`repro.data.events`) the class is *only* visible
+    across steps: stateful IF integrates the motion, the stateless neuron
+    cannot.  This bounds the workload domain of the simplification."""
+    from repro.data.events import load_moving_bars
+    from repro.snn import Linear, Sequential, Trainer, TrainerConfig
+    from repro.snn.model import EventSpikingClassifier
+    from repro.snn.neurons import IFNode, StatelessIFNode
+
+    data = load_moving_bars(train_size=train_size, test_size=test_size,
+                            side=8, steps=8, seed=0)
+    side2 = data.frame_size ** 2
+    results = {}
+    rows = []
+    for node_cls, name in ((IFNode, "stateful IF (reference)"),
+                           (StatelessIFNode, "stateless IF (SSNN, 5.1)")):
+        network = Sequential(
+            Linear(side2, 48, seed=0), node_cls(v_threshold=1.0),
+            Linear(48, data.num_classes, seed=1),
+            node_cls(v_threshold=1.0),
+        )
+        model = EventSpikingClassifier(network,
+                                       time_steps=data.time_steps)
+        Trainer(model, TrainerConfig(epochs=epochs, batch_size=32,
+                                     learning_rate=5e-3)).fit(
+            data.train_events, data.train_labels
+        )
+        acc = float(
+            (model.predict(data.test_events) == data.test_labels).mean()
+        )
+        results[name] = acc
+        rows.append({"neuron model": name, "accuracy": round(acc, 4)})
+    rows.append({"neuron model": "chance", "accuracy": 0.25})
+    report = format_table(
+        rows, title="Extension: stateless-neuron cost on temporal "
+                    "(event-stream) data -- moving-bar direction"
+    )
+    return {
+        "stateful_acc": results["stateful IF (reference)"],
+        "stateless_acc": results["stateless IF (SSNN, 5.1)"],
+        "rows": rows,
+        "report": report,
+    }
+
+
+def run_robustness(seeds=(11, 22, 33, 44), noise_levels=(0.0, 0.1, 0.2),
+                   test_size: int = 200) -> Dict:
+    """Extension: robustness of chip inference to encoding stochasticity
+    and input corruption.
+
+    Rate coding is inherently stochastic -- a deployed SUSHI sees a fresh
+    Poisson draw per inference -- so accuracy must be stable across
+    encoder seeds; and the event-driven pipeline should degrade gracefully
+    under input noise rather than collapse."""
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    images = data.test_images[:test_size]
+    labels = data.test_labels[:test_size]
+    runtime = SushiRuntime(chip_n=16)
+
+    seed_accs = []
+    for seed in seeds:
+        trains = PoissonEncoder(seed=seed).encode_steps(
+            images.reshape(len(images), -1), model.time_steps
+        )
+        result = runtime.infer(network, trains)
+        seed_accs.append(float((result.predictions == labels).mean()))
+
+    rng = np.random.default_rng(0)
+    noise_rows = []
+    for noise in noise_levels:
+        noisy = np.clip(
+            images + rng.normal(0.0, noise, images.shape), 0.0, 1.0
+        )
+        trains = PoissonEncoder(seed=seeds[0]).encode_steps(
+            noisy.reshape(len(noisy), -1), model.time_steps
+        )
+        result = runtime.infer(network, trains)
+        noise_rows.append({
+            "input_noise_sigma": noise,
+            "chip_accuracy": round(
+                float((result.predictions == labels).mean()), 4
+            ),
+        })
+    seed_spread = max(seed_accs) - min(seed_accs)
+    report = format_table(
+        [{"encoder_seed": s, "chip_accuracy": round(a, 4)}
+         for s, a in zip(seeds, seed_accs)],
+        title="Robustness: fresh Poisson draws per inference",
+    )
+    report += "\n\n" + format_table(
+        noise_rows, title="Robustness: input corruption"
+    )
+    return {
+        "seed_accs": seed_accs,
+        "seed_spread": seed_spread,
+        "noise_rows": noise_rows,
+        "report": report,
+    }
+
+
+def run_conversion_comparison(time_steps=(4, 8, 16, 32)) -> Dict:
+    """Extension: direct surrogate-gradient SSNN training vs classical
+    ANN-to-SNN conversion.
+
+    Conversion approximates ReLU activations with firing rates, so it
+    needs long time windows; the directly-trained SSNN reaches its
+    accuracy at T=5 -- the low-latency regime a GHz-pulse superconducting
+    chip is built for (and why the paper trains directly)."""
+    from repro.snn import ANNClassifier, convert_ann_to_snn
+
+    bundle = get_trained_bundle(dataset="digits")
+    direct_model, data = bundle.model, bundle.dataset
+    direct_preds = direct_model.predict(data.test_images)
+    direct_acc = float((direct_preds == data.test_labels).mean())
+
+    ann = ANNClassifier(hidden_size=256, seed=0)
+    ann.fit(data.train_images, data.train_labels, epochs=8,
+            learning_rate=2e-3)
+    ann_acc = float(
+        (ann.predict(data.test_images) == data.test_labels).mean()
+    )
+    rows = [{
+        "pipeline": f"direct SSNN (T={direct_model.time_steps})",
+        "time_steps": direct_model.time_steps,
+        "accuracy": round(direct_acc, 4),
+    }]
+    converted_accs = {}
+    for steps in time_steps:
+        snn = convert_ann_to_snn(ann, data.train_images[:200],
+                                 time_steps=steps, encoder_seed=1)
+        acc = float(
+            (snn.predict(data.test_images) == data.test_labels).mean()
+        )
+        converted_accs[steps] = acc
+        rows.append({
+            "pipeline": f"ANN->SNN conversion (T={steps})",
+            "time_steps": steps,
+            "accuracy": round(acc, 4),
+        })
+    rows.append({"pipeline": "ANN (float, non-spiking)",
+                 "time_steps": "-", "accuracy": round(ann_acc, 4)})
+    return {
+        "direct_acc": direct_acc,
+        "direct_steps": direct_model.time_steps,
+        "converted_accs": converted_accs,
+        "ann_acc": ann_acc,
+        "rows": rows,
+        "report": format_table(
+            rows, title="Extension: direct SSNN training vs ANN->SNN "
+                        "conversion (latency/accuracy trade-off)"
+        ),
+    }
+
+
+def run_design_space(samples: int = 3) -> Dict:
+    """Design-space exploration (extension): which mesh size should a
+    deployment pick for the digit workload?
+
+    For each mesh size, the encoded-stream timing of real inferences gives
+    latency and FPS; the resource/power models give area and static power;
+    together they yield FPS/mm^2 and energy per inference.  Larger meshes
+    cut pass counts (fewer slices) but cost area and power -- the
+    flexibility knob the paper's scalability discussion (section 4.2.3)
+    points at."""
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    rows = []
+    for n in (2, 4, 8, 16, 32):
+        plan = plan_network(network, n)
+        latencies = []
+        for i in range(samples):
+            trains = encoder.encode_steps(
+                data.test_images[i:i + 1].reshape(1, -1), model.time_steps
+            )[:, 0, :]
+            latencies.append(encode_inference(plan, trains).total_ps)
+        latency_ps = float(np.mean(latencies))
+        fps = 1e12 / latency_ps
+        resources = estimate_resources(n, with_weights=False)
+        power_mw = PowerModel(resources).static_mw
+        energy_nj = power_mw * 1e-3 * latency_ps * 1e-12 * 1e9
+        rows.append({
+            "mesh": f"{n}x{n}",
+            "passes": plan.pass_count,
+            "latency_us": round(latency_ps / 1e6, 2),
+            "fps": round(fps, 0),
+            "area_mm2": round(resources.total_area_mm2, 1),
+            "power_mw": round(power_mw, 2),
+            "energy_nj_per_inf": round(energy_nj, 2),
+            "fps_per_mm2": round(fps / resources.total_area_mm2, 0),
+        })
+    best_density = max(rows, key=lambda r: r["fps_per_mm2"])
+    best_energy = min(rows, key=lambda r: r["energy_nj_per_inf"])
+    report = format_table(
+        rows, title="Design-space exploration: digit workload vs mesh size"
+    )
+    report += (
+        f"\n\nbest FPS/mm^2: {best_density['mesh']}; "
+        f"best energy/inference: {best_energy['mesh']}"
+    )
+    return {"rows": rows, "best_density": best_density["mesh"],
+            "best_energy": best_energy["mesh"], "report": report}
+
+
+def run_motivation_sync_overhead() -> Dict:
+    """Section 3 motivation: synchronous RSFQ designs spend ~80% of their
+    resources on timing (clock distribution + pulse alignment), which the
+    asynchronous SUSHI design largely avoids.
+
+    Measured from real netlists: a 16-stage counterflow shift register and
+    a bit-serial adder (conventional style) vs the SUSHI mesh estimates."""
+    from repro.rsfq.netlist import Netlist
+    from repro.rsfq.synchronous import (
+        BitSerialAdder,
+        SyncShiftRegister,
+        clock_overhead_fraction,
+    )
+
+    sr_net = Netlist("sr16")
+    SyncShiftRegister(sr_net, "sr", depth=16)
+    adder_net = Netlist("adder")
+    BitSerialAdder(adder_net)
+    sr_frac = clock_overhead_fraction(sr_net)
+    adder_frac = clock_overhead_fraction(adder_net)
+    sushi = estimate_resources(4, with_weights=True, max_strength=4)
+    sushi_fixed = estimate_resources(16, with_weights=False)
+    rows = [
+        {"design": "sync 16-stage shift register (memory)",
+         "timing_overhead_pct": round(100 * sr_frac, 1)},
+        {"design": "sync bit-serial adder",
+         "timing_overhead_pct": round(100 * adder_frac, 1)},
+        {"design": "SUSHI 4x4 configurable mesh (async)",
+         "timing_overhead_pct": round(100 * sushi.wiring_fraction, 1)},
+        {"design": "SUSHI 16x16 fixed mesh (async)",
+         "timing_overhead_pct": round(100 * sushi_fixed.wiring_fraction, 1)},
+    ]
+    return {
+        "sync_shift_register": sr_frac,
+        "sync_adder": adder_frac,
+        "sushi_configurable": sushi.wiring_fraction,
+        "sushi_fixed": sushi_fixed.wiring_fraction,
+        "rows": rows,
+        "report": format_table(
+            rows,
+            title="Section 3 motivation: timing/wiring overhead, "
+                  "synchronous RSFQ vs asynchronous SUSHI",
+        ),
+    }
+
+
+def run_ablation_quantization(test_size: int = 300) -> Dict:
+    """Extension: multi-bit weight magnitudes via pulse-gain strengths > 1
+    (the paper's Fig. 10(c) weight structure supports them; the headline
+    results use 1-bit).  Compares 1-bit vs 2-bit deployments of a
+    float-trained model -- for a network not trained binarization-aware,
+    the extra magnitude levels recover accuracy the 1-bit conversion
+    loses."""
+    from repro.snn import quantize_network
+
+    bundle = get_trained_bundle(dataset="digits", binary_aware=False)
+    model, data = bundle.model, bundle.dataset
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    images = data.test_images[:test_size]
+    labels = data.test_labels[:test_size]
+    trains = encoder.encode_steps(images.reshape(len(images), -1),
+                                  model.time_steps)
+    rows = []
+    results = {}
+    for bits in (1, 2):
+        network = (binarize_network(model) if bits == 1
+                   else quantize_network(model, bits=bits))
+        result = SushiRuntime(chip_n=16).infer(network, trains)
+        acc = float((result.predictions == labels).mean())
+        max_strength = max(l.max_strength for l in network.layers)
+        results[bits] = {"accuracy": acc, "max_strength": max_strength}
+        rows.append({
+            "weights": f"{bits}-bit",
+            "max_crosspoint_gain": max_strength,
+            "chip_accuracy": round(acc, 4),
+            "spurious": result.spurious_decisions,
+        })
+    return {
+        "results": results,
+        "rows": rows,
+        "report": format_table(
+            rows, title="Extension: weight precision vs pulse-gain strength"
+        ),
+    }
+
+
+def run_reload_optimization(chip_n: int = 16) -> Dict:
+    """Section 4.2.2: reordering adjacent batches to share crosspoint
+    configurations reduces the weight-reload frequency.
+
+    Measures crosspoint reload events and reload *time* share on the real
+    workload, before and after the greedy pass reordering."""
+    from repro.ssnn.reload_opt import optimize_plan
+
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    plan = plan_network(network, chip_n)
+    optimized = optimize_plan(plan)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    trains = encoder.encode_steps(
+        data.test_images[:1].reshape(1, -1), model.time_steps
+    )[:, 0, :]
+    enc_before = encode_inference(plan, trains)
+    enc_after = encode_inference(optimized, trains)
+    events_before = plan.reload_events()
+    events_after = optimized.reload_events()
+    rows = [
+        {"plan": "in-slice order (naive)",
+         "reload_events": events_before,
+         "reload_passes": plan.reload_passes(),
+         "reload_time_pct": round(100 * enc_before.reload_fraction, 1)},
+        {"plan": "greedy overlap order (optimised)",
+         "reload_events": events_after,
+         "reload_passes": optimized.reload_passes(),
+         "reload_time_pct": round(100 * enc_after.reload_fraction, 1)},
+    ]
+    return {
+        "events_before": events_before,
+        "events_after": events_after,
+        "reduction": (events_before - events_after) / events_before,
+        "time_before": enc_before.reload_fraction,
+        "time_after": enc_after.reload_fraction,
+        "rows": rows,
+        "report": format_table(
+            rows, title="Section 4.2.2: reload minimisation by batch "
+                        "reordering"
+        ),
+    }
+
+
+def run_ablation_bucketing(test_size: int = 300) -> Dict:
+    """Accuracy with vs without synapse reordering/bucketing.
+
+    Paper claims: the optimisation costs <1% accuracy relative to ideal
+    software inference, while naive ordering suffers erroneous excitation."""
+    bundle = get_trained_bundle(dataset="digits")
+    model, data = bundle.model, bundle.dataset
+    network = binarize_network(model)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    images = data.test_images[:test_size]
+    labels = data.test_labels[:test_size]
+    trains = encoder.encode_steps(images.reshape(len(images), -1),
+                                  model.time_steps)
+    software_preds = network.predict(trains)
+    ordered = SushiRuntime(chip_n=16, reorder=True).infer(network, trains)
+    naive = SushiRuntime(chip_n=16, reorder=False).infer(network, trains)
+    software_acc = float((software_preds == labels).mean())
+    ordered_acc = float((ordered.predictions == labels).mean())
+    naive_acc = float((naive.predictions == labels).mean())
+    rows = [
+        {"configuration": "software final-sum (ideal)",
+         "accuracy": round(software_acc, 4), "spurious_decisions": 0},
+        {"configuration": "chip, reordered+bucketed (paper)",
+         "accuracy": round(ordered_acc, 4),
+         "spurious_decisions": ordered.spurious_decisions},
+        {"configuration": "chip, naive synapse order (ablation)",
+         "accuracy": round(naive_acc, 4),
+         "spurious_decisions": naive.spurious_decisions},
+    ]
+    return {
+        "software_acc": software_acc,
+        "ordered_acc": ordered_acc,
+        "naive_acc": naive_acc,
+        "ordered_spurious": ordered.spurious_decisions,
+        "naive_spurious": naive.spurious_decisions,
+        "rows": rows,
+        "report": format_table(
+            rows, title="Ablation: synapse reordering & bucketing"
+        ),
+    }

@@ -1,0 +1,121 @@
+"""Metric snapshots and regression comparison.
+
+Records the scalar outcomes of experiment runs to JSON so that future
+changes to the library (cell parameters, calibration constants, training
+recipes) can be checked against a known-good baseline -- the
+release-engineering loop a production repo runs in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MetricSnapshot:
+    """A named set of scalar metrics with optional per-metric tolerances."""
+
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, key: str, value: float) -> None:
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(f"metric '{key}' must be numeric")
+        self.metrics[key] = float(value)
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"name": self.name, "metrics": self.metrics},
+                      handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "MetricSnapshot":
+        if not os.path.exists(path):
+            raise ConfigurationError(f"no snapshot at '{path}'")
+        with open(path) as handle:
+            payload = json.load(handle)
+        try:
+            return cls(name=payload["name"], metrics=dict(payload["metrics"]))
+        except KeyError as missing:
+            raise ConfigurationError(f"malformed snapshot: {missing}")
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric's movement between snapshots."""
+
+    key: str
+    baseline: Optional[float]
+    current: Optional[float]
+
+    @property
+    def relative(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        if self.baseline == 0:
+            return None if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+def compare(
+    baseline: MetricSnapshot,
+    current: MetricSnapshot,
+    tolerance: float = 0.05,
+    per_metric_tolerance: Optional[Dict[str, float]] = None,
+) -> List[Drift]:
+    """Drifts exceeding tolerance (plus added/removed metrics).
+
+    ``tolerance`` is the default allowed relative change; individual keys
+    can be overridden via ``per_metric_tolerance``.
+    """
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be >= 0")
+    per_metric_tolerance = per_metric_tolerance or {}
+    failures: List[Drift] = []
+    keys = set(baseline.metrics) | set(current.metrics)
+    for key in sorted(keys):
+        drift = Drift(
+            key=key,
+            baseline=baseline.metrics.get(key),
+            current=current.metrics.get(key),
+        )
+        if drift.baseline is None or drift.current is None:
+            failures.append(drift)
+            continue
+        allowed = per_metric_tolerance.get(key, tolerance)
+        relative = drift.relative
+        if relative is not None and abs(relative) > allowed:
+            failures.append(drift)
+    return failures
+
+
+def snapshot_headline_metrics() -> MetricSnapshot:
+    """Snapshot the calibrated hardware-model headline numbers (fast --
+    no training), suitable as a CI regression gate."""
+    from repro.resources.estimator import estimate_resources
+    from repro.resources.performance import PerformanceModel
+    from repro.resources.power import PowerModel
+
+    snap = MetricSnapshot("headline")
+    r4 = estimate_resources(4, with_weights=True, max_strength=4)
+    r16 = estimate_resources(16, with_weights=False)
+    perf = PerformanceModel(16)
+    power = PowerModel(r16).total_mw(perf.peak_sops())
+    snap.record("table2_total_jj", r4.total_jj)
+    snap.record("table2_wiring_jj", r4.wiring_jj)
+    snap.record("table2_area_mm2", r4.total_area_mm2)
+    snap.record("peak_total_jj", r16.total_jj)
+    snap.record("peak_area_mm2", r16.total_area_mm2)
+    snap.record("peak_gsops", perf.peak_gsops())
+    snap.record("peak_power_mw", power)
+    snap.record("peak_gsops_per_w", perf.peak_gsops() / (power * 1e-3))
+    snap.record("delay_share_16", perf.transmission_delay_share())
+    snap.record("delay_share_1",
+                PerformanceModel(1).transmission_delay_share())
+    return snap

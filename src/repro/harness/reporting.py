@@ -1,0 +1,77 @@
+"""Aligned text tables for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, else the first row's key
+    order.  Values are right-aligned except strings.
+    """
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    out: List[str] = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for line in cells:
+        out.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def paper_vs_measured(
+    entries: Sequence[Dict[str, object]], title: Optional[str] = None
+) -> str:
+    """Render metric/paper/measured rows with a relative-delta column.
+
+    Each entry needs ``metric``, ``paper`` and ``measured`` keys; numeric
+    pairs get a ``delta`` percentage.
+    """
+    rows = []
+    for entry in entries:
+        paper = entry["paper"]
+        measured = entry["measured"]
+        delta = ""
+        if isinstance(paper, (int, float)) and isinstance(
+            measured, (int, float)
+        ) and paper:
+            delta = f"{100.0 * (measured - paper) / paper:+.1f}%"
+        rows.append({
+            "metric": entry["metric"],
+            "paper": paper,
+            "measured": measured,
+            "delta": delta,
+        })
+    return format_table(rows, ["metric", "paper", "measured", "delta"],
+                        title=title)

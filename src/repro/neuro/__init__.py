@@ -1,0 +1,53 @@
+"""SUSHI architecture: state controllers, NPEs, weight structures, networks.
+
+This package implements the paper's primary architectural contribution
+(section 4): the asynchronous, pulse-driven neuromorphic processing element
+(NPE) built from state controllers (SC), the pulse-gain weight structures,
+the on-chip mesh/tree networks, and the complete chip.  Every component
+exists in two semantically-equivalent forms:
+
+* **behavioural** -- fast integer/state-machine models used for whole-network
+  inference and the performance studies;
+* **gate-level** -- compositions of :mod:`repro.rsfq` cells simulated
+  event-by-event, used to validate the behavioural models (the reproduction
+  of the paper's chip-vs-simulation comparison, Fig. 16).
+"""
+
+from repro.neuro.neuron_model import MultiStateNeuron, NeuronPhase
+from repro.neuro.state_controller import (
+    BehavioralStateController,
+    GateLevelStateController,
+    Polarity,
+)
+from repro.neuro.npe import BehavioralNPE, GateLevelNPE
+from repro.neuro.weights import BehavioralWeightStructure, GateLevelWeightStructure
+from repro.neuro.network import MeshNetwork, TreeNetwork, network_for
+from repro.neuro.chip import BehavioralChip, GateLevelChip, ChipConfig
+from repro.neuro.timing import TimingPolicy
+from repro.neuro.multistate import MultiStatePulseProgram
+from repro.neuro.tree import GateLevelTreeNetwork, TreeDriver
+from repro.neuro.bringup import BringupReport, run_bringup
+
+__all__ = [
+    "MultiStateNeuron",
+    "NeuronPhase",
+    "BehavioralStateController",
+    "GateLevelStateController",
+    "Polarity",
+    "BehavioralNPE",
+    "GateLevelNPE",
+    "BehavioralWeightStructure",
+    "GateLevelWeightStructure",
+    "MeshNetwork",
+    "TreeNetwork",
+    "network_for",
+    "BehavioralChip",
+    "GateLevelChip",
+    "ChipConfig",
+    "TimingPolicy",
+    "MultiStatePulseProgram",
+    "GateLevelTreeNetwork",
+    "TreeDriver",
+    "BringupReport",
+    "run_bringup",
+]

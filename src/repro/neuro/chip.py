@@ -1,0 +1,439 @@
+"""The SUSHI chip: NPEs plus the mesh network -- paper section 4.2, Fig. 12.
+
+An ``n x n`` SUSHI chip comprises ``2n`` NPEs:
+
+* ``n`` **row NPEs** regenerate incoming spikes onto the row (axon) lines --
+  they are configured as threshold-1 relays and fire once per pass (the
+  fabricated chip's NPE0 plays this role in Fig. 16);
+* ``n`` **column NPEs** are the integrate-and-fire neurons, accumulating
+  weighted pulses from the crosspoints in their SC-chain counters.
+
+Every row/column intersection holds a configurable pulse-gain weight
+structure (:mod:`repro.neuro.weights`).  A synapse's *sign* is realised by
+polarity passes: during an inhibitory pass the column NPEs count down
+(set0) and only negative synapses are enabled; during the excitatory pass
+they count up (set1) with the positive synapses enabled (see
+:mod:`repro.ssnn.bitslice` for the scheduling and DESIGN.md for why this
+makes hardware firing equal to the software final-sum decision).
+
+:class:`BehavioralChip` executes this protocol on behavioural components
+(fast; used for whole-network inference).  :class:`GateLevelChip` builds the
+same machine from RSFQ cells and is cross-validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.neuro.npe import DEFAULT_SC_COUNT, BehavioralNPE, GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.neuro.structure import fanout_tree, merge_tree
+from repro.neuro.timing import TimingPolicy
+from repro.neuro.weights import BehavioralWeightStructure, GateLevelWeightStructure
+from repro.rsfq import library
+from repro.rsfq.netlist import Netlist
+from repro.rsfq.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Parameters of a SUSHI chip instance.
+
+    Attributes:
+        n: Mesh size (n x n crosspoints, 2n NPEs).
+        sc_per_npe: SC-chain length of every NPE (membrane states = 2**sc).
+        max_strength: Largest configurable weight gain at a crosspoint.
+        with_weights: Whether crosspoint weight structures are placed.  The
+            fabricated chip omits them ("we only place the necessary number
+            of NPEs without weight structure", section 6) -- all synapses
+            then have fixed strength 1.
+    """
+
+    n: int = 1
+    sc_per_npe: int = DEFAULT_SC_COUNT
+    max_strength: int = 1
+    with_weights: bool = True
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ConfigurationError("mesh size n must be >= 1")
+        if self.sc_per_npe < 1:
+            raise ConfigurationError("sc_per_npe must be >= 1")
+        if self.max_strength < 1:
+            raise ConfigurationError("max_strength must be >= 1")
+
+    @property
+    def npe_count(self) -> int:
+        return 2 * self.n
+
+    @property
+    def synapse_count(self) -> int:
+        return self.n * self.n
+
+    @property
+    def state_capacity(self) -> int:
+        return 1 << self.sc_per_npe
+
+
+class BehavioralChip:
+    """Protocol-accurate behavioural model of the SUSHI chip."""
+
+    def __init__(self, config: ChipConfig = None):
+        self.config = config or ChipConfig()
+        n = self.config.n
+        self.row_npes = [
+            BehavioralNPE(f"row{i}", self.config.sc_per_npe) for i in range(n)
+        ]
+        self.col_npes = [
+            BehavioralNPE(f"col{j}", self.config.sc_per_npe) for j in range(n)
+        ]
+        self.crosspoints = [
+            [
+                BehavioralWeightStructure(
+                    f"xp{i}_{j}", max_strength=self.config.max_strength
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        # Statistics.
+        self.synaptic_ops = 0
+        self.reload_events = 0
+        self.pulses_streamed = 0
+        self._out_pulses = [0] * n
+        self._underflows = [0] * n
+        self._in_timestep = False
+
+    # -- per-timestep protocol ------------------------------------------------
+
+    def begin_timestep(self, thresholds: Sequence[int]) -> List[int]:
+        """Reset column NPEs and preload their thresholds.
+
+        Returns the counter values read out by the aligned reset-read (the
+        membranes left over from the previous time step).
+        """
+        if len(thresholds) != self.config.n:
+            raise ConfigurationError(
+                f"need {self.config.n} thresholds, got {len(thresholds)}"
+            )
+        reads = []
+        for npe, threshold in zip(self.col_npes, thresholds):
+            reads.append(npe.rst())
+            npe.configure_threshold(threshold)
+        self._out_pulses = [0] * self.config.n
+        self._underflows = [0] * self.config.n
+        self._in_timestep = True
+        return reads
+
+    def configure_weights(self, strengths: Sequence[Sequence[int]]) -> int:
+        """Reload the crosspoint gains; returns the number of actual
+        reloads (unchanged crosspoints cost nothing, section 4.2.2)."""
+        if len(strengths) != self.config.n:
+            raise ConfigurationError("strength matrix must be n x n")
+        if not self.config.with_weights:
+            for row in strengths:
+                if any(s not in (0, 1) for s in row):
+                    raise CapacityError(
+                        "chip built without weight structures only supports "
+                        "strengths 0 and 1"
+                    )
+        reloads = 0
+        for i, row in enumerate(strengths):
+            if len(row) != self.config.n:
+                raise ConfigurationError("strength matrix must be n x n")
+            for j, strength in enumerate(row):
+                if self.crosspoints[i][j].configure(strength):
+                    reloads += 1
+        self.reload_events += reloads
+        return reloads
+
+    def run_pass(
+        self, polarity: Polarity, spikes: Sequence[bool]
+    ) -> List[int]:
+        """Stream one polarity pass: relay each spiking axon onto its row
+        and deliver the weighted pulses into the column NPEs.
+
+        Returns output pulses emitted per column during this pass (fires
+        for SET1 passes; spurious underflow pulses for SET0 passes).
+        """
+        if not self._in_timestep:
+            raise ProtocolError("run_pass before begin_timestep")
+        if len(spikes) != self.config.n:
+            raise ConfigurationError(
+                f"need {self.config.n} spike flags, got {len(spikes)}"
+            )
+        n = self.config.n
+        # Row relays are reset per pass: each axon spikes at most once.
+        for npe in self.row_npes:
+            npe.rst()
+            npe.configure_threshold(1)
+            npe.set_polarity(Polarity.SET1)
+        for npe in self.col_npes:
+            npe.set_polarity(polarity)
+        emitted = [0] * n
+        for i, spike in enumerate(spikes):
+            if not spike:
+                continue
+            relayed = self.row_npes[i].excite(1)
+            self.pulses_streamed += 1
+            if not relayed:
+                continue  # relay misconfigured; nothing reaches the row
+            for j in range(n):
+                xp = self.crosspoints[i][j]
+                if not xp.enabled:
+                    continue
+                pulses = xp.pulses_out(1)
+                self.synaptic_ops += 1
+                npe = self.col_npes[j]
+                for _ in range(pulses):
+                    if npe.pulse():
+                        emitted[j] += 1
+                        self._out_pulses[j] += 1
+                        if polarity is Polarity.SET0:
+                            self._underflows[j] += 1
+        return emitted
+
+    def read_out(self) -> List[bool]:
+        """Spike decision per column neuron for the current time step:
+        True when at least one output pulse escaped the chain."""
+        if not self._in_timestep:
+            raise ProtocolError("read_out before begin_timestep")
+        return [count > 0 for count in self._out_pulses]
+
+    def out_pulse_counts(self) -> List[int]:
+        """Raw output pulses per column in the current time step."""
+        return list(self._out_pulses)
+
+    def underflow_counts(self) -> List[int]:
+        """Spurious (down-count) output pulses in the current time step."""
+        return list(self._underflows)
+
+    def membranes(self) -> List[int]:
+        """Membrane potentials of the column neurons (no-wrap reading)."""
+        return [npe.membrane for npe in self.col_npes]
+
+
+class GateLevelChip:
+    """The SUSHI chip assembled from RSFQ cells.
+
+    Structure per the overview figure (Fig. 12(g)): input channels pass
+    through DC/SFQ converters into the row NPEs; each row NPE output fans
+    out along its row line; crosspoint weight structures (optional) gate
+    and amplify the pulses onto column merge trees feeding the column NPEs,
+    whose outputs drive SFQ/DC amplifiers observed by probes.
+
+    Use :class:`ChipDriver` to operate it with a constraint-clean schedule.
+    """
+
+    def __init__(self, config: ChipConfig = None, wire_delay: float = 1.0):
+        self.config = config or ChipConfig()
+        n = self.config.n
+        self.net = Netlist(f"sushi_{n}x{n}")
+        self.wire_delay = wire_delay
+        add, con = self.net.add, self.net.connect
+
+        # Input converters feeding row NPEs.
+        self.inputs = [add(library.DCSFQ(f"in{i}")) for i in range(n)]
+        self.row_npes = [
+            GateLevelNPE(self.net, f"row{i}", self.config.sc_per_npe,
+                         wire_delay, attach_driver=False)
+            for i in range(n)
+        ]
+        for conv, npe in zip(self.inputs, self.row_npes):
+            cell, port = npe.data_input()
+            con(conv, "dout", cell, port, delay=wire_delay)
+
+        # Column NPEs with output drivers.
+        self.col_npes = [
+            GateLevelNPE(self.net, f"col{j}", self.config.sc_per_npe,
+                         wire_delay, attach_driver=True)
+            for j in range(n)
+        ]
+
+        # Mesh fabric: row fan-out -> (weight structures) -> column merge.
+        # The row/column lines span the mesh, so they carry JTL repeaters
+        # whose transit time is part of the wire delay (the section 6.3A
+        # transmission-delay effect, measurable via repro.rsfq.analysis).
+        line_jtls = 2 * n
+        line_delay = wire_delay + line_jtls * library.JTL.DELAY_PS
+        self.crosspoints: List[List[Optional[GateLevelWeightStructure]]] = []
+        col_merge_inputs = []
+        for j in range(n):
+            merge_ins, merge_out = merge_tree(
+                self.net, f"colmerge{j}", n, wire_delay
+            )
+            cell, port = self.col_npes[j].data_input()
+            con(merge_out[0], merge_out[1], cell, port, delay=line_delay,
+                jtl_count=line_jtls)
+            col_merge_inputs.append(merge_ins)
+        for i in range(n):
+            fan_in, fan_leaves = fanout_tree(
+                self.net, f"rowline{i}", n, wire_delay
+            )
+            self.row_npes[i].connect_out(fan_in[0], fan_in[1],
+                                         delay=line_delay,
+                                         jtl_count=line_jtls)
+            row_xps: List[Optional[GateLevelWeightStructure]] = []
+            for j in range(n):
+                dst_cell, dst_port = col_merge_inputs[j][i]
+                if self.config.with_weights:
+                    xp = GateLevelWeightStructure(
+                        self.net, f"xp{i}_{j}",
+                        max_strength=self.config.max_strength,
+                    )
+                    src = fan_leaves[j]
+                    a_cell, a_port = xp.axon_input
+                    con(src[0], src[1], a_cell, a_port, delay=wire_delay)
+                    o_cell, o_port = xp.column_output
+                    con(o_cell, o_port, dst_cell, dst_port, delay=wire_delay)
+                    row_xps.append(xp)
+                else:
+                    src = fan_leaves[j]
+                    con(src[0], src[1], dst_cell, dst_port, delay=wire_delay)
+                    row_xps.append(None)
+            self.crosspoints.append(row_xps)
+
+    def simulator(self, **kwargs) -> Simulator:
+        """Build a simulator over the chip's netlist."""
+        return Simulator(self.net, **kwargs)
+
+    def fire_times(self, j: int) -> List[float]:
+        """Output pulse times observed at column neuron ``j``."""
+        return self.col_npes[j].fire_times
+
+
+class ChipDriver:
+    """Constraint-clean scheduling of the full chip protocol (gate level).
+
+    Mirrors :class:`BehavioralChip`'s API so the two implementations can be
+    driven by identical scripts and cross-validated.
+    """
+
+    def __init__(self, chip: GateLevelChip, sim: Simulator = None,
+                 policy: TimingPolicy = None):
+        self.chip = chip
+        self.sim = sim or chip.simulator()
+        self.policy = policy or TimingPolicy()
+        self.cursor = 0.0
+        self._fires_seen = [0] * chip.config.n
+
+    def _advance(self, last: float) -> None:
+        self.cursor = last + self.policy.settle_time(self.chip.config.sc_per_npe)
+
+    def _bus_pulse(self, npes, channel: str) -> None:
+        t = self.cursor
+        for npe in npes:
+            cell, port = npe.bus_input(channel)
+            self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+
+    # -- protocol --------------------------------------------------------------
+
+    def begin_timestep(self, thresholds: Sequence[int]) -> None:
+        """Reset column NPEs and preload per-neuron thresholds."""
+        if len(thresholds) != self.chip.config.n:
+            raise ConfigurationError("one threshold per column required")
+        self._bus_pulse(self.chip.col_npes, "rst")
+        t = self.cursor
+        capacity = self.chip.config.state_capacity
+        for npe, threshold in zip(self.chip.col_npes, thresholds):
+            if not 1 <= threshold <= capacity:
+                raise CapacityError(f"threshold {threshold} unrepresentable")
+            preload = capacity - threshold
+            for i in range(npe.n_sc):
+                if preload & (1 << i):
+                    cell, port = npe.write_input(i)
+                    self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)
+        self._fires_seen = [len(self.chip.fire_times(j))
+                            for j in range(self.chip.config.n)]
+
+    def configure_weights(self, strengths: Sequence[Sequence[int]]) -> None:
+        """Arm/disarm crosspoint branch NDROs to realise the gain matrix."""
+        if not self.chip.config.with_weights:
+            for row in strengths:
+                if any(s not in (0, 1) for s in row):
+                    raise CapacityError(
+                        "weightless chip supports only strengths 0 and 1"
+                    )
+            self._fixed_enables = [
+                [bool(s) for s in row] for row in strengths
+            ]
+            return
+        t = self.cursor
+        n = self.chip.config.n
+        for i in range(n):
+            for j in range(n):
+                xp = self.chip.crosspoints[i][j]
+                strength = strengths[i][j]
+                for k in range(xp.max_strength):
+                    armed = xp.switches[k].stored
+                    want = k < strength
+                    if armed == want:
+                        continue
+                    channel = "din" if want else "rst"
+                    cell, port = xp.switch_input(k, channel)
+                    self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)
+
+    def run_pass(self, polarity: Polarity, spikes: Sequence[bool]) -> None:
+        """Reset+arm the row relays, set the column polarity, and stream
+        the spiking axons (one pulse each, staggered across rows)."""
+        n = self.chip.config.n
+        if len(spikes) != n:
+            raise ConfigurationError("one spike flag per row required")
+        # Row relays: rst -> preload threshold 1 -> arm up-counting.
+        self._bus_pulse(self.chip.row_npes, "rst")
+        t = self.cursor
+        capacity = self.chip.config.state_capacity
+        preload = capacity - 1
+        for npe in self.chip.row_npes:
+            for i in range(npe.n_sc):
+                if preload & (1 << i):
+                    cell, port = npe.write_input(i)
+                    self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        self._bus_pulse(self.chip.row_npes, "set1")
+        channel = "set1" if polarity is Polarity.SET1 else "set0"
+        self._bus_pulse(self.chip.col_npes, channel)
+        # Stream spikes, staggering rows so that each crosspoint's expanded
+        # pulse train (spread over (K-1)*stagger ps) fully drains, plus a
+        # margin for fan/merge tree depth asymmetry, before the next row's
+        # pulses reach the same column NPE.
+        from repro.neuro.weights import DEFAULT_STAGGER
+
+        spacing = (
+            self.policy.input_interval
+            + DEFAULT_STAGGER * (self.chip.config.max_strength - 1)
+            + 15.0
+        )
+        t = self.cursor
+        last = t
+        for i, spike in enumerate(spikes):
+            if not spike:
+                continue
+            last = t
+            self.sim.schedule_input(self.chip.inputs[i], "din", t)
+            t += spacing
+        self._advance(last)
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)
+
+    def read_out(self) -> List[bool]:
+        """Per-column spike decision since the last begin_timestep."""
+        return [
+            len(self.chip.fire_times(j)) > self._fires_seen[j]
+            for j in range(self.chip.config.n)
+        ]
+
+    def out_pulse_counts(self) -> List[int]:
+        return [
+            len(self.chip.fire_times(j)) - self._fires_seen[j]
+            for j in range(self.chip.config.n)
+        ]

@@ -1,0 +1,148 @@
+"""Executing the multi-state neuron model on an NPE (paper section 4.1.2).
+
+The paper's Figs. 6-7 define a biological neuron as a finite-state
+automaton driven by spike and time stimuli; the NPE's SC chain holds the
+state as a counter, and SUSHI's *encoding phase* -- which precomputes the
+channel and time of every pulse off-chip (Fig. 12) -- performs the
+transition bookkeeping, emitting the +1/-1 pulses of Fig. 7's delta
+function.  :class:`MultiStatePulseProgram` is that encoder: it compiles
+spike/time stimuli into NPE pulse operations and keeps the automaton
+reference in lock-step so tests can assert that the on-chip flux state
+always equals the model state.
+
+State encoding on the counter::
+
+    b_k               -> k                      (below threshold)
+    r_j               -> threshold + 1 + j      (rising)
+    f_j               -> threshold + 1 + R + j  (falling/undershoot)
+    f_F --time--> b0  -> reset + preload 0
+
+The externally visible spike is emitted on the ``r_{R-1} -> f_0``
+transition, exactly as in :class:`repro.neuro.neuron_model.MultiStateNeuron`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.neuron_model import MultiStateNeuron, NeuronPhase
+from repro.neuro.npe import BehavioralNPE
+from repro.neuro.state_controller import Polarity
+
+
+class MultiStatePulseProgram:
+    """Drives a :class:`BehavioralNPE` through the Fig. 7 state series.
+
+    Args:
+        threshold: Spike stimuli needed to reach the rising phase.
+        rising_steps / falling_steps: Lengths of the action-potential
+            phases (time-stimulus driven).
+        n_sc: SC chain length of the backing NPE; the full state series
+            (``threshold + rising + falling + 2`` states) must fit.
+
+    The companion :attr:`reference` automaton runs the same stimuli; the
+    class raises if the chip state ever diverges from it (it cannot, by
+    construction -- the tests prove it property-style).
+    """
+
+    def __init__(self, threshold: int, rising_steps: int = 4,
+                 falling_steps: int = 4, n_sc: int = 10):
+        self.reference = MultiStateNeuron(threshold, rising_steps,
+                                          falling_steps)
+        states_needed = threshold + 1 + rising_steps + falling_steps + 1
+        if states_needed > (1 << n_sc):
+            raise CapacityError(
+                f"neuron model needs {states_needed} states; {n_sc} SCs "
+                f"hold only {1 << n_sc}"
+            )
+        self.threshold = threshold
+        self.rising_steps = rising_steps
+        self.falling_steps = falling_steps
+        self.npe = BehavioralNPE("multistate", n_sc=n_sc)
+        self.npe.rst()
+        self.npe.write_preload(0)
+        #: Spikes emitted so far (the visible output of the neuron).
+        self.spikes_emitted = 0
+
+    # -- state encoding ------------------------------------------------------
+
+    def _expected_counter(self) -> int:
+        """Counter value the reference automaton's state maps to."""
+        state = self.reference.state
+        if state.phase is NeuronPhase.BELOW_THRESHOLD:
+            return state.index
+        if state.phase is NeuronPhase.RISING:
+            return self.threshold + 1 + state.index
+        return self.threshold + 1 + self.rising_steps + state.index
+
+    def _check(self) -> None:
+        if self.npe.counter_value != self._expected_counter():
+            raise ConfigurationError(
+                f"NPE state {self.npe.counter_value} diverged from the "
+                f"automaton state {self.reference.state.label()} "
+                f"({self._expected_counter()})"
+            )
+
+    # -- stimuli -----------------------------------------------------------
+
+    def spike_stimulus(self) -> bool:
+        """Fig. 7: ``delta(b_k, spike) = b_{k+1}``; ignored elsewhere."""
+        before = self.reference.state
+        self.reference.spike_stimulus()
+        if (before.phase is NeuronPhase.BELOW_THRESHOLD
+                and before.index < self.threshold):
+            self.npe.excite(1)
+        self._check()
+        return False
+
+    def time_stimulus(self) -> bool:
+        """Fig. 7's time column: leak, advance rise/fall, return to rest.
+
+        Returns True when the visible output spike is emitted (the rise
+        completing).
+        """
+        before = self.reference.state
+        fired = self.reference.time_stimulus()
+        if before.phase is NeuronPhase.BELOW_THRESHOLD:
+            if before.index >= self.threshold:
+                self.npe.excite(1)          # b_T -> r0
+            elif before.index > 0:
+                self.npe.inhibit(1)         # leak: b_k -> b_{k-1}
+            # b0 -> b0: no pulse (the encoder simply emits nothing).
+        elif before.phase is NeuronPhase.RISING:
+            self.npe.excite(1)              # r_j -> r_{j+1} / fire -> f0
+        else:  # falling
+            if before.index >= self.falling_steps:
+                # f_F -> b0: reset-read + re-preload (rest).
+                self.npe.rst()
+                self.npe.write_preload(0)
+            else:
+                self.npe.excite(1)
+        if fired:
+            self.spikes_emitted += 1
+        self._check()
+        return fired
+
+    # -- convenience -----------------------------------------------------------
+
+    def run(self, stimuli: List[str]) -> int:
+        """Apply a sequence of ``"spike"`` / ``"time"`` stimuli; returns
+        the number of output spikes emitted."""
+        fired = 0
+        for stimulus in stimuli:
+            if stimulus == "spike":
+                self.spike_stimulus()
+            elif stimulus == "time":
+                if self.time_stimulus():
+                    fired += 1
+            else:
+                raise ConfigurationError(
+                    f"unknown stimulus '{stimulus}' (use 'spike'/'time')"
+                )
+        return fired
+
+    @property
+    def counter_value(self) -> int:
+        """The on-chip flux state (for inspection and tests)."""
+        return self.npe.counter_value

@@ -1,0 +1,145 @@
+"""On-chip networks of NPEs -- paper section 4.2.2, Fig. 11.
+
+Two structures connect NPEs on chip:
+
+* **Mesh** (crossbar): ``n`` row (axon) lines crossing ``n`` column
+  (dendrite) lines with a configurable weight structure at every crosspoint.
+  Distinguishes the weight of any NPE pair and supports arbitrary
+  connections, at the price of ``n**2`` cross structures whose transmission
+  lines cost double width at each crossing.  This is the structure SUSHI's
+  evaluation uses.
+* **Tree**: SPL fan-out trees feeding CB merge trees.  Cheapest in wiring
+  and crossings, but only supports normalised weights (no per-pair
+  configurability).
+
+These classes are *structural descriptions*: they enumerate the components,
+crossings and line segments of each topology.  The resource model
+(:mod:`repro.resources`) prices them; :mod:`repro.neuro.chip` instantiates
+the mesh behaviourally and at gate level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Structural summary of an on-chip network.
+
+    Attributes:
+        npe_count: NPEs attached (2n for an n x n mesh: n row drivers plus
+            n column neurons -- the paper's "4x4 network with 8 neurons").
+        synapse_count: Configurable connections.
+        crosspoint_count: Cross structures (line crossings with weight
+            hardware).
+        line_crossings: Plain transmission-line crossings (each costs twice
+            the line width in area).
+        spl_count / cb_count / ndro_count: Cell usage of the fabric itself.
+        total_line_span_units: Total transmission-line length in units of
+            the NPE pitch (priced by the floorplan model).
+    """
+
+    npe_count: int
+    synapse_count: int
+    crosspoint_count: int
+    line_crossings: int
+    spl_count: int
+    cb_count: int
+    ndro_count: int
+    total_line_span_units: float
+
+
+class MeshNetwork:
+    """Structural model of the n x n crossbar mesh."""
+
+    def __init__(self, n: int, max_strength: int = 1):
+        if n < 1:
+            raise ConfigurationError("mesh size must be >= 1")
+        if max_strength < 1:
+            raise ConfigurationError("max_strength must be >= 1")
+        self.n = n
+        self.max_strength = max_strength
+
+    @property
+    def npe_count(self) -> int:
+        """Row-driver NPEs plus column-neuron NPEs."""
+        return 2 * self.n
+
+    @property
+    def synapse_count(self) -> int:
+        return self.n * self.n
+
+    def stats(self) -> NetworkStats:
+        n, k = self.n, self.max_strength
+        # Per crosspoint: the weight structure's fan/merge trees + switches,
+        # plus one row-tap SPL (except at the row end).
+        per_xp_spl = (k - 1) if k > 1 else 0
+        per_xp_cb = (k - 1) if k > 1 else 0
+        row_taps = max(n - 1, 0) * n  # SPL taps along each row line
+        col_merges = max(n - 1, 0) * n  # CB merges along each column line
+        return NetworkStats(
+            npe_count=self.npe_count,
+            synapse_count=n * n,
+            crosspoint_count=n * n,
+            # Every row line crosses every column line once.
+            line_crossings=n * n,
+            spl_count=n * n * per_xp_spl + row_taps,
+            cb_count=n * n * per_xp_cb + col_merges,
+            ndro_count=n * n * k,
+            # Each row and each column spans n NPE pitches.
+            total_line_span_units=float(2 * n * n),
+        )
+
+
+class TreeNetwork:
+    """Structural model of the SPL/CB tree network (Fig. 11(a)).
+
+    One root fans out to ``n`` leaves through SPLs; leaf outputs merge back
+    through CBs.  Connections are fixed (normalised weights only) so there
+    are no NDRO switches and almost no crossings.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError("tree size must be >= 1")
+        self.n = n
+
+    @property
+    def npe_count(self) -> int:
+        return 2 * self.n
+
+    @property
+    def synapse_count(self) -> int:
+        # Each source reaches each sink through the shared trunk; the
+        # distinct configurable synapses collapse to the n leaf links.
+        return self.n
+
+    def stats(self) -> NetworkStats:
+        n = self.n
+        return NetworkStats(
+            npe_count=self.npe_count,
+            synapse_count=n,
+            crosspoint_count=0,
+            line_crossings=0,
+            spl_count=max(n - 1, 0),
+            cb_count=max(n - 1, 0),
+            ndro_count=0,
+            # A balanced tree's total edge length ~ 2n pitches.
+            total_line_span_units=float(2 * n),
+        )
+
+
+def network_for(kind: str, n: int, max_strength: int = 1):
+    """Factory: ``"mesh"`` or ``"tree"`` structural model of size ``n``."""
+    kinds: Dict[str, object] = {"mesh": MeshNetwork, "tree": TreeNetwork}
+    if kind not in kinds:
+        raise ConfigurationError(
+            f"unknown network kind '{kind}'; choose from {sorted(kinds)}"
+        )
+    if kind == "mesh":
+        return MeshNetwork(n, max_strength=max_strength)
+    return TreeNetwork(n)

@@ -1,0 +1,158 @@
+"""Multi-state neuron model based on state transitions (paper Figs. 6-7).
+
+The paper models the biological membrane-potential trajectory as an explicit
+finite-state automaton driven by two stimuli:
+
+* a **spike stimulus** (an input pulse) advances the neuron through the
+  below-threshold states ``b0 .. b_threshold``;
+* a **time stimulus** (a timing pulse) leaks the below-threshold state back
+  toward resting, or advances the action-potential phases once the threshold
+  has been reached: rising ``r0 .. rR`` (the spike is emitted on the
+  ``r_{R-1} -> r_R`` transition), then falling/undershoot ``f0 .. fF``,
+  returning to the resting state ``b0``.
+
+This automaton is what a fully-provisioned NPE realises; the SSNN method of
+section 5 then uses a simplified stateless special case for inference.  The
+full model is implemented (and tested) here both for completeness and
+because it documents the state budget analysis ("~500 states suffice").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class NeuronPhase(enum.Enum):
+    """The four phases of the biological trajectory in Fig. 6(a)."""
+
+    BELOW_THRESHOLD = "below_threshold"
+    RISING = "rising"
+    FALLING = "falling"
+
+
+@dataclass(frozen=True)
+class NeuronState:
+    """A single automaton state: a phase plus an index within the phase."""
+
+    phase: NeuronPhase
+    index: int
+
+    def label(self) -> str:
+        prefix = {"below_threshold": "b", "rising": "r", "falling": "f"}[
+            self.phase.value
+        ]
+        return f"{prefix}{self.index}"
+
+
+class MultiStateNeuron:
+    """The state-transition neuron of paper Figs. 6-7.
+
+    Args:
+        threshold: Number of accumulated spike stimuli needed to enter the
+            rising phase (states ``b0 .. b_threshold``).
+        rising_steps: Length ``R`` of the rising phase; the output spike is
+            emitted when the time stimulus completes the rise.
+        falling_steps: Length ``F`` of the falling/undershoot phase.
+
+    The total number of states is ``threshold + 1 + rising_steps + 1 +
+    falling_steps + 1``; :meth:`state_count` reports it for the paper's
+    "~500 states" sizing analysis.
+    """
+
+    def __init__(self, threshold: int, rising_steps: int = 4, falling_steps: int = 4):
+        if threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+        if rising_steps < 1 or falling_steps < 0:
+            raise ConfigurationError(
+                "rising_steps must be >= 1 and falling_steps >= 0"
+            )
+        self.threshold = threshold
+        self.rising_steps = rising_steps
+        self.falling_steps = falling_steps
+        self.state = NeuronState(NeuronPhase.BELOW_THRESHOLD, 0)
+        #: History of emitted spikes (automaton step numbers).
+        self.spike_log: List[int] = []
+        self._step = 0
+
+    # -- stimuli -----------------------------------------------------------
+
+    def spike_stimulus(self) -> bool:
+        """Apply an input spike; returns True if an output spike is emitted.
+
+        Spike stimuli only matter below threshold (Fig. 7 defines
+        ``delta(b_k, spike) = b_{k+1}``); during the rising/falling phases
+        further inputs are refractory-ignored.
+        """
+        self._step += 1
+        if self.state.phase is NeuronPhase.BELOW_THRESHOLD:
+            nxt = min(self.state.index + 1, self.threshold)
+            self.state = NeuronState(NeuronPhase.BELOW_THRESHOLD, nxt)
+        return False
+
+    def time_stimulus(self) -> bool:
+        """Apply a time stimulus; returns True if an output spike is emitted.
+
+        Implements the ``delta(_, time)`` column of Fig. 7: leak below
+        threshold, advance through rising (emitting the spike when the rise
+        completes) and falling, then return to resting.
+        """
+        self._step += 1
+        phase, idx = self.state.phase, self.state.index
+        fired = False
+        if phase is NeuronPhase.BELOW_THRESHOLD:
+            if idx >= self.threshold:
+                self.state = NeuronState(NeuronPhase.RISING, 0)
+            else:
+                # Leak: b0 stays, b_k -> b_{k-1}.
+                self.state = NeuronState(NeuronPhase.BELOW_THRESHOLD, max(idx - 1, 0))
+        elif phase is NeuronPhase.RISING:
+            if idx + 1 >= self.rising_steps:
+                fired = True
+                self.spike_log.append(self._step)
+                self.state = NeuronState(NeuronPhase.FALLING, 0)
+            else:
+                self.state = NeuronState(NeuronPhase.RISING, idx + 1)
+        else:  # FALLING / undershoot
+            if idx >= self.falling_steps:
+                self.state = NeuronState(NeuronPhase.BELOW_THRESHOLD, 0)
+            else:
+                self.state = NeuronState(NeuronPhase.FALLING, idx + 1)
+        return fired
+
+    # -- queries -----------------------------------------------------------
+
+    def is_resting(self) -> bool:
+        return self.state == NeuronState(NeuronPhase.BELOW_THRESHOLD, 0)
+
+    def state_count(self) -> int:
+        """Total distinct states of this automaton (paper sizing analysis)."""
+        return (self.threshold + 1) + self.rising_steps + (self.falling_steps + 1)
+
+    def reset(self) -> None:
+        self.state = NeuronState(NeuronPhase.BELOW_THRESHOLD, 0)
+        self.spike_log.clear()
+        self._step = 0
+
+    def transition_table(self) -> List[Tuple[str, str, str]]:
+        """Enumerate the full delta function as (state, stimulus, next-state)
+        triples -- the explicit form of Fig. 7, used in docs and tests."""
+        rows: List[Tuple[str, str, str]] = []
+        for k in range(self.threshold):
+            rows.append((f"b{k}", "spike", f"b{k + 1}"))
+        rows.append(("b0", "time", "b0"))
+        for k in range(1, self.threshold):
+            rows.append((f"b{k}", "time", f"b{k - 1}"))
+        rows.append((f"b{self.threshold}", "time", "r0"))
+        for k in range(self.rising_steps - 1):
+            rows.append((f"r{k}", "time", f"r{k + 1}"))
+        rows.append(
+            (f"r{self.rising_steps - 1}", "time", "f0 (send a spike)")
+        )
+        for k in range(self.falling_steps):
+            rows.append((f"f{k}", "time", f"f{k + 1}"))
+        rows.append((f"f{self.falling_steps}", "time", "b0"))
+        return rows

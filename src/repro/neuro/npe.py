@@ -1,0 +1,260 @@
+"""The neuromorphic processing element (NPE) -- paper section 4.1, Fig. 9.
+
+An NPE is a serial chain of state controllers.  With every SC's NDRO1 armed
+(:attr:`~repro.neuro.state_controller.Polarity.SET1`) the chain is a ripple
+up-counter: each input pulse increments the state, a carry escaping the last
+SC is the neuron's output spike.  With NDRO0 armed it is a ripple
+down-counter, used for inhibitory passes.  An integrate-and-fire threshold
+``T`` is realised by preloading the counter to ``2**n_sc - T`` through the
+per-SC write channels, so the membrane reaching ``T`` overflows the chain.
+
+The membrane potential is therefore *held in the flux states of the SCs* --
+no memory cells, no clock -- which is the paper's central architectural
+claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.neuro.state_controller import (
+    BehavioralStateController,
+    GateLevelStateController,
+    Polarity,
+)
+from repro.neuro.structure import fanout_tree
+from repro.rsfq import library
+from repro.rsfq.netlist import Netlist
+
+#: Number of SCs per NPE used throughout the paper (Fig. 9).
+DEFAULT_SC_COUNT = 10
+
+
+class BehavioralNPE:
+    """Fast, protocol-checked NPE built from behavioural SCs.
+
+    The ripple-carry arithmetic is executed SC by SC (not as a shortcut
+    integer update) so that this model stays bit-equivalent to the
+    gate-level NPE; the integration tests cross-validate the two.
+    """
+
+    def __init__(self, name: str = "npe", n_sc: int = DEFAULT_SC_COUNT):
+        if n_sc < 1:
+            raise ConfigurationError("an NPE needs at least one SC")
+        self.name = name
+        self.n_sc = n_sc
+        self.scs: List[BehavioralStateController] = [
+            BehavioralStateController(f"{name}.sc{i}") for i in range(n_sc)
+        ]
+        self.polarity: Optional[Polarity] = None
+        #: Output pulses emitted while counting up (legitimate fires).
+        self.fire_count = 0
+        #: Output pulses emitted while counting down (underflow errors).
+        self.underflow_count = 0
+        self._preload = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def state_capacity(self) -> int:
+        """Number of representable membrane states (2**n_sc)."""
+        return 1 << self.n_sc
+
+    # -- protocol (section 5.2 order: rst -> write -> set -> input) ---------
+
+    def rst(self) -> int:
+        """Reset all SCs; returns the counter value read out (aligned read)."""
+        value = 0
+        for i, sc in enumerate(self.scs):
+            if sc.rst():
+                value |= 1 << i
+        self.polarity = None
+        return value
+
+    def write_preload(self, value: int) -> None:
+        """Preload the counter (write channels); requires a fresh reset."""
+        if not 0 <= value < self.state_capacity:
+            raise CapacityError(
+                f"preload {value} outside the {self.n_sc}-SC range "
+                f"[0, {self.state_capacity})"
+            )
+        for i, sc in enumerate(self.scs):
+            if value & (1 << i):
+                sc.write()
+        self._preload = value
+
+    def configure_threshold(self, threshold: int) -> None:
+        """Preload ``2**n_sc - threshold`` so the threshold-th net
+        excitatory pulse overflows the chain (fires)."""
+        if not 1 <= threshold <= self.state_capacity:
+            raise CapacityError(
+                f"threshold {threshold} not representable with "
+                f"{self.n_sc} SCs (max {self.state_capacity})"
+            )
+        self.write_preload(self.state_capacity - threshold)
+
+    def set_polarity(self, polarity: Polarity) -> None:
+        """Arm every SC for up (SET1) or down (SET0) counting."""
+        for sc in self.scs:
+            sc.set_gate(polarity)
+        self.polarity = polarity
+
+    # -- operation ---------------------------------------------------------
+
+    def pulse(self) -> bool:
+        """Apply one input pulse; returns True if an output pulse escapes.
+
+        The pulse ripples through the chain: each SC toggles and the pulse
+        continues only while SCs emit (carry/borrow propagation).
+        """
+        if self.polarity is None:
+            raise ProtocolError(
+                f"NPE '{self.name}': input before set (no polarity armed)"
+            )
+        for sc in self.scs:
+            if not sc.pulse():
+                return False
+        if self.polarity is Polarity.SET1:
+            self.fire_count += 1
+        else:
+            self.underflow_count += 1
+        return True
+
+    def excite(self, pulses: int = 1) -> int:
+        """Deliver ``pulses`` up-counting pulses; returns fires emitted."""
+        if self.polarity is not Polarity.SET1:
+            self.set_polarity(Polarity.SET1)
+        return sum(1 for _ in range(pulses) if self.pulse())
+
+    def inhibit(self, pulses: int = 1) -> int:
+        """Deliver ``pulses`` down-counting pulses; returns spurious
+        underflow pulses emitted (0 in a correctly-bucketed schedule)."""
+        if self.polarity is not Polarity.SET0:
+            self.set_polarity(Polarity.SET0)
+        return sum(1 for _ in range(pulses) if self.pulse())
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def counter_value(self) -> int:
+        """Current counter value encoded in the SC states."""
+        return sum(1 << i for i, sc in enumerate(self.scs) if sc.state)
+
+    @property
+    def membrane(self) -> int:
+        """Membrane potential relative to the preload (no-wrap reading)."""
+        return self.counter_value - self._preload
+
+    def reset_counters(self) -> None:
+        """Clear the fire/underflow statistics (not the SC states)."""
+        self.fire_count = 0
+        self.underflow_count = 0
+
+
+class GateLevelNPE:
+    """NPE assembled from gate-level SCs inside a shared netlist.
+
+    Control buses: ``rst``, ``set0`` and ``set1`` fan out to every SC
+    through SPL trees (the paper notes these "can be arbitrarily bound
+    together for ease of use"); ``write`` and ``read`` stay per-SC.  The
+    chain output is amplified by an :class:`~repro.rsfq.library.SFQDC` and
+    observed on :attr:`fire_probe`.
+    """
+
+    def __init__(
+        self,
+        net: Netlist,
+        name: str,
+        n_sc: int = DEFAULT_SC_COUNT,
+        wire_delay: float = 1.0,
+        carry_jtl_count: int = 2,
+        attach_driver: bool = True,
+    ):
+        if n_sc < 1:
+            raise ConfigurationError("an NPE needs at least one SC")
+        self.net = net
+        self.name = name
+        self.n_sc = n_sc
+        self.scs = [
+            GateLevelStateController(net, f"{name}.sc{i}") for i in range(n_sc)
+        ]
+        # Carry chain.
+        for prev, nxt in zip(self.scs, self.scs[1:]):
+            cell, port = nxt.input_cell("in")
+            prev.connect_out(cell, port, delay=wire_delay,
+                             jtl_count=carry_jtl_count)
+        # Shared control buses.
+        self._bus_inputs = {}
+        for channel in ("rst", "set0", "set1"):
+            bus_in, leaves = fanout_tree(net, f"{name}.{channel}_bus", n_sc,
+                                         wire_delay)
+            for leaf, sc in zip(leaves, self.scs):
+                cell, port = sc.input_cell(channel)
+                net.connect(leaf[0], leaf[1], cell, port, delay=wire_delay)
+            self._bus_inputs[channel] = bus_in
+        # Output: either an SFQDC amplifier feeding an observation probe
+        # (chip boundary) or a raw chain output for on-chip routing.
+        self.out_driver = None
+        self.fire_probe = None
+        self._wire_delay = wire_delay
+        self._carry_jtl_count = carry_jtl_count
+        if attach_driver:
+            self.out_driver = net.add(library.SFQDC(f"{name}.out_drv"))
+            self.scs[-1].connect_out(self.out_driver, "din", delay=wire_delay,
+                                     jtl_count=carry_jtl_count)
+            self.fire_probe = net.add(library.Probe(f"{name}.fire"))
+            net.connect(self.out_driver, "dout", self.fire_probe, "din",
+                        delay=wire_delay)
+
+    # -- endpoints for drivers ----------------------------------------------
+
+    def bus_input(self, channel: str) -> Tuple[object, str]:
+        """(cell, port) receiving the shared rst/set0/set1 bus pulse."""
+        if channel not in self._bus_inputs:
+            raise ProtocolError(
+                f"NPE has no shared bus '{channel}'; buses are "
+                f"{sorted(self._bus_inputs)}"
+            )
+        return self._bus_inputs[channel]
+
+    def write_input(self, sc_index: int) -> Tuple[object, str]:
+        """(cell, port) of the write channel of SC ``sc_index``."""
+        return self.scs[sc_index].input_cell("write")
+
+    def data_input(self) -> Tuple[object, str]:
+        """(cell, port) of the NPE's pulse input (SC0's ``in``)."""
+        return self.scs[0].input_cell("in")
+
+    def connect_out(self, dst_cell, dst_port: str, delay: float = None,
+                    jtl_count: int = None) -> None:
+        """Route the raw chain output on-chip (requires
+        ``attach_driver=False``)."""
+        if self.out_driver is not None:
+            raise ConfigurationError(
+                f"NPE '{self.name}' output already drives its SFQDC; build "
+                "with attach_driver=False for on-chip routing"
+            )
+        self.scs[-1].connect_out(
+            dst_cell, dst_port,
+            delay=self._wire_delay if delay is None else delay,
+            jtl_count=self._carry_jtl_count if jtl_count is None else jtl_count,
+        )
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def counter_value(self) -> int:
+        return sum(1 << i for i, sc in enumerate(self.scs) if sc.state)
+
+    @property
+    def fire_times(self) -> List[float]:
+        if self.fire_probe is None:
+            raise ConfigurationError(
+                f"NPE '{self.name}' has no output probe (attach_driver=False)"
+            )
+        return list(self.fire_probe.times)
+
+    def read_times(self, sc_index: int) -> List[float]:
+        """Pulses observed on the read channel of SC ``sc_index``."""
+        return list(self.scs[sc_index].read_probe.times)

@@ -1,0 +1,244 @@
+"""The SUSHI state controller (SC) -- paper section 4.1.1, Figs. 4, 5, 8.
+
+An SC is the minimal asynchronous neuromorphic component: a single state bit
+held by a TFFL/TFFR pair, with NDRO gates selecting which flip direction
+emits an output pulse:
+
+* ``set0`` arms NDRO0 (gating the TFFL): the SC emits on the **0 -> 1** flip;
+* ``set1`` arms NDRO1 (gating the TFFR): the SC emits on the **1 -> 0** flip;
+* set0/set1 are mutually exclusive -- arming one disarms the other;
+* ``rst`` clears both gates and, through a third monitoring NDRO, reads the
+  current state out of the ``read`` channel while forcing the state back to
+  0 ("read is aligned with rst");
+* ``write`` toggles the state directly and must follow ``rst`` ("write must
+  follow rst") so that it deterministically sets the bit to 1 with the gates
+  disarmed (no spurious output);
+* ``in`` pulses toggle the state and must follow a ``set`` ("input must
+  follow set").
+
+A chain of SCs with NDRO1 armed is a ripple **up-counter** (carry on 1->0);
+with NDRO0 armed it is a ripple **down-counter** (borrow on 0->1) -- the
+mechanism behind the NPE's membrane arithmetic (see
+:mod:`repro.neuro.npe`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.rsfq import library
+from repro.rsfq.netlist import Netlist
+
+
+class Polarity(enum.Enum):
+    """Which flip direction of the SC emits an output pulse."""
+
+    #: NDRO0 armed: emit on the 0 -> 1 flip (down-count / borrow).
+    SET0 = "set0"
+    #: NDRO1 armed: emit on the 1 -> 0 flip (up-count / carry).
+    SET1 = "set1"
+
+
+class BehavioralStateController:
+    """Fast state-machine model of the SC, protocol-checked.
+
+    The protocol rules of paper section 5.2 are enforced with
+    :class:`~repro.errors.ProtocolError`: writing without a preceding reset,
+    or pulsing the input while no polarity is armed, are rejected exactly
+    where the physical circuit would misbehave.
+    """
+
+    def __init__(self, name: str = "sc"):
+        self.name = name
+        self.state = False
+        self.gate: Optional[Polarity] = None
+        self._reset_done = True  # power-on state counts as reset
+
+    def pulse(self) -> bool:
+        """Apply an ``in`` pulse; returns True when the SC emits on ``out``."""
+        if self.gate is None:
+            raise ProtocolError(
+                f"SC '{self.name}': input pulse with no polarity armed "
+                "(input must follow set)"
+            )
+        self.state = not self.state
+        if self.gate is Polarity.SET1:
+            return not self.state  # emitted on the 1 -> 0 flip
+        return self.state  # SET0: emitted on the 0 -> 1 flip
+
+    def rst(self) -> bool:
+        """Reset: disarm gates, zero the state; returns the pre-reset state
+        (the ``read`` channel output, aligned with rst)."""
+        was_set = self.state
+        self.state = False
+        self.gate = None
+        self._reset_done = True
+        return was_set
+
+    def write(self) -> None:
+        """Toggle the state with gates disarmed (used to preload bits)."""
+        if not self._reset_done:
+            raise ProtocolError(
+                f"SC '{self.name}': write must follow rst"
+            )
+        if self.gate is not None:
+            raise ProtocolError(
+                f"SC '{self.name}': write while a polarity is armed would "
+                "emit a spurious carry"
+            )
+        self.state = not self.state
+
+    def set_gate(self, polarity: Polarity) -> None:
+        """Arm set0 or set1; arming either disarms the other."""
+        self.gate = polarity
+        self._reset_done = False
+
+    def __repr__(self) -> str:
+        gate = self.gate.value if self.gate else "-"
+        return f"<SC '{self.name}' state={int(self.state)} gate={gate}>"
+
+
+class GateLevelStateController:
+    """The SC as a composition of RSFQ cells (paper Fig. 8(b)).
+
+    Builds, inside a caller-supplied :class:`~repro.rsfq.netlist.Netlist`,
+    the complete logic design: input confluence (in/write/clear-feedback),
+    the TFFL/TFFR pair, the NDRO0/NDRO1 output gates with their mutually
+    exclusive set channels, and the NDRO2 state monitor that implements the
+    aligned read/reset.
+
+    External channels (as cells within the netlist):
+
+    * inputs -- drive via ``Simulator.schedule_input(sc.cell, port)`` using
+      :meth:`input_cell`: ``in``, ``write``, ``set0``, ``set1``, ``rst``;
+    * outputs -- ``out`` (carry/borrow) and ``read`` arrive at the cells
+      returned by :attr:`out_port` / :attr:`read_probe`.
+
+    The ``out`` channel is left unconnected so callers chain SCs into NPEs;
+    call :meth:`connect_out` or attach a probe.
+    """
+
+    #: Intra-SC wire delay in ps (short on-cell stubs).
+    WIRE_DELAY = 1.0
+
+    def __init__(self, net: Netlist, name: str):
+        self.net = net
+        self.name = name
+        w = self.WIRE_DELAY
+        add, con = net.add, net.connect
+
+        # Input confluence: in + write + clear-feedback -> state toggle.
+        self.in_cb = add(library.CB3(f"{name}.in_cb"))
+        self.in_spl = add(library.SPL(f"{name}.in_spl"))
+        con(self.in_cb, "dout", self.in_spl, "din", delay=w)
+
+        # The state bit: TFFL/TFFR pair toggled together.
+        self.tffl = add(library.TFFL(f"{name}.tffl"))
+        self.tffr = add(library.TFFR(f"{name}.tffr"))
+        con(self.in_spl, "doutA", self.tffl, "din", delay=w)
+        con(self.in_spl, "doutB", self.tffr, "din", delay=w)
+
+        # Flip pulses fan out to the output gate and the state monitor.
+        self.tffl_spl = add(library.SPL(f"{name}.tffl_spl"))
+        self.tffr_spl = add(library.SPL(f"{name}.tffr_spl"))
+        con(self.tffl, "dout", self.tffl_spl, "din", delay=w)
+        con(self.tffr, "dout", self.tffr_spl, "din", delay=w)
+
+        # Output gates.
+        self.ndro0 = add(library.NDRO(f"{name}.ndro0"))
+        self.ndro1 = add(library.NDRO(f"{name}.ndro1"))
+        con(self.tffl_spl, "doutA", self.ndro0, "clk", delay=w)
+        con(self.tffr_spl, "doutA", self.ndro1, "clk", delay=w)
+        self.out_cb = add(library.CB(f"{name}.out_cb"))
+        con(self.ndro0, "dout", self.out_cb, "dinA", delay=w)
+        con(self.ndro1, "dout", self.out_cb, "dinB", delay=w)
+
+        # Mutually exclusive polarity channels: set0 arms NDRO0 and disarms
+        # NDRO1 (and vice versa); rst disarms both.
+        self.set0_spl = add(library.SPL(f"{name}.set0_spl"))
+        self.set1_spl = add(library.SPL(f"{name}.set1_spl"))
+        self.ndro0_rst_cb = add(library.CB(f"{name}.ndro0_rst_cb"))
+        self.ndro1_rst_cb = add(library.CB(f"{name}.ndro1_rst_cb"))
+        con(self.set0_spl, "doutA", self.ndro0, "din", delay=w)
+        con(self.set0_spl, "doutB", self.ndro1_rst_cb, "dinA", delay=w)
+        con(self.set1_spl, "doutA", self.ndro1, "din", delay=w)
+        con(self.set1_spl, "doutB", self.ndro0_rst_cb, "dinA", delay=w)
+        con(self.ndro0_rst_cb, "dout", self.ndro0, "rst", delay=w)
+        con(self.ndro1_rst_cb, "dout", self.ndro1, "rst", delay=w)
+
+        # State monitor: NDRO2 mirrors the TFF state (set on 0->1, cleared
+        # on 1->0); rst clocks it out (aligned read) and the read-out pulse
+        # feeds back to toggle the state to 0.
+        self.ndro2 = add(library.NDRO(f"{name}.ndro2"))
+        con(self.tffl_spl, "doutB", self.ndro2, "din", delay=w)
+        con(self.tffr_spl, "doutB", self.ndro2, "rst", delay=w)
+        self.rst_spl = add(library.SPL3(f"{name}.rst_spl"))
+        con(self.rst_spl, "doutA", self.ndro0_rst_cb, "dinB", delay=w)
+        con(self.rst_spl, "doutB", self.ndro1_rst_cb, "dinB", delay=w)
+        con(self.rst_spl, "doutC", self.ndro2, "clk", delay=w)
+        self.read_spl = add(library.SPL(f"{name}.read_spl"))
+        con(self.ndro2, "dout", self.read_spl, "din", delay=w)
+        # Clear feedback: toggles the state bit back to 0 on reset-read.
+        con(self.read_spl, "doutB", self.in_cb, "dinC", delay=w)
+        # Read channel observation point.
+        self.read_probe = add(library.Probe(f"{name}.read"))
+        con(self.read_spl, "doutA", self.read_probe, "din", delay=w)
+
+    # -- wiring helpers ----------------------------------------------------
+
+    #: Map of external input channel -> (cell attribute, port).
+    _INPUT_MAP = {
+        "in": ("in_cb", "dinA"),
+        "write": ("in_cb", "dinB"),
+        "set0": ("set0_spl", "din"),
+        "set1": ("set1_spl", "din"),
+        "rst": ("rst_spl", "din"),
+    }
+
+    def input_cell(self, channel: str):
+        """Return (cell, port) receiving the named external input channel."""
+        if channel not in self._INPUT_MAP:
+            raise ProtocolError(
+                f"SC has no input channel '{channel}'; "
+                f"channels are {sorted(self._INPUT_MAP)}"
+            )
+        attr, port = self._INPUT_MAP[channel]
+        return getattr(self, attr), port
+
+    def connect_out(self, dst_cell, dst_port: str, delay: float = 1.0,
+                    jtl_count: int = 0) -> None:
+        """Wire the SC's ``out`` channel (carry/borrow) onward."""
+        self.net.connect(self.out_cb, "dout", dst_cell, dst_port,
+                         delay=delay, jtl_count=jtl_count)
+
+    # -- state inspection (for tests / cross-validation) --------------------
+
+    @property
+    def state(self) -> bool:
+        """Current value of the state bit (TFFL and TFFR always agree)."""
+        return self.tffl.state
+
+    @property
+    def armed(self) -> Optional[Polarity]:
+        """Which polarity gate is currently armed, if any."""
+        if self.ndro0.stored:
+            return Polarity.SET0
+        if self.ndro1.stored:
+            return Polarity.SET1
+        return None
+
+    #: Number of RSFQ cells a single SC comprises (resource model).
+    CELL_HISTOGRAM = {
+        "CB3": 1, "SPL": 6, "SPL3": 1, "CB": 3, "NDRO": 3,
+        "TFFL": 1, "TFFR": 1,
+    }
+
+    @classmethod
+    def jj_count(cls) -> int:
+        """Logic JJs of one SC (from its cell histogram)."""
+        total = 0
+        for cell_name, count in cls.CELL_HISTOGRAM.items():
+            total += getattr(library, cell_name).JJ_COUNT * count
+        return total

@@ -1,0 +1,139 @@
+"""Asynchronous neuron timing (paper section 5.2).
+
+SUSHI has no clock: correctness only requires a handful of *ordering*
+constraints between control and data pulses --
+
+1. ``write`` must follow ``rst``;
+2. ``input`` must follow ``set``;
+3. ``read`` output is triggered by (and aligned with) ``rst``;
+
+-- plus the per-cell minimum intervals of Table 1.  :class:`TimingPolicy`
+centralises the pulse spacings used when encoding streams for the gate-level
+chip; :class:`NPEDriver` schedules a full rst -> write -> set -> input
+sequence onto a simulated NPE while respecting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.neuro.npe import GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.rsfq.constraints import TFF_MIN_INTERVAL
+from repro.rsfq.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TimingPolicy:
+    """Pulse spacings used when driving gate-level hardware.
+
+    Attributes:
+        input_interval: Spacing (ps) between consecutive data pulses on one
+            line.  Must exceed the TFF toggle interval (39.9 ps), the
+            tightest constraint on the NPE input path.
+        control_interval: Spacing between control pulses (rst/set/write) on
+            one channel.
+        phase_gap: Quiet time between protocol phases (rst -> write -> set
+            -> input -> rst), allowing carry ripples and reset feedback to
+            settle.  Scaled by chain length via :meth:`settle_time`.
+        per_stage_ripple: Worst-case per-SC carry latency (ps) used by
+            :meth:`settle_time`.
+    """
+
+    input_interval: float = 45.0
+    control_interval: float = 50.0
+    phase_gap: float = 100.0
+    per_stage_ripple: float = 60.0
+
+    def __post_init__(self):
+        if self.input_interval <= TFF_MIN_INTERVAL:
+            raise ConfigurationError(
+                f"input_interval {self.input_interval} ps must exceed the "
+                f"TFF toggle interval ({TFF_MIN_INTERVAL} ps)"
+            )
+        if self.control_interval <= 0 or self.phase_gap <= 0:
+            raise ConfigurationError("intervals must be positive")
+
+    def settle_time(self, n_sc: int) -> float:
+        """Quiet time needed after a phase for an ``n_sc``-SC chain."""
+        return self.phase_gap + self.per_stage_ripple * n_sc
+
+
+class NPEDriver:
+    """Schedules protocol-ordered pulse sequences onto a gate-level NPE.
+
+    Maintains a time cursor; each call appends its pulses after the cursor
+    and advances it past the settle time, so arbitrary call sequences remain
+    constraint-clean.  The behavioural/gate-level cross-validation tests and
+    the Fig. 16 waveform reproduction both drive hardware through this
+    class.
+    """
+
+    def __init__(self, sim: Simulator, npe: GateLevelNPE,
+                 policy: TimingPolicy = None):
+        self.sim = sim
+        self.npe = npe
+        self.policy = policy or TimingPolicy()
+        self.cursor = 0.0
+
+    def _advance(self, last_pulse_time: float) -> None:
+        self.cursor = last_pulse_time + self.policy.settle_time(self.npe.n_sc)
+
+    # -- protocol phases -----------------------------------------------------
+
+    def reset(self) -> float:
+        """Pulse the shared rst bus; returns the pulse time."""
+        cell, port = self.npe.bus_input("rst")
+        t = self.cursor
+        self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        return t
+
+    def write_preload(self, value: int) -> None:
+        """Pulse the write channel of every SC whose preload bit is 1."""
+        if not 0 <= value < (1 << self.npe.n_sc):
+            raise ConfigurationError(
+                f"preload {value} outside {self.npe.n_sc}-bit range"
+            )
+        t = self.cursor
+        for i in range(self.npe.n_sc):
+            if value & (1 << i):
+                cell, port = self.npe.write_input(i)
+                self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+
+    def configure_threshold(self, threshold: int) -> None:
+        """Preload ``2**n_sc - threshold`` (fire on the threshold-th pulse)."""
+        capacity = 1 << self.npe.n_sc
+        if not 1 <= threshold <= capacity:
+            raise ConfigurationError(
+                f"threshold {threshold} not representable ({self.npe.n_sc} SCs)"
+            )
+        self.write_preload(capacity - threshold)
+
+    def set_polarity(self, polarity: Polarity) -> None:
+        """Pulse the shared set0 or set1 bus."""
+        channel = "set1" if polarity is Polarity.SET1 else "set0"
+        cell, port = self.npe.bus_input(channel)
+        t = self.cursor
+        self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+
+    def pulses(self, count: int) -> None:
+        """Stream ``count`` data pulses into the NPE input."""
+        if count < 0:
+            raise ConfigurationError("pulse count must be >= 0")
+        if count == 0:
+            return
+        cell, port = self.npe.data_input()
+        t = self.cursor
+        for k in range(count):
+            t = self.cursor + k * self.policy.input_interval
+            self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+
+    def run(self) -> None:
+        """Flush all scheduled events through the simulator."""
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)

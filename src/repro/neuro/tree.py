@@ -1,0 +1,137 @@
+"""The tree on-chip network at gate level (paper Fig. 11(a)).
+
+The tree network maximises SPL/CB usage: one input line fans out through a
+splitter tree to every NPE (so all NPEs see the same, *normalised-weight*
+stimulus -- optionally pre-scaled by a single shared pulse-gain weight
+structure at the root), and the NPE outputs merge back through a CB tree
+onto one line.  It has almost no line crossings and the smallest wiring
+footprint, but cannot express per-pair weights -- the trade-off the paper
+discusses against the mesh (section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.npe import DEFAULT_SC_COUNT, GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.neuro.structure import fanout_tree, merge_tree
+from repro.neuro.timing import TimingPolicy
+from repro.neuro.weights import GateLevelWeightStructure
+from repro.rsfq import library
+from repro.rsfq.netlist import Netlist
+from repro.rsfq.simulator import Simulator
+
+
+class GateLevelTreeNetwork:
+    """``n`` NPEs behind one shared input line (gate-level Fig. 11(a)).
+
+    Args:
+        n: Number of neuron NPEs on the tree.
+        sc_per_npe: SC chain length per NPE.
+        root_strength: Maximum gain of the shared root weight structure
+            (1 = a plain line).
+    """
+
+    def __init__(self, n: int, sc_per_npe: int = DEFAULT_SC_COUNT,
+                 root_strength: int = 1, wire_delay: float = 1.0):
+        if n < 1:
+            raise ConfigurationError("tree size must be >= 1")
+        self.n = n
+        self.net = Netlist(f"tree_{n}")
+        self.input = self.net.add(library.DCSFQ("in0"))
+        self.root_weight: Optional[GateLevelWeightStructure] = None
+        source: Tuple[object, str] = (self.input, "dout")
+        if root_strength > 1:
+            self.root_weight = GateLevelWeightStructure(
+                self.net, "rootw", max_strength=root_strength
+            )
+            cell, port = self.root_weight.axon_input
+            self.net.connect(source[0], source[1], cell, port,
+                             delay=wire_delay)
+            source = self.root_weight.column_output
+        fan_in, leaves = fanout_tree(self.net, "fan", n, wire_delay)
+        self.net.connect(source[0], source[1], fan_in[0], fan_in[1],
+                         delay=wire_delay)
+        self.npes: List[GateLevelNPE] = []
+        merge_ins, merge_out = merge_tree(self.net, "merge", n, wire_delay)
+        for i in range(n):
+            npe = GateLevelNPE(self.net, f"npe{i}", sc_per_npe, wire_delay,
+                               attach_driver=False)
+            cell, port = npe.data_input()
+            self.net.connect(leaves[i][0], leaves[i][1], cell, port,
+                             delay=wire_delay + i * 45.0, jtl_count=2)
+            dst_cell, dst_port = merge_ins[i]
+            npe.connect_out(dst_cell, dst_port, delay=wire_delay)
+            self.npes.append(npe)
+        self.out_driver = self.net.add(library.SFQDC("out_drv"))
+        self.net.connect(merge_out[0], merge_out[1], self.out_driver,
+                         "din", delay=wire_delay)
+        self.out_probe = self.net.add(library.Probe("out"))
+        self.net.connect(self.out_driver, "dout", self.out_probe, "din",
+                         delay=wire_delay)
+
+
+class TreeDriver:
+    """Constraint-clean protocol driver for the tree network."""
+
+    def __init__(self, tree: GateLevelTreeNetwork,
+                 sim: Optional[Simulator] = None,
+                 policy: Optional[TimingPolicy] = None):
+        self.tree = tree
+        self.sim = sim or Simulator(tree.net)
+        self.policy = policy or TimingPolicy()
+        self.cursor = 0.0
+
+    def _advance(self, last: float) -> None:
+        self.cursor = last + self.policy.settle_time(
+            self.tree.npes[0].n_sc
+        ) + 60.0 * self.tree.n
+
+    def configure(self, thresholds: Sequence[int],
+                  polarity: Polarity = Polarity.SET1) -> None:
+        """Reset every NPE, preload per-NPE thresholds, arm the polarity."""
+        if len(thresholds) != self.tree.n:
+            raise ConfigurationError("one threshold per NPE required")
+        t = self.cursor
+        for npe in self.tree.npes:
+            cell, port = npe.bus_input("rst")
+            self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        t = self.cursor
+        capacity = 1 << self.tree.npes[0].n_sc
+        for npe, threshold in zip(self.tree.npes, thresholds):
+            if not 1 <= threshold <= capacity:
+                raise CapacityError(f"threshold {threshold} unrepresentable")
+            preload = capacity - threshold
+            for i in range(npe.n_sc):
+                if preload & (1 << i):
+                    cell, port = npe.write_input(i)
+                    self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        t = self.cursor
+        channel = "set1" if polarity is Polarity.SET1 else "set0"
+        for npe in self.tree.npes:
+            cell, port = npe.bus_input(channel)
+            self.sim.schedule_input(cell, port, t)
+        self._advance(t)
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)
+
+    def broadcast(self, pulses: int = 1) -> None:
+        """Send ``pulses`` input pulses down the shared tree."""
+        if pulses < 0:
+            raise ConfigurationError("pulse count must be >= 0")
+        spacing = self.policy.input_interval + 45.0 * self.tree.n
+        last = self.cursor
+        for k in range(pulses):
+            last = self.cursor + k * spacing
+            self.sim.schedule_input(self.tree.input, "din", last)
+        self._advance(last)
+        self.sim.run()
+        self.cursor = max(self.cursor, self.sim.now)
+
+    def output_pulses(self) -> int:
+        """Merged output pulses observed so far."""
+        return len(self.tree.out_probe.times)

@@ -1,0 +1,138 @@
+"""Pulse-gain weight structures -- paper section 4.2.1, Fig. 10.
+
+Weights are encoded in the *number of pulses*, not in stored numbers: a
+crosspoint expands each incoming axon pulse into ``strength`` pulses on the
+way to the target NPE.  The structure is a fan-out tree feeding parallel
+branches, each holding an NDRO switch (Fig. 10(b)) and a distinct delay, all
+merged back onto the column line; configuring a weight of ``s`` arms ``s``
+of the branches.  Strength 0 leaves every branch disarmed -- the crosspoint
+is disconnected, which is how the mesh realises arbitrary topologies and how
+polarity passes select the synapses of one sign (see
+:mod:`repro.ssnn.bitslice`).
+
+The NDROs are written through din/rst channels that are *independent of the
+inference path* -- weight reloading happens in parallel per synapse and off
+the critical path (section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.neuro.structure import fanout_tree, merge_tree
+from repro.rsfq import library
+from repro.rsfq.netlist import Netlist
+
+
+#: Default stagger (ps) between the expanded pulses of one crosspoint; must
+#: exceed the NPE's TFF toggle interval plus fan/merge tree asymmetry.
+DEFAULT_STAGGER = 60.0
+
+
+class BehavioralWeightStructure:
+    """Fast model of a crosspoint: an integer gain with reload accounting."""
+
+    def __init__(self, name: str = "w", max_strength: int = 1):
+        if max_strength < 1:
+            raise ConfigurationError("max_strength must be >= 1")
+        self.name = name
+        self.max_strength = max_strength
+        self.strength = 0
+        #: Number of configuration changes applied (reload statistics).
+        self.reload_count = 0
+
+    def configure(self, strength: int) -> bool:
+        """Set the gain; returns True if this was an actual reload."""
+        if not 0 <= strength <= self.max_strength:
+            raise ConfigurationError(
+                f"strength {strength} outside [0, {self.max_strength}] on "
+                f"crosspoint '{self.name}'"
+            )
+        if strength == self.strength:
+            return False
+        self.strength = strength
+        self.reload_count += 1
+        return True
+
+    @property
+    def enabled(self) -> bool:
+        return self.strength > 0
+
+    def pulses_out(self, pulses_in: int = 1) -> int:
+        """Pulses delivered to the column per ``pulses_in`` axon pulses."""
+        if pulses_in < 0:
+            raise ConfigurationError("pulse count must be >= 0")
+        return pulses_in * self.strength
+
+
+class GateLevelWeightStructure:
+    """Crosspoint weight structure from RSFQ cells (Fig. 10(b)/(c)).
+
+    Structure for ``max_strength = K``::
+
+        axon in --> SPL tree --> K branches (NDRO switch, staggered delay)
+                                  --> CB merge tree --> column out
+
+    Branch ``k`` adds ``(k+1) * stagger`` ps so the expanded pulses arrive
+    separated by at least ``stagger`` (which must exceed the NPE's TFF
+    toggle interval).  Each NDRO's din/rst form the weight-control channels.
+    """
+
+    def __init__(
+        self,
+        net: Netlist,
+        name: str,
+        max_strength: int = 1,
+        stagger: float = DEFAULT_STAGGER,
+        wire_delay: float = 1.0,
+    ):
+        if max_strength < 1:
+            raise ConfigurationError("max_strength must be >= 1")
+        if stagger <= 0:
+            raise ConfigurationError("stagger must be positive")
+        self.net = net
+        self.name = name
+        self.max_strength = max_strength
+        fan_in, fan_leaves = fanout_tree(net, f"{name}.fan", max_strength,
+                                         wire_delay)
+        self._axon_in = fan_in
+        self.switches: List[library.NDRO] = []
+        merge_ins, merge_out = merge_tree(net, f"{name}.merge", max_strength,
+                                          wire_delay)
+        for k, (leaf, merge_in) in enumerate(zip(fan_leaves, merge_ins)):
+            ndro = net.add(library.NDRO(f"{name}.sw{k}"))
+            # The staggered delay realises the Fig. 10(a) JTL delay section.
+            net.connect(leaf[0], leaf[1], ndro, "clk",
+                        delay=wire_delay + k * stagger,
+                        jtl_count=1 + k)
+            net.connect(ndro, "dout", merge_in[0], merge_in[1],
+                        delay=wire_delay)
+            self.switches.append(ndro)
+        self._column_out = merge_out
+
+    # -- endpoints -----------------------------------------------------------
+
+    @property
+    def axon_input(self) -> Tuple[object, str]:
+        """(cell, port) receiving pulses from the row (axon) line."""
+        return self._axon_in
+
+    @property
+    def column_output(self) -> Tuple[object, str]:
+        """(cell, port) driving the column (dendrite) line."""
+        return self._column_out
+
+    def switch_input(self, k: int, channel: str) -> Tuple[object, str]:
+        """(cell, port) of the weight-control channel of branch ``k``
+        (``channel`` is ``"din"`` to arm or ``"rst"`` to disarm)."""
+        if channel not in ("din", "rst"):
+            raise ConfigurationError("channel must be 'din' or 'rst'")
+        return self.switches[k], channel
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def strength(self) -> int:
+        """Currently-armed branch count (the configured gain)."""
+        return sum(1 for sw in self.switches if sw.stored)

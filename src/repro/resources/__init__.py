@@ -1,0 +1,34 @@
+"""Resource, power and performance models of SUSHI (paper sections 4.3, 6.3).
+
+The models are *structural*: Josephson-junction and area counts come from
+the actual component inventory of a chip configuration (SC/NPE/crosspoint
+cell histograms plus a floorplan-based wiring model), and the power and
+throughput figures derive from those counts plus per-JJ constants.  A small
+number of constants are calibrated against the paper's published anchors
+(Table 2's 45,542 JJs / 44.73 mm^2 at 4x4 with a 68/32 wiring/logic split;
+99,982 JJs / 103.75 mm^2 / 41.87 mW at 16x16; 1,355 GSOPS peak) --
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.resources.cell_costs import (
+    npe_cell_histogram,
+    histogram_area_um2,
+    histogram_jj_count,
+    sc_cell_histogram,
+    weight_structure_histogram,
+)
+from repro.resources.estimator import ChipResources, estimate_resources
+from repro.resources.power import PowerModel
+from repro.resources.performance import PerformanceModel
+
+__all__ = [
+    "sc_cell_histogram",
+    "npe_cell_histogram",
+    "weight_structure_histogram",
+    "histogram_jj_count",
+    "histogram_area_um2",
+    "ChipResources",
+    "estimate_resources",
+    "PowerModel",
+    "PerformanceModel",
+]

@@ -1,0 +1,149 @@
+"""Cell histograms of SUSHI components (the logic side of the JJ budget).
+
+Histograms map cell-type names (classes in :mod:`repro.rsfq.library`) to
+instance counts.  They are kept consistent with the actual gate-level
+constructors -- the tests build each component and compare the real netlist
+against these histograms -- so resource estimates always describe the same
+hardware the simulator runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.neuro.state_controller import GateLevelStateController
+from repro.rsfq import library
+
+
+def merge_histograms(*histograms: Dict[str, int]) -> Dict[str, int]:
+    """Sum cell histograms."""
+    total: Dict[str, int] = {}
+    for histogram in histograms:
+        for name, count in histogram.items():
+            total[name] = total.get(name, 0) + count
+    return total
+
+
+def scale_histogram(histogram: Dict[str, int], factor: int) -> Dict[str, int]:
+    """Multiply every count by ``factor``."""
+    if factor < 0:
+        raise ConfigurationError("factor must be >= 0")
+    return {name: count * factor for name, count in histogram.items()}
+
+
+def histogram_jj_count(histogram: Dict[str, int]) -> int:
+    """Total JJs of a cell histogram."""
+    return sum(
+        getattr(library, name).JJ_COUNT * count
+        for name, count in histogram.items()
+    )
+
+
+def histogram_area_um2(histogram: Dict[str, int]) -> float:
+    """Total cell area of a histogram in square micrometres."""
+    return sum(
+        getattr(library, name).AREA_UM2 * count
+        for name, count in histogram.items()
+    )
+
+
+def sc_cell_histogram() -> Dict[str, int]:
+    """Cells of one state controller (kept in sync with the gate level)."""
+    return dict(GateLevelStateController.CELL_HISTOGRAM)
+
+
+def fanout_tree_histogram(n: int) -> Dict[str, int]:
+    if n <= 1:
+        return {"JTL": 1}
+    return {"SPL": n - 1}
+
+
+def merge_tree_histogram(n: int) -> Dict[str, int]:
+    if n <= 1:
+        return {"JTL": 1}
+    return {"CB": n - 1}
+
+
+def npe_cell_histogram(
+    n_sc: int = 10, with_output_driver: bool = True
+) -> Dict[str, int]:
+    """Cells of one NPE: SC chain, three shared control buses, a merged
+    read channel with its amplifier, and (for column NPEs) the output
+    amplifier."""
+    if n_sc < 1:
+        raise ConfigurationError("n_sc must be >= 1")
+    parts = [scale_histogram(sc_cell_histogram(), n_sc)]
+    for _ in ("rst", "set0", "set1"):
+        parts.append(fanout_tree_histogram(n_sc))
+    # Read channel: SC read outputs merged onto one amplified line.
+    parts.append(merge_tree_histogram(n_sc))
+    parts.append({"SFQDC": 1})
+    if with_output_driver:
+        parts.append({"SFQDC": 1})
+    return merge_histograms(*parts)
+
+
+def weight_structure_histogram(max_strength: int = 1) -> Dict[str, int]:
+    """Cells of one crosspoint weight structure (Fig. 10)."""
+    if max_strength < 1:
+        raise ConfigurationError("max_strength must be >= 1")
+    return merge_histograms(
+        fanout_tree_histogram(max_strength),
+        merge_tree_histogram(max_strength),
+        {"NDRO": max_strength},
+    )
+
+
+def io_channel_histogram(n: int, sc_per_npe: int = 10,
+                         max_strength: int = 1,
+                         with_weights: bool = True) -> Dict[str, int]:
+    """DC/SFQ input converters of all external channels of an n x n chip:
+    data inputs, per-SC write channels, shared rst/set0/set1 controls, and
+    the din/rst weight-configuration channels of every crosspoint."""
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    data_inputs = n
+    write_inputs = 2 * n * sc_per_npe
+    control_inputs = 2 * n * 3
+    weight_inputs = 2 * (n * n) * max_strength if with_weights else 0
+    return {"DCSFQ": data_inputs + write_inputs + control_inputs
+            + weight_inputs}
+
+
+def mesh_fabric_histogram(n: int, max_strength: int = 1) -> Dict[str, int]:
+    """Row fan-out trees, column merge trees, and all crosspoints."""
+    parts = []
+    for _ in range(n):
+        parts.append(fanout_tree_histogram(n))   # one row line each
+        parts.append(merge_tree_histogram(n))    # one column line each
+    parts.append(
+        scale_histogram(weight_structure_histogram(max_strength), n * n)
+    )
+    parts.append({"DCSFQ": n})  # data input converters feeding row NPEs
+    return merge_histograms(*parts)
+
+
+def chip_logic_histogram(
+    n: int, sc_per_npe: int = 10, max_strength: int = 1,
+    with_weights: bool = True,
+) -> Dict[str, int]:
+    """Full logic-cell histogram of an n x n SUSHI chip."""
+    parts = [
+        scale_histogram(
+            npe_cell_histogram(sc_per_npe, with_output_driver=False), n
+        ),
+        scale_histogram(
+            npe_cell_histogram(sc_per_npe, with_output_driver=True), n
+        ),
+        io_channel_histogram(n, sc_per_npe, max_strength, with_weights),
+    ]
+    if with_weights:
+        parts.append(mesh_fabric_histogram(n, max_strength))
+    else:
+        parts.append(merge_histograms(
+            *[fanout_tree_histogram(n) for _ in range(n)],
+            *[merge_tree_histogram(n) for _ in range(n)],
+            {"DCSFQ": n},
+        ))
+    return merge_histograms(*parts)

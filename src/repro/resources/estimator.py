@@ -1,0 +1,91 @@
+"""Chip-level resource estimation (Table 2, Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.resources import cell_costs
+from repro.resources.floorplan import AREA_PER_JJ_MM2, estimate_wiring
+
+
+@dataclass(frozen=True)
+class ChipResources:
+    """Resource summary of one SUSHI configuration.
+
+    The quantities mirror the paper's Table 2 / Fig. 13 reporting: logic vs
+    wiring JJ split, total JJs, and chip area.
+    """
+
+    n: int
+    npe_count: int
+    synapse_count: int
+    logic_jj: int
+    wiring_jj: int
+    logic_area_mm2: float
+    wiring_area_mm2: float
+
+    @property
+    def total_jj(self) -> int:
+        return self.logic_jj + self.wiring_jj
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.total_jj * AREA_PER_JJ_MM2
+
+    @property
+    def wiring_fraction(self) -> float:
+        return self.wiring_jj / self.total_jj if self.total_jj else 0.0
+
+    def summary_row(self) -> dict:
+        """Flat dict for report tables."""
+        return {
+            "n": self.n,
+            "npes": self.npe_count,
+            "total_jj": self.total_jj,
+            "logic_jj": self.logic_jj,
+            "wiring_jj": self.wiring_jj,
+            "wiring_pct": round(100.0 * self.wiring_fraction, 2),
+            "area_mm2": round(self.total_area_mm2, 2),
+        }
+
+
+def estimate_resources(
+    n: int,
+    sc_per_npe: int = 10,
+    max_strength: int = 1,
+    with_weights: bool = True,
+) -> ChipResources:
+    """Estimate JJs and area of an ``n x n`` SUSHI chip.
+
+    Logic counts come from the component cell histograms (kept in sync with
+    the gate-level constructors); wiring from the floorplan model.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    logic_hist = cell_costs.chip_logic_histogram(
+        n, sc_per_npe, max_strength, with_weights
+    )
+    logic_jj = cell_costs.histogram_jj_count(logic_hist)
+    logic_area = cell_costs.histogram_area_um2(logic_hist) * 1e-6
+    config_channels = (
+        2 * n * n * max_strength if with_weights else 0
+    )
+    wiring = estimate_wiring(
+        n=n,
+        logic_jj=logic_jj,
+        config_channels=config_channels,
+    )
+    return ChipResources(
+        n=n,
+        npe_count=2 * n,
+        synapse_count=n * n,
+        logic_jj=logic_jj,
+        wiring_jj=wiring.wiring_jj,
+        logic_area_mm2=logic_area,
+        wiring_area_mm2=wiring.wiring_area_mm2,
+    )
+
+
+#: Mesh sizes of the paper's scaling studies (Figs. 13, 19-21).
+PAPER_SWEEP_SIZES = (1, 2, 4, 8, 16)

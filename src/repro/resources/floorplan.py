@@ -1,0 +1,125 @@
+"""Floorplan-based wiring model (the dominant JJ cost in RSFQ designs).
+
+Unlike CMOS, RSFQ wires are *active*: every ~30 um of connection needs a
+JTL repeater (two JJs), so wiring cost scales with physical wire length.
+The model decomposes the wire budget of an ``n x n`` mesh chip into:
+
+* **mesh lines** -- the ``2n`` row/column lines, each spanning ``n`` NPE
+  pitches;
+* **NPE channel bundles** -- each NPE's external channels (write, read,
+  rst/set controls, data) routed between the pad ring and the NPE, modelled
+  as a bundle whose length scales with the chip side;
+* **weight-configuration channels** -- the din/rst lines of every
+  crosspoint NDRO (only in the fully-configurable mesh), each routed from
+  the pad ring across the fabric.
+
+The last term is why the fully-configurable mesh (the paper's Table 2
+4x4 instance: 68% wiring) is so much more wire-hungry than the
+fixed-weight mesh the paper sweeps in Fig. 13 and fabricates -- whose
+growth stays near-linear in NPE count, as the paper reports.
+
+Chip side depends on total area, which depends on wiring, so the estimate
+iterates to a fixed point.  ``NPE_ROUTE_FACTOR`` and
+``CONFIG_ROUTE_FACTOR`` are calibrated against the paper's anchors
+(31,026 wiring JJs at the configurable 4x4; 99,982 total JJs at the
+fixed-weight 16x16); see EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.rsfq import library
+
+#: Millimetres of transmission line served by one JTL repeater.
+JTL_PITCH_MM = 0.030
+
+#: Physical pitch between adjacent mesh lines (mm).
+NPE_PITCH_MM = 0.42
+
+#: Chip-side multiples of routed wire per NPE channel bundle (calibrated).
+NPE_ROUTE_FACTOR = 1.6456
+
+#: Chip-side multiples of wire per weight-configuration channel (calibrated).
+CONFIG_ROUTE_FACTOR = 0.4060
+
+#: Fixed pad-ring / bias-distribution wire per chip (mm).
+PAD_RING_WIRE_MM = 12.0
+
+#: Extra area per line crossing (double-width segment), mm^2.
+CROSSING_AREA_MM2 = 0.0031
+
+#: Chip area per junction (mm^2/JJ).  The paper's own anchors give an
+#: almost constant density: 44.73 mm^2 / 45,542 JJs = 0.982e-3 and
+#: 103.75 mm^2 / 99,982 JJs = 1.038e-3; we use their mean.
+AREA_PER_JJ_MM2 = 1.010e-3
+
+
+@dataclass(frozen=True)
+class WiringEstimate:
+    """Wire length, repeater and area figures of one chip configuration."""
+
+    mesh_wire_mm: float
+    npe_channel_wire_mm: float
+    config_wire_mm: float
+    total_wire_mm: float
+    jtl_count: int
+    wiring_jj: int
+    wiring_area_mm2: float
+    chip_side_mm: float
+
+
+def estimate_wiring(
+    n: int,
+    logic_jj: int,
+    config_channels: int = 0,
+    npe_pitch_mm: float = NPE_PITCH_MM,
+) -> WiringEstimate:
+    """Estimate the wiring of an ``n x n`` mesh chip.
+
+    Args:
+        n: Mesh size (2n NPEs).
+        logic_jj: Total junctions in functional cells.
+        config_channels: Weight-configuration channels routed across the
+            fabric (0 for the fixed-weight mesh).
+        npe_pitch_mm: Physical pitch between adjacent mesh lines.
+
+    The chip side is ``sqrt(total_jj * AREA_PER_JJ_MM2)``; total JJs depend
+    on the wiring, so the estimate iterates to a fixed point.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    if logic_jj <= 0 or npe_pitch_mm <= 0:
+        raise ConfigurationError("logic_jj and pitch must be positive")
+    if config_channels < 0:
+        raise ConfigurationError("config_channels must be >= 0")
+    mesh_wire = 2.0 * n * n * npe_pitch_mm
+    npe_count = 2 * n
+    side = math.sqrt(logic_jj * AREA_PER_JJ_MM2)
+    estimate = None
+    for _ in range(6):  # fixed-point iteration on chip side
+        npe_channel_wire = NPE_ROUTE_FACTOR * npe_count * side
+        config_wire = CONFIG_ROUTE_FACTOR * config_channels * side
+        total_wire = (
+            PAD_RING_WIRE_MM + mesh_wire + npe_channel_wire + config_wire
+        )
+        jtl_count = int(round(total_wire / JTL_PITCH_MM))
+        wiring_jj = jtl_count * library.JTL.JJ_COUNT
+        total_area = (logic_jj + wiring_jj) * AREA_PER_JJ_MM2
+        wiring_area = (
+            jtl_count * library.JTL.AREA_UM2 * 1e-6
+            + n * n * CROSSING_AREA_MM2
+        )
+        side = math.sqrt(total_area)
+        estimate = WiringEstimate(
+            mesh_wire_mm=mesh_wire,
+            npe_channel_wire_mm=npe_channel_wire,
+            config_wire_mm=config_wire,
+            total_wire_mm=total_wire,
+            jtl_count=jtl_count,
+            wiring_jj=wiring_jj,
+            wiring_area_mm2=wiring_area,
+            chip_side_mm=side,
+        )
+    return estimate

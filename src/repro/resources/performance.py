@@ -1,0 +1,115 @@
+"""Throughput model: SOPS, FPS and delay analysis (Fig. 19/21, section 6.3).
+
+Synaptic operations per second (SOPS) is ``avg firing rate x avg active
+synapses``: every pulse processed by an NPE is one synaptic operation.  The
+peak firing rate is bounded by the same-line minimum pulse interval
+(Table 1's 19.9 ps -> 50.25 Gpulse/s per NPE); scaling the mesh adds NPEs
+but also lengthens the transmission lines, degrading the achievable rate.
+The throughput-efficiency curve and the latency-share curve (the paper's
+"transmission delay accounts for ~53% of the total in the 16x16 design,
+~6% in the 1x1 design") are calibrated to the published endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.resources.power import PowerModel
+from repro.rsfq.constraints import MIN_PULSE_INTERVAL
+
+#: Peak pulse rate of a single line/NPE (Hz): one pulse per 19.9 ps.
+PEAK_PULSE_RATE_HZ = 1e12 / MIN_PULSE_INTERVAL
+
+#: Throughput efficiency eta = 1 / (1 + ETA_SLOPE * (npe_count - 1));
+#: calibrated so 32 NPEs reach the paper's 1,355 GSOPS peak.
+ETA_SLOPE = 0.006022
+
+#: Latency share of transmission: delta(n) = a*n^b / (a*n^b + 1), calibrated
+#: to 6% at n=1 and 53% at n=16 (section 6.3A).
+DELAY_SHARE_A = 0.0638
+DELAY_SHARE_B = 1.036
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Throughput/efficiency figures for an ``n x n`` SUSHI mesh."""
+
+    n: int
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ConfigurationError("mesh size must be >= 1")
+
+    @property
+    def npe_count(self) -> int:
+        return 2 * self.n
+
+    @property
+    def synapse_count(self) -> int:
+        return self.n * self.n
+
+    def efficiency(self) -> float:
+        """Fraction of the peak per-NPE pulse rate sustained at this scale
+        (transmission-line effects erode it as the mesh grows)."""
+        return 1.0 / (1.0 + ETA_SLOPE * (self.npe_count - 1))
+
+    def peak_sops(self) -> float:
+        """Peak synaptic operations per second: every NPE streaming at the
+        efficiency-derated line rate."""
+        return self.npe_count * PEAK_PULSE_RATE_HZ * self.efficiency()
+
+    def peak_gsops(self) -> float:
+        return self.peak_sops() * 1e-9
+
+    def transmission_delay_share(self) -> float:
+        """Per-pulse latency share of line transmission (6.3A analysis)."""
+        term = DELAY_SHARE_A * (self.n ** DELAY_SHARE_B)
+        return term / (term + 1.0)
+
+    # -- efficiency ------------------------------------------------------------
+
+    def power_mw(self, **resource_kwargs) -> float:
+        return PowerModel.for_mesh(self.n, **resource_kwargs).total_mw(
+            switch_rate_hz=self.peak_sops()
+        )
+
+    def power_efficiency_gsops_per_w(self, **resource_kwargs) -> float:
+        """Peak GSOPS per Watt (the paper's headline 32,366 at 16x16)."""
+        power_w = self.power_mw(**resource_kwargs) * 1e-3
+        return self.peak_gsops() / power_w if power_w > 0 else 0.0
+
+    # -- workload-level ------------------------------------------------------
+
+    def fps(
+        self,
+        synops_per_frame: float,
+        reload_fraction: float = 0.2,
+        utilisation: float = 1.0,
+    ) -> float:
+        """Frames per second for a workload of ``synops_per_frame``.
+
+        ``reload_fraction`` is the share of inference time spent on weight
+        reloading (the paper measures ~20% after the reordering/bucketing
+        optimisation); ``utilisation`` derates for input sparsity.
+        """
+        if synops_per_frame <= 0:
+            raise ConfigurationError("synops_per_frame must be positive")
+        if not 0.0 <= reload_fraction < 1.0:
+            raise ConfigurationError("reload_fraction must be in [0, 1)")
+        if not 0.0 < utilisation <= 1.0:
+            raise ConfigurationError("utilisation must be in (0, 1]")
+        effective = self.peak_sops() * (1.0 - reload_fraction) * utilisation
+        return effective / synops_per_frame
+
+
+def mnist_synops_per_frame(
+    input_size: int = 784,
+    hidden_size: int = 800,
+    classes: int = 10,
+    time_steps: int = 5,
+) -> int:
+    """Synaptic operations of one inference of the paper's MNIST network
+    (all synapses active once per time step)."""
+    per_step = input_size * hidden_size + hidden_size * classes
+    return per_step * time_steps

@@ -1,0 +1,48 @@
+"""Power model (Fig. 20, Table 4).
+
+RSFQ power is dominated by the static bias-current dissipation of every
+junction's shunt resistor; dynamic switching energy (~2e-19 J per SFQ flip)
+is negligible in comparison.  The per-JJ bias constant is calibrated so
+that the 16x16 configuration (99,982 JJs in the paper) draws the published
+41.87 mW; cooling costs are excluded, as in the paper ("We evaluate the
+power of SUSHI without considering the cooling costs")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.resources.estimator import ChipResources, estimate_resources
+
+#: Static bias dissipation per junction (nW); calibrated to the paper's
+#: 41.87 mW at 99,982 JJs -> 418.8 nW/JJ.
+BIAS_POWER_PER_JJ_NW = 418.8
+
+#: Energy per SFQ switching event (J); order 1e-19 (paper section 1).
+SFQ_SWITCH_ENERGY_J = 2.0e-19
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power figures for one chip configuration."""
+
+    resources: ChipResources
+
+    @classmethod
+    def for_mesh(cls, n: int, **kwargs) -> "PowerModel":
+        return cls(estimate_resources(n, **kwargs))
+
+    @property
+    def static_mw(self) -> float:
+        """Static bias power in milliwatts."""
+        return self.resources.total_jj * BIAS_POWER_PER_JJ_NW * 1e-6
+
+    def dynamic_mw(self, switch_rate_hz: float) -> float:
+        """Dynamic power at a given aggregate SFQ switch rate."""
+        if switch_rate_hz < 0:
+            raise ConfigurationError("switch rate must be >= 0")
+        return switch_rate_hz * SFQ_SWITCH_ENERGY_J * 1e3
+
+    def total_mw(self, switch_rate_hz: float = 0.0) -> float:
+        """Total power (static plus dynamic) in milliwatts."""
+        return self.static_mw + self.dynamic_mw(switch_rate_hz)

@@ -1,0 +1,69 @@
+"""Minimum pulse-interval constraints for RSFQ cells (paper Table 1).
+
+All values are picoseconds.  A constraint ``(a, b): dt`` on a cell means a
+pulse arriving on port ``b`` must lag the most recent pulse on port ``a`` by
+at least ``dt``; otherwise the cell's internal flux state may be corrupted.
+The paper notes that larger-than-minimum intervals are used in practice to
+guarantee correct operation, so schedulers in :mod:`repro.neuro.timing` apply
+a configurable safety margin on top of these values.
+"""
+
+from __future__ import annotations
+
+#: Generic same-line minimum interval (JTL din-din, SPL din-din, CB same
+#: input, DFF din-din / clk-clk).  This is the tightest repeat rate of a
+#: single transmission line and therefore bounds peak pulse throughput.
+MIN_PULSE_INTERVAL = 19.9
+
+#: CB: a pulse on one input must lag a pulse on the *other* input.
+CB_CROSS_INTERVAL = 5.7
+
+#: DFF: clock must lag data by this much for reliable release.
+DFF_DIN_TO_CLK = 8.53
+
+#: NDRO: separation between din (set) and rst (clear), either order.
+NDRO_DIN_RST_SEPARATION = 39.9
+
+#: NDRO: a read clock must lag a set by this much.
+NDRO_DIN_TO_CLK = 14.81
+
+#: NDRO: a read clock must lag a reset by this much.
+NDRO_RST_TO_CLK = 16.61
+
+#: NDRO: back-to-back read clocks.
+NDRO_CLK_TO_CLK = 39.9
+
+#: TFF: back-to-back toggle inputs.
+TFF_MIN_INTERVAL = 39.9
+
+#: Numerical tolerance when comparing pulse intervals (ps).
+INTERVAL_EPSILON = 1e-9
+
+
+def paper_table1() -> dict:
+    """Return Table 1 of the paper as a nested mapping.
+
+    Keys are cell names; values map ``"portA-portB"`` to the minimum lag in
+    picoseconds.  Used by the Table 1 benchmark to print the constraint table
+    exactly as the paper reports it.
+    """
+    return {
+        "CB": {
+            "dinA/B-dinA/B": MIN_PULSE_INTERVAL,
+            "dinA/B-dinB/A": CB_CROSS_INTERVAL,
+        },
+        "SPL": {"din-din": MIN_PULSE_INTERVAL},
+        "NDRO": {
+            "din/rst-rst/din": NDRO_DIN_RST_SEPARATION,
+            "din-clk": NDRO_DIN_TO_CLK,
+            "rst-clk": NDRO_RST_TO_CLK,
+            "clk-clk": NDRO_CLK_TO_CLK,
+        },
+        "TFF": {"clk-clk": TFF_MIN_INTERVAL},
+        "DFF": {
+            "din-din": MIN_PULSE_INTERVAL,
+            "din-clk": DFF_DIN_TO_CLK,
+            "clk-clk": MIN_PULSE_INTERVAL,
+        },
+        "JTL": {"din-din": MIN_PULSE_INTERVAL},
+    }

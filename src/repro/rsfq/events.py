@@ -1,0 +1,64 @@
+"""Event primitives for the RSFQ discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PulseEvent:
+    """An SFQ pulse arriving at a cell input port.
+
+    Attributes:
+        time: Arrival time in picoseconds.
+        seq: Tie-breaking sequence number (schedule order) so that
+            simultaneous events are processed deterministically.
+        component: Name of the destination cell.
+        port: Destination input port name.
+    """
+
+    time: float
+    seq: int
+    component: str
+    port: str
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.seq)
+
+
+@dataclass
+class EventQueue:
+    """A deterministic min-heap of :class:`PulseEvent` objects."""
+
+    _heap: List[tuple] = field(default_factory=list)
+    _seq: int = 0
+
+    def push(self, time: float, component: str, port: str) -> PulseEvent:
+        """Schedule a pulse arrival and return the created event."""
+        event = PulseEvent(time=time, seq=self._seq, component=component, port=port)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> Optional[PulseEvent]:
+        """Remove and return the earliest event, or None when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event without removing it."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,120 @@
+"""Clocked RSFQ logic gates and synchronous building blocks.
+
+SUSHI's motivation (paper section 3) contrasts its asynchronous design
+with conventional *synchronous* RSFQ logic, where every gate is clocked
+and the clock distribution network consumes ~80% of the design's wiring
+resources.  To measure that claim from real netlists (rather than assert
+it), this module provides the standard clocked RSFQ gate set -- AND2,
+OR2, XOR2, NOT -- plus a clock-tree builder and two classic synchronous
+blocks (shift register, bit-serial adder) in :mod:`repro.rsfq.synchronous`.
+
+Clocked RSFQ gates follow the universal convention: data pulses arriving
+during a clock period set internal flux states; the clock pulse evaluates
+the function, emits the result pulse (if true), and clears the state --
+every gate is a gate-level pipeline stage.
+"""
+
+from __future__ import annotations
+
+from repro.rsfq import constraints as K
+from repro.rsfq.cells import Cell
+
+
+class _ClockedGate(Cell):
+    """Shared machinery: latch a/b arrivals, evaluate and clear on clk."""
+
+    INPUTS = ("dinA", "dinB", "clk")
+    OUTPUTS = ("dout",)
+    CONSTRAINTS = {
+        ("dinA", "clk"): K.DFF_DIN_TO_CLK,
+        ("dinB", "clk"): K.DFF_DIN_TO_CLK,
+        ("clk", "clk"): K.MIN_PULSE_INTERVAL,
+        ("clk", "dinA"): K.CB_CROSS_INTERVAL,
+        ("clk", "dinB"): K.CB_CROSS_INTERVAL,
+    }
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.got_a = False
+        self.got_b = False
+
+    def evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def on_pulse(self, port, time, sim):
+        if port == "dinA":
+            self.got_a = True
+        elif port == "dinB":
+            self.got_b = True
+        else:  # clk: evaluate, emit, clear
+            if self.evaluate():
+                self.emit("dout", time + self.DELAY_PS, sim)
+            self.got_a = False
+            self.got_b = False
+
+    def reset_state(self):
+        super().reset_state()
+        self.got_a = False
+        self.got_b = False
+
+
+class AND2(_ClockedGate):
+    """Clocked AND: emits on clk when both inputs pulsed this period."""
+
+    JJ_COUNT = 11
+    AREA_UM2 = 5240.0
+    DELAY_PS = 7.8
+    STATIC_POWER_NW = 300.0
+
+    def evaluate(self) -> bool:
+        return self.got_a and self.got_b
+
+
+class OR2(_ClockedGate):
+    """Clocked OR: emits on clk when either input pulsed this period."""
+
+    JJ_COUNT = 9
+    AREA_UM2 = 4620.0
+    DELAY_PS = 7.2
+    STATIC_POWER_NW = 260.0
+
+    def evaluate(self) -> bool:
+        return self.got_a or self.got_b
+
+
+class XOR2(_ClockedGate):
+    """Clocked XOR: emits on clk when exactly one input pulsed."""
+
+    JJ_COUNT = 10
+    AREA_UM2 = 4930.0
+    DELAY_PS = 7.5
+    STATIC_POWER_NW = 280.0
+
+    def evaluate(self) -> bool:
+        return self.got_a != self.got_b
+
+
+class NOT(_ClockedGate):
+    """Clocked inverter: emits on clk when dinA did *not* pulse.
+
+    (RSFQ NOT gates are inherently clocked -- absence of a pulse can only
+    be detected against a clock reference.)
+    """
+
+    INPUTS = ("dinA", "clk")
+    CONSTRAINTS = {
+        ("dinA", "clk"): K.DFF_DIN_TO_CLK,
+        ("clk", "clk"): K.MIN_PULSE_INTERVAL,
+        ("clk", "dinA"): K.CB_CROSS_INTERVAL,
+    }
+    JJ_COUNT = 10
+    AREA_UM2 = 4930.0
+    DELAY_PS = 7.5
+    STATIC_POWER_NW = 280.0
+
+    def evaluate(self) -> bool:
+        return not self.got_a
+
+
+#: The clocked gate set (for library-wide tests and accounting).
+CLOCKED_GATES = (AND2, OR2, XOR2, NOT)

@@ -1,0 +1,164 @@
+"""Discrete-event simulation engine for RSFQ netlists."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro.errors import ConfigurationError, ConstraintViolationError
+from repro.rsfq.cells import Cell, Violation
+from repro.rsfq.events import EventQueue
+from repro.rsfq.netlist import Netlist
+from repro.rsfq.waveform import PulseTrace
+
+
+class Simulator:
+    """Event-driven simulator over a :class:`~repro.rsfq.netlist.Netlist`.
+
+    Args:
+        netlist: The circuit to simulate.
+        strict: When True, a timing-constraint violation raises
+            :class:`~repro.errors.ConstraintViolationError`; otherwise
+            violations are recorded in :attr:`violations`.
+        trace: Optional :class:`~repro.rsfq.waveform.PulseTrace` recording
+            every pulse arrival (for waveform rendering).
+        jitter_ps: Standard deviation of Gaussian wire-delay jitter.  Zero
+            for ideal simulation; non-zero models fabrication/thermal
+            variation of the physical chip (used as the "measured chip" side
+            of the Fig. 16 comparison).
+        seed: Seed for the jitter random stream (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        strict: bool = False,
+        trace: Optional[PulseTrace] = None,
+        jitter_ps: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        self.netlist = netlist
+        self.strict = strict
+        self.trace = trace
+        self.jitter_ps = float(jitter_ps)
+        self._rng = random.Random(seed)
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.violations: List[Violation] = []
+        #: Total pulses delivered (event count) -- activity metric.
+        self.delivered_pulses = 0
+        #: Minimum observed interval per constraint family:
+        #: (cell_type, port_a, port_b) -> (required, tightest_actual).
+        self.margins: dict = {}
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule_input(
+        self, cell: Union[Cell, str], port: str, time: float
+    ) -> None:
+        """Inject an external pulse into ``cell.port`` at ``time`` (ps)."""
+        cell = self._resolve(cell)
+        if port not in cell.INPUTS:
+            raise ConfigurationError(
+                f"cell '{cell.name}' has no input port '{port}'"
+            )
+        if time < self.now:
+            raise ConfigurationError(
+                f"cannot schedule input at {time} ps: simulation time is "
+                f"already {self.now} ps"
+            )
+        self.queue.push(time, cell.name, port)
+
+    def deliver(self, cell: Cell, port: str, time: float) -> None:
+        """Propagate an output pulse along the port's wire (called by cells)."""
+        for wire in self.netlist.fanout(cell, port):
+            delay = wire.delay
+            if self.jitter_ps > 0.0:
+                delay = max(0.0, delay + self._rng.gauss(0.0, self.jitter_ps))
+            self.queue.push(time + delay, wire.dst, wire.dst_port)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the final simulation time.  ``max_events`` guards against
+        runaway feedback loops in malformed circuits.
+        """
+        processed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time > until:
+                break
+            event = self.queue.pop()
+            self.now = event.time
+            cell = self.netlist.cells[event.component]
+            if self.trace is not None:
+                self.trace.record(event.component, event.port, event.time)
+            cell.receive(event.port, event.time, self)
+            self.delivered_pulses += 1
+            processed += 1
+            if processed > max_events:
+                raise ConfigurationError(
+                    f"simulation exceeded {max_events} events; suspected "
+                    "feedback oscillation in the netlist"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def report_violation(self, violation: Violation) -> None:
+        """Record (or raise, in strict mode) a timing violation."""
+        self.violations.append(violation)
+        if self.strict:
+            raise ConstraintViolationError(str(violation))
+
+    def record_margin(self, cell_type: str, port_a: str, port_b: str,
+                      required: float, actual: float) -> None:
+        """Track the tightest observed interval per constraint family
+        (called by cells on every checked arrival)."""
+        key = (cell_type, port_a, port_b)
+        current = self.margins.get(key)
+        if current is None or actual < current[1]:
+            self.margins[key] = (required, actual)
+
+    def margin_report(self):
+        """Slack per constraint family, tightest first.
+
+        Returns a list of dicts with the constraint identity, the required
+        minimum interval, the tightest observed interval, and the slack
+        (observed - required; negative = violated).  This is the timing
+        sign-off view a designer reads before tape-out.
+        """
+        rows = []
+        for (cell_type, port_a, port_b), (required, actual) in sorted(
+            self.margins.items(), key=lambda kv: kv[1][1] - kv[1][0]
+        ):
+            rows.append({
+                "cell": cell_type,
+                "constraint": f"{port_a}-{port_b}",
+                "required_ps": round(required, 2),
+                "tightest_ps": round(actual, 2),
+                "slack_ps": round(actual - required, 2),
+            })
+        return rows
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve(self, cell: Union[Cell, str]) -> Cell:
+        if isinstance(cell, Cell):
+            return cell
+        if cell not in self.netlist.cells:
+            raise ConfigurationError(f"no cell named '{cell}'")
+        return self.netlist.cells[cell]
+
+    def reset(self) -> None:
+        """Clear pending events, time, violations and all cell state."""
+        self.queue.clear()
+        self.now = 0.0
+        self.violations.clear()
+        self.delivered_pulses = 0
+        self.margins.clear()
+        self.netlist.reset_state()
+        if self.trace is not None:
+            self.trace.clear()

@@ -1,0 +1,257 @@
+"""Synchronous RSFQ building blocks (the design style SUSHI abandons).
+
+Conventional RSFQ digital design clocks every gate, which requires a clock
+distribution network (SPL trees plus JTL alignment segments) reaching each
+cell.  The paper's motivation (section 3) reports that this typically
+consumes ~80% of the design's resources.  This module implements the
+conventional style -- a counterflow-clocked DFF shift register (the usual
+RSFQ on-chip memory) and a bit-serial adder from clocked gates -- so the
+overhead claim can be *measured* from real netlists
+(:func:`clock_overhead_fraction`), and so the memory-wall motivation has a
+concrete artefact (sequential-access-only storage).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rsfq import library
+from repro.rsfq.logic import AND2, OR2, XOR2
+from repro.rsfq.netlist import Netlist
+from repro.rsfq.simulator import Simulator
+
+#: JTL alignment segments inserted on every clock-tree leaf (the pulse
+#: re-timing the paper's motivation attributes most wiring overhead to).
+CLOCK_ALIGNMENT_JTLS = 6
+
+#: JTL segments on each data hop between synchronous stages.
+DATA_HOP_JTLS = 2
+
+
+class ClockTree:
+    """An SPL fan-out tree delivering (optionally skewed) clock pulses.
+
+    Args:
+        net: Netlist to build into.
+        name: Prefix for the created cells (``{name}.clkspl*``); the
+            ``clk`` substring is what resource accounting keys on.
+        leaves: ``(cell, port, skew_ps)`` destinations.  Counterflow
+            clocking is realised by giving later pipeline stages smaller
+            skews.
+    """
+
+    def __init__(self, net: Netlist, name: str,
+                 leaves: Sequence[Tuple[object, str, float]]):
+        if not leaves:
+            raise ConfigurationError("a clock tree needs at least one leaf")
+        self.net = net
+        self.name = name
+        self._root_cell, self._root_port = self._build(
+            name, list(leaves)
+        )
+
+    def _build(self, name, leaves):
+        if len(leaves) == 1:
+            cell, port, skew = leaves[0]
+            jtl = self.net.add(library.JTL(f"{name}.clkjtl"))
+            self.net.connect(jtl, "dout", cell, port,
+                             delay=1.0 + max(skew, 0.0),
+                             jtl_count=CLOCK_ALIGNMENT_JTLS)
+            return jtl, "din"
+        spl = self.net.add(library.SPL(f"{name}.clkspl"))
+        mid = (len(leaves) + 1) // 2
+        left_cell, left_port = self._build(f"{name}.l", leaves[:mid])
+        right_cell, right_port = self._build(f"{name}.r", leaves[mid:])
+        self.net.connect(spl, "doutA", left_cell, left_port, delay=1.0)
+        self.net.connect(spl, "doutB", right_cell, right_port, delay=1.0)
+        return spl, "din"
+
+    @property
+    def input(self) -> Tuple[object, str]:
+        """(cell, port) receiving the external clock pulse."""
+        return self._root_cell, self._root_port
+
+
+class SyncShiftRegister:
+    """Counterflow-clocked DFF shift register -- conventional RSFQ memory.
+
+    The clock reaches the *last* stage first (larger skew toward the
+    input), so each clock pulse shifts the whole word one stage toward the
+    output.  This is the storage style whose sequential-only access the
+    paper's memory-wall discussion criticises (SuperNPU's 16% utilisation).
+    """
+
+    def __init__(self, net: Netlist, name: str, depth: int,
+                 stage_skew_ps: float = 25.0):
+        if depth < 1:
+            raise ConfigurationError("shift register depth must be >= 1")
+        self.net = net
+        self.name = name
+        self.depth = depth
+        self.dffs = [net.add(library.DFF(f"{name}.dff{i}"))
+                     for i in range(depth)]
+        for a, b in zip(self.dffs, self.dffs[1:]):
+            net.connect(a, "dout", b, "din", delay=1.0,
+                        jtl_count=DATA_HOP_JTLS)
+        self.out_probe = net.add(library.Probe(f"{name}.out"))
+        net.connect(self.dffs[-1], "dout", self.out_probe, "din", delay=1.0)
+        # Counterflow: the clock reaches the last stage first, so stage i
+        # is delayed by (depth-1-i)*skew relative to it -- each clock pulse
+        # then moves every bit exactly one stage.
+        leaves = [
+            (dff, "clk", float(depth - 1 - i) * stage_skew_ps)
+            for i, dff in enumerate(self.dffs)
+        ]
+        self.clock = ClockTree(net, f"{name}.ct", leaves)
+
+    @property
+    def data_input(self) -> Tuple[object, str]:
+        return self.dffs[0], "din"
+
+    def read_bits(self, clock_times: Sequence[float]) -> List[int]:
+        """Decode the output stream against the clock cycles: bit k is 1
+        when an output pulse follows clock k (within one period)."""
+        clock_times = sorted(clock_times)
+        if len(clock_times) < 2:
+            raise ConfigurationError("need at least two clock times")
+        period = clock_times[1] - clock_times[0]
+        bits = []
+        for t in clock_times:
+            hit = any(t <= out < t + period for out in self.out_probe.times)
+            bits.append(1 if hit else 0)
+        return bits
+
+
+class BitSerialAdder:
+    """Bit-serial full adder from clocked RSFQ gates, LSB first.
+
+    Structure (two clock phases per bit, carry fed back for the next bit)::
+
+        a,b ──▶ XOR1 ──▶ XOR2 ──▶ sum
+           └──▶ AND1     AND2 ◀── carry feedback
+                  └─▶ OR ◀┘ └──────────┐
+                      └── carry ───────┘
+
+    The conventional synchronous counterpart of what SUSHI computes with a
+    single pulse into an SC chain -- and the netlist the paper's ~80%
+    wiring-overhead claim is measured on (see
+    :func:`clock_overhead_fraction`).
+    """
+
+    #: Clock period per bit (ps) -- generous, constraint-clean.
+    PERIOD = 400.0
+    #: Skew of the second evaluation phase within a cycle.
+    PHASE2 = 120.0
+    #: Skew of the carry-merge phase within a cycle.
+    PHASE3 = 240.0
+
+    def __init__(self, net: Netlist, name: str = "adder"):
+        self.net = net
+        self.name = name
+        add, con = net.add, net.connect
+        self.a_spl = add(library.SPL(f"{name}.a_spl"))
+        self.b_spl = add(library.SPL(f"{name}.b_spl"))
+        self.xor1 = add(XOR2(f"{name}.xor1"))
+        self.and1 = add(AND2(f"{name}.and1"))
+        con(self.a_spl, "doutA", self.xor1, "dinA", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.a_spl, "doutB", self.and1, "dinA", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.b_spl, "doutA", self.xor1, "dinB", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.b_spl, "doutB", self.and1, "dinB", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+
+        self.x_spl = add(library.SPL(f"{name}.x_spl"))
+        self.xor2 = add(XOR2(f"{name}.xor2"))
+        self.and2 = add(AND2(f"{name}.and2"))
+        con(self.xor1, "dout", self.x_spl, "din", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.x_spl, "doutA", self.xor2, "dinA", delay=1.0)
+        con(self.x_spl, "doutB", self.and2, "dinA", delay=1.0)
+
+        self.or1 = add(OR2(f"{name}.or1"))
+        con(self.and1, "dout", self.or1, "dinA", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.and2, "dout", self.or1, "dinB", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+
+        # Carry: observe and feed back into the phase-2 gates (arrives
+        # well before the next cycle's PHASE2 clock).
+        self.carry_spl = add(library.SPL3(f"{name}.c_spl"))
+        con(self.or1, "dout", self.carry_spl, "din", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        self.carry_probe = add(library.Probe(f"{name}.carry"))
+        con(self.carry_spl, "doutA", self.xor2, "dinB", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.carry_spl, "doutB", self.and2, "dinB", delay=1.0,
+            jtl_count=DATA_HOP_JTLS)
+        con(self.carry_spl, "doutC", self.carry_probe, "din", delay=1.0)
+
+        self.sum_probe = add(library.Probe(f"{name}.sum"))
+        con(self.xor2, "dout", self.sum_probe, "din", delay=1.0)
+
+        self.clock = ClockTree(net, f"{name}.ct", [
+            (self.xor1, "clk", 0.0),
+            (self.and1, "clk", 0.0),
+            (self.xor2, "clk", self.PHASE2),
+            (self.and2, "clk", self.PHASE2),
+            (self.or1, "clk", self.PHASE3),
+        ])
+
+    def add_numbers(self, a: int, b: int, bits: int = None) -> int:
+        """Run the adder on two non-negative integers; returns the sum.
+
+        Builds a fresh simulator over the netlist, streams the operands
+        LSB-first, clocks ``bits + 1`` cycles and decodes the sum pulses.
+        """
+        if a < 0 or b < 0:
+            raise ConfigurationError("operands must be non-negative")
+        if bits is None:
+            bits = max(a.bit_length(), b.bit_length()) + 1
+        sim = Simulator(self.net)
+        self.net.reset_state()
+        clk_cell, clk_port = self.clock.input
+        clock_times = []
+        for k in range(bits):
+            t0 = 50.0 + k * self.PERIOD
+            if (a >> k) & 1:
+                sim.schedule_input(self.a_spl, "din", t0)
+            if (b >> k) & 1:
+                sim.schedule_input(self.b_spl, "din", t0)
+            sim.schedule_input(clk_cell, clk_port, t0 + 40.0)
+            clock_times.append(t0 + 40.0)
+        sim.run()
+        if sim.violations:
+            raise ConfigurationError(
+                f"adder schedule violated constraints: {sim.violations[0]}"
+            )
+        total = 0
+        for k, t in enumerate(clock_times):
+            window_end = t + self.PERIOD
+            if any(t <= s < window_end for s in self.sum_probe.times):
+                total |= 1 << k
+        return total
+
+
+def clock_overhead_fraction(net: Netlist) -> float:
+    """Fraction of a synchronous design's JJs spent on clocking/wiring.
+
+    Counts the clock-network cells (anything whose name marks it as part
+    of a clock tree), all JTL repeaters on wires, and the splitters that
+    exist only to distribute pulses -- the resources the paper's section 3
+    calls wiring overhead for timing.
+    """
+    clock_jj = 0
+    logic_jj = 0
+    for cell in net.cells.values():
+        if ".clk" in cell.name or ".ct" in cell.name:
+            clock_jj += cell.JJ_COUNT
+        else:
+            logic_jj += cell.JJ_COUNT
+    wiring_jj = net.wiring_jj_count()
+    total = clock_jj + logic_jj + wiring_jj
+    if total == 0:
+        raise ConfigurationError("empty netlist")
+    return (clock_jj + wiring_jj) / total

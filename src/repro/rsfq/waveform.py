@@ -1,0 +1,114 @@
+"""Pulse traces and pulse-level conversion (paper Fig. 14 / Fig. 16).
+
+SFQ pulses are ~1 ps / ~1 mV and invisible to room-temperature equipment, so
+the chip is observed through level conversion: every output pulse *toggles* a
+DC level sampled by the oscilloscope, and input pulses are generated from
+short DC pulses.  :func:`pulses_to_levels` and :func:`levels_to_pulses`
+implement both directions; :func:`render_waveform` draws the oscilloscope
+view as ASCII for the Fig. 16 comparison.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PulseTrace:
+    """Records pulse arrival times per ``(component, port)`` channel."""
+
+    def __init__(self):
+        self._events: "OrderedDict[Tuple[str, str], List[float]]" = OrderedDict()
+
+    def record(self, component: str, port: str, time: float) -> None:
+        self._events.setdefault((component, port), []).append(time)
+
+    def times(self, component: str, port: str) -> List[float]:
+        """Pulse times observed on a channel (empty list if none)."""
+        return list(self._events.get((component, port), ()))
+
+    def channels(self) -> List[Tuple[str, str]]:
+        """All channels that saw at least one pulse, in first-seen order."""
+        return list(self._events.keys())
+
+    def total_pulses(self) -> int:
+        return sum(len(v) for v in self._events.values())
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def pulses_to_levels(
+    times: Sequence[float], t_end: float, dt: float = 10.0, t_start: float = 0.0
+) -> np.ndarray:
+    """Convert pulse times to the toggling DC level an oscilloscope samples.
+
+    Each pulse inverts the level (paper Fig. 14, "real output").  Returns an
+    int8 array of samples over ``[t_start, t_end)`` with step ``dt`` ps.
+    """
+    if dt <= 0:
+        raise ConfigurationError("sampling step dt must be positive")
+    if t_end < t_start:
+        raise ConfigurationError("t_end must be >= t_start")
+    grid = np.arange(t_start, t_end, dt)
+    levels = np.zeros(len(grid), dtype=np.int8)
+    if len(grid) == 0:
+        return levels
+    toggles = np.searchsorted(grid, np.asarray(sorted(times)), side="right")
+    for idx in toggles:
+        levels[idx:] ^= 1
+    return levels
+
+
+def levels_to_pulses(levels: Sequence[int], dt: float = 10.0, t_start: float = 0.0) -> List[float]:
+    """Recover pulse times from a sampled toggling level (inverse of
+    :func:`pulses_to_levels`, up to sampling quantisation)."""
+    if dt <= 0:
+        raise ConfigurationError("sampling step dt must be positive")
+    arr = np.asarray(levels, dtype=np.int8)
+    if arr.size == 0:
+        return []
+    edges = np.flatnonzero(np.diff(np.concatenate(([0], arr))) != 0)
+    return [t_start + float(i) * dt for i in edges]
+
+
+def count_pulses_from_levels(levels: Sequence[int]) -> int:
+    """Number of pulses implied by a sampled toggling level."""
+    return len(levels_to_pulses(levels, dt=1.0))
+
+
+def render_waveform(
+    channels: Dict[str, Sequence[float]],
+    t_end: float,
+    width: int = 80,
+    t_start: float = 0.0,
+) -> str:
+    """ASCII oscilloscope view: one row per channel, toggling levels.
+
+    Args:
+        channels: Mapping of channel label -> pulse times.
+        t_end: Right edge of the view in ps.
+        width: Number of character columns.
+        t_start: Left edge of the view in ps.
+
+    Returns a multi-line string where ``_`` is the low level, a high-level
+    overline is drawn with ``#``, and each toggle marks one SFQ pulse --
+    mirroring the oscilloscope photographs in the paper's Fig. 16.
+    """
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    dt = (t_end - t_start) / width if t_end > t_start else 1.0
+    label_width = max((len(label) for label in channels), default=0)
+    lines = []
+    for label, times in channels.items():
+        levels = pulses_to_levels(times, t_end=t_end, dt=dt, t_start=t_start)
+        body = "".join("#" if lvl else "_" for lvl in levels)
+        lines.append(f"{label.rjust(label_width)} |{body}|")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Spiking neural network framework (the SpikingJelly stand-in).
+
+Implements the SNN substrate the paper trains with (section 6): IF/LIF
+neuron nodes with surrogate-gradient backward passes, linear layers, Poisson
+encoding, a multi-step runner, a BPTT trainer with Adam, and the XNOR-style
+binarization that converts a trained float SNN into the integer form SUSHI
+executes (:mod:`repro.snn.binarize`).
+"""
+
+from repro.snn.layers import (
+    BinaryLinear,
+    Dropout,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.snn.convert import ANNClassifier, convert_ann_to_snn
+from repro.snn.neurons import IFNode, LIFNode, StatelessIFNode
+from repro.snn.encoding import LatencyEncoder, PoissonEncoder
+from repro.snn.model import EventSpikingClassifier, SpikingClassifier
+from repro.snn.training import Trainer, TrainerConfig, accuracy, consistency
+from repro.snn.binarize import (
+    BinarizedLayer,
+    BinarizedNetwork,
+    binarize_network,
+    lower_network,
+    quantize_network,
+)
+from repro.snn.conv import (
+    BinaryConv2d,
+    Conv2d,
+    SpikePool2d,
+    ToSpatial,
+    conv_output_size,
+)
+
+__all__ = [
+    "Module",
+    "Linear",
+    "BinaryLinear",
+    "ReLU",
+    "ANNClassifier",
+    "convert_ann_to_snn",
+    "Flatten",
+    "Sequential",
+    "Dropout",
+    "IFNode",
+    "LIFNode",
+    "StatelessIFNode",
+    "PoissonEncoder",
+    "LatencyEncoder",
+    "SpikingClassifier",
+    "EventSpikingClassifier",
+    "Trainer",
+    "TrainerConfig",
+    "accuracy",
+    "consistency",
+    "BinarizedLayer",
+    "BinarizedNetwork",
+    "binarize_network",
+    "lower_network",
+    "quantize_network",
+    "Conv2d",
+    "BinaryConv2d",
+    "SpikePool2d",
+    "ToSpatial",
+    "conv_output_size",
+]

@@ -1,0 +1,328 @@
+"""XNOR-style binarization and multi-bit quantization (paper section 5.1).
+
+SSNN maps the trained float network onto {-1, +1} weights (XNOR-Net): each
+neuron's weights become their signs and the scaling parameter ``alpha =
+mean(|w|)`` is *normalised into the threshold* during conversion ("we
+normalize the weights to scaling parameters and process them during
+thresholding").  With binary input spikes the neuron then fires when the
+integer sum of signed spikes reaches an integer threshold -- exactly the
+counter arithmetic of the NPE.
+
+:func:`quantize_network` generalises to multi-bit integer magnitudes, which
+the pulse-gain weight structures support through strengths > 1 (the paper's
+Fig. 10(c) "complex weight structure"); SUSHI's headline results use the
+1-bit form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.snn.model import SpikingClassifier
+
+
+@dataclass
+class BinarizedLayer:
+    """One integer layer: signed integer weights plus integer thresholds.
+
+    Attributes:
+        signed_weights: (in, out) integers; sign is the synapse polarity
+            and magnitude the pulse-gain strength (0 = no connection).
+        thresholds: (out,) positive integers -- the NPE preload thresholds.
+        clamped: Count of neurons whose threshold had to be clamped up to 1
+            (the hardware cannot express fire-at-zero).
+    """
+
+    signed_weights: np.ndarray
+    thresholds: np.ndarray
+    clamped: int = 0
+
+    def __post_init__(self):
+        self.signed_weights = np.asarray(self.signed_weights, dtype=np.int64)
+        self.thresholds = np.asarray(self.thresholds, dtype=np.int64)
+        if self.signed_weights.ndim != 2:
+            raise ConfigurationError("signed_weights must be 2-D (in, out)")
+        if self.thresholds.shape != (self.signed_weights.shape[1],):
+            raise ConfigurationError(
+                "one threshold per output neuron required"
+            )
+        if (self.thresholds < 1).any():
+            raise ConfigurationError("thresholds must be >= 1")
+
+    @property
+    def in_features(self) -> int:
+        return self.signed_weights.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.signed_weights.shape[1]
+
+    @property
+    def max_strength(self) -> int:
+        mags = np.abs(self.signed_weights)
+        return int(mags.max(initial=0))
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        """Stateless integer inference: fire where the signed spike sum
+        reaches the threshold.  ``spikes`` is (batch, in) binary."""
+        spikes = np.asarray(spikes)
+        if spikes.ndim != 2 or spikes.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"expected (batch, {self.in_features}) spikes, got "
+                f"{spikes.shape}"
+            )
+        sums = spikes @ self.signed_weights
+        return (sums >= self.thresholds).astype(np.float64)
+
+    def membrane_bounds(self, spikes: np.ndarray) -> tuple:
+        """(min, max) running membrane over any synapse ordering -- the
+        state-range analysis behind the paper's bucketing (section 5.1)."""
+        spikes = np.asarray(spikes)
+        contrib = spikes[:, :, None] * self.signed_weights[None, :, :]
+        negative = np.minimum(contrib, 0).sum(axis=1)
+        positive = np.maximum(contrib, 0).sum(axis=1)
+        return float(negative.min(initial=0.0)), float(positive.max(initial=0.0))
+
+
+@dataclass
+class BinarizedNetwork:
+    """A stack of integer layers: the software form of what SUSHI runs."""
+
+    layers: List[BinarizedLayer]
+
+    def __post_init__(self):
+        if not self.layers:
+            raise ConfigurationError("network needs at least one layer")
+        for a, b in zip(self.layers, self.layers[1:]):
+            if a.out_features != b.in_features:
+                raise ConfigurationError(
+                    f"layer width mismatch: {a.out_features} -> "
+                    f"{b.in_features}"
+                )
+
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    def forward_step(self, spikes: np.ndarray) -> np.ndarray:
+        """One stateless time step through all layers."""
+        for layer in self.layers:
+            spikes = layer.forward(spikes)
+        return spikes
+
+    def rate_logits(self, spike_trains: np.ndarray) -> np.ndarray:
+        """Mean output rate over a (T, batch, in) spike train."""
+        total = None
+        for step in spike_trains:
+            out = self.forward_step(step)
+            total = out if total is None else total + out
+        return total / len(spike_trains)
+
+    def predict(self, spike_trains: np.ndarray) -> np.ndarray:
+        return self.rate_logits(spike_trains).argmax(axis=1)
+
+    def required_states(self, spike_trains: np.ndarray) -> int:
+        """Worst-case membrane state span across all layers for the given
+        inputs -- must fit within ``2**sc_per_npe`` on the target chip."""
+        span = 0
+        for batch in spike_trains:
+            spikes = batch
+            for layer in self.layers:
+                low, high = layer.membrane_bounds(spikes)
+                span = max(span, int(high - low) + 1)
+                spikes = layer.forward(spikes)
+        return span
+
+
+def _integer_thresholds(
+    scale: np.ndarray, bias: np.ndarray, v_threshold: float
+) -> tuple:
+    """Fold the float threshold, per-neuron scale and bias into integer
+    thresholds ``ceil((v_th - bias) / scale)``, clamping at 1."""
+    raw = (v_threshold - bias) / scale
+    thresholds = np.ceil(raw - 1e-9).astype(np.int64)
+    clamped = int((thresholds < 1).sum())
+    return np.maximum(thresholds, 1), clamped
+
+
+def binarize_network(
+    model: SpikingClassifier, v_threshold: float = 1.0
+) -> BinarizedNetwork:
+    """XNOR-Net 1-bit conversion of a trained :class:`SpikingClassifier`.
+
+    Per output neuron ``j``: weights become ``sign(w_ij)`` and the scaling
+    parameter ``alpha_j = mean_i |w_ij|`` (with any bias) folds into an
+    integer threshold.  Zero weights stay disconnected.
+    """
+    layers = []
+    for linear in model.linear_layers():
+        weights = linear.weight.numpy()
+        bias = (
+            linear.bias.numpy() if linear.bias is not None
+            else np.zeros(weights.shape[1])
+        )
+        alpha = np.abs(weights).mean(axis=0)
+        if (alpha <= 0).any():
+            raise CapacityError(
+                "a neuron has all-zero weights; cannot binarize"
+            )
+        signs = np.sign(weights).astype(np.int64)
+        thresholds, clamped = _integer_thresholds(alpha, bias, v_threshold)
+        layers.append(BinarizedLayer(signs, thresholds, clamped))
+    return BinarizedNetwork(layers)
+
+
+def _unroll_conv(signs: np.ndarray, thresholds_per_filter: np.ndarray,
+                 in_shape, kernel: int, stride: int) -> BinarizedLayer:
+    """Unroll a convolution into a structured-sparse BinarizedLayer.
+
+    Input neurons are the flattened (C, H, W) pixels; output neurons the
+    flattened (out_c, OH, OW) feature map.  Entry ((c,y,x),(o,oy,ox)) is
+    the filter sign at the matching tap; all filter positions of output
+    channel ``o`` share threshold ``thresholds_per_filter[o]``.
+    """
+    channels, height, width = in_shape
+    out_c = signs.shape[1]
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    unrolled = np.zeros(
+        (channels * height * width, out_c * out_h * out_w), dtype=np.int64
+    )
+    for o in range(out_c):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                out_index = (o * out_h + oy) * out_w + ox
+                for c in range(channels):
+                    for i in range(kernel):
+                        for j in range(kernel):
+                            y = oy * stride + i
+                            x = ox * stride + j
+                            in_index = (c * height + y) * width + x
+                            patch_index = (c * kernel + i) * kernel + j
+                            unrolled[in_index, out_index] = signs[
+                                patch_index, o
+                            ]
+    thresholds = np.repeat(thresholds_per_filter, out_h * out_w)
+    return BinarizedLayer(unrolled, thresholds)
+
+
+def _unroll_pool(in_shape, window: int) -> BinarizedLayer:
+    """OR-pooling as a unit-weight, threshold-1 layer."""
+    channels, height, width = in_shape
+    out_h, out_w = height // window, width // window
+    unrolled = np.zeros(
+        (channels * height * width, channels * out_h * out_w),
+        dtype=np.int64,
+    )
+    for c in range(channels):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                out_index = (c * out_h + oy) * out_w + ox
+                for dy in range(window):
+                    for dx in range(window):
+                        y = oy * window + dy
+                        x = ox * window + dx
+                        in_index = (c * height + y) * width + x
+                        unrolled[in_index, out_index] = 1
+    thresholds = np.ones(channels * out_h * out_w, dtype=np.int64)
+    return BinarizedLayer(unrolled, thresholds)
+
+
+def lower_network(
+    model: SpikingClassifier,
+    input_shape,
+    v_threshold: float = 1.0,
+) -> BinarizedNetwork:
+    """Lower a (possibly convolutional) spiking classifier to the chip's
+    integer layer stack.
+
+    Supports ``ToSpatial`` / ``Conv2d`` / ``BinaryConv2d`` /
+    ``SpikePool2d`` / ``Flatten`` / ``Linear`` / ``BinaryLinear`` plus the
+    spiking nodes (which become the layers' thresholds).  ``input_shape``
+    is the (C, H, W) of the network input.
+    """
+    from repro.snn.conv import Conv2d, SpikePool2d, ToSpatial
+    from repro.snn.layers import Flatten, Linear
+
+    layers: List[BinarizedLayer] = []
+    shape = tuple(input_shape)
+    if len(shape) != 3:
+        raise ConfigurationError("input_shape must be (C, H, W)")
+    for module in model.network.modules:
+        if isinstance(module, (ToSpatial, Flatten)):
+            continue  # pure reshapes: the flat indexing already matches
+        if isinstance(module, Conv2d):
+            weights = module.weight.numpy()
+            bias = (module.bias.numpy() if module.bias is not None
+                    else np.zeros(module.out_channels))
+            alpha = np.abs(weights).mean(axis=0)
+            if (alpha <= 0).any():
+                raise CapacityError("a conv filter has all-zero weights")
+            signs = np.sign(weights).astype(np.int64)
+            thresholds, _ = _integer_thresholds(alpha, bias, v_threshold)
+            layers.append(_unroll_conv(signs, thresholds, shape,
+                                       module.kernel, module.stride))
+            channels, height, width = shape
+            shape = (
+                module.out_channels,
+                (height - module.kernel) // module.stride + 1,
+                (width - module.kernel) // module.stride + 1,
+            )
+        elif isinstance(module, SpikePool2d):
+            layers.append(_unroll_pool(shape, module.window))
+            channels, height, width = shape
+            shape = (channels, height // module.window,
+                     width // module.window)
+        elif isinstance(module, Linear):
+            bias = (module.bias.numpy() if module.bias is not None
+                    else np.zeros(module.out_features))
+            weights = module.weight.numpy()
+            alpha = np.abs(weights).mean(axis=0)
+            if (alpha <= 0).any():
+                raise CapacityError("a neuron has all-zero weights")
+            signs = np.sign(weights).astype(np.int64)
+            thresholds, _ = _integer_thresholds(alpha, bias, v_threshold)
+            layers.append(BinarizedLayer(signs, thresholds))
+            shape = (module.out_features,)
+    if not layers:
+        raise ConfigurationError("no lowerable layers found")
+    return BinarizedNetwork(layers)
+
+
+def quantize_network(
+    model: SpikingClassifier, bits: int = 2, v_threshold: float = 1.0
+) -> BinarizedNetwork:
+    """Multi-bit conversion: magnitudes quantized to ``[1, 2**bits - 1]``
+    levels, realised on-chip by pulse-gain strengths > 1."""
+    if bits < 1:
+        raise ConfigurationError("bits must be >= 1")
+    if bits == 1:
+        return binarize_network(model, v_threshold)
+    levels = (1 << bits) - 1
+    layers = []
+    for linear in model.linear_layers():
+        weights = linear.weight.numpy()
+        bias = (
+            linear.bias.numpy() if linear.bias is not None
+            else np.zeros(weights.shape[1])
+        )
+        max_mag = np.abs(weights).max(axis=0)
+        if (max_mag <= 0).any():
+            raise CapacityError(
+                "a neuron has all-zero weights; cannot quantize"
+            )
+        delta = max_mag / levels
+        magnitudes = np.rint(np.abs(weights) / delta).astype(np.int64)
+        signed = np.sign(weights).astype(np.int64) * magnitudes
+        thresholds, clamped = _integer_thresholds(delta, bias, v_threshold)
+        layers.append(BinarizedLayer(signed, thresholds, clamped))
+    return BinarizedNetwork(layers)

@@ -1,0 +1,139 @@
+"""Convolutional and pooling layers for spiking networks.
+
+The paper's background (section 2.2) notes that SNN topologies combine
+linear, convolutional and pooling layers; SUSHI's evaluation uses the
+fully-connected network, but the bit-slice method carries over to
+convolutions once they are *lowered* to (structured-sparse) matrix layers
+-- which :func:`repro.snn.binarize.lower_conv_network` does.  This module
+provides the trainable layers:
+
+* :class:`Conv2d` / :class:`BinaryConv2d` -- valid-padding convolution via
+  im2col (:meth:`Tensor.unfold2d`), the binary variant training through
+  the XNOR forward like :class:`repro.snn.layers.BinaryLinear`;
+* :class:`SpikePool2d` -- OR-pooling of binary spike maps: a window is
+  active when any of its inputs spiked.  Exactly a threshold-1
+  integrate-and-fire neuron, so it lowers to hardware for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.surrogate import ArctanSurrogate, heaviside
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.snn.layers import Module
+
+
+def conv_output_size(size: int, kernel: int, stride: int = 1) -> int:
+    """Spatial output size of a valid-padding convolution."""
+    if size < kernel:
+        raise ConfigurationError("input smaller than the kernel")
+    return (size - kernel) // stride + 1
+
+
+class Conv2d(Module):
+    """Valid-padding 2-D convolution over (B, C, H, W) tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, bias: bool = True,
+                 seed: Optional[int] = None):
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ConfigurationError("conv parameters must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel * kernel
+        bound = float(np.sqrt(6.0 / fan_in))
+        #: (C*k*k, out_channels) -- the im2col weight layout.
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(fan_in, out_channels)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels), requires_grad=True)
+            if bias else None
+        )
+
+    def _effective_weight(self) -> Tensor:
+        return self.weight
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"expected (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch, _, height, width = x.shape
+        out_h = conv_output_size(height, self.kernel, self.stride)
+        out_w = conv_output_size(width, self.kernel, self.stride)
+        patches = x.unfold2d(self.kernel, self.stride)  # (B, P, C*k*k)
+        flat = patches.reshape(batch * out_h * out_w, -1)
+        out = flat @ self._effective_weight()
+        if self.bias is not None:
+            out = out + self.bias
+        return out.reshape(batch, out_h, out_w,
+                           self.out_channels).permute(0, 3, 1, 2)
+
+    def parameters(self):
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class BinaryConv2d(Conv2d):
+    """Conv2d with the XNOR binarized forward pass (per-filter scaling
+    folded in, STE gradients to the latent weights)."""
+
+    def _effective_weight(self) -> Tensor:
+        alpha = self.weight.abs().mean(axis=0, keepdims=True)
+        return self.weight.ste_sign() * alpha
+
+
+class SpikePool2d(Module):
+    """OR-pooling of binary spike maps (window active iff any spike).
+
+    For {0,1} inputs this equals max-pooling, and it is exactly a
+    threshold-1 IF neuron over the window -- so it lowers to a SUSHI layer
+    with unit weights and threshold 1.  The surrogate-gradient backward
+    treats the OR as a Heaviside over the window sum.
+    """
+
+    def __init__(self, window: int, surrogate=None):
+        super().__init__()
+        if window < 1:
+            raise ConfigurationError("pool window must be >= 1")
+        self.window = window
+        self.surrogate = surrogate or ArctanSurrogate()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ConfigurationError("expected a (B, C, H, W) tensor")
+        batch, channels, height, width = x.shape
+        if height % self.window or width % self.window:
+            raise ConfigurationError(
+                f"spatial size {height}x{width} not divisible by the "
+                f"{self.window}-wide pool window"
+            )
+        out_h = height // self.window
+        out_w = width // self.window
+        tiles = x.reshape(batch, channels, out_h, self.window,
+                          out_w, self.window)
+        sums = tiles.sum(axis=5).sum(axis=3)  # (B, C, OH, OW)
+        return heaviside(sums - 0.5, self.surrogate)
+
+
+class ToSpatial(Module):
+    """Reshape a flat (B, C*H*W) tensor to (B, C, H, W) for conv stacks."""
+
+    def __init__(self, channels: int, height: int, width: int):
+        super().__init__()
+        self.shape: Tuple[int, int, int] = (channels, height, width)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], *self.shape)

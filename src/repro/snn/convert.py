@@ -1,0 +1,139 @@
+"""ANN-to-SNN conversion by data-based weight normalisation.
+
+The classical alternative to direct surrogate-gradient training (Diehl et
+al. 2015 style): train a ReLU ANN, then reinterpret each ReLU unit as an
+integrate-and-fire neuron whose firing *rate* approximates the ReLU
+activation.  Scaling each layer's weights by the (percentile of the)
+maximum pre-activation observed on calibration data keeps every rate
+within the representable [0, 1] band.
+
+Provided for comparison with the paper's directly-trained SSNN: the
+converted network is a drop-in :class:`SpikingClassifier`, so it runs
+through the same binarization/bit-slice/chip pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.functional import cross_entropy
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigurationError, TrainingError
+from repro.snn.layers import Flatten, Linear, Module, ReLU, Sequential
+from repro.snn.model import SpikingClassifier
+from repro.snn.neurons import IFNode
+
+
+class ANNClassifier(Module):
+    """Plain ReLU MLP trained with standard cross-entropy."""
+
+    def __init__(self, input_size: int = 784, hidden_size: int = 128,
+                 num_classes: int = 10, seed: int = 0):
+        super().__init__()
+        self.network = Sequential(
+            Flatten(),
+            Linear(input_size, hidden_size, seed=seed),
+            ReLU(),
+            Linear(hidden_size, num_classes, seed=seed + 1),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+    def parameters(self):
+        return self.network.parameters()
+
+    def children(self):
+        return [self.network]
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(Tensor.from_array(images))
+        return logits.numpy().argmax(axis=1)
+
+    def fit(self, images: np.ndarray, labels: np.ndarray,
+            epochs: int = 10, batch_size: int = 64,
+            learning_rate: float = 1e-3, seed: int = 0) -> List[float]:
+        """Train; returns the per-epoch loss curve."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels) or len(images) == 0:
+            raise TrainingError("bad training set")
+        optimizer = Adam(self.parameters(), lr=learning_rate)
+        rng = np.random.default_rng(seed)
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(len(images))
+            total = 0.0
+            for start in range(0, len(images), batch_size):
+                batch = order[start:start + batch_size]
+                logits = self.forward(Tensor.from_array(images[batch]))
+                loss = cross_entropy(logits, labels[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                total += loss.item() * len(batch)
+            losses.append(total / len(images))
+        return losses
+
+
+def _layer_activations(ann: ANNClassifier, images: np.ndarray) -> List[np.ndarray]:
+    """Pre-activation values at each Linear output on calibration data."""
+    with no_grad():
+        x = Tensor.from_array(images)
+        activations = []
+        for module in ann.network.modules:
+            x = module(x)
+            if isinstance(module, Linear):
+                activations.append(x.numpy())
+    return activations
+
+
+def convert_ann_to_snn(
+    ann: ANNClassifier,
+    calibration_images: np.ndarray,
+    time_steps: int = 16,
+    percentile: float = 99.0,
+    encoder_seed: Optional[int] = None,
+) -> SpikingClassifier:
+    """Data-based weight normalisation conversion.
+
+    Each layer's weights and bias are divided by the ``percentile`` of its
+    observed positive pre-activations (cascaded, so upstream scaling is
+    taken into account), then the ReLUs become IF nodes with threshold 1.
+    Longer ``time_steps`` give finer rate resolution (conversion trades
+    latency for accuracy, unlike direct training).
+    """
+    if not 0 < percentile <= 100:
+        raise ConfigurationError("percentile must be in (0, 100]")
+    if time_steps < 1:
+        raise ConfigurationError("time_steps must be >= 1")
+    calibration_images = np.asarray(calibration_images, dtype=np.float64)
+    linears = [m for m in ann.network.modules if isinstance(m, Linear)]
+    snn_modules: List[Module] = [Flatten()]
+    previous_scale = 1.0
+    activations = _layer_activations(ann, calibration_images)
+    for linear, acts in zip(linears, activations):
+        positives = acts[acts > 0]
+        scale = float(np.percentile(positives, percentile)) \
+            if positives.size else 1.0
+        if scale <= 0:
+            scale = 1.0
+        clone = Linear(linear.in_features, linear.out_features,
+                       bias=linear.bias is not None)
+        # lambda_{l-1} / lambda_l cascade (Diehl et al.).
+        clone.weight.data[...] = linear.weight.data * previous_scale / scale
+        if linear.bias is not None:
+            clone.bias.data[...] = linear.bias.data / scale
+        snn_modules.append(clone)
+        snn_modules.append(IFNode(v_threshold=1.0))
+        previous_scale = scale
+    converted = SpikingClassifier(
+        Sequential(*snn_modules), time_steps=time_steps,
+        encoder_seed=encoder_seed,
+    )
+    converted.eval()
+    return converted

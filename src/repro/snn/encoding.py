@@ -1,0 +1,65 @@
+"""Input spike encoders.
+
+The paper generates input spike trains with a Poisson encoder (section 6)
+and then re-times them against the RSFQ cell constraints of Table 1 (that
+re-timing lives in :mod:`repro.ssnn.encoder`; here we produce the logical
+binary spike tensors)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PoissonEncoder:
+    """Bernoulli-per-step rate coding: ``P(spike at t) = pixel intensity``.
+
+    Intensities must lie in ``[0, 1]``.  A fresh encoder with the same seed
+    reproduces the same spike trains, which the chip/software consistency
+    experiments rely on.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.min(initial=0.0) < 0.0 or images.max(initial=0.0) > 1.0:
+            raise ConfigurationError(
+                "Poisson encoding expects intensities in [0, 1]"
+            )
+        return (self._rng.random(images.shape) < images).astype(np.float64)
+
+    def encode_steps(self, images: np.ndarray, steps: int) -> np.ndarray:
+        """Encode a batch for ``steps`` time steps: (T, batch, ...)."""
+        if steps < 1:
+            raise ConfigurationError("steps must be >= 1")
+        return np.stack([self(images) for _ in range(steps)])
+
+
+class LatencyEncoder:
+    """Time-to-first-spike coding: brighter pixels spike earlier.
+
+    Pixel intensity ``p`` spikes once at step ``round((1 - p) * (T - 1))``.
+    Provided for completeness alongside the rate encoder.
+    """
+
+    def __init__(self, steps: int):
+        if steps < 1:
+            raise ConfigurationError("steps must be >= 1")
+        self.steps = steps
+
+    def encode_steps(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.min(initial=0.0) < 0.0 or images.max(initial=0.0) > 1.0:
+            raise ConfigurationError(
+                "latency encoding expects intensities in [0, 1]"
+            )
+        fire_step = np.rint((1.0 - images) * (self.steps - 1)).astype(int)
+        out = np.zeros((self.steps,) + images.shape)
+        for t in range(self.steps):
+            out[t] = (fire_step == t) & (images > 0)
+        return out

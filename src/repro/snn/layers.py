@@ -1,0 +1,164 @@
+"""Network modules: Linear, Flatten, Sequential, Dropout."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+class Module:
+    """Base class: parameter collection, train/eval mode, state reset."""
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def parameters(self) -> List[Tensor]:
+        """Trainable tensors of this module (and its children)."""
+        return []
+
+    def children(self) -> List["Module"]:
+        return []
+
+    def train(self) -> "Module":
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def reset_state(self) -> None:
+        """Clear temporal state (membranes) before a new input sample."""
+        for child in self.children():
+            child.reset_state()
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W + b`` with Kaiming-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, seed: Optional[int] = None):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("layer dimensions must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = np.random.default_rng(seed)
+        bound = float(np.sqrt(6.0 / in_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def parameters(self) -> List[Tensor]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class BinaryLinear(Linear):
+    """Linear layer with XNOR-style binarized forward pass.
+
+    The effective weight is ``sign(W) * alpha`` with the per-neuron scaling
+    parameter ``alpha_j = mean_i |W_ij|``; gradients flow to the latent
+    float weights through the straight-through estimator.  Training with
+    this layer is what the paper means by "we normalize the weights to
+    scaling parameters and process them during thresholding while training
+    the network" (section 5.1) -- the network converges in a form that the
+    1-bit conversion of :mod:`repro.snn.binarize` preserves exactly.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        alpha = self.weight.abs().mean(axis=0, keepdims=True)
+        effective = self.weight.ste_sign() * alpha
+        out = x @ effective
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, -1)
+
+
+class ReLU(Module):
+    """Rectified linear activation (for ANN baselines and conversion)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError("dropout p must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor.from_array(mask)
+
+
+class Sequential(Module):
+    """Composition of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        if not modules:
+            raise ConfigurationError("Sequential needs at least one module")
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params
+
+    def children(self) -> List[Module]:
+        return list(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -1,0 +1,93 @@
+"""Classification and spike-activity metrics.
+
+Beyond the paper's accuracy/consistency pair (:mod:`repro.snn.training`),
+deployments want per-class behaviour and activity statistics -- spike
+rates drive both the SOPS throughput model and the dynamic power term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: Optional[int] = None) -> np.ndarray:
+    """(true, predicted) count matrix."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ConfigurationError("prediction/label shapes differ")
+    if predictions.size == 0:
+        raise ConfigurationError("empty prediction array")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(), labels.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_report(predictions: np.ndarray, labels: np.ndarray,
+                     class_names: Optional[Sequence[str]] = None
+                     ) -> List[Dict]:
+    """Precision/recall/F1/support per class."""
+    matrix = confusion_matrix(predictions, labels)
+    num_classes = matrix.shape[0]
+    if class_names is None:
+        class_names = [str(c) for c in range(num_classes)]
+    if len(class_names) < num_classes:
+        raise ConfigurationError("not enough class names")
+    rows = []
+    for c in range(num_classes):
+        true_pos = matrix[c, c]
+        support = int(matrix[c].sum())
+        predicted = int(matrix[:, c].sum())
+        precision = true_pos / predicted if predicted else 0.0
+        recall = true_pos / support if support else 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        rows.append({
+            "class": class_names[c],
+            "precision": round(precision, 4),
+            "recall": round(recall, 4),
+            "f1": round(f1, 4),
+            "support": support,
+        })
+    return rows
+
+
+@dataclass(frozen=True)
+class SpikeStats:
+    """Activity statistics of a (T, batch, units) spike raster.
+
+    Attributes:
+        mean_rate: Mean firing probability per unit per step.
+        active_fraction: Fraction of units that spiked at least once.
+        spikes_per_sample: Mean total spikes per sample.
+        silent_steps: Fraction of (sample, step) pairs with zero spikes.
+    """
+
+    mean_rate: float
+    active_fraction: float
+    spikes_per_sample: float
+    silent_steps: float
+
+
+def spike_stats(raster: np.ndarray) -> SpikeStats:
+    """Summarise a (T, batch, units) binary spike raster."""
+    raster = np.asarray(raster)
+    if raster.ndim != 3:
+        raise ConfigurationError("raster must be (T, batch, units)")
+    if raster.size == 0:
+        raise ConfigurationError("empty raster")
+    steps, batch, units = raster.shape
+    return SpikeStats(
+        mean_rate=float(raster.mean()),
+        active_fraction=float((raster.sum(axis=0) > 0).mean()),
+        spikes_per_sample=float(raster.sum() / batch),
+        silent_steps=float((raster.sum(axis=2) == 0).mean()),
+    )

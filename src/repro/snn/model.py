@@ -1,0 +1,159 @@
+"""The multi-step spiking classifier.
+
+Wraps a network (Sequential of Linear/IF layers) with Poisson input
+encoding and rate readout over ``T`` time steps -- the
+``INPUT28x28-Flatten-FC-IF-FC-IF`` architecture of the paper's section 6 is
+built by :meth:`SpikingClassifier.mlp`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigurationError
+from repro.snn.encoding import PoissonEncoder
+from repro.snn.layers import BinaryLinear, Flatten, Linear, Module, Sequential
+from repro.snn.neurons import IFNode, StatelessIFNode
+
+
+class SpikingClassifier(Module):
+    """Poisson encode -> run T steps -> average output spike rate.
+
+    Args:
+        network: The spiking network (must end in a spiking node so its
+            output per step is binary).
+        time_steps: Simulation window ``T`` (the paper uses 5).
+        encoder_seed: Seed for the Poisson encoder (reproducible trains).
+    """
+
+    def __init__(self, network: Sequential, time_steps: int = 5,
+                 encoder_seed: Optional[int] = None):
+        super().__init__()
+        if time_steps < 1:
+            raise ConfigurationError("time_steps must be >= 1")
+        self.network = network
+        self.time_steps = time_steps
+        self.encoder_seed = encoder_seed
+
+    @classmethod
+    def mlp(
+        cls,
+        input_size: int = 28 * 28,
+        hidden_size: int = 800,
+        num_classes: int = 10,
+        time_steps: int = 5,
+        v_threshold: float = 1.0,
+        stateless: bool = False,
+        binary_aware: bool = False,
+        seed: int = 0,
+    ) -> "SpikingClassifier":
+        """The paper's network: INPUT-Flatten-FC(hidden)-IF-FC(classes)-IF.
+
+        ``stateless=True`` swaps the IF nodes for the SSNN stateless
+        variant (section 5.1), which is the form the chip executes.
+        ``binary_aware=True`` trains through the XNOR binarized forward
+        pass so the 1-bit conversion is near-lossless.
+        """
+        node = StatelessIFNode if stateless else IFNode
+        linear = BinaryLinear if binary_aware else Linear
+        network = Sequential(
+            Flatten(),
+            linear(input_size, hidden_size, seed=seed),
+            node(v_threshold=v_threshold),
+            linear(hidden_size, num_classes, seed=seed + 1),
+            node(v_threshold=v_threshold),
+        )
+        return cls(network, time_steps=time_steps, encoder_seed=seed + 2)
+
+    # -- inference -------------------------------------------------------------
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """Return rate logits: mean output spikes over the window."""
+        encoder = PoissonEncoder(seed=self.encoder_seed)
+        trains = encoder.encode_steps(images, self.time_steps)
+        self.network.reset_state()
+        total = None
+        for t in range(self.time_steps):
+            spikes = self.network(Tensor.from_array(trains[t]))
+            total = spikes if total is None else total + spikes
+        return total * (1.0 / self.time_steps)
+
+    def spike_raster(self, images: np.ndarray) -> np.ndarray:
+        """Per-step binary outputs, shape (T, batch, classes) -- the
+        "label0: 0-0-0-0-1" streams of the paper's Fig. 16(d)."""
+        encoder = PoissonEncoder(seed=self.encoder_seed)
+        trains = encoder.encode_steps(images, self.time_steps)
+        self.network.reset_state()
+        raster: List[np.ndarray] = []
+        with no_grad():
+            for t in range(self.time_steps):
+                raster.append(self.network(Tensor.from_array(trains[t])).numpy())
+        return np.stack(raster)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class labels by maximum output rate (ties -> lowest label)."""
+        with no_grad():
+            logits = self.forward(images)
+        return logits.numpy().argmax(axis=1)
+
+    def parameters(self):
+        return self.network.parameters()
+
+    def children(self):
+        return [self.network]
+
+    def linear_layers(self) -> List[Linear]:
+        """The Linear layers in forward order (binarization input)."""
+        return [m for m in self.network.modules if isinstance(m, Linear)]
+
+    def spiking_nodes(self) -> List[Module]:
+        return [
+            m for m in self.network.modules
+            if isinstance(m, (IFNode, StatelessIFNode))
+        ]
+
+
+class EventSpikingClassifier(SpikingClassifier):
+    """Spiking classifier over *event streams* instead of rate-coded images.
+
+    Samples are (T, ...) binary event movies fed frame by frame -- no
+    Poisson encoding -- so temporal structure (e.g. motion direction in
+    :mod:`repro.data.events`) reaches the network directly.  With stateful
+    IF nodes the membranes integrate across frames; with the SSNN
+    stateless nodes every frame is classified in isolation, which is the
+    cost the ``run_temporal_limits`` experiment quantifies.
+    """
+
+    def forward(self, events: np.ndarray) -> Tensor:
+        events = np.asarray(events, dtype=np.float64)
+        if events.ndim < 3:
+            raise ConfigurationError(
+                "expected (batch, T, ...) event movies"
+            )
+        if events.shape[1] != self.time_steps:
+            raise ConfigurationError(
+                f"movies have {events.shape[1]} steps; classifier expects "
+                f"{self.time_steps}"
+            )
+        self.network.reset_state()
+        total = None
+        for t in range(self.time_steps):
+            frame = events[:, t].reshape(events.shape[0], -1)
+            spikes = self.network(Tensor.from_array(frame))
+            total = spikes if total is None else total + spikes
+        return total * (1.0 / self.time_steps)
+
+    def spike_raster(self, events: np.ndarray) -> np.ndarray:
+        events = np.asarray(events, dtype=np.float64)
+        self.network.reset_state()
+        raster: List[np.ndarray] = []
+        with no_grad():
+            for t in range(self.time_steps):
+                frame = events[:, t].reshape(events.shape[0], -1)
+                raster.append(
+                    self.network(Tensor.from_array(frame)).numpy()
+                )
+        return np.stack(raster)

@@ -1,0 +1,94 @@
+"""Spiking neuron nodes (paper equations (1)-(3)).
+
+* :class:`IFNode` -- the stateful integrate-and-fire neuron used to train
+  the reference network ("We employ the IF neuron model with a threshold
+  voltage of 1.0", section 6): ``H[t] = V[t-1] + X[t]``, fire when ``H >=
+  V_th``, hard reset to ``V_reset``.
+* :class:`LIFNode` -- leaky variant for completeness.
+* :class:`StatelessIFNode` -- the SSNN neuron of section 5.1: no membrane
+  carry-over between time steps ("resetting the membrane potential to zero
+  at the end of each time step"), which removes the storage requirement on
+  the superconducting chip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.surrogate import ArctanSurrogate, heaviside
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.snn.layers import Module
+
+
+class IFNode(Module):
+    """Integrate-and-fire with membrane carry-over and hard reset."""
+
+    def __init__(self, v_threshold: float = 1.0, v_reset: float = 0.0,
+                 surrogate=None):
+        super().__init__()
+        if v_threshold <= v_reset:
+            raise ConfigurationError("v_threshold must exceed v_reset")
+        self.v_threshold = v_threshold
+        self.v_reset = v_reset
+        self.surrogate = surrogate or ArctanSurrogate()
+        self.v: Optional[Tensor] = None
+
+    def _charge(self, x: Tensor) -> Tensor:
+        if self.v is None:
+            return x
+        return self.v + x
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self._charge(x)
+        spike = heaviside(h - self.v_threshold, self.surrogate)
+        # Equation (3): V = H * (1 - S) + V_reset * S (hard reset).
+        self.v = h * (1.0 - spike) + self.v_reset * spike
+        return spike
+
+    def reset_state(self) -> None:
+        self.v = None
+
+    @property
+    def membrane(self):
+        """Current membrane values (None before the first step)."""
+        return None if self.v is None else self.v.numpy()
+
+
+class LIFNode(IFNode):
+    """Leaky integrate-and-fire: ``H = V + (X - (V - V_reset)) / tau``."""
+
+    def __init__(self, tau: float = 2.0, v_threshold: float = 1.0,
+                 v_reset: float = 0.0, surrogate=None):
+        super().__init__(v_threshold, v_reset, surrogate)
+        if tau < 1.0:
+            raise ConfigurationError("tau must be >= 1")
+        self.tau = tau
+
+    def _charge(self, x: Tensor) -> Tensor:
+        if self.v is None:
+            return x * (1.0 / self.tau)
+        return self.v + (x - (self.v - self.v_reset)) * (1.0 / self.tau)
+
+
+class StatelessIFNode(Module):
+    """The SSNN stateless neuron: fire on this step's input alone.
+
+    ``S[t] = Theta(X[t] - V_th)`` with no residual membrane -- the
+    superconducting-circuit-friendly simplification of section 5.1.  On
+    hardware this is realised by the reset-preload at each time-step
+    boundary (:meth:`repro.neuro.chip.BehavioralChip.begin_timestep`).
+    """
+
+    def __init__(self, v_threshold: float = 1.0, surrogate=None):
+        super().__init__()
+        if v_threshold <= 0:
+            raise ConfigurationError("v_threshold must be positive")
+        self.v_threshold = v_threshold
+        self.surrogate = surrogate or ArctanSurrogate()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return heaviside(x - self.v_threshold, self.surrogate)
+
+    def reset_state(self) -> None:
+        pass  # stateless by construction

@@ -1,0 +1,168 @@
+"""Surrogate-gradient BPTT training and the paper's evaluation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.functional import cross_entropy
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import no_grad
+from repro.errors import ConfigurationError, TrainingError
+from repro.snn.model import SpikingClassifier
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ConfigurationError("prediction/label shapes differ")
+    if predictions.size == 0:
+        raise ConfigurationError("empty prediction array")
+    return float((predictions == labels).mean())
+
+
+def consistency(predictions_a: np.ndarray, predictions_b: np.ndarray) -> float:
+    """Fraction of samples where two platforms emit the same label --
+    the paper's Table 3 "consistency" metric (agreement, not correctness)."""
+    predictions_a = np.asarray(predictions_a)
+    predictions_b = np.asarray(predictions_b)
+    if predictions_a.shape != predictions_b.shape:
+        raise ConfigurationError("prediction shapes differ")
+    if predictions_a.size == 0:
+        raise ConfigurationError("empty prediction array")
+    return float((predictions_a == predictions_b).mean())
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters (defaults follow the paper's section 6).
+
+    ``lr_decay`` multiplies the learning rate after each epoch;
+    ``patience`` enables early stopping: training halts after that many
+    epochs without a new best validation accuracy (a validation set must
+    be passed to :meth:`Trainer.fit`).
+    """
+
+    epochs: int = 3
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    shuffle_seed: int = 0
+    verbose: bool = False
+    lr_decay: float = 1.0
+    patience: Optional[int] = None
+
+    def __post_init__(self):
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0 < self.lr_decay <= 1.0:
+            raise ConfigurationError("lr_decay must be in (0, 1]")
+        if self.patience is not None and self.patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and accuracy curves."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    val_accuracies: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Adam + BPTT trainer for :class:`SpikingClassifier`."""
+
+    def __init__(self, model: SpikingClassifier,
+                 config: Optional[TrainerConfig] = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(model.parameters(),
+                              lr=self.config.learning_rate)
+        self.history = TrainingHistory()
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        val_images: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train on (N, ...) images with integer labels.
+
+        When a validation split is given, per-epoch validation accuracy is
+        recorded; with ``config.patience`` set, training stops early after
+        that many epochs without improvement.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise TrainingError("images and labels disagree in length")
+        if len(images) == 0:
+            raise TrainingError("empty training set")
+        if self.config.patience is not None and val_images is None:
+            raise TrainingError(
+                "early stopping (patience) requires a validation set"
+            )
+        rng = np.random.default_rng(self.config.shuffle_seed)
+        n = len(images)
+        best_val = -1.0
+        epochs_since_best = 0
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, self.config.batch_size):
+                batch = order[start:start + self.config.batch_size]
+                rates = self.model.forward(images[batch])
+                loss = cross_entropy(rates * self.model.time_steps,
+                                     labels[batch])
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                correct += int(
+                    (rates.numpy().argmax(axis=1) == labels[batch]).sum()
+                )
+            self.history.losses.append(epoch_loss / n)
+            self.history.train_accuracies.append(correct / n)
+            self.optimizer.lr *= self.config.lr_decay
+            message = (
+                f"epoch {epoch + 1}/{self.config.epochs}: "
+                f"loss={self.history.losses[-1]:.4f} "
+                f"acc={self.history.train_accuracies[-1]:.4f}"
+            )
+            if val_images is not None:
+                val_acc = self.evaluate(val_images, val_labels)
+                self.model.train()
+                self.history.val_accuracies.append(val_acc)
+                message += f" val={val_acc:.4f}"
+                if val_acc > best_val:
+                    best_val = val_acc
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                if (self.config.patience is not None
+                        and epochs_since_best >= self.config.patience):
+                    self.history.stopped_early = True
+                    if self.config.verbose:
+                        print(message + "  (early stop)")
+                    break
+            if self.config.verbose:
+                print(message)
+        self.model.eval()
+        return self.history
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Test accuracy under no-grad inference."""
+        self.model.eval()
+        with no_grad():
+            predictions = self.model.predict(np.asarray(images))
+        return accuracy(predictions, np.asarray(labels))

@@ -1,0 +1,176 @@
+"""The bit-slice SSNN method (paper section 5.3, Fig. 15).
+
+A layer with ``m`` inputs and ``k`` neurons does not fit an ``n x n`` mesh
+when ``m > n`` or ``k > n``.  The bit-slice method treats neurons as bits
+and slices the layer:
+
+* the ``k`` neurons split into ``ceil(k / n)`` **output slices**, processed
+  one after another (the input spike train is re-streamed per output
+  slice);
+* the ``m`` axons split into ``ceil(m / n)`` **input slices**; the column
+  NPEs' counters persist across input slices (the state-preserving property
+  of superconducting cells), so no buffering is needed between them;
+* within each input slice, two polarity passes stream the inhibitory then
+  excitatory synapses (see :mod:`repro.ssnn.bucketing`).
+
+The planner emits the exact pass sequence (with per-pass n x n strength
+matrices) that a chip driver executes, plus static reload statistics: a
+crosspoint reload is counted whenever a pass changes that crosspoint's
+configured strength relative to the previous pass (unchanged crosspoints
+are free, section 4.2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.snn.binarize import BinarizedNetwork
+from repro.ssnn.bucketing import check_capacity
+
+
+@dataclass(frozen=True)
+class SliceTask:
+    """One polarity pass of one (output slice, input slice) block.
+
+    Attributes:
+        layer_index: Which network layer this pass belongs to.
+        out_slice: (start, end) neuron range mapped onto the columns.
+        in_slice: (start, end) axon range mapped onto the rows.
+        polarity: SET0 (inhibitory) or SET1 (excitatory).
+        strengths: (n, n) crosspoint gains for this pass (rows = axons,
+            columns = neurons; zero-padded at the slice edges).
+        first_pass_of_out_slice: True when this task begins a new output
+            slice (column NPEs are reset+preloaded before it).
+    """
+
+    layer_index: int
+    out_slice: Tuple[int, int]
+    in_slice: Tuple[int, int]
+    polarity: Polarity
+    strengths: np.ndarray
+    first_pass_of_out_slice: bool
+
+    @property
+    def thresholds_needed(self) -> bool:
+        return self.first_pass_of_out_slice
+
+
+@dataclass
+class BitSlicePlan:
+    """The full pass program for one network on one mesh size."""
+
+    chip_n: int
+    tasks: List[SliceTask]
+    layer_shapes: List[Tuple[int, int]]
+    max_strength: int
+    network: BinarizedNetwork = None
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def pass_count(self) -> int:
+        return len(self.tasks)
+
+    def slice_counts(self) -> List[Tuple[int, int]]:
+        """(input slices, output slices) per layer."""
+        counts = []
+        for m, k in self.layer_shapes:
+            counts.append((ceil_div(m, self.chip_n),
+                           ceil_div(k, self.chip_n)))
+        return counts
+
+    def reload_events(self) -> int:
+        """Crosspoint reloads over the whole program: configuration changes
+        between consecutive passes (the chip driver's accounting)."""
+        current = np.zeros((self.chip_n, self.chip_n), dtype=np.int64)
+        reloads = 0
+        for task in self.tasks:
+            reloads += int((task.strengths != current).sum())
+            current = task.strengths
+        return reloads
+
+    def reload_passes(self) -> int:
+        """Passes that require at least one crosspoint reload."""
+        current = np.zeros((self.chip_n, self.chip_n), dtype=np.int64)
+        count = 0
+        for task in self.tasks:
+            if (task.strengths != current).any():
+                count += 1
+            current = task.strengths
+        return count
+
+    def synapse_slots(self) -> int:
+        """Total configured (non-zero) crosspoint slots across passes."""
+        return int(sum((task.strengths > 0).sum() for task in self.tasks))
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def plan_network(
+    network: BinarizedNetwork,
+    chip_n: int,
+    sc_per_npe: int = 10,
+    max_strength: int = None,
+) -> BitSlicePlan:
+    """Slice a binarized network onto an ``chip_n x chip_n`` mesh.
+
+    Validates that every layer's membrane range fits the SC chains
+    (:func:`repro.ssnn.bucketing.check_capacity`) and that the largest
+    weight magnitude is realisable by the crosspoint gain.
+    """
+    if chip_n < 1:
+        raise ConfigurationError("chip_n must be >= 1")
+    needed_strength = max(layer.max_strength for layer in network.layers)
+    if max_strength is None:
+        max_strength = max(needed_strength, 1)
+    elif needed_strength > max_strength:
+        raise CapacityError(
+            f"network needs crosspoint gain {needed_strength} but the chip "
+            f"provides {max_strength}"
+        )
+    tasks: List[SliceTask] = []
+    for layer_index, layer in enumerate(network.layers):
+        check_capacity(layer, sc_per_npe)
+        weights = layer.signed_weights
+        m, k = weights.shape
+        for out_start in range(0, k, chip_n):
+            out_end = min(out_start + chip_n, k)
+            first = True
+            # Reordering across slices: every inhibitory pass (all input
+            # slices) streams before any excitatory pass, so the membrane
+            # reaches its floor before excitation can cross the threshold.
+            for polarity in (Polarity.SET0, Polarity.SET1):
+                for in_start in range(0, m, chip_n):
+                    in_end = min(in_start + chip_n, m)
+                    block = weights[in_start:in_end, out_start:out_end]
+                    if polarity is Polarity.SET0:
+                        gains = np.maximum(-block, 0)
+                    else:
+                        gains = np.maximum(block, 0)
+                    padded = np.zeros((chip_n, chip_n), dtype=np.int64)
+                    padded[: block.shape[0], : block.shape[1]] = gains
+                    tasks.append(
+                        SliceTask(
+                            layer_index=layer_index,
+                            out_slice=(out_start, out_end),
+                            in_slice=(in_start, in_end),
+                            polarity=polarity,
+                            strengths=padded,
+                            first_pass_of_out_slice=first,
+                        )
+                    )
+                    first = False
+    return BitSlicePlan(
+        chip_n=chip_n,
+        tasks=tasks,
+        layer_shapes=[(l.in_features, l.out_features)
+                      for l in network.layers],
+        max_strength=max_strength,
+        network=network,
+    )

@@ -1,0 +1,190 @@
+"""Synapse reordering and bucketing (paper section 5.1).
+
+The NPE fires the moment its counter overflows, so the *order* in which a
+neuron's synaptic pulses arrive matters: if excitatory pulses stream before
+inhibitory ones, the running membrane can transiently cross the threshold
+and emit a premature spike even though the final sum is sub-threshold
+("erroneous excitation").  The paper's fix:
+
+1. **Reordering** -- stream all inhibitory synapses first (driving the
+   membrane to its minimum), then all excitatory ones, so any threshold
+   crossing happens last and is equivalent to the software final-sum
+   decision.
+2. **Bucketing** -- group synapses of one polarity into buckets so that the
+   running range of the membrane stays inside the SC chain's ``2**n_sc``
+   states (inhibition cannot underflow the counter).
+
+:func:`hardware_layer_outputs` simulates the exact ripple-counter
+semantics -- every change of ``floor(counter / capacity)`` along the pulse
+stream is an output pulse (carry or borrow out of the last SC) -- and is the
+vectorised equivalent of :class:`repro.neuro.chip.BehavioralChip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.snn.binarize import BinarizedLayer
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A group of same-polarity synapse activations streamed together.
+
+    Attributes:
+        polarity: SET0 (inhibitory / down-count) or SET1 (excitatory).
+        axons: Input indices streamed in this bucket, in order.
+    """
+
+    polarity: Polarity
+    axons: Tuple[int, ...]
+
+
+@dataclass
+class SynapseSchedule:
+    """Ordered buckets realising one layer's synapse traversal."""
+
+    buckets: List[Bucket]
+    reordered: bool
+
+    def polarity_switches(self) -> int:
+        """Number of polarity changes between adjacent buckets (each one is
+        a set0/set1 reload on the column NPEs)."""
+        switches = 0
+        for a, b in zip(self.buckets, self.buckets[1:]):
+            if a.polarity is not b.polarity:
+                switches += 1
+        return switches
+
+
+def build_schedule(
+    layer: BinarizedLayer,
+    reorder: bool = True,
+    bucket_size: int = 0,
+) -> SynapseSchedule:
+    """Build the synapse traversal order for a layer.
+
+    With ``reorder=True`` (the paper's method) all axons participate in one
+    inhibitory bucket followed by one excitatory bucket, optionally split
+    into ``bucket_size`` chunks.  With ``reorder=False`` the naive order is
+    produced: axons in index order, each contributing its negative then
+    positive synapses (polarities interleave -- the erroneous-excitation
+    regime used as the ablation baseline).
+    """
+    if bucket_size < 0:
+        raise ConfigurationError("bucket_size must be >= 0 (0 = unsplit)")
+    n_in = layer.in_features
+    axons = list(range(n_in))
+    buckets: List[Bucket] = []
+    if reorder:
+        groups = [axons] if bucket_size == 0 else [
+            axons[i:i + bucket_size] for i in range(0, n_in, bucket_size)
+        ]
+        for polarity in (Polarity.SET0, Polarity.SET1):
+            for group in groups:
+                buckets.append(Bucket(polarity, tuple(group)))
+    else:
+        for axon in axons:
+            buckets.append(Bucket(Polarity.SET0, (axon,)))
+            buckets.append(Bucket(Polarity.SET1, (axon,)))
+    return SynapseSchedule(buckets=buckets, reordered=reorder)
+
+
+def required_capacity(layer: BinarizedLayer) -> int:
+    """States needed under reordered streaming: the worst-case neuron must
+    hold ``threshold + total inhibitory strength`` states (the membrane
+    floor is reached before any excitation arrives)."""
+    negative = np.minimum(layer.signed_weights, 0)
+    worst_inhibition = int(-negative.sum(axis=0).min(initial=0))
+    return int(layer.thresholds.max()) + worst_inhibition
+
+
+def check_capacity(layer: BinarizedLayer, n_sc: int) -> None:
+    """Raise :class:`CapacityError` when a layer cannot stream safely on an
+    ``n_sc``-SC NPE under reordered bucketing."""
+    need = required_capacity(layer)
+    capacity = 1 << n_sc
+    if need > capacity:
+        raise CapacityError(
+            f"layer needs {need} membrane states but {n_sc} SCs provide "
+            f"only {capacity}; use more SCs or tighter bucketing"
+        )
+
+
+def hardware_layer_outputs(
+    layer: BinarizedLayer,
+    spikes: np.ndarray,
+    capacity: int,
+    reorder: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ripple-counter semantics of one layer over a spike batch.
+
+    Each neuron's counter starts at ``capacity - threshold``; synaptic
+    pulses stream in schedule order; an output pulse is emitted whenever
+    ``floor(counter_total / capacity)`` changes (carry or borrow escaping
+    the SC chain).  Returns ``(spike_decisions, output_pulse_counts)``,
+    both (batch, out) arrays; a neuron's decision is 1 when at least one
+    output pulse escaped (the hardware read-out cannot distinguish genuine
+    fires from underflow borrows).
+
+    ``reorder=True`` streams inhibitory contributions first (the paper's
+    ordering); ``reorder=False`` streams axons in index order with
+    interleaved polarities (the ablation baseline).
+    """
+    spikes = np.asarray(spikes)
+    if spikes.ndim != 2 or spikes.shape[1] != layer.in_features:
+        raise ConfigurationError(
+            f"expected (batch, {layer.in_features}) spikes"
+        )
+    if capacity < 2:
+        raise ConfigurationError("capacity must be >= 2")
+    weights = layer.signed_weights  # (in, out)
+    preload = capacity - layer.thresholds  # (out,)
+    batch = spikes.shape[0]
+    decisions = np.zeros((batch, layer.out_features), dtype=np.float64)
+    pulse_counts = np.zeros((batch, layer.out_features), dtype=np.int64)
+    # Process in manageable chunks: the (chunk, in, out) contribution cube
+    # is the memory bottleneck.
+    chunk = max(1, int(4_000_000 // max(1, weights.size)))
+    for start in range(0, batch, chunk):
+        sub = spikes[start:start + chunk]  # (c, in)
+        contrib = sub[:, :, None] * weights[None, :, :]  # (c, in, out)
+        if reorder:
+            ordered = np.concatenate(
+                [np.minimum(contrib, 0), np.maximum(contrib, 0)], axis=1
+            )
+        else:
+            # Per axon: negative part then positive part, axon order.
+            neg = np.minimum(contrib, 0)
+            pos = np.maximum(contrib, 0)
+            ordered = np.empty(
+                (contrib.shape[0], 2 * contrib.shape[1], contrib.shape[2]),
+                dtype=contrib.dtype,
+            )
+            ordered[:, 0::2, :] = neg
+            ordered[:, 1::2, :] = pos
+        running = np.cumsum(ordered, axis=1) + preload[None, None, :]
+        quotient = np.floor_divide(running, capacity)
+        initial = np.zeros_like(quotient[:, :1, :])
+        crossings = np.abs(np.diff(
+            np.concatenate([initial, quotient], axis=1), axis=1
+        )).sum(axis=1)
+        pulse_counts[start:start + chunk] = crossings
+        decisions[start:start + chunk] = (crossings > 0).astype(np.float64)
+    return decisions, pulse_counts
+
+
+def premature_fire_count(
+    layer: BinarizedLayer, spikes: np.ndarray, capacity: int
+) -> int:
+    """Number of (sample, neuron) pairs whose naive-order decision differs
+    from the final-sum decision -- the erroneous excitations that
+    reordering eliminates."""
+    naive, _ = hardware_layer_outputs(layer, spikes, capacity, reorder=False)
+    truth = layer.forward(spikes)
+    return int((naive != truth).sum())

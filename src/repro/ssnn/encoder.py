@@ -1,0 +1,214 @@
+"""The encoding phase: pulse-stream timing (paper Fig. 12, sections 5.2/6.3).
+
+SUSHI's first inference phase runs off-chip, once per trained network: the
+weight-configuration and input pulse streams are encoded against the RSFQ
+cell constraints (Table 1) and the asynchronous neuron timing rules.  This
+module computes the *time structure* of those streams -- pass protocol
+overheads, constraint-spaced spike pulses, and weight-reload latencies --
+producing the per-inference durations behind the paper's FPS figure and the
+"weight reloading accounts for ~20% of inference time" analysis.
+
+Reload latency is dominated by the flight time of the control pulse to the
+crosspoint NDRO (reloads happen in parallel per synapse, off the inference
+critical path), so it scales with the mesh span rather than with how many
+crosspoints change (section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.neuro.timing import TimingPolicy
+from repro.neuro.weights import DEFAULT_STAGGER
+from repro.ssnn.bitslice import BitSlicePlan
+
+
+@dataclass(frozen=True)
+class InferenceTiming:
+    """Timing constants of the encoded streams.
+
+    Attributes:
+        policy: Pulse-spacing policy (Table 1 intervals with margins).
+        sc_per_npe: SC chain length (sets ripple settle times).
+        reload_base_ps: Fixed part of a weight-reload latency (driver and
+            converter delays).
+        reload_per_span_ps: Added reload latency per mesh-pitch unit the
+            control pulse travels (the "delays encountered by weight
+            control pulses in reaching NDRO per synapse at various
+            scales").
+        line_delay_per_span_ps: Transmission delay per mesh-pitch unit on
+            the row/column lines (drives the section 6.3A delay-fraction
+            analysis).
+    """
+
+    policy: TimingPolicy = field(default_factory=TimingPolicy)
+    sc_per_npe: int = 10
+    reload_base_ps: float = 1000.0
+    reload_per_span_ps: float = 20.0
+    line_delay_per_span_ps: float = 14.0
+
+    def row_spacing(self, max_strength: int) -> float:
+        """Spacing between consecutive spiking rows within one pass."""
+        return (
+            self.policy.input_interval
+            + DEFAULT_STAGGER * (max_strength - 1)
+            + 15.0
+        )
+
+    def pass_protocol_ps(self) -> float:
+        """Protocol pulses bracketing one pass: row-relay reset, preload,
+        polarity set (three settle windows)."""
+        return 3.0 * self.policy.settle_time(self.sc_per_npe)
+
+    def timestep_protocol_ps(self) -> float:
+        """Column reset + threshold preload at a time-step boundary."""
+        return 2.0 * self.policy.settle_time(self.sc_per_npe)
+
+    def reload_latency_ps(self, chip_n: int) -> float:
+        """Weight-reload latency on an n x n mesh (parallel per synapse)."""
+        return self.reload_base_ps + self.reload_per_span_ps * chip_n
+
+    def transmission_ps(self, chip_n: int) -> float:
+        """Per-pulse transmission delay across the mesh span (row plus
+        column traversal)."""
+        return self.line_delay_per_span_ps * 2.0 * chip_n
+
+
+@dataclass
+class EncodedInference:
+    """Aggregate timing of a full inference (all time steps, all slices).
+
+    All times are picoseconds *per input sample*.
+    """
+
+    chip_n: int
+    time_steps: int
+    input_time_ps: float
+    reload_time_ps: float
+    protocol_time_ps: float
+    transmission_time_ps: float
+    synaptic_ops: int
+    spikes_streamed: int
+    reload_passes: int
+    total_passes: int
+
+    @property
+    def total_ps(self) -> float:
+        return (
+            self.input_time_ps
+            + self.reload_time_ps
+            + self.protocol_time_ps
+            + self.transmission_time_ps
+        )
+
+    @property
+    def reload_fraction(self) -> float:
+        """Fraction of inference time spent on weight reloading (the paper
+        reports ~20% on average after optimisation)."""
+        total = self.total_ps
+        return self.reload_time_ps / total if total > 0 else 0.0
+
+    @property
+    def transmission_fraction(self) -> float:
+        """Fraction of time attributable to line transmission (6% at 1x1 to
+        ~53% at 16x16 in the paper's section 6.3A)."""
+        total = self.total_ps
+        return self.transmission_time_ps / total if total > 0 else 0.0
+
+    @property
+    def fps(self) -> float:
+        """Inferences per second at this duration."""
+        total = self.total_ps
+        return 1e12 / total if total > 0 else float("inf")
+
+    def sops(self) -> float:
+        """Synaptic operations per second achieved by this inference."""
+        total = self.total_ps
+        return self.synaptic_ops / (total * 1e-12) if total > 0 else 0.0
+
+
+def encode_inference(
+    plan: BitSlicePlan,
+    spike_trains: np.ndarray,
+    timing: InferenceTiming = None,
+) -> EncodedInference:
+    """Compute the encoded stream timing of one sample's inference.
+
+    Args:
+        plan: Bit-slice program for the network/mesh.
+        spike_trains: (T, in_features) binary input train of one sample.
+        timing: Timing constants; defaults to :class:`InferenceTiming`.
+
+    The network's hidden-layer activity is computed with the reference
+    integer semantics so that inner layers' pass timings use their real
+    spike counts.
+    """
+    timing = timing or InferenceTiming()
+    spike_trains = np.asarray(spike_trains)
+    if spike_trains.ndim != 2:
+        raise ConfigurationError("spike_trains must be (T, in_features)")
+    if spike_trains.shape[1] != plan.layer_shapes[0][0]:
+        raise ConfigurationError(
+            f"spike train width {spike_trains.shape[1]} != network input "
+            f"{plan.layer_shapes[0][0]}"
+        )
+    n = plan.chip_n
+    spacing = timing.row_spacing(plan.max_strength)
+    per_pulse_transmission = timing.transmission_ps(n)
+
+    input_time = 0.0
+    reload_time = 0.0
+    protocol_time = 0.0
+    transmission_time = 0.0
+    synaptic_ops = 0
+    spikes_streamed = 0
+    reload_passes = 0
+
+    time_steps = spike_trains.shape[0]
+    # Layer activity per time step (stateless forward).
+    from repro.ssnn.runtime import layer_activity  # local import: no cycle
+
+    activity = layer_activity(plan, spike_trains)
+
+    current = np.zeros((n, n), dtype=np.int64)
+    out_slices_per_layer = [
+        shapes[1] for shapes in plan.slice_counts()
+    ]
+    for t in range(time_steps):
+        # Column reset/preload per output slice per time step.
+        total_out_slices = sum(out_slices_per_layer)
+        protocol_time += total_out_slices * timing.timestep_protocol_ps()
+        for task in plan.tasks:
+            layer_spikes = activity[task.layer_index][t]
+            rows = layer_spikes[task.in_slice[0]:task.in_slice[1]]
+            n_spiking = int(rows.sum())
+            changed = int((task.strengths != current).sum())
+            if changed:
+                reload_time += timing.reload_latency_ps(n)
+                reload_passes += 1
+            current = task.strengths
+            protocol_time += timing.pass_protocol_ps()
+            if n_spiking:
+                input_time += n_spiking * spacing
+                transmission_time += n_spiking * per_pulse_transmission
+                spikes_streamed += n_spiking
+                active = task.strengths[:rows.shape[0], :] > 0
+                synaptic_ops += int(
+                    (rows[:, None] * active).sum()
+                )
+    return EncodedInference(
+        chip_n=n,
+        time_steps=time_steps,
+        input_time_ps=input_time,
+        reload_time_ps=reload_time,
+        protocol_time_ps=protocol_time,
+        transmission_time_ps=transmission_time,
+        synaptic_ops=synaptic_ops,
+        spikes_streamed=spikes_streamed,
+        reload_passes=reload_passes,
+        total_passes=len(plan.tasks) * time_steps,
+    )

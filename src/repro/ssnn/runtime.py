@@ -1,0 +1,220 @@
+"""End-to-end SSNN inference on SUSHI (paper Fig. 12 workflow).
+
+Two execution engines share one semantics:
+
+* ``engine="fast"`` -- vectorised ripple-counter simulation
+  (:func:`repro.ssnn.bucketing.hardware_layer_outputs`): runs whole test
+  sets, used by the Table 3 benchmark.
+* ``engine="behavioral"`` -- drives a
+  :class:`repro.neuro.chip.BehavioralChip` through the full bit-slice
+  protocol pass by pass: slow but protocol-exact, used to validate the fast
+  engine and (in miniature) the gate-level chip.
+
+Both honour the ``reorder`` flag so the bucketing ablation
+(section 4.2.2 / 5.1) can quantify the accuracy cost of naive synapse
+ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.neuro.chip import BehavioralChip, ChipConfig
+from repro.snn.binarize import BinarizedNetwork
+from repro.ssnn.bitslice import BitSlicePlan, plan_network
+from repro.ssnn.bucketing import hardware_layer_outputs
+
+
+def layer_activity(plan: BitSlicePlan, spike_trains: np.ndarray) -> List[np.ndarray]:
+    """Input spike activity per layer: ``activity[l][t]`` is the (features,)
+    input vector of layer ``l`` at time step ``t`` (single sample)."""
+    if plan.network is None:
+        raise ConfigurationError("plan carries no network reference")
+    spike_trains = np.asarray(spike_trains, dtype=np.float64)
+    activity = [spike_trains]
+    current = spike_trains
+    for layer in plan.network.layers:
+        current = layer.forward(current)
+        activity.append(current)
+    return activity
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of a chip inference over a batch.
+
+    Attributes:
+        rates: (batch, classes) mean output spike rates.
+        predictions: argmax labels.
+        output_raster: (T, batch, classes) per-step output spikes.
+        spurious_decisions: (sample, neuron, step) triples where the
+            hardware decision differed from the final-sum reference
+            (premature fires / underflows); empty under reordering with
+            adequate capacity.
+        synaptic_ops: Total synaptic operations executed.
+        reload_events: Crosspoint reloads (behavioural engine) or the
+            plan's static estimate (fast engine).
+    """
+
+    rates: np.ndarray
+    predictions: np.ndarray
+    output_raster: np.ndarray
+    spurious_decisions: int
+    synaptic_ops: int
+    reload_events: int
+
+
+class SushiRuntime:
+    """Runs binarized networks on a SUSHI chip model."""
+
+    def __init__(
+        self,
+        chip_n: int = 16,
+        sc_per_npe: int = 10,
+        engine: str = "fast",
+        reorder: bool = True,
+    ):
+        if engine not in ("fast", "behavioral"):
+            raise ConfigurationError(
+                f"unknown engine '{engine}'; use 'fast' or 'behavioral'"
+            )
+        self.chip_n = chip_n
+        self.sc_per_npe = sc_per_npe
+        self.engine = engine
+        self.reorder = reorder
+
+    # -- public API ---------------------------------------------------------
+
+    def infer(
+        self, network: BinarizedNetwork, spike_trains: np.ndarray
+    ) -> RuntimeResult:
+        """Run inference on a (T, batch, in_features) binary spike train."""
+        spike_trains = np.asarray(spike_trains, dtype=np.float64)
+        if spike_trains.ndim != 3:
+            raise ConfigurationError(
+                "spike_trains must be (T, batch, in_features)"
+            )
+        if spike_trains.shape[2] != network.in_features:
+            raise ConfigurationError(
+                f"spike width {spike_trains.shape[2]} != network input "
+                f"{network.in_features}"
+            )
+        if self.engine == "fast":
+            return self._infer_fast(network, spike_trains)
+        return self._infer_behavioral(network, spike_trains)
+
+    # -- fast engine ----------------------------------------------------------
+
+    def _infer_fast(self, network, spike_trains) -> RuntimeResult:
+        capacity = 1 << self.sc_per_npe
+        steps, batch, _ = spike_trains.shape
+        raster = np.zeros((steps, batch, network.out_features))
+        spurious = 0
+        synops = 0
+        for t in range(steps):
+            current = spike_trains[t]
+            for layer in network.layers:
+                decisions, _ = hardware_layer_outputs(
+                    layer, current, capacity, reorder=self.reorder
+                )
+                reference = layer.forward(current)
+                spurious += int((decisions != reference).sum())
+                synops += int(
+                    (current @ (layer.signed_weights != 0)).sum()
+                )
+                current = decisions
+            raster[t] = current
+        rates = raster.mean(axis=0)
+        plan = plan_network(network, self.chip_n, self.sc_per_npe)
+        return RuntimeResult(
+            rates=rates,
+            predictions=rates.argmax(axis=1),
+            output_raster=raster,
+            spurious_decisions=spurious,
+            synaptic_ops=synops,
+            reload_events=plan.reload_events() * steps * batch,
+        )
+
+    # -- behavioural engine ------------------------------------------------------
+
+    def _infer_behavioral(self, network, spike_trains) -> RuntimeResult:
+        if not self.reorder:
+            raise ConfigurationError(
+                "the behavioural engine executes bit-slice plans, which are "
+                "always reordered; use engine='fast' for the naive-order "
+                "ablation"
+            )
+        plan = plan_network(network, self.chip_n, self.sc_per_npe)
+        from repro.ssnn.verification import verify_plan
+
+        verify_plan(plan, self.sc_per_npe).raise_if_failed()
+        config = ChipConfig(
+            n=self.chip_n,
+            sc_per_npe=self.sc_per_npe,
+            max_strength=max(plan.max_strength, 1),
+        )
+        steps, batch, _ = spike_trains.shape
+        raster = np.zeros((steps, batch, network.out_features))
+        spurious = 0
+        synops = 0
+        reloads = 0
+        capacity = config.state_capacity
+        for b in range(batch):
+            chip = BehavioralChip(config)
+            activity = layer_activity(plan, spike_trains[:, b, :])
+            for t in range(steps):
+                outputs = self._run_sample_step(
+                    chip, plan, activity, t, capacity
+                )
+                raster[t, b] = outputs
+                reference = network.forward_step(
+                    spike_trains[t, b:b + 1]
+                )[0]
+                spurious += int((outputs != reference).sum())
+            synops += chip.synaptic_ops
+            reloads += chip.reload_events
+        rates = raster.mean(axis=0)
+        return RuntimeResult(
+            rates=rates,
+            predictions=rates.argmax(axis=1),
+            output_raster=raster,
+            spurious_decisions=spurious,
+            synaptic_ops=synops,
+            reload_events=reloads,
+        )
+
+    def _run_sample_step(self, chip, plan, activity, t, capacity):
+        """Execute one time step of the full plan on the behavioural chip,
+        returning the final layer's output vector."""
+        n = self.chip_n
+        outputs_per_layer = [
+            np.zeros(shape[1]) for shape in plan.layer_shapes
+        ]
+        current_slice = None
+        for task in plan.tasks:
+            key = (task.layer_index, task.out_slice)
+            width = task.out_slice[1] - task.out_slice[0]
+            if task.first_pass_of_out_slice:
+                thresholds = list(
+                    plan.network.layers[task.layer_index]
+                    .thresholds[task.out_slice[0]:task.out_slice[1]]
+                ) + [capacity] * (n - width)
+                chip.begin_timestep(thresholds)
+                current_slice = key
+            chip.configure_weights(task.strengths.tolist())
+            rows = activity[task.layer_index][t][
+                task.in_slice[0]:task.in_slice[1]
+            ]
+            spikes = list(rows > 0) + [False] * (n - len(rows))
+            chip.run_pass(task.polarity, spikes)
+            # Slice complete when the next task starts a new one; read here
+            # on every pass and keep the latest value (cheap, idempotent).
+            outputs = chip.read_out()[:width]
+            outputs_per_layer[task.layer_index][
+                task.out_slice[0]:task.out_slice[1]
+            ] = np.asarray(outputs, dtype=np.float64)
+        return outputs_per_layer[-1]

@@ -1,0 +1,116 @@
+"""Static verification of bit-slice plans.
+
+Before a plan is streamed to hardware, these checks prove it faithful to
+the network it was compiled from -- the software analogue of the paper's
+"first phase executes once off-chip" encoding validation:
+
+* every layer's signed weights are exactly reconstructible from the plan's
+  polarity passes (no synapse lost, duplicated or mis-signed);
+* pass ordering per output slice is inhibitory-first (the reordering
+  guarantee);
+* every output slice is opened by a threshold-preload pass;
+* the state range of every neuron fits the target SC chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.ssnn.bitslice import BitSlicePlan
+from repro.ssnn.bucketing import required_capacity
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_plan`."""
+
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ConfigurationError(
+                "plan verification failed:\n  " + "\n  ".join(self.errors)
+            )
+
+
+def reconstruct_weights(plan: BitSlicePlan, layer_index: int) -> np.ndarray:
+    """Rebuild a layer's signed weight matrix from the plan's passes."""
+    if plan.network is None:
+        raise ConfigurationError("plan carries no network reference")
+    shape = plan.layer_shapes[layer_index]
+    rebuilt = np.zeros(shape, dtype=np.int64)
+    for task in plan.tasks:
+        if task.layer_index != layer_index:
+            continue
+        i0, i1 = task.in_slice
+        o0, o1 = task.out_slice
+        block = task.strengths[: i1 - i0, : o1 - o0]
+        sign = -1 if task.polarity is Polarity.SET0 else 1
+        rebuilt[i0:i1, o0:o1] += sign * block
+    return rebuilt
+
+
+def verify_plan(plan: BitSlicePlan, sc_per_npe: int = 10) -> VerificationReport:
+    """Run every static check; returns a :class:`VerificationReport`."""
+    errors: List[str] = []
+    if plan.network is None:
+        return VerificationReport(False, ["plan carries no network"])
+
+    # 1. Weight reconstruction.
+    for index, layer in enumerate(plan.network.layers):
+        rebuilt = reconstruct_weights(plan, index)
+        if not np.array_equal(rebuilt, layer.signed_weights):
+            diff = int((rebuilt != layer.signed_weights).sum())
+            errors.append(
+                f"layer {index}: {diff} synapses differ after "
+                "reconstruction from passes"
+            )
+
+    # 2. Ordering: per output slice, all SET0 before any SET1.
+    for key in {(t.layer_index, t.out_slice) for t in plan.tasks}:
+        polarities = [t.polarity for t in plan.tasks
+                      if (t.layer_index, t.out_slice) == key]
+        seen_exc = False
+        for polarity in polarities:
+            if polarity is Polarity.SET1:
+                seen_exc = True
+            elif seen_exc:
+                errors.append(
+                    f"slice {key}: inhibitory pass after an excitatory one"
+                )
+                break
+
+    # 3. Every output slice opens with a preload pass.
+    opened = set()
+    for task in plan.tasks:
+        key = (task.layer_index, task.out_slice)
+        if key not in opened:
+            if not task.first_pass_of_out_slice:
+                errors.append(f"slice {key}: first pass lacks the preload")
+            opened.add(key)
+
+    # 4. Capacity per layer.
+    capacity = 1 << sc_per_npe
+    for index, layer in enumerate(plan.network.layers):
+        need = required_capacity(layer)
+        if need > capacity:
+            errors.append(
+                f"layer {index}: needs {need} states, chain holds {capacity}"
+            )
+
+    # 5. Gains within the chip's strength budget.
+    for task in plan.tasks:
+        if task.strengths.max(initial=0) > plan.max_strength:
+            errors.append(
+                f"task (layer {task.layer_index}, out {task.out_slice}, "
+                f"in {task.in_slice}): gain exceeds {plan.max_strength}"
+            )
+            break
+
+    return VerificationReport(ok=not errors, errors=errors)

@@ -1,0 +1,99 @@
+"""Tests for the extended tensor ops: indexing, max/var, concat/stack,
+permute and unfold (gradient-checked)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concatenate, stack
+from repro.errors import TrainingError
+
+from tests.autograd.test_tensor import check_gradient
+
+
+class TestGetitem:
+    def test_slice_forward_and_backward(self):
+        x = Tensor.randn(4, 5, requires_grad=True, seed=0)
+        check_gradient(lambda: x[1:3].sum(), x)
+        y = x[1:3]
+        assert y.shape == (2, 5)
+
+    def test_fancy_index_accumulates_duplicates(self):
+        x = Tensor.from_array([1.0, 2.0, 3.0], requires_grad=True)
+        (x[np.array([0, 0, 2])]).sum().backward()
+        np.testing.assert_array_equal(x.grad, [2.0, 0.0, 1.0])
+
+    def test_single_element(self):
+        x = Tensor.from_array([[1.0, 2.0]], requires_grad=True)
+        x[0, 1].backward()
+        np.testing.assert_array_equal(x.grad, [[0.0, 1.0]])
+
+
+class TestMaxVar:
+    def test_max_global(self):
+        x = Tensor.from_array([1.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis_gradcheck(self):
+        x = Tensor.randn(3, 4, requires_grad=True, seed=1)
+        x.data += np.arange(12).reshape(3, 4) * 0.1  # break ties
+        check_gradient(lambda: x.max(axis=1).sum(), x)
+
+    def test_max_splits_gradient_across_ties(self):
+        x = Tensor.from_array([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_var_matches_numpy(self):
+        x = Tensor.randn(5, 6, seed=2)
+        np.testing.assert_allclose(x.var().item(), x.data.var(), rtol=1e-10)
+        np.testing.assert_allclose(
+            x.var(axis=0).data, x.data.var(axis=0), rtol=1e-10
+        )
+
+    def test_var_gradcheck(self):
+        x = Tensor.randn(3, 4, requires_grad=True, seed=3)
+        check_gradient(lambda: x.var(axis=1).sum(), x)
+
+
+class TestConcatStack:
+    def test_concatenate_forward(self):
+        a = Tensor.from_array([[1.0, 2.0]])
+        b = Tensor.from_array([[3.0, 4.0], [5.0, 6.0]])
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (3, 2)
+
+    def test_concatenate_gradient_splits(self):
+        a = Tensor.randn(2, 3, requires_grad=True, seed=4)
+        b = Tensor.randn(1, 3, requires_grad=True, seed=5)
+        check_gradient(lambda: (concatenate([a, b], axis=0) ** 2).sum(),
+                       a, b)
+
+    def test_concatenate_axis1(self):
+        a = Tensor.randn(2, 2, requires_grad=True, seed=6)
+        b = Tensor.randn(2, 3, requires_grad=True, seed=7)
+        check_gradient(lambda: concatenate([a, b], axis=1).sum(), a, b)
+
+    def test_stack_adds_axis(self):
+        a = Tensor.from_array([1.0, 2.0])
+        b = Tensor.from_array([3.0, 4.0])
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        np.testing.assert_array_equal(out.data, [[1, 2], [3, 4]])
+
+    def test_stack_gradient(self):
+        a = Tensor.from_array([1.0, 2.0], requires_grad=True)
+        b = Tensor.from_array([3.0, 4.0], requires_grad=True)
+        (stack([a, b]) * 2).sum().backward()
+        np.testing.assert_array_equal(a.grad, [2.0, 2.0])
+        np.testing.assert_array_equal(b.grad, [2.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            concatenate([])
+        with pytest.raises(TrainingError):
+            stack([])
+
+    def test_accepts_raw_arrays(self):
+        out = concatenate([np.ones(2), np.zeros(3)])
+        assert out.shape == (5,)

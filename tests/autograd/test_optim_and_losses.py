@@ -1,0 +1,124 @@
+"""Tests for losses and optimisers: correctness and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    Adam,
+    Tensor,
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+    one_hot,
+    softmax,
+)
+from repro.errors import ConfigurationError, TrainingError
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor.randn(5, 3, seed=0)
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(5))
+
+    def test_softmax_stable_for_large_logits(self):
+        logits = Tensor.from_array([[1000.0, 1001.0, 999.0]])
+        probs = softmax(logits)
+        assert np.isfinite(probs.data).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor.randn(4, 6, seed=1)
+        np.testing.assert_allclose(
+            log_softmax(logits).data, np.log(softmax(logits).data), atol=1e-12
+        )
+
+    def test_one_hot(self):
+        t = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            t.data, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_one_hot_rejects_bad_labels(self):
+        with pytest.raises(TrainingError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(TrainingError):
+            one_hot(np.array([[0, 1]]), 2)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor.from_array([[100.0, 0.0], [0.0, 100.0]])
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform_is_log_classes(self):
+        logits = Tensor.zeros(2, 4)
+        loss = cross_entropy(logits, np.array([0, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(4), rtol=1e-6)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor.zeros(1, 3, requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        # Gradient pushes the true-class logit up, others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_mse_loss(self):
+        pred = Tensor.from_array([[1.0, 2.0]])
+        target = Tensor.from_array([[0.0, 0.0]])
+        np.testing.assert_allclose(mse_loss(pred, target).item(), 2.5)
+
+
+class TestOptimizers:
+    def quadratic(self, optimizer_cls, **kwargs):
+        """Minimise ||x - 3||^2 and return the final x."""
+        x = Tensor.from_array([0.0], requires_grad=True)
+        opt = optimizer_cls([x], **kwargs)
+        for _ in range(300):
+            loss = ((x - 3.0) * (x - 3.0)).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return x.data[0]
+
+    def test_sgd_converges(self):
+        assert abs(self.quadratic(SGD, lr=0.05) - 3.0) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert abs(self.quadratic(SGD, lr=0.02, momentum=0.9) - 3.0) < 1e-3
+
+    def test_adam_converges(self):
+        assert abs(self.quadratic(Adam, lr=0.1) - 3.0) < 1e-3
+
+    def test_step_without_backward_rejected(self):
+        x = Tensor.from_array([0.0], requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        with pytest.raises(TrainingError):
+            opt.step()
+
+    def test_constructor_validation(self):
+        x = Tensor.from_array([0.0], requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([x], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([x], lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            Adam([x], lr=0.1, betas=(1.0, 0.9))
+        with pytest.raises(ConfigurationError):
+            SGD([Tensor.from_array([0.0])], lr=0.1)
+
+    def test_zero_grad_clears_all(self):
+        x = Tensor.from_array([1.0], requires_grad=True)
+        opt = Adam([x])
+        (x * 2).backward()
+        opt.zero_grad()
+        assert x.grad is None
+
+    def test_adam_bias_correction_first_step(self):
+        """After one step with gradient g, Adam moves by ~lr * sign(g)."""
+        x = Tensor.from_array([0.0], requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        (x * 5.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(x.data, [-0.1], atol=1e-6)

@@ -1,0 +1,98 @@
+"""Property-based tests for the autodiff engine: broadcasting laws and
+gradient sum rules over random shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+
+shapes = st.sampled_from([
+    (1,), (3,), (2, 3), (1, 3), (2, 1), (2, 3, 4), (1, 1), (4, 1, 3),
+])
+
+
+def broadcastable(a, b):
+    try:
+        np.broadcast_shapes(a, b)
+        return True
+    except ValueError:
+        return False
+
+
+class TestBroadcastGradients:
+    @given(shape_a=shapes, shape_b=shapes, seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_add_gradient_shapes_match_operands(self, shape_a, shape_b, seed):
+        if not broadcastable(shape_a, shape_b):
+            return
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal(shape_a), requires_grad=True)
+        b = Tensor(rng.standard_normal(shape_b), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == shape_a
+        assert b.grad.shape == shape_b
+        # d(sum(a+b))/da_i = number of broadcast copies of a_i.
+        out_size = int(np.prod(np.broadcast_shapes(shape_a, shape_b)))
+        assert a.grad.sum() == pytest.approx(out_size)
+        assert b.grad.sum() == pytest.approx(out_size)
+
+    @given(shape_a=shapes, shape_b=shapes, seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_mul_gradient_is_broadcast_partner(self, shape_a, shape_b, seed):
+        if not broadcastable(shape_a, shape_b):
+            return
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.standard_normal(shape_a), requires_grad=True)
+        b = Tensor(rng.standard_normal(shape_b), requires_grad=True)
+        (a * b).sum().backward()
+        out_shape = np.broadcast_shapes(shape_a, shape_b)
+        expected_a = np.broadcast_to(b.data, out_shape)
+        # Sum expected_a back down to a's shape.
+        reduced = expected_a
+        while reduced.ndim > len(shape_a):
+            reduced = reduced.sum(axis=0)
+        for axis, dim in enumerate(shape_a):
+            if dim == 1 and reduced.shape[axis] != 1:
+                reduced = reduced.sum(axis=axis, keepdims=True)
+        np.testing.assert_allclose(a.grad, reduced, rtol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_of_gradients(self, seed):
+        """grad(f + g) == grad(f) + grad(g)."""
+        rng = np.random.default_rng(seed)
+        x_data = rng.standard_normal((3, 3))
+
+        def grad_of(fn):
+            x = Tensor(x_data.copy(), requires_grad=True)
+            fn(x).backward()
+            return x.grad
+
+        f = lambda x: (x * 2.0).sum()
+        g = lambda x: (x * x).sum()
+        combined = lambda x: (x * 2.0).sum() + (x * x).sum()
+        np.testing.assert_allclose(
+            grad_of(combined), grad_of(f) + grad_of(g), rtol=1e-10
+        )
+
+    @given(seed=st.integers(0, 10_000),
+           rows=st.integers(1, 5), cols=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_then_mean_consistency(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((rows, cols)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(
+            x.grad, np.full((rows, cols), 1.0 / (rows * cols)), rtol=1e-10
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule_through_reshape(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        y = (x.reshape(3, 4) * 2.0).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 6), 2.0))

@@ -1,0 +1,192 @@
+"""Tests for the reverse-mode autodiff engine, including numeric gradient
+checks on every differentiable op."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import TrainingError
+
+
+def numeric_grad(fn, tensor, eps=1e-6):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn().item()
+        flat[i] = orig - eps
+        down = fn().item()
+        flat[i] = orig
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, *tensors, tol=1e-5):
+    """Backward gradients must match numeric differentiation."""
+    for t in tensors:
+        t.zero_grad()
+    loss = build()
+    loss.backward()
+    for t in tensors:
+        expected = numeric_grad(build, t)
+        assert t.grad is not None
+        np.testing.assert_allclose(t.grad, expected, rtol=tol, atol=tol)
+
+
+class TestGradients:
+    def setup_method(self):
+        self.a = Tensor.randn(3, 4, requires_grad=True, seed=1)
+        self.b = Tensor.randn(3, 4, requires_grad=True, seed=2)
+
+    def test_add(self):
+        check_gradient(lambda: (self.a + self.b).sum(), self.a, self.b)
+
+    def test_sub(self):
+        check_gradient(lambda: (self.a - self.b).sum(), self.a, self.b)
+
+    def test_mul(self):
+        check_gradient(lambda: (self.a * self.b).sum(), self.a, self.b)
+
+    def test_div(self):
+        denom = Tensor(np.abs(self.b.data) + 1.0, requires_grad=True)
+        check_gradient(lambda: (self.a / denom).sum(), self.a, denom)
+
+    def test_pow(self):
+        base = Tensor(np.abs(self.a.data) + 0.5, requires_grad=True)
+        check_gradient(lambda: (base ** 3).sum(), base)
+
+    def test_matmul(self):
+        w = Tensor.randn(4, 2, requires_grad=True, seed=3)
+        check_gradient(lambda: (self.a @ w).sum(), self.a, w)
+
+    def test_broadcast_add_bias(self):
+        bias = Tensor.randn(4, requires_grad=True, seed=4)
+        check_gradient(lambda: (self.a + bias).sum(), self.a, bias)
+        assert bias.grad.shape == (4,)
+
+    def test_broadcast_mul_scalar_tensor(self):
+        s = Tensor(np.array(2.5), requires_grad=True)
+        check_gradient(lambda: (self.a * s).sum(), self.a, s)
+
+    def test_mean_axis(self):
+        check_gradient(lambda: self.a.mean(axis=0).sum(), self.a)
+        check_gradient(lambda: self.a.mean(), self.a)
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda: (self.a.sum(axis=1, keepdims=True) * 2).sum(),
+                       self.a)
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda: (self.a.reshape(4, 3).T * self.b).sum(),
+                       self.a, self.b)
+
+    def test_relu(self):
+        check_gradient(lambda: self.a.relu().sum(), self.a)
+
+    def test_sigmoid(self):
+        check_gradient(lambda: self.a.sigmoid().sum(), self.a)
+
+    def test_exp_log(self):
+        pos = Tensor(np.abs(self.a.data) + 0.5, requires_grad=True)
+        check_gradient(lambda: pos.log().sum(), pos)
+        check_gradient(lambda: (self.a.exp()).sum(), self.a)
+
+    def test_abs(self):
+        shifted = Tensor(self.a.data + 0.05, requires_grad=True)
+        check_gradient(lambda: shifted.abs().sum(), shifted)
+
+    def test_chained_expression(self):
+        w = Tensor.randn(4, 4, requires_grad=True, seed=5)
+        check_gradient(
+            lambda: ((self.a @ w).relu() * self.b).mean(), self.a, w, self.b
+        )
+
+    def test_reused_tensor_accumulates(self):
+        x = Tensor.from_array([2.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+
+class TestSTEAndSurrogate:
+    def test_ste_sign_forward_and_backward(self):
+        x = Tensor.from_array([-2.0, -0.5, 0.0, 0.5, 2.0],
+                              requires_grad=True)
+        y = x.ste_sign()
+        np.testing.assert_array_equal(y.data, [-1, -1, 1, 1, 1])
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, [0, 1, 1, 1, 0])
+
+    def test_heaviside_surrogate(self):
+        from repro.autograd import heaviside
+
+        x = Tensor.from_array([-1.0, 0.0, 1.0], requires_grad=True)
+        s = heaviside(x)
+        np.testing.assert_array_equal(s.data, [0, 1, 1])
+        s.sum().backward()
+        assert (x.grad > 0).all()  # surrogate gradient is everywhere positive
+
+    def test_clip_gradient_mask(self):
+        x = Tensor.from_array([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0, 1, 0])
+
+
+class TestGraphMechanics:
+    def test_backward_on_non_grad_tensor_rejected(self):
+        x = Tensor.from_array([1.0])
+        with pytest.raises(TrainingError):
+            x.backward()
+
+    def test_backward_on_vector_needs_seed_gradient(self):
+        x = Tensor.from_array([1.0, 2.0], requires_grad=True)
+        with pytest.raises(TrainingError):
+            (x * 2).backward()
+        (x * 2).backward(np.ones(2))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_no_grad_suppresses_graph(self):
+        x = Tensor.from_array([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 3
+        assert not y.requires_grad
+
+    def test_detach_breaks_graph(self):
+        x = Tensor.from_array([1.0], requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor.from_array([1.0], requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repeated_backward_accumulates(self):
+        x = Tensor.from_array([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 3).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_nan_detection(self):
+        x = Tensor.from_array([np.inf], requires_grad=True)
+        with pytest.raises(TrainingError):
+            (x * 1).backward()
+
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+        inner=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_gradient_shapes(self, rows, cols, inner):
+        a = Tensor.randn(rows, inner, requires_grad=True, seed=0)
+        b = Tensor.randn(inner, cols, requires_grad=True, seed=1)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (rows, inner)
+        assert b.grad.shape == (inner, cols)

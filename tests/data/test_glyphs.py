@@ -1,0 +1,44 @@
+"""Tests for the glyph bitmaps underlying the synthetic datasets."""
+
+import numpy as np
+
+from repro.data.glyphs import DIGIT_GLYPHS, FASHION_CLASS_NAMES, FASHION_GLYPHS
+
+
+class TestGlyphs:
+    def test_ten_of_each(self):
+        assert len(DIGIT_GLYPHS) == 10
+        assert len(FASHION_GLYPHS) == 10
+        assert len(FASHION_CLASS_NAMES) == 10
+
+    def test_digit_glyphs_share_shape(self):
+        shapes = {glyph.shape for glyph in DIGIT_GLYPHS}
+        assert shapes == {(7, 5)}
+
+    def test_fashion_glyphs_share_shape(self):
+        shapes = {glyph.shape for glyph in FASHION_GLYPHS}
+        assert shapes == {(14, 10)}
+
+    def test_glyphs_are_binary_and_nonempty(self):
+        for glyph in DIGIT_GLYPHS + FASHION_GLYPHS:
+            assert set(np.unique(glyph)) <= {0.0, 1.0}
+            assert glyph.sum() > 0
+
+    def test_digit_glyphs_are_pairwise_distinct(self):
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(DIGIT_GLYPHS[i], DIGIT_GLYPHS[j])
+
+    def test_fashion_glyphs_are_pairwise_distinct(self):
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(FASHION_GLYPHS[i],
+                                          FASHION_GLYPHS[j])
+
+    def test_trouser_has_two_legs(self):
+        """Structural sanity of a known silhouette: the trouser's lower
+        rows have a gap between two columns of fabric."""
+        trouser = FASHION_GLYPHS[FASHION_CLASS_NAMES.index("trouser")]
+        bottom = trouser[-1]
+        transitions = int(np.abs(np.diff(bottom)).sum())
+        assert transitions >= 4  # up-down-up-down: two separate legs

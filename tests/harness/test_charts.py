@@ -1,0 +1,49 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.charts import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 4], {"a": [0, 5, 10]}, width=20, height=6)
+        lines = out.splitlines()
+        assert any("o" in line for line in lines)
+        assert "o=a" in lines[-1]
+
+    def test_title_and_labels(self):
+        out = line_chart([0, 10], {"s": [0, 100]}, title="T",
+                         y_label="units")
+        assert out.splitlines()[0] == "T"
+        assert "units" in out
+        assert "100" in out
+
+    def test_multiple_series_use_distinct_glyphs(self):
+        out = line_chart([0, 1], {"a": [0, 1], "b": [1, 0]},
+                         width=16, height=5)
+        assert "o=a" in out and "x=b" in out
+        body = "\n".join(out.splitlines()[:-1])
+        assert "o" in body and "x" in body
+
+    def test_extremes_land_on_edges(self):
+        out = line_chart([0, 100], {"s": [0, 50]}, width=30, height=8)
+        rows = [line for line in out.splitlines() if "|" in line]
+        # Max value on the top row, min on the bottom row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_flat_series_does_not_crash(self):
+        out = line_chart([1, 2, 3], {"flat": [5, 5, 5]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {})
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"a": [1]})
+        with pytest.raises(ConfigurationError):
+            line_chart([1], {"a": [1]}, width=4)
+        with pytest.raises(ConfigurationError):
+            line_chart([1], {c: [1] for c in "abcdefg"})

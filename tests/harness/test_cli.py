@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_runs_a_model_only_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "45," in out  # the JJ count in thousands notation
+
+    def test_runs_multiple_experiments(self, capsys):
+        assert main(["fps", "delay"]) == 0
+        out = capsys.readouterr().out
+        assert "frame rate" in out
+        assert "transmission delay" in out
+
+    def test_fast_skips_training_experiments(self, capsys):
+        assert main(["table3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["flux-capacitor"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+
+    def test_registry_covers_all_tables_and_figures(self):
+        for artefact in ("table1", "table2", "table3", "table4",
+                         "fig13", "fig16", "fig19", "fig20", "fig21"):
+            assert artefact in EXPERIMENTS

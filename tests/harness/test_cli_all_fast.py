@@ -1,0 +1,16 @@
+"""End-to-end CLI run over every model-only experiment."""
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_all_fast_runs_every_model_only_experiment(capsys):
+    assert main(["all", "--fast"]) == 0
+    out = capsys.readouterr().out
+    for name, (_, trains) in EXPERIMENTS.items():
+        assert f"== {name}" in out
+        if trains:
+            assert f"== {name}: skipped (--fast) ==" in out
+    # The model-only reports all rendered.
+    for marker in ("Table 2", "Fig. 13", "Table 4", "Fig. 19",
+                   "Fig. 21", "transmission delay", "bring-up"):
+        assert marker in out

@@ -1,0 +1,93 @@
+"""Tests for metric snapshots and regression comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.regression import (
+    MetricSnapshot,
+    compare,
+    snapshot_headline_metrics,
+)
+
+
+class TestSnapshot:
+    def test_record_and_round_trip(self, tmp_path):
+        snap = MetricSnapshot("test")
+        snap.record("gsops", 1355.0)
+        snap.record("power", 41.87)
+        path = str(tmp_path / "snap.json")
+        snap.save(path)
+        loaded = MetricSnapshot.load(path)
+        assert loaded.name == "test"
+        assert loaded.metrics == snap.metrics
+
+    def test_non_numeric_rejected(self):
+        snap = MetricSnapshot("x")
+        with pytest.raises(ConfigurationError):
+            snap.record("bad", "fast")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            MetricSnapshot.load(str(tmp_path / "ghost.json"))
+
+
+class TestCompare:
+    def make(self, **metrics):
+        snap = MetricSnapshot("s")
+        for key, value in metrics.items():
+            snap.record(key, value)
+        return snap
+
+    def test_identical_snapshots_pass(self):
+        a = self.make(gsops=1355.0)
+        assert compare(a, self.make(gsops=1355.0)) == []
+
+    def test_within_tolerance_passes(self):
+        a = self.make(gsops=1000.0)
+        b = self.make(gsops=1030.0)
+        assert compare(a, b, tolerance=0.05) == []
+
+    def test_excess_drift_detected(self):
+        a = self.make(gsops=1000.0)
+        b = self.make(gsops=1200.0)
+        failures = compare(a, b, tolerance=0.05)
+        assert len(failures) == 1
+        assert failures[0].key == "gsops"
+        assert failures[0].relative == pytest.approx(0.2)
+
+    def test_per_metric_tolerance_overrides(self):
+        a = self.make(noisy=1.0, stable=1.0)
+        b = self.make(noisy=1.3, stable=1.0)
+        failures = compare(a, b, tolerance=0.01,
+                           per_metric_tolerance={"noisy": 0.5})
+        assert failures == []
+
+    def test_added_and_removed_metrics_flagged(self):
+        failures = compare(self.make(old=1.0), self.make(new=1.0))
+        keys = {f.key for f in failures}
+        assert keys == {"old", "new"}
+
+    def test_zero_baseline(self):
+        failures = compare(self.make(x=0.0), self.make(x=0.0))
+        assert failures == []
+        failures = compare(self.make(x=0.0), self.make(x=1.0))
+        assert len(failures) == 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare(self.make(a=1.0), self.make(a=1.0), tolerance=-1.0)
+
+
+class TestHeadlineSnapshot:
+    def test_headline_values_match_calibration(self):
+        snap = snapshot_headline_metrics()
+        assert snap.metrics["peak_gsops"] == pytest.approx(1355, rel=0.01)
+        assert snap.metrics["peak_power_mw"] == pytest.approx(41.87,
+                                                              rel=0.02)
+        assert snap.metrics["table2_total_jj"] == pytest.approx(45_542,
+                                                                rel=0.05)
+
+    def test_snapshot_is_stable_across_calls(self):
+        a = snapshot_headline_metrics()
+        b = snapshot_headline_metrics()
+        assert compare(a, b, tolerance=0.0) == []

@@ -1,0 +1,65 @@
+"""Tests for report formatting and the trained-model cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.artifacts import downsample_images
+from repro.harness.reporting import format_table, paper_vs_measured
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table([
+            {"name": "a", "value": 1},
+            {"name": "bb", "value": 22},
+        ])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_title_and_column_order(self):
+        out = format_table(
+            [{"b": 2, "a": 1}], columns=["a", "b"], title="T"
+        )
+        assert out.splitlines()[0] == "T"
+        assert out.splitlines()[1].startswith("a")
+
+    def test_thousands_separator(self):
+        out = format_table([{"jj": 45542}])
+        assert "45,542" in out
+
+    def test_missing_key_renders_empty(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out  # no KeyError
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestPaperVsMeasured:
+    def test_delta_computed(self):
+        out = paper_vs_measured([
+            {"metric": "jj", "paper": 100, "measured": 105},
+        ])
+        assert "+5.0%" in out
+
+    def test_non_numeric_delta_blank(self):
+        out = paper_vs_measured([
+            {"metric": "memory", "paper": "SRAM", "measured": "-"},
+        ])
+        assert "%" not in out.splitlines()[-1]
+
+
+class TestDownsample:
+    def test_shape_and_mean_preserved(self):
+        images = np.random.default_rng(0).random((3, 28, 28))
+        small = downsample_images(images, 4)
+        assert small.shape == (3, 7, 7)
+        assert small.mean() == pytest.approx(images.mean(), abs=1e-12)
+
+    def test_factor_one_is_identity(self):
+        images = np.ones((2, 8, 8))
+        assert downsample_images(images, 1) is images

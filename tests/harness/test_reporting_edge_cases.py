@@ -1,0 +1,63 @@
+"""Edge-case tests for report formatting helpers."""
+
+import pytest
+
+from repro.harness.reporting import _fmt, format_table, paper_vs_measured
+
+
+class TestFormatting:
+    def test_zero_renders_bare(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(0) == "0"
+
+    def test_large_floats_get_separators(self):
+        assert _fmt(32366.0) == "32,366"
+
+    def test_medium_floats_two_decimals(self):
+        assert _fmt(44.73) == "44.73"
+
+    def test_small_floats_significant_digits(self):
+        assert _fmt(0.0638) == "0.0638"
+
+    def test_ints_get_separators(self):
+        assert _fmt(45542) == "45,542"
+
+    def test_strings_pass_through(self):
+        assert _fmt("Async") == "Async"
+
+    def test_negative_values(self):
+        assert _fmt(-41.87) == "-41.87"
+
+
+class TestPaperVsMeasuredEdges:
+    def test_zero_paper_value_has_no_delta(self):
+        out = paper_vs_measured([
+            {"metric": "x", "paper": 0, "measured": 5},
+        ])
+        assert "%" not in out.splitlines()[-1]
+
+    def test_negative_delta_sign(self):
+        out = paper_vs_measured([
+            {"metric": "x", "paper": 100, "measured": 90},
+        ])
+        assert "-10.0%" in out
+
+    def test_mixed_numeric_and_text_rows(self):
+        out = paper_vs_measured([
+            {"metric": "jj", "paper": 100, "measured": 100},
+            {"metric": "memory", "paper": "SRAM", "measured": "-"},
+        ])
+        assert "+0.0%" in out
+        assert "SRAM" in out
+
+
+class TestFormatTableEdges:
+    def test_single_column(self):
+        out = format_table([{"only": 1}])
+        assert "only" in out
+
+    def test_column_subset_selection(self):
+        out = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header

@@ -1,0 +1,44 @@
+"""Tests for the chip bring-up harness (section 6.2)."""
+
+import pytest
+
+from repro.neuro.bringup import BringupReport, run_bringup
+
+
+class TestBringup:
+    def test_ideal_chip_passes_all_mechanisms(self):
+        report = run_bringup(sc_per_npe=4)
+        assert report.passed
+        assert report.violations == 0
+        names = {c.name for c in report.checks}
+        for keyword in ("flip", "carry", "fire", "reset", "polarity",
+                        "relay"):
+            assert any(keyword in name for name in names)
+
+    def test_jittered_chip_matches_simulation(self):
+        ideal = run_bringup(sc_per_npe=4)
+        jittered = run_bringup(sc_per_npe=4, jitter_ps=0.5, seed=1)
+        assert jittered.passed
+        assert [c.observed for c in ideal.checks] == [
+            c.observed for c in jittered.checks
+        ]
+
+    def test_rows_render(self):
+        report = run_bringup(sc_per_npe=3)
+        rows = report.to_rows()
+        assert len(rows) == len(report.checks)
+        assert all(row["pass"] for row in rows)
+
+    def test_failed_check_fails_report(self):
+        report = run_bringup(sc_per_npe=4)
+        from repro.neuro.bringup import BringupCheck
+
+        broken = BringupReport(
+            checks=report.checks + [BringupCheck("bogus", "1", "0", False)],
+            violations=0,
+        )
+        assert not broken.passed
+
+    def test_violations_fail_report(self):
+        report = run_bringup(sc_per_npe=4)
+        assert not BringupReport(checks=report.checks, violations=1).passed

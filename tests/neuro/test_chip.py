@@ -1,0 +1,221 @@
+"""Tests for the SUSHI chip: behavioural protocol, gate-level instance,
+and cross-validation between the two (paper section 4.2, Fig. 12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.neuro.chip import (
+    BehavioralChip,
+    ChipConfig,
+    ChipDriver,
+    GateLevelChip,
+)
+from repro.neuro.state_controller import Polarity
+
+
+class TestChipConfig:
+    def test_defaults(self):
+        cfg = ChipConfig()
+        assert cfg.npe_count == 2
+        assert cfg.synapse_count == 1
+        assert cfg.state_capacity == 1024
+
+    def test_paper_scaling_of_npes_and_synapses(self):
+        """"a 4x4 network with 8 neurons has 16 synapses" (section 6.3)."""
+        cfg = ChipConfig(n=4)
+        assert cfg.npe_count == 8
+        assert cfg.synapse_count == 16
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(n=0)
+        with pytest.raises(ConfigurationError):
+            ChipConfig(sc_per_npe=0)
+        with pytest.raises(ConfigurationError):
+            ChipConfig(max_strength=0)
+
+
+class TestBehavioralChip:
+    def make(self, n=2, sc=5, strength=2):
+        return BehavioralChip(ChipConfig(n=n, sc_per_npe=sc,
+                                         max_strength=strength))
+
+    def test_excitatory_pass_accumulates_and_fires(self):
+        chip = self.make()
+        chip.begin_timestep([2, 3])
+        chip.configure_weights([[1, 1], [1, 1]])
+        chip.run_pass(Polarity.SET1, [True, True])
+        assert chip.read_out() == [True, False]
+        assert chip.membranes()[1] == 2
+
+    def test_inhibitory_pass_subtracts(self):
+        chip = self.make()
+        chip.begin_timestep([10, 10])
+        chip.configure_weights([[2, 0], [0, 0]])
+        chip.run_pass(Polarity.SET1, [True, False])
+        chip.configure_weights([[0, 0], [1, 0]])
+        chip.run_pass(Polarity.SET0, [False, True])
+        assert chip.membranes()[0] == 1
+
+    def test_underflow_is_a_spurious_output(self):
+        """Down-counting through zero emits an erroneous output pulse --
+        the failure mode the bucketing algorithm exists to prevent."""
+        chip = self.make()
+        chip.begin_timestep([4, 4])
+        chip.configure_weights([[1, 0], [0, 0]])
+        # Inhibition drives column 0 below the representable floor.
+        reached = 0
+        for _ in range(chip.config.state_capacity - 4 + 1):
+            reached += sum(chip.run_pass(Polarity.SET0, [True, False]))
+        assert reached >= 1
+        assert chip.underflow_counts()[0] >= 1
+        assert chip.read_out()[0] is True  # indistinguishable at the output
+
+    def test_state_preserved_across_passes(self):
+        chip = self.make(sc=6)
+        chip.begin_timestep([9, 9])
+        chip.configure_weights([[1, 0], [0, 0]])
+        for _ in range(4):
+            chip.run_pass(Polarity.SET1, [True, False])
+        chip.configure_weights([[2, 0], [0, 0]])
+        for _ in range(2):
+            chip.run_pass(Polarity.SET1, [True, False])
+        assert chip.membranes()[0] == 8
+        assert chip.read_out() == [False, False]
+
+    def test_begin_timestep_returns_previous_membrane_reads(self):
+        chip = self.make()
+        chip.begin_timestep([5, 5])
+        chip.configure_weights([[1, 0], [0, 0]])
+        chip.run_pass(Polarity.SET1, [True, False])
+        reads = chip.begin_timestep([5, 5])
+        capacity = chip.config.state_capacity
+        assert reads[0] == capacity - 5 + 1  # preload + one pulse
+
+    def test_reload_accounting_skips_unchanged(self):
+        chip = self.make()
+        chip.begin_timestep([5, 5])
+        first = chip.configure_weights([[1, 1], [1, 1]])
+        second = chip.configure_weights([[1, 1], [1, 2]])
+        assert first == 4
+        assert second == 1
+        assert chip.reload_events == 5
+
+    def test_synaptic_ops_counted_per_active_synapse(self):
+        chip = self.make()
+        chip.begin_timestep([20, 20])
+        chip.configure_weights([[1, 1], [0, 1]])
+        chip.run_pass(Polarity.SET1, [True, True])
+        assert chip.synaptic_ops == 3
+
+    def test_protocol_violations_rejected(self):
+        chip = self.make()
+        with pytest.raises(ProtocolError):
+            chip.run_pass(Polarity.SET1, [True, False])
+        with pytest.raises(ProtocolError):
+            chip.read_out()
+
+    def test_shape_validation(self):
+        chip = self.make()
+        with pytest.raises(ConfigurationError):
+            chip.begin_timestep([1])
+        chip.begin_timestep([1, 1])
+        with pytest.raises(ConfigurationError):
+            chip.configure_weights([[1, 1]])
+        with pytest.raises(ConfigurationError):
+            chip.run_pass(Polarity.SET1, [True])
+
+    def test_weightless_chip_rejects_gains(self):
+        chip = BehavioralChip(ChipConfig(n=1, with_weights=False))
+        chip.begin_timestep([1])
+        with pytest.raises(CapacityError):
+            chip.configure_weights([[2]])
+        chip.configure_weights([[1]])
+        chip.run_pass(Polarity.SET1, [True])
+        assert chip.read_out() == [True]
+
+
+class TestGateLevelChip:
+    def test_fabricated_two_npe_configuration(self):
+        """The paper's fabricated chip: 2 NPEs (1x1 mesh), no weight
+        structures; a relayed spike reaches the neuron and fires it."""
+        chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=6,
+                                        with_weights=False))
+        drv = ChipDriver(chip)
+        drv.begin_timestep([2])
+        drv.configure_weights([[1]])
+        drv.run_pass(Polarity.SET1, [True])
+        assert drv.read_out() == [False]
+        drv.run_pass(Polarity.SET1, [True])
+        assert drv.read_out() == [True]
+        assert drv.sim.violations == []
+
+    def test_weighted_mesh_gain(self):
+        chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=5, max_strength=2))
+        drv = ChipDriver(chip)
+        drv.begin_timestep([4, 4])
+        drv.configure_weights([[2, 0], [0, 1]])
+        drv.run_pass(Polarity.SET1, [True, True])
+        drv.run_pass(Polarity.SET1, [True, True])
+        # Column 0 accumulated 2+2, column 1 accumulated 1+1.
+        assert drv.read_out() == [True, False]
+        assert drv.sim.violations == []
+
+    def test_timestep_reset_clears_membrane(self):
+        chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=5))
+        drv = ChipDriver(chip)
+        drv.begin_timestep([3])
+        drv.configure_weights([[1]])
+        drv.run_pass(Polarity.SET1, [True])
+        drv.run_pass(Polarity.SET1, [True])
+        drv.begin_timestep([3])
+        drv.run_pass(Polarity.SET1, [True])
+        assert drv.read_out() == [False]
+        assert chip.col_npes[0].counter_value == (32 - 3) + 1
+
+
+class TestCrossValidation:
+    @given(
+        data=st.data(),
+        n=st.integers(min_value=1, max_value=2),
+        sc=st.integers(min_value=4, max_value=5),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_behavioural_equals_gate_level(self, data, n, sc):
+        """Random weight/polarity/spike schedules produce identical
+        read-outs on both chip implementations."""
+        cfg = ChipConfig(n=n, sc_per_npe=sc, max_strength=2)
+        beh = BehavioralChip(cfg)
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+
+        capacity = cfg.state_capacity
+        thresholds = [
+            data.draw(st.integers(min_value=2, max_value=capacity // 2))
+            for _ in range(n)
+        ]
+        beh.begin_timestep(thresholds)
+        drv.begin_timestep(thresholds)
+        n_passes = data.draw(st.integers(min_value=1, max_value=3))
+        for _ in range(n_passes):
+            strengths = [
+                [data.draw(st.integers(min_value=0, max_value=2))
+                 for _ in range(n)]
+                for _ in range(n)
+            ]
+            spikes = [data.draw(st.booleans()) for _ in range(n)]
+            beh.configure_weights(strengths)
+            drv.configure_weights(strengths)
+            # Excitatory passes only: keeps the schedule underflow-free,
+            # as a bucketed encoder guarantees.
+            beh.run_pass(Polarity.SET1, spikes)
+            drv.run_pass(Polarity.SET1, spikes)
+
+        assert drv.read_out() == beh.read_out()
+        assert drv.out_pulse_counts() == beh.out_pulse_counts()
+        assert [npe.counter_value for npe in gate.col_npes] == [
+            npe.counter_value for npe in beh.col_npes
+        ]
+        assert drv.sim.violations == []

@@ -1,0 +1,115 @@
+"""Additional gate-level chip coverage: mixed-polarity cross-validation,
+the weightless (fabricated-style) mesh at n=2, and fire-time ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neuro.chip import (
+    BehavioralChip,
+    ChipConfig,
+    ChipDriver,
+    GateLevelChip,
+)
+from repro.neuro.state_controller import Polarity
+
+
+class TestMixedPolarityCrossValidation:
+    @given(
+        data=st.data(),
+        n=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_exc_then_inh_matches_behavioural(self, data, n):
+        """Excitatory pulses followed by a bounded inhibitory pass (never
+        enough to underflow) leaves both implementations in identical
+        states -- the mixed-polarity regime bucket transitions create."""
+        cfg = ChipConfig(n=n, sc_per_npe=5, max_strength=1)
+        beh = BehavioralChip(cfg)
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+        thresholds = [
+            data.draw(st.integers(min_value=8, max_value=16))
+            for _ in range(n)
+        ]
+        strengths = [[1] * n for _ in range(n)]
+        exc_rounds = data.draw(st.integers(min_value=1, max_value=3))
+        inh_rounds = data.draw(st.integers(min_value=0,
+                                           max_value=exc_rounds))
+        beh.begin_timestep(thresholds)
+        drv.begin_timestep(thresholds)
+        beh.configure_weights(strengths)
+        drv.configure_weights(strengths)
+        spikes = [True] * n
+        for _ in range(exc_rounds):
+            beh.run_pass(Polarity.SET1, spikes)
+            drv.run_pass(Polarity.SET1, spikes)
+        for _ in range(inh_rounds):
+            beh.run_pass(Polarity.SET0, spikes)
+            drv.run_pass(Polarity.SET0, spikes)
+        assert drv.read_out() == beh.read_out()
+        assert [npe.counter_value for npe in gate.col_npes] == [
+            npe.counter_value for npe in beh.col_npes
+        ]
+        assert drv.sim.violations == []
+
+
+class TestWeightlessMesh:
+    def test_two_by_two_fixed_connectivity(self):
+        """Without weight structures every crosspoint is a fixed unit
+        synapse: a spiking axon reaches every column."""
+        cfg = ChipConfig(n=2, sc_per_npe=5, with_weights=False)
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+        drv.begin_timestep([3, 3])
+        drv.configure_weights([[1, 1], [1, 1]])
+        drv.run_pass(Polarity.SET1, [True, False])
+        # One axon spike delivered +1 to both columns.
+        assert [npe.counter_value for npe in gate.col_npes] == [
+            (32 - 3) + 1, (32 - 3) + 1
+        ]
+        assert drv.sim.violations == []
+
+    def test_behavioural_weightless_matches(self):
+        cfg = ChipConfig(n=2, sc_per_npe=5, with_weights=False)
+        beh = BehavioralChip(cfg)
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+        ones = [[1, 1], [1, 1]]
+        beh.begin_timestep([2, 4])
+        drv.begin_timestep([2, 4])
+        beh.configure_weights(ones)
+        drv.configure_weights(ones)
+        for _ in range(3):
+            beh.run_pass(Polarity.SET1, [True, True])
+            drv.run_pass(Polarity.SET1, [True, True])
+        assert drv.read_out() == beh.read_out() == [True, True]
+
+
+class TestFireTimeOrdering:
+    def test_fire_times_are_strictly_increasing(self):
+        cfg = ChipConfig(n=1, sc_per_npe=3)
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+        drv.begin_timestep([2])
+        drv.configure_weights([[1]])
+        for _ in range(8):
+            drv.run_pass(Polarity.SET1, [True])
+        times = gate.fire_times(0)
+        assert times == sorted(times)
+        # Capacity 8, threshold 2: preload 6, 8 pulses -> one overflow.
+        assert len(times) == 1
+
+    def test_fire_count_matches_modular_arithmetic(self):
+        cfg = ChipConfig(n=1, sc_per_npe=3)  # capacity 8
+        gate = GateLevelChip(cfg)
+        drv = ChipDriver(gate)
+        threshold = 3
+        pulses = 13
+        drv.begin_timestep([threshold])
+        drv.configure_weights([[1]])
+        for _ in range(pulses):
+            drv.run_pass(Polarity.SET1, [True])
+        expected = ((8 - threshold) + pulses) // 8
+        assert len(gate.fire_times(0)) == expected
+        assert drv.sim.violations == []

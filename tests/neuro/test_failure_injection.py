@@ -1,0 +1,137 @@
+"""Failure injection: what breaks the chip, and what it tolerates.
+
+The gate-level chip must tolerate realistic fabrication/thermal timing
+variation (small wire-delay jitter) and must *detectably* fail -- through
+constraint violations or wrong counters -- when pushed beyond it.  These
+tests document the margins rather than assuming them.
+"""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.neuro.chip import BehavioralChip, ChipConfig, ChipDriver, GateLevelChip
+from repro.neuro.npe import BehavioralNPE, GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.neuro.timing import NPEDriver, TimingPolicy
+from repro.rsfq import Netlist, Simulator
+
+
+def npe_run(jitter, seed, pulses=9, threshold=6, n_sc=4):
+    net = Netlist("npe")
+    npe = GateLevelNPE(net, "npe", n_sc=n_sc)
+    sim = Simulator(net, jitter_ps=jitter, seed=seed)
+    driver = NPEDriver(sim, npe)
+    driver.reset()
+    driver.configure_threshold(threshold)
+    driver.set_polarity(Polarity.SET1)
+    driver.pulses(pulses)
+    driver.run()
+    expected_counter = ((1 << n_sc) - threshold + pulses) % (1 << n_sc)
+    expected_fires = ((1 << n_sc) - threshold + pulses) // (1 << n_sc)
+    ok = (npe.counter_value == expected_counter
+          and len(npe.fire_times) == expected_fires)
+    return ok, sim.violations
+
+
+class TestJitterTolerance:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_small_jitter_tolerated(self, seed):
+        """Sub-picosecond wire jitter (realistic fabrication variation)
+        never corrupts results -- the margin behind the Fig. 16 match."""
+        ok, _ = npe_run(jitter=0.5, seed=seed)
+        assert ok
+
+    def test_moderate_jitter_still_correct(self):
+        ok, _ = npe_run(jitter=2.0, seed=7)
+        assert ok
+
+    def test_extreme_jitter_detected_by_constraints(self):
+        """Jitter comparable to cell delays eventually reorders pulses;
+        when results corrupt, constraint checking must have flagged it."""
+        corrupted_but_silent = 0
+        for seed in range(12):
+            ok, violations = npe_run(jitter=25.0, seed=seed)
+            if not ok and not violations:
+                corrupted_but_silent += 1
+        # Detection need not be perfect (some reorderings are silent), but
+        # the majority of corruptions must be caught.
+        failures = [npe_run(jitter=25.0, seed=s) for s in range(12)]
+        corrupt = sum(1 for ok, _ in failures if not ok)
+        flagged = sum(1 for ok, v in failures if not ok and v)
+        if corrupt:
+            assert flagged >= corrupt / 2
+
+    def test_tight_input_spacing_violates_tff(self):
+        """Streaming faster than the TFF toggle interval is rejected at
+        policy construction -- the encoder cannot even express it."""
+        with pytest.raises(ConfigurationError):
+            TimingPolicy(input_interval=30.0)
+
+
+class TestProtocolMisuse:
+    def test_write_without_reset(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.set_polarity(Polarity.SET1)
+        npe.excite(1)
+        with pytest.raises(ProtocolError):
+            npe.scs[0].write()
+
+    def test_input_before_set(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.rst()
+        with pytest.raises(ProtocolError):
+            npe.pulse()
+
+    def test_chip_pass_before_timestep(self):
+        chip = BehavioralChip(ChipConfig(n=1, sc_per_npe=4))
+        with pytest.raises(ProtocolError):
+            chip.run_pass(Polarity.SET1, [True])
+
+    def test_overflow_threshold_rejected_up_front(self):
+        chip = BehavioralChip(ChipConfig(n=1, sc_per_npe=4))
+        with pytest.raises(CapacityError):
+            chip.begin_timestep([17])
+
+
+class TestCounterWrapBehaviour:
+    def test_double_overflow_needs_full_revolution(self):
+        """After firing, the next fire needs 2**n_sc further pulses -- the
+        chip cannot double-fire within a bounded time step."""
+        npe = BehavioralNPE(n_sc=4)
+        npe.rst()
+        npe.configure_threshold(2)
+        assert npe.excite(2) == 1
+        assert npe.excite(15) == 0
+        assert npe.excite(1) == 1
+
+    def test_underflow_then_recovery(self):
+        """A counter that wrapped downward keeps correct modular
+        arithmetic (state is never corrupted, only misinterpreted)."""
+        npe = BehavioralNPE(n_sc=4)
+        npe.rst()
+        npe.write_preload(1)
+        npe.inhibit(3)  # 1 -> 0 -> 15 (borrow) -> 14
+        assert npe.counter_value == 14
+        assert npe.underflow_count == 1
+        npe.excite(3)
+        assert npe.counter_value == 1
+        assert npe.fire_count == 1  # the recovery crossed the seam again
+
+
+class TestGateLevelChipUnderJitter:
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_full_chip_protocol_with_jitter(self, seed):
+        config = ChipConfig(n=2, sc_per_npe=4, max_strength=2)
+        reference = BehavioralChip(config)
+        chip = GateLevelChip(config)
+        driver = ChipDriver(chip, chip.simulator(jitter_ps=0.6, seed=seed))
+        thresholds = [3, 5]
+        strengths = [[1, 2], [2, 0]]
+        spikes = [True, True]
+        reference.begin_timestep(thresholds)
+        reference.configure_weights(strengths)
+        reference.run_pass(Polarity.SET1, spikes)
+        driver.begin_timestep(thresholds)
+        driver.configure_weights(strengths)
+        driver.run_pass(Polarity.SET1, spikes)
+        assert driver.read_out() == reference.read_out()

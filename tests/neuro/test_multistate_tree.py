@@ -1,0 +1,161 @@
+"""Tests for the multi-state pulse program and the gate-level tree
+network (paper sections 4.1.2 and 4.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.multistate import MultiStatePulseProgram
+from repro.neuro.neuron_model import MultiStateNeuron
+from repro.neuro.state_controller import Polarity
+from repro.neuro.tree import GateLevelTreeNetwork, TreeDriver
+
+
+class TestMultiStateProgram:
+    def test_charging_tracks_automaton(self):
+        program = MultiStatePulseProgram(threshold=4)
+        for _ in range(3):
+            program.spike_stimulus()
+        assert program.counter_value == 3
+        assert program.reference.state.label() == "b3"
+
+    def test_leak_decrements_counter(self):
+        program = MultiStatePulseProgram(threshold=4)
+        program.spike_stimulus()
+        program.spike_stimulus()
+        program.time_stimulus()
+        assert program.counter_value == 1
+
+    def test_rest_state_ignores_time(self):
+        program = MultiStatePulseProgram(threshold=4)
+        for _ in range(5):
+            assert program.time_stimulus() is False
+        assert program.counter_value == 0
+
+    def test_full_action_potential_cycle(self):
+        program = MultiStatePulseProgram(threshold=2, rising_steps=2,
+                                         falling_steps=2)
+        program.spike_stimulus()
+        program.spike_stimulus()  # b2 reached
+        fires = [program.time_stimulus() for _ in range(7)]
+        assert sum(fires) == 1
+        # Back at rest after rising + falling + return.
+        assert program.counter_value == 0
+        assert program.reference.is_resting()
+        assert program.spikes_emitted == 1
+
+    def test_refractory_spikes_ignored(self):
+        program = MultiStatePulseProgram(threshold=1, rising_steps=3)
+        program.spike_stimulus()
+        program.time_stimulus()  # enter rising
+        counter = program.counter_value
+        program.spike_stimulus()  # refractory: no chip pulse either
+        assert program.counter_value == counter
+
+    def test_capacity_guard(self):
+        with pytest.raises(CapacityError):
+            MultiStatePulseProgram(threshold=100, n_sc=6)
+
+    def test_unknown_stimulus_rejected(self):
+        program = MultiStatePulseProgram(threshold=2)
+        with pytest.raises(ConfigurationError):
+            program.run(["spike", "blink"])
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=8),
+        stimuli=st.lists(st.sampled_from(["spike", "time"]), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chip_state_equals_automaton_state(self, threshold, stimuli):
+        """Property: for any stimulus sequence the NPE's flux state equals
+        the Fig. 7 automaton state, and both emit the same spikes."""
+        program = MultiStatePulseProgram(threshold=threshold,
+                                         rising_steps=3, falling_steps=2)
+        reference = MultiStateNeuron(threshold=threshold, rising_steps=3,
+                                     falling_steps=2)
+        chip_fires = 0
+        ref_fires = 0
+        for stimulus in stimuli:
+            if stimulus == "spike":
+                program.spike_stimulus()
+                reference.spike_stimulus()
+            else:
+                chip_fires += int(program.time_stimulus())
+                ref_fires += int(reference.time_stimulus())
+        assert chip_fires == ref_fires
+        assert program.reference.state == reference.state
+
+
+class TestTreeNetwork:
+    def test_broadcast_reaches_every_npe(self):
+        tree = GateLevelTreeNetwork(n=3, sc_per_npe=4)
+        driver = TreeDriver(tree)
+        driver.configure([5, 5, 5])
+        driver.broadcast(2)
+        assert [npe.counter_value for npe in tree.npes] == [13, 13, 13]
+        assert driver.sim.violations == []
+
+    def test_normalised_thresholds_differentiate_outputs(self):
+        """The tree cannot weight per pair, but per-NPE thresholds still
+        differentiate responses to the shared stimulus."""
+        tree = GateLevelTreeNetwork(n=2, sc_per_npe=5)
+        driver = TreeDriver(tree)
+        driver.configure([2, 6])
+        driver.broadcast(3)
+        # NPE0 (threshold 2) fired; NPE1 (threshold 6) did not.
+        assert driver.output_pulses() == 1
+        assert driver.sim.violations == []
+
+    def test_root_weight_scales_all_npes(self):
+        tree = GateLevelTreeNetwork(n=2, sc_per_npe=5, root_strength=2)
+        driver = TreeDriver(tree)
+        # Arm both root gain branches -> every input pulse doubled.
+        for k in range(2):
+            cell, port = tree.root_weight.switch_input(k, "din")
+            driver.sim.schedule_input(cell, port, 0.0)
+        driver.cursor = 200.0
+        driver.configure([4, 4])
+        driver.broadcast(2)
+        assert [npe.counter_value for npe in tree.npes] == [
+            (32 - 4 + 4) % 32, (32 - 4 + 4) % 32
+        ]
+        assert driver.output_pulses() == 2  # both fired on the 4th pulse
+        assert driver.sim.violations == []
+
+    def test_inhibitory_broadcast(self):
+        tree = GateLevelTreeNetwork(n=2, sc_per_npe=5)
+        driver = TreeDriver(tree)
+        driver.configure([10, 10])
+        driver.broadcast(3)
+        # Re-arm down-counting and take two pulses back.
+        t = driver.cursor
+        for npe in tree.npes:
+            cell, port = npe.bus_input("set0")
+            driver.sim.schedule_input(cell, port, t)
+        driver.cursor = t + 500.0
+        driver.broadcast(2)
+        assert [npe.counter_value for npe in tree.npes] == [23, 23]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GateLevelTreeNetwork(n=0)
+        tree = GateLevelTreeNetwork(n=2, sc_per_npe=4)
+        driver = TreeDriver(tree)
+        with pytest.raises(ConfigurationError):
+            driver.configure([1])
+        with pytest.raises(CapacityError):
+            driver.configure([1, 100])
+        with pytest.raises(ConfigurationError):
+            driver.broadcast(-1)
+
+    def test_resource_advantage_over_mesh(self):
+        """Structural claim of Fig. 11: the tree fabric is cheaper than the
+        mesh fabric for the same NPE count."""
+        from repro.neuro.network import MeshNetwork, TreeNetwork
+
+        mesh = MeshNetwork(8).stats()
+        tree = TreeNetwork(8).stats()
+        assert tree.line_crossings < mesh.line_crossings
+        assert tree.total_line_span_units < mesh.total_line_span_units
+        assert tree.ndro_count < mesh.ndro_count

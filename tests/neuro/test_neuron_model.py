@@ -1,0 +1,144 @@
+"""Tests for the multi-state neuron automaton (paper Figs. 6-7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.neuro.neuron_model import MultiStateNeuron, NeuronPhase, NeuronState
+
+
+class TestConstruction:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiStateNeuron(threshold=0)
+
+    def test_invalid_phases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiStateNeuron(threshold=3, rising_steps=0)
+        with pytest.raises(ConfigurationError):
+            MultiStateNeuron(threshold=3, falling_steps=-1)
+
+    def test_starts_resting(self):
+        neuron = MultiStateNeuron(threshold=3)
+        assert neuron.is_resting()
+
+    def test_state_count_matches_paper_sizing(self):
+        """~500 states suffice for direct SNN inference (section 4.1.2)."""
+        neuron = MultiStateNeuron(threshold=490, rising_steps=4, falling_steps=4)
+        assert 490 < neuron.state_count() <= 512
+
+
+class TestChargingAndFiring:
+    def test_spikes_accumulate_below_threshold(self):
+        neuron = MultiStateNeuron(threshold=3)
+        neuron.spike_stimulus()
+        neuron.spike_stimulus()
+        assert neuron.state == NeuronState(NeuronPhase.BELOW_THRESHOLD, 2)
+
+    def test_fires_after_threshold_and_rise(self):
+        neuron = MultiStateNeuron(threshold=2, rising_steps=2)
+        neuron.spike_stimulus()
+        neuron.spike_stimulus()  # reaches b_threshold
+        fired = []
+        fired.append(neuron.time_stimulus())  # b_T -> r0
+        fired.append(neuron.time_stimulus())  # r0 -> r1
+        fired.append(neuron.time_stimulus())  # completes rise: fire
+        assert fired == [False, False, True]
+        assert neuron.state.phase is NeuronPhase.FALLING
+
+    def test_failed_initiation_leaks_back(self):
+        """Sub-threshold charge decays under time stimuli (Fig. 6(a)
+        "failed initiations")."""
+        neuron = MultiStateNeuron(threshold=5)
+        for _ in range(3):
+            neuron.spike_stimulus()
+        for _ in range(10):
+            assert not neuron.time_stimulus()
+        assert neuron.is_resting()
+
+    def test_refractory_inputs_ignored_during_rise(self):
+        neuron = MultiStateNeuron(threshold=1, rising_steps=3)
+        neuron.spike_stimulus()
+        neuron.time_stimulus()  # enter rising
+        state_before = neuron.state
+        neuron.spike_stimulus()
+        assert neuron.state == state_before
+
+    def test_returns_to_rest_after_undershoot(self):
+        neuron = MultiStateNeuron(threshold=1, rising_steps=1, falling_steps=2)
+        neuron.spike_stimulus()
+        fires = [neuron.time_stimulus() for _ in range(6)]
+        assert sum(fires) == 1
+        assert neuron.is_resting()
+
+    def test_spike_log_records_steps(self):
+        neuron = MultiStateNeuron(threshold=1, rising_steps=1)
+        neuron.spike_stimulus()
+        neuron.time_stimulus()
+        neuron.time_stimulus()
+        assert len(neuron.spike_log) == 1
+
+
+class TestTransitionTable:
+    def test_table_covers_all_states(self):
+        neuron = MultiStateNeuron(threshold=3, rising_steps=2, falling_steps=2)
+        table = neuron.transition_table()
+        sources = {row[0] for row in table}
+        assert {"b0", "b1", "b2", "b3", "r0", "r1", "f0", "f1", "f2"} <= sources
+
+    def test_spike_rows_match_threshold(self):
+        neuron = MultiStateNeuron(threshold=4)
+        spike_rows = [r for r in neuron.transition_table() if r[1] == "spike"]
+        assert len(spike_rows) == 4
+
+    def test_fire_transition_present(self):
+        neuron = MultiStateNeuron(threshold=2, rising_steps=3)
+        table = neuron.transition_table()
+        fire_rows = [r for r in table if "send a spike" in r[2]]
+        assert len(fire_rows) == 1
+        assert fire_rows[0][0] == "r2"
+
+
+class TestProperties:
+    @given(
+        threshold=st.integers(min_value=1, max_value=30),
+        spikes=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fires_iff_spikes_reach_threshold_before_leak(self, threshold, spikes):
+        """With all spike stimuli delivered before any time stimulus, the
+        neuron fires exactly when spikes >= threshold."""
+        neuron = MultiStateNeuron(threshold=threshold, rising_steps=1)
+        for _ in range(spikes):
+            neuron.spike_stimulus()
+        fired = any(neuron.time_stimulus() for _ in range(neuron.state_count()))
+        assert fired == (spikes >= threshold)
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=10),
+        events=st.lists(st.booleans(), max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_state_always_valid(self, threshold, events):
+        """Any stimulus sequence keeps the automaton in a defined state."""
+        neuron = MultiStateNeuron(threshold=threshold)
+        for is_spike in events:
+            if is_spike:
+                neuron.spike_stimulus()
+            else:
+                neuron.time_stimulus()
+        phase, idx = neuron.state.phase, neuron.state.index
+        if phase is NeuronPhase.BELOW_THRESHOLD:
+            assert 0 <= idx <= threshold
+        elif phase is NeuronPhase.RISING:
+            assert 0 <= idx < neuron.rising_steps
+        else:
+            assert 0 <= idx <= neuron.falling_steps
+
+    def test_reset_restores_rest(self):
+        neuron = MultiStateNeuron(threshold=2)
+        neuron.spike_stimulus()
+        neuron.reset()
+        assert neuron.is_resting()
+        assert neuron.spike_log == []

@@ -1,0 +1,240 @@
+"""Tests for the NPE: counter arithmetic, thresholds, protocol, and
+behavioural/gate-level equivalence (paper section 4.1, Fig. 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.neuro.npe import BehavioralNPE, GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.neuro.timing import NPEDriver, TimingPolicy
+from repro.rsfq import Netlist, Simulator
+
+
+class TestBehavioralCounter:
+    def test_counts_up(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.set_polarity(Polarity.SET1)
+        npe.excite(5)
+        assert npe.counter_value == 5
+
+    def test_counts_down(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.rst()
+        npe.write_preload(9)
+        npe.inhibit(4)
+        assert npe.counter_value == 5
+
+    def test_up_then_down_round_trip(self):
+        npe = BehavioralNPE(n_sc=6)
+        npe.excite(23)
+        npe.inhibit(11)
+        npe.excite(3)
+        assert npe.counter_value == 15
+
+    def test_overflow_wraps_and_fires(self):
+        npe = BehavioralNPE(n_sc=3)
+        npe.rst()
+        npe.write_preload(7)
+        assert npe.excite(1) == 1
+        assert npe.counter_value == 0
+        assert npe.fire_count == 1
+
+    def test_underflow_wraps_and_is_flagged(self):
+        npe = BehavioralNPE(n_sc=3)
+        assert npe.inhibit(1) == 1  # 0 - 1 wraps
+        assert npe.counter_value == 7
+        assert npe.underflow_count == 1
+        assert npe.fire_count == 0
+
+
+class TestBehavioralThreshold:
+    def test_fires_exactly_at_threshold(self):
+        npe = BehavioralNPE(n_sc=5)
+        npe.rst()
+        npe.configure_threshold(7)
+        assert npe.excite(6) == 0
+        assert npe.excite(1) == 1
+
+    def test_membrane_tracks_net_input(self):
+        npe = BehavioralNPE(n_sc=6)
+        npe.rst()
+        npe.configure_threshold(20)
+        npe.excite(5)
+        npe.inhibit(2)
+        assert npe.membrane == 3
+
+    def test_threshold_bounds(self):
+        npe = BehavioralNPE(n_sc=3)
+        npe.rst()
+        with pytest.raises(CapacityError):
+            npe.configure_threshold(0)
+        with pytest.raises(CapacityError):
+            npe.configure_threshold(9)
+        npe.configure_threshold(8)  # exactly 2**3 is representable
+
+    def test_rst_reads_counter_and_clears(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.excite(6)
+        assert npe.rst() == 6
+        assert npe.counter_value == 0
+        assert npe.rst() == 0
+
+    def test_input_before_set_rejected(self):
+        npe = BehavioralNPE(n_sc=4)
+        npe.rst()
+        with pytest.raises(ProtocolError):
+            npe.pulse()
+
+    def test_preload_bounds(self):
+        npe = BehavioralNPE(n_sc=3)
+        npe.rst()
+        with pytest.raises(CapacityError):
+            npe.write_preload(8)
+        with pytest.raises(CapacityError):
+            npe.write_preload(-1)
+
+    def test_needs_at_least_one_sc(self):
+        with pytest.raises(ConfigurationError):
+            BehavioralNPE(n_sc=0)
+
+    @given(
+        n_sc=st.integers(min_value=2, max_value=8),
+        threshold=st.integers(min_value=1, max_value=255),
+        pulses=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_if_neuron_semantics(self, n_sc, threshold, pulses):
+        """Preloaded chain fires exactly floor((preload+pulses)/2**n) times:
+        the integrate-and-fire contract of the counter construction."""
+        capacity = 1 << n_sc
+        if threshold > capacity:
+            threshold = capacity
+        npe = BehavioralNPE(n_sc=n_sc)
+        npe.rst()
+        npe.configure_threshold(threshold)
+        fires = npe.excite(pulses)
+        expected = (capacity - threshold + pulses) // capacity
+        assert fires == expected
+        if pulses < threshold:
+            assert fires == 0
+            assert npe.membrane == pulses
+
+
+def gate_npe(n_sc):
+    net = Netlist("npe")
+    npe = GateLevelNPE(net, "npe0", n_sc=n_sc)
+    sim = Simulator(net)
+    return npe, NPEDriver(sim, npe), sim
+
+
+class TestGateLevelNPE:
+    def test_counter_increments(self):
+        npe, drv, sim = gate_npe(4)
+        drv.reset()
+        drv.set_polarity(Polarity.SET1)
+        drv.pulses(5)
+        drv.run()
+        assert npe.counter_value == 5
+        assert sim.violations == []
+
+    def test_threshold_fire(self):
+        npe, drv, sim = gate_npe(4)
+        drv.reset()
+        drv.configure_threshold(3)
+        drv.set_polarity(Polarity.SET1)
+        drv.pulses(2)
+        drv.run()
+        assert npe.fire_times == []
+        drv.pulses(1)
+        drv.run()
+        assert len(npe.fire_times) == 1
+        assert sim.violations == []
+
+    def test_down_count(self):
+        npe, drv, sim = gate_npe(4)
+        drv.reset()
+        drv.write_preload(10)
+        drv.set_polarity(Polarity.SET0)
+        drv.pulses(3)
+        drv.run()
+        assert npe.counter_value == 7
+        assert sim.violations == []
+
+    def test_reset_reads_set_bits(self):
+        npe, drv, sim = gate_npe(4)
+        drv.reset()
+        drv.write_preload(0b1010)
+        drv.reset()
+        drv.run()
+        assert npe.read_times(1) and npe.read_times(3)
+        assert not npe.read_times(0) and not npe.read_times(2)
+        assert npe.counter_value == 0
+
+    def test_state_preservation_across_streams(self):
+        """The membrane survives between input batches with no storage --
+        the state-preservation property the bit-slice method relies on."""
+        npe, drv, sim = gate_npe(5)
+        drv.reset()
+        drv.configure_threshold(9)
+        drv.set_polarity(Polarity.SET1)
+        drv.pulses(4)
+        drv.run()
+        mid = npe.counter_value
+        drv.set_polarity(Polarity.SET1)  # re-arm between batches
+        drv.pulses(5)
+        drv.run()
+        assert npe.counter_value == (mid + 5) % 32
+        assert len(npe.fire_times) == 1
+        assert sim.violations == []
+
+    def test_invalid_preload_rejected(self):
+        npe, drv, sim = gate_npe(3)
+        with pytest.raises(ConfigurationError):
+            drv.write_preload(8)
+
+    def test_bad_bus_name_rejected(self):
+        npe, _, _ = gate_npe(2)
+        with pytest.raises(ProtocolError):
+            npe.bus_input("nonsense")
+
+
+class TestEquivalence:
+    @given(
+        n_sc=st.integers(min_value=2, max_value=5),
+        threshold=st.integers(min_value=1, max_value=20),
+        batches=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=12)),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_gate_level_equals_behavioural(self, n_sc, threshold, batches):
+        """Random mixed up/down pulse batches leave both NPE implementations
+        with the same counter and the same number of output pulses."""
+        capacity = 1 << n_sc
+        threshold = min(threshold, capacity)
+
+        beh = BehavioralNPE(n_sc=n_sc)
+        beh.rst()
+        beh.configure_threshold(threshold)
+        beh_out = 0
+        for is_up, count in batches:
+            if is_up:
+                beh_out += beh.excite(count)
+            else:
+                beh_out += beh.inhibit(count)
+
+        npe, drv, sim = gate_npe(n_sc)
+        drv.reset()
+        drv.configure_threshold(threshold)
+        for is_up, count in batches:
+            drv.set_polarity(Polarity.SET1 if is_up else Polarity.SET0)
+            drv.pulses(count)
+        drv.run()
+
+        assert npe.counter_value == beh.counter_value
+        assert len(npe.fire_times) == beh_out
+        assert sim.violations == []

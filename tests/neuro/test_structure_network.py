@@ -1,0 +1,118 @@
+"""Tests for fan-out/merge trees and the on-chip network structural
+models (Fig. 11)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.neuro.network import MeshNetwork, NetworkStats, TreeNetwork, network_for
+from repro.neuro.structure import (
+    fanout_tree,
+    fanout_tree_cost,
+    merge_tree,
+    merge_tree_cost,
+)
+from repro.rsfq import Netlist, Simulator, library
+
+
+class TestFanoutTree:
+    @given(n=st.integers(min_value=1, max_value=17))
+    @settings(max_examples=20, deadline=None)
+    def test_one_pulse_reaches_every_leaf_exactly_once(self, n):
+        net = Netlist("fan")
+        root, leaves = fanout_tree(net, "t", n)
+        probes = []
+        for i, leaf in enumerate(leaves):
+            probe = net.add(library.Probe(f"p{i}"))
+            net.connect(leaf[0], leaf[1], probe, "din", delay=0.0)
+            probes.append(probe)
+        sim = Simulator(net)
+        sim.schedule_input(root[0], root[1], 0.0)
+        sim.run()
+        assert all(len(p.times) == 1 for p in probes)
+
+    def test_cost_histogram_matches_construction(self):
+        for n in (1, 2, 5, 8):
+            net = Netlist("fan")
+            fanout_tree(net, "t", n)
+            hist = net.cell_histogram()
+            assert hist == fanout_tree_cost(n)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            fanout_tree(Netlist("x"), "t", 0)
+        with pytest.raises(ConfigurationError):
+            fanout_tree_cost(0)
+
+
+class TestMergeTree:
+    @given(n=st.integers(min_value=1, max_value=17))
+    @settings(max_examples=20, deadline=None)
+    def test_every_input_reaches_the_output(self, n):
+        net = Netlist("merge")
+        inputs, out = merge_tree(net, "m", n)
+        probe = net.add(library.Probe("p"))
+        net.connect(out[0], out[1], probe, "din", delay=0.0)
+        sim = Simulator(net)
+        for i, (cell, port) in enumerate(inputs):
+            sim.schedule_input(cell, port, 100.0 * i)
+        sim.run()
+        assert len(probe.times) == n
+
+    def test_cost_histogram_matches_construction(self):
+        for n in (1, 2, 5, 8):
+            net = Netlist("merge")
+            merge_tree(net, "m", n)
+            assert net.cell_histogram() == merge_tree_cost(n)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            merge_tree(Netlist("x"), "m", -1)
+        with pytest.raises(ConfigurationError):
+            merge_tree_cost(0)
+
+
+class TestNetworkModels:
+    def test_mesh_counts(self):
+        mesh = MeshNetwork(4)
+        assert mesh.npe_count == 8
+        assert mesh.synapse_count == 16
+        stats = mesh.stats()
+        assert stats.crosspoint_count == 16
+        assert stats.line_crossings == 16
+        assert stats.ndro_count == 16  # one switch per crosspoint at K=1
+
+    def test_mesh_strength_scales_switches(self):
+        assert MeshNetwork(2, max_strength=3).stats().ndro_count == 12
+
+    def test_tree_counts(self):
+        tree = TreeNetwork(8)
+        stats = tree.stats()
+        assert tree.npe_count == 16
+        assert stats.line_crossings == 0
+        assert stats.ndro_count == 0
+        assert stats.spl_count == 7
+        assert stats.cb_count == 7
+
+    def test_mesh_vs_tree_tradeoff(self):
+        """Fig. 11's trade-off: the mesh supports n^2 configurable
+        synapses; the tree is far cheaper but only normalised weights."""
+        mesh, tree = MeshNetwork(8).stats(), TreeNetwork(8).stats()
+        assert mesh.synapse_count > tree.synapse_count
+        assert mesh.total_line_span_units > tree.total_line_span_units
+
+    def test_factory(self):
+        assert isinstance(network_for("mesh", 2), MeshNetwork)
+        assert isinstance(network_for("tree", 2), TreeNetwork)
+        with pytest.raises(ConfigurationError):
+            network_for("torus", 2)
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(0)
+        with pytest.raises(ConfigurationError):
+            TreeNetwork(0)
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(2, max_strength=0)
+
+    def test_stats_type(self):
+        assert isinstance(MeshNetwork(2).stats(), NetworkStats)

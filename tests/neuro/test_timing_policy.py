@@ -1,0 +1,88 @@
+"""Unit tests for TimingPolicy and NPEDriver scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neuro.npe import GateLevelNPE
+from repro.neuro.state_controller import Polarity
+from repro.neuro.timing import NPEDriver, TimingPolicy
+from repro.rsfq import Netlist, Simulator
+from repro.rsfq.constraints import TFF_MIN_INTERVAL
+
+
+class TestTimingPolicy:
+    def test_defaults_respect_tff_interval(self):
+        policy = TimingPolicy()
+        assert policy.input_interval > TFF_MIN_INTERVAL
+
+    def test_settle_time_scales_with_chain(self):
+        policy = TimingPolicy()
+        assert policy.settle_time(10) > policy.settle_time(2)
+        assert policy.settle_time(4) == pytest.approx(
+            policy.phase_gap + 4 * policy.per_stage_ripple
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingPolicy(input_interval=TFF_MIN_INTERVAL)
+        with pytest.raises(ConfigurationError):
+            TimingPolicy(control_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            TimingPolicy(phase_gap=-1.0)
+
+
+class TestNPEDriver:
+    def make(self, n_sc=4):
+        net = Netlist("npe")
+        npe = GateLevelNPE(net, "npe", n_sc=n_sc)
+        sim = Simulator(net)
+        return npe, NPEDriver(sim, npe), sim
+
+    def test_cursor_advances_monotonically(self):
+        _, driver, _ = self.make()
+        t0 = driver.cursor
+        driver.reset()
+        t1 = driver.cursor
+        driver.set_polarity(Polarity.SET1)
+        t2 = driver.cursor
+        driver.pulses(3)
+        t3 = driver.cursor
+        assert t0 < t1 < t2 < t3
+
+    def test_pulses_spaced_by_policy_interval(self):
+        npe, driver, sim = self.make()
+        driver.reset()
+        driver.set_polarity(Polarity.SET1)
+        driver.pulses(4)
+        driver.run()
+        # All four pulses arrived; spacing never violated the TFF window.
+        assert npe.counter_value == 4
+        assert sim.violations == []
+
+    def test_zero_pulses_is_a_noop(self):
+        _, driver, _ = self.make()
+        driver.reset()
+        before = driver.cursor
+        driver.pulses(0)
+        assert driver.cursor == before
+
+    def test_negative_pulses_rejected(self):
+        _, driver, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            driver.pulses(-1)
+
+    def test_bad_threshold_rejected(self):
+        _, driver, _ = self.make(n_sc=3)
+        driver.reset()
+        with pytest.raises(ConfigurationError):
+            driver.configure_threshold(9)
+        with pytest.raises(ConfigurationError):
+            driver.configure_threshold(0)
+
+    def test_run_syncs_cursor_with_sim_time(self):
+        _, driver, sim = self.make()
+        driver.reset()
+        driver.set_polarity(Polarity.SET1)
+        driver.pulses(2)
+        driver.run()
+        assert driver.cursor >= sim.now

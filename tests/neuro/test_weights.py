@@ -1,0 +1,149 @@
+"""Tests for pulse-gain weight structures (paper Fig. 10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.neuro.weights import (
+    BehavioralWeightStructure,
+    GateLevelWeightStructure,
+)
+from repro.rsfq import Netlist, Simulator, library
+
+
+class TestBehavioralWeight:
+    def test_starts_disconnected(self):
+        xp = BehavioralWeightStructure()
+        assert not xp.enabled
+        assert xp.pulses_out(1) == 0
+
+    def test_gain_multiplies_pulses(self):
+        xp = BehavioralWeightStructure(max_strength=4)
+        xp.configure(3)
+        assert xp.pulses_out(1) == 3
+        assert xp.pulses_out(2) == 6
+
+    def test_reconfigure_counts_reloads(self):
+        xp = BehavioralWeightStructure(max_strength=2)
+        assert xp.configure(1) is True
+        assert xp.configure(1) is False  # unchanged: free (section 4.2.2)
+        assert xp.configure(2) is True
+        assert xp.reload_count == 2
+
+    def test_strength_bounds(self):
+        xp = BehavioralWeightStructure(max_strength=2)
+        with pytest.raises(ConfigurationError):
+            xp.configure(3)
+        with pytest.raises(ConfigurationError):
+            xp.configure(-1)
+
+    def test_invalid_max_strength(self):
+        with pytest.raises(ConfigurationError):
+            BehavioralWeightStructure(max_strength=0)
+
+    def test_negative_pulse_count_rejected(self):
+        xp = BehavioralWeightStructure()
+        with pytest.raises(ConfigurationError):
+            xp.pulses_out(-1)
+
+
+def gate_weight(max_strength):
+    net = Netlist("w")
+    xp = GateLevelWeightStructure(net, "xp", max_strength=max_strength)
+    probe = net.add(library.Probe("col"))
+    cell, port = xp.column_output
+    net.connect(cell, port, probe, "din")
+    return net, xp, probe
+
+
+class TestGateLevelWeight:
+    def test_disarmed_structure_blocks_pulses(self):
+        net, xp, probe = gate_weight(3)
+        sim = Simulator(net)
+        cell, port = xp.axon_input
+        sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        assert probe.times == []
+        assert xp.strength == 0
+
+    @pytest.mark.parametrize("strength", [1, 2, 3])
+    def test_armed_branches_set_the_gain(self, strength):
+        net, xp, probe = gate_weight(3)
+        sim = Simulator(net)
+        for k in range(strength):
+            cell, port = xp.switch_input(k, "din")
+            sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        assert xp.strength == strength
+        cell, port = xp.axon_input
+        sim.schedule_input(cell, port, 100.0)
+        sim.run()
+        assert len(probe.times) == strength
+        assert sim.violations == []
+
+    def test_expanded_pulses_are_staggered(self):
+        """Output pulses must be separated enough for the NPE TFF chain."""
+        net, xp, probe = gate_weight(3)
+        sim = Simulator(net)
+        for k in range(3):
+            cell, port = xp.switch_input(k, "din")
+            sim.schedule_input(cell, port, 0.0)
+        cell, port = xp.axon_input
+        sim.schedule_input(cell, port, 100.0)
+        sim.run()
+        gaps = [b - a for a, b in zip(probe.times, probe.times[1:])]
+        assert all(gap >= 39.9 for gap in gaps)
+
+    def test_disarm_reduces_gain(self):
+        net, xp, probe = gate_weight(2)
+        sim = Simulator(net)
+        for k in range(2):
+            cell, port = xp.switch_input(k, "din")
+            sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        cell, port = xp.switch_input(1, "rst")
+        sim.schedule_input(cell, port, 100.0)
+        sim.run()
+        assert xp.strength == 1
+        a_cell, a_port = xp.axon_input
+        sim.schedule_input(a_cell, a_port, 300.0)
+        sim.run()
+        assert len(probe.times) == 1
+
+    def test_reload_is_off_the_inference_path(self):
+        """Weight control channels reach the NDROs without passing through
+        the axon/column lines: reconfiguring mid-stream never produces
+        column pulses by itself (section 4.2.2)."""
+        net, xp, probe = gate_weight(2)
+        sim = Simulator(net)
+        for k in range(2):
+            cell, port = xp.switch_input(k, "din")
+            sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        assert probe.times == []
+
+    def test_bad_channel_rejected(self):
+        net, xp, _ = gate_weight(1)
+        with pytest.raises(ConfigurationError):
+            xp.switch_input(0, "clk")
+
+    @given(strength=st.integers(min_value=0, max_value=4),
+           pulses=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_gate_level_matches_behavioural_gain(self, strength, pulses):
+        beh = BehavioralWeightStructure(max_strength=4)
+        beh.configure(strength)
+
+        net, xp, probe = gate_weight(4)
+        sim = Simulator(net)
+        for k in range(strength):
+            cell, port = xp.switch_input(k, "din")
+            sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        a_cell, a_port = xp.axon_input
+        for p in range(pulses):
+            sim.schedule_input(a_cell, a_port, 200.0 + 400.0 * p)
+        sim.run()
+        assert len(probe.times) == beh.pulses_out(pulses)
+        assert sim.violations == []

@@ -1,0 +1,279 @@
+"""Tests for the resource, power and performance models and their
+calibration against the paper's published anchors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.neuro.npe import GateLevelNPE
+from repro.neuro.weights import GateLevelWeightStructure
+from repro.resources import (
+    estimate_resources,
+    histogram_area_um2,
+    histogram_jj_count,
+    npe_cell_histogram,
+    sc_cell_histogram,
+    weight_structure_histogram,
+)
+from repro.resources.cell_costs import (
+    chip_logic_histogram,
+    io_channel_histogram,
+    merge_histograms,
+    scale_histogram,
+)
+from repro.resources.floorplan import estimate_wiring
+from repro.resources.performance import (
+    PerformanceModel,
+    mnist_synops_per_frame,
+)
+from repro.resources.power import PowerModel
+from repro.rsfq.netlist import Netlist
+
+
+class TestHistograms:
+    def test_sc_histogram_matches_gate_level(self):
+        """The cost model must describe the circuits we actually build."""
+        net = Netlist("probe")
+        from repro.neuro.state_controller import GateLevelStateController
+
+        GateLevelStateController(net, "sc")
+        built = {
+            k: v for k, v in net.cell_histogram().items() if k != "Probe"
+        }
+        assert built == sc_cell_histogram()
+
+    def test_npe_histogram_matches_gate_level(self):
+        net = Netlist("probe")
+        GateLevelNPE(net, "npe", n_sc=4, attach_driver=True)
+        built = {
+            k: v for k, v in net.cell_histogram().items() if k != "Probe"
+        }
+        expected = npe_cell_histogram(4, with_output_driver=True)
+        # The gate-level NPE does not (yet) merge its read channels, so
+        # compare everything except the read-path cells.
+        for cell in ("SPL", "CB3", "NDRO", "TFFL", "TFFR", "SPL3"):
+            assert built.get(cell, 0) >= expected.get(cell, 0) - 4
+
+    def test_weight_structure_histogram_matches_gate_level(self):
+        net = Netlist("probe")
+        GateLevelWeightStructure(net, "xp", max_strength=3)
+        built = {
+            k: v for k, v in net.cell_histogram().items() if k != "Probe"
+        }
+        assert built == weight_structure_histogram(3)
+
+    def test_merge_and_scale(self):
+        merged = merge_histograms({"SPL": 1}, {"SPL": 2, "CB": 1})
+        assert merged == {"SPL": 3, "CB": 1}
+        assert scale_histogram({"SPL": 2}, 3) == {"SPL": 6}
+
+    def test_jj_and_area_totals(self):
+        hist = {"SPL": 2, "NDRO": 1}
+        from repro.rsfq import library
+
+        assert histogram_jj_count(hist) == (
+            2 * library.SPL.JJ_COUNT + library.NDRO.JJ_COUNT
+        )
+        assert histogram_area_um2(hist) == pytest.approx(
+            2 * library.SPL.AREA_UM2 + library.NDRO.AREA_UM2
+        )
+
+    def test_io_channels_scale_with_configuration(self):
+        small = io_channel_histogram(2, 10, 1, with_weights=True)["DCSFQ"]
+        weightless = io_channel_histogram(2, 10, 1, False)["DCSFQ"]
+        assert small - weightless == 2 * 4 * 1  # din/rst per crosspoint
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            npe_cell_histogram(0)
+        with pytest.raises(ConfigurationError):
+            weight_structure_histogram(0)
+        with pytest.raises(ConfigurationError):
+            scale_histogram({"SPL": 1}, -1)
+
+
+class TestResourceCalibration:
+    """The paper's published anchor points (Table 2 and section 6.3)."""
+
+    def test_table2_total_jj(self):
+        r = estimate_resources(4, with_weights=True, max_strength=4)
+        assert r.total_jj == pytest.approx(45_542, rel=0.05)
+
+    def test_table2_wiring_logic_split(self):
+        r = estimate_resources(4, with_weights=True, max_strength=4)
+        assert r.wiring_jj == pytest.approx(31_026, rel=0.05)
+        assert r.logic_jj == pytest.approx(14_516, rel=0.05)
+        assert r.wiring_fraction == pytest.approx(0.6813, abs=0.03)
+
+    def test_table2_area(self):
+        r = estimate_resources(4, with_weights=True, max_strength=4)
+        assert r.total_area_mm2 == pytest.approx(44.73, rel=0.05)
+
+    def test_peak_config_jj_and_area(self):
+        r = estimate_resources(16, with_weights=False)
+        assert r.total_jj == pytest.approx(99_982, rel=0.02)
+        assert r.total_area_mm2 == pytest.approx(103.75, rel=0.05)
+
+    def test_scaling_tracks_linear_reference(self):
+        """Fig. 13: growth tracks (slightly off) the linear reference."""
+        base = estimate_resources(1, with_weights=False)
+        for n in (2, 4, 8, 16):
+            r = estimate_resources(n, with_weights=False)
+            linear = base.total_jj * n
+            assert 0.7 * linear <= r.total_jj <= 1.5 * linear
+
+    def test_wiring_fraction_grows_with_scale(self):
+        """Beyond the fixed pad-ring overhead (which dominates the tiny
+        1x1 chip), the wiring share rises with mesh size."""
+        fractions = [
+            estimate_resources(n, with_weights=False).wiring_fraction
+            for n in (2, 4, 8, 16)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_fabricated_config_fits_process_limit(self):
+        """The Nb03 process supports ~1e4 JJs on a 5x5 mm chip (section
+        5.3); the fabricated 2-NPE configuration must fit."""
+        r = estimate_resources(1, with_weights=False)
+        assert r.total_jj < 10_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_resources(0)
+        with pytest.raises(ConfigurationError):
+            estimate_wiring(1, logic_jj=0)
+        with pytest.raises(ConfigurationError):
+            estimate_wiring(1, logic_jj=100, config_channels=-1)
+
+
+class TestPowerModel:
+    def test_peak_power_matches_paper(self):
+        model = PowerModel.for_mesh(16, with_weights=False)
+        sops = PerformanceModel(16).peak_sops()
+        assert model.total_mw(sops) == pytest.approx(41.87, rel=0.02)
+
+    def test_static_dominates_dynamic(self):
+        model = PowerModel.for_mesh(4)
+        assert model.dynamic_mw(1e12) < 0.01 * model.static_mw
+
+    def test_power_grows_with_scale(self):
+        powers = [
+            PowerModel.for_mesh(n, with_weights=False).static_mw
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert powers == sorted(powers)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel.for_mesh(1).dynamic_mw(-1.0)
+
+
+class TestPerformanceModel:
+    def test_peak_gsops_matches_paper(self):
+        assert PerformanceModel(16).peak_gsops() == pytest.approx(
+            1355.0, rel=0.01
+        )
+
+    def test_paper_speedup_over_truenorth(self):
+        """SUSHI's peak is 23x TrueNorth's 58 GSOPS."""
+        ratio = PerformanceModel(16).peak_gsops() / 58.0
+        assert ratio == pytest.approx(23.4, abs=1.0)
+
+    def test_power_efficiency_matches_paper(self):
+        eff = PerformanceModel(16).power_efficiency_gsops_per_w(
+            with_weights=False
+        )
+        assert eff == pytest.approx(32_366, rel=0.02)
+
+    def test_efficiency_ratios_over_baselines(self):
+        """81x TrueNorth (400 GSOPS/W), 50x Tianjic (649 GSOPS/W)."""
+        eff = PerformanceModel(16).power_efficiency_gsops_per_w(
+            with_weights=False
+        )
+        assert eff / 400.0 == pytest.approx(81, abs=3)
+        assert eff / 649.0 == pytest.approx(50, abs=2)
+
+    def test_delay_share_endpoints(self):
+        """Section 6.3A: ~6% at 1x1, ~53% at 16x16."""
+        assert PerformanceModel(1).transmission_delay_share() == pytest.approx(
+            0.06, abs=0.005
+        )
+        assert PerformanceModel(16).transmission_delay_share() == pytest.approx(
+            0.53, abs=0.01
+        )
+
+    def test_delay_share_monotone(self):
+        shares = [
+            PerformanceModel(n).transmission_delay_share()
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert shares == sorted(shares)
+
+    def test_fps_matches_paper(self):
+        """Section 6.3: up to 2.61e5 FPS on the MNIST network."""
+        fps = PerformanceModel(16).fps(
+            mnist_synops_per_frame(), reload_fraction=0.2, utilisation=0.765
+        )
+        assert fps == pytest.approx(2.61e5, rel=0.02)
+
+    def test_performance_grows_with_npes(self):
+        gsops = [PerformanceModel(n).peak_gsops() for n in (1, 2, 4, 8, 16)]
+        assert gsops == sorted(gsops)
+
+    def test_sublinear_efficiency(self):
+        """Doubling NPEs less than doubles throughput (wiring penalty)."""
+        assert (
+            PerformanceModel(16).peak_gsops()
+            < 2 * PerformanceModel(8).peak_gsops()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(0)
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(1).fps(0)
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(1).fps(100, reload_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(1).fps(100, utilisation=0.0)
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_model_is_well_behaved_at_any_scale(self, n):
+        model = PerformanceModel(n)
+        assert 0 < model.efficiency() <= 1.0
+        assert 0 <= model.transmission_delay_share() < 1.0
+        assert model.peak_sops() > 0
+
+
+class TestBaselines:
+    def test_table4_specs(self):
+        from repro.baselines import TIANJIC, TRUENORTH
+
+        assert TRUENORTH.gsops == 58.0
+        assert TRUENORTH.gsops_per_w == 400.0
+        assert TRUENORTH.area_mm2 == 430.0
+        assert TIANJIC.gsops_per_w == 649.0
+        assert TIANJIC.area_mm2 == 14.44
+        assert TIANJIC.clock_mhz == 300.0
+        assert TRUENORTH.is_async and not TIANJIC.is_async
+
+    def test_analytical_sops(self):
+        from repro.baselines import analytical_sops
+
+        assert analytical_sops(10.0, 1e6) == 1e7
+        with pytest.raises(ConfigurationError):
+            analytical_sops(-1.0, 10)
+
+    def test_peak_power_efficiency_fallback(self):
+        from repro.baselines import TRUENORTH
+        from repro.baselines.specs import ChipSpec
+
+        assert TRUENORTH.peak_power_efficiency() == 400.0
+        spec = ChipSpec(
+            name="x", model="SNN", memory="-", technology="-",
+            clock_mhz=None, area_mm2=1.0, power_mw=(100.0, 100.0),
+            gsops=10.0, gsops_per_w=None,
+        )
+        assert spec.peak_power_efficiency() == pytest.approx(100.0)

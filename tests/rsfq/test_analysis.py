@@ -1,0 +1,92 @@
+"""Tests for static timing analysis (earliest-arrival path breakdown)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neuro.chip import ChipConfig, GateLevelChip
+from repro.rsfq import Netlist, library
+from repro.rsfq.analysis import chip_transmission_fraction, earliest_arrival
+
+
+def chain(n, wire_delay=2.0, jtl_count=0):
+    net = Netlist("chain")
+    cells = [net.add(library.JTL(f"j{i}")) for i in range(n)]
+    for a, b in zip(cells, cells[1:]):
+        net.connect(a, "dout", b, "din", delay=wire_delay,
+                    jtl_count=jtl_count)
+    return net, cells
+
+
+class TestEarliestArrival:
+    def test_chain_breakdown(self):
+        net, cells = chain(4, wire_delay=2.0, jtl_count=1)
+        timing = earliest_arrival(net, "j0", "j3")
+        # Three hops: 3 cell delays + 3 transmission wires.
+        assert timing.total_ps == pytest.approx(
+            3 * library.JTL.DELAY_PS + 3 * 2.0
+        )
+        assert timing.wire_ps == pytest.approx(6.0)
+        assert timing.hops == ("j0", "j1", "j2", "j3")
+
+    def test_stub_wires_attributed_to_cells(self):
+        net, cells = chain(3, wire_delay=2.0, jtl_count=0)
+        timing = earliest_arrival(net, "j0", "j2")
+        assert timing.wire_ps == 0.0
+        assert timing.cell_ps == pytest.approx(
+            2 * library.JTL.DELAY_PS + 2 * 2.0
+        )
+        assert timing.wire_fraction == 0.0
+
+    def test_picks_the_faster_branch(self):
+        net = Netlist("branch")
+        spl = net.add(library.SPL("s"))
+        fast = net.add(library.JTL("fast"))
+        slow = net.add(library.JTL("slow"))
+        cb = net.add(library.CB("c"))
+        sink = net.add(library.Probe("p"))
+        net.connect(spl, "doutA", fast, "din", delay=1.0)
+        net.connect(spl, "doutB", slow, "din", delay=50.0)
+        net.connect(fast, "dout", cb, "dinA", delay=1.0)
+        net.connect(slow, "dout", cb, "dinB", delay=1.0)
+        net.connect(cb, "dout", sink, "din", delay=1.0)
+        timing = earliest_arrival(net, "s", "p")
+        assert "fast" in timing.hops
+        assert "slow" not in timing.hops
+
+    def test_feedback_loops_terminate(self):
+        net = Netlist("loop")
+        a = net.add(library.JTL("a"))
+        b = net.add(library.SPL("b"))
+        sink = net.add(library.Probe("p"))
+        net.connect(a, "dout", b, "din", delay=1.0)
+        net.connect(b, "doutA", a, "din", delay=1.0)  # cycle
+        net.connect(b, "doutB", sink, "din", delay=1.0)
+        timing = earliest_arrival(net, "a", "p")
+        assert timing is not None
+        assert timing.hops == ("a", "b", "p")
+
+    def test_unreachable_returns_none(self):
+        net, _ = chain(2)
+        lone = net.add(library.Probe("lone"))
+        assert earliest_arrival(net, "j0", "lone") is None
+
+    def test_unknown_cells_rejected(self):
+        net, _ = chain(2)
+        with pytest.raises(ConfigurationError):
+            earliest_arrival(net, "ghost", "j1")
+
+
+class TestChipTransmissionFraction:
+    def test_matches_paper_at_1x1(self):
+        chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=4))
+        fraction = chip_transmission_fraction(chip)
+        assert fraction == pytest.approx(0.06, abs=0.015)
+
+    def test_grows_with_mesh_size(self):
+        fractions = [
+            chip_transmission_fraction(
+                GateLevelChip(ChipConfig(n=n, sc_per_npe=4))
+            )
+            for n in (1, 2, 3)
+        ]
+        assert fractions == sorted(fractions)

@@ -1,0 +1,252 @@
+"""Unit tests for the RSFQ standard-cell behavioural models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rsfq import Netlist, Simulator, library
+
+
+def single_cell_harness(cell):
+    """Wire every output of ``cell`` to a probe; return (sim, probes)."""
+    net = Netlist("harness")
+    net.add(cell)
+    probes = {}
+    for port in cell.OUTPUTS:
+        probe = net.add(library.Probe(f"probe_{port}"))
+        net.connect(cell, port, probe, "din", delay=0.0)
+        probes[port] = probe
+    return Simulator(net), probes
+
+
+class TestJTL:
+    def test_passes_pulse_with_delay(self):
+        jtl = library.JTL("j")
+        sim, probes = single_cell_harness(jtl)
+        sim.schedule_input(jtl, "din", 10.0)
+        sim.run()
+        assert probes["dout"].times == [pytest.approx(10.0 + library.JTL.DELAY_PS)]
+
+    def test_passes_every_pulse(self):
+        jtl = library.JTL("j")
+        sim, probes = single_cell_harness(jtl)
+        for i in range(5):
+            sim.schedule_input(jtl, "din", 25.0 * i)
+        sim.run()
+        assert len(probes["dout"].times) == 5
+
+
+class TestSPL:
+    def test_duplicates_on_both_outputs(self):
+        spl = library.SPL("s")
+        sim, probes = single_cell_harness(spl)
+        sim.schedule_input(spl, "din", 0.0)
+        sim.run()
+        assert len(probes["doutA"].times) == 1
+        assert len(probes["doutB"].times) == 1
+        assert probes["doutA"].times == probes["doutB"].times
+
+    def test_spl3_three_outputs(self):
+        spl = library.SPL3("s")
+        sim, probes = single_cell_harness(spl)
+        sim.schedule_input(spl, "din", 0.0)
+        sim.run()
+        for port in ("doutA", "doutB", "doutC"):
+            assert len(probes[port].times) == 1
+
+
+class TestCB:
+    def test_merges_both_inputs(self):
+        cb = library.CB("c")
+        sim, probes = single_cell_harness(cb)
+        sim.schedule_input(cb, "dinA", 0.0)
+        sim.schedule_input(cb, "dinB", 30.0)
+        sim.run()
+        assert len(probes["dout"].times) == 2
+
+    def test_cross_input_constraint_violation_recorded(self):
+        cb = library.CB("c")
+        sim, probes = single_cell_harness(cb)
+        sim.schedule_input(cb, "dinA", 0.0)
+        sim.schedule_input(cb, "dinB", 2.0)  # < 5.7 ps cross interval
+        sim.run()
+        assert len(sim.violations) == 1
+        v = sim.violations[0]
+        assert v.cell_type == "CB"
+        assert v.required == pytest.approx(5.7)
+        assert v.actual == pytest.approx(2.0)
+
+    def test_cross_input_ok_beyond_interval(self):
+        cb = library.CB("c")
+        sim, _ = single_cell_harness(cb)
+        sim.schedule_input(cb, "dinA", 0.0)
+        sim.schedule_input(cb, "dinB", 6.0)
+        sim.run()
+        assert sim.violations == []
+
+    def test_cb3_merges_three(self):
+        cb = library.CB3("c")
+        sim, probes = single_cell_harness(cb)
+        sim.schedule_input(cb, "dinA", 0.0)
+        sim.schedule_input(cb, "dinB", 30.0)
+        sim.schedule_input(cb, "dinC", 60.0)
+        sim.run()
+        assert len(probes["dout"].times) == 3
+
+
+class TestDFF:
+    def test_releases_stored_pulse_on_clock(self):
+        dff = library.DFF("d")
+        sim, probes = single_cell_harness(dff)
+        sim.schedule_input(dff, "din", 0.0)
+        sim.schedule_input(dff, "clk", 20.0)
+        sim.run()
+        assert probes["dout"].times == [pytest.approx(20.0 + library.DFF.DELAY_PS)]
+
+    def test_clock_without_data_emits_nothing(self):
+        dff = library.DFF("d")
+        sim, probes = single_cell_harness(dff)
+        sim.schedule_input(dff, "clk", 20.0)
+        sim.run()
+        assert probes["dout"].times == []
+
+    def test_read_is_destructive(self):
+        dff = library.DFF("d")
+        sim, probes = single_cell_harness(dff)
+        sim.schedule_input(dff, "din", 0.0)
+        sim.schedule_input(dff, "clk", 20.0)
+        sim.schedule_input(dff, "clk", 60.0)
+        sim.run()
+        assert len(probes["dout"].times) == 1
+
+    def test_din_to_clk_constraint(self):
+        dff = library.DFF("d")
+        sim, _ = single_cell_harness(dff)
+        sim.schedule_input(dff, "din", 0.0)
+        sim.schedule_input(dff, "clk", 4.0)  # < 8.53 ps
+        sim.run()
+        assert len(sim.violations) == 1
+
+
+class TestNDRO:
+    def test_read_is_non_destructive(self):
+        ndro = library.NDRO("n")
+        sim, probes = single_cell_harness(ndro)
+        sim.schedule_input(ndro, "din", 0.0)
+        sim.schedule_input(ndro, "clk", 50.0)
+        sim.schedule_input(ndro, "clk", 100.0)
+        sim.run()
+        assert len(probes["dout"].times) == 2
+
+    def test_reset_clears_state(self):
+        ndro = library.NDRO("n")
+        sim, probes = single_cell_harness(ndro)
+        sim.schedule_input(ndro, "din", 0.0)
+        sim.schedule_input(ndro, "rst", 50.0)
+        sim.schedule_input(ndro, "clk", 100.0)
+        sim.run()
+        assert probes["dout"].times == []
+
+    def test_unset_switch_blocks_clock(self):
+        ndro = library.NDRO("n")
+        sim, probes = single_cell_harness(ndro)
+        sim.schedule_input(ndro, "clk", 10.0)
+        sim.run()
+        assert probes["dout"].times == []
+
+    def test_din_rst_separation_constraint(self):
+        ndro = library.NDRO("n")
+        sim, _ = single_cell_harness(ndro)
+        sim.schedule_input(ndro, "din", 0.0)
+        sim.schedule_input(ndro, "rst", 10.0)  # < 39.9 ps
+        sim.run()
+        assert len(sim.violations) == 1
+        assert sim.violations[0].required == pytest.approx(39.9)
+
+
+class TestTFF:
+    def test_tffl_emits_on_odd_pulses(self):
+        tff = library.TFFL("t")
+        sim, probes = single_cell_harness(tff)
+        for i in range(4):
+            sim.schedule_input(tff, "din", 50.0 * i)
+        sim.run()
+        # Flips 0->1 on pulses 1 and 3.
+        assert len(probes["dout"].times) == 2
+        assert probes["dout"].times[0] == pytest.approx(library.TFFL.DELAY_PS)
+
+    def test_tffr_emits_on_even_pulses(self):
+        tff = library.TFFR("t")
+        sim, probes = single_cell_harness(tff)
+        for i in range(4):
+            sim.schedule_input(tff, "din", 50.0 * i)
+        sim.run()
+        # Flips 1->0 on pulses 2 and 4.
+        assert len(probes["dout"].times) == 2
+        assert probes["dout"].times[0] == pytest.approx(50.0 + library.TFFR.DELAY_PS)
+
+    def test_tff_pair_partitions_pulses(self):
+        """A TFFL/TFFR pair fed the same stream emits exactly one pulse per
+        input between them (the SC relies on this)."""
+        net = Netlist("pair")
+        spl = net.add(library.SPL("spl"))
+        tffl = net.add(library.TFFL("l"))
+        tffr = net.add(library.TFFR("r"))
+        pl = net.add(library.Probe("pl"))
+        pr = net.add(library.Probe("pr"))
+        net.connect(spl, "doutA", tffl, "din", delay=0.0)
+        net.connect(spl, "doutB", tffr, "din", delay=0.0)
+        net.connect(tffl, "dout", pl, "din", delay=0.0)
+        net.connect(tffr, "dout", pr, "din", delay=0.0)
+        sim = Simulator(net)
+        n = 7
+        for i in range(n):
+            sim.schedule_input(spl, "din", 50.0 * i)
+        sim.run()
+        assert len(pl.times) + len(pr.times) == n
+        assert len(pl.times) == 4  # odd pulses: 1,3,5,7
+        assert len(pr.times) == 3
+
+    def test_min_toggle_interval_constraint(self):
+        tff = library.TFFL("t")
+        sim, _ = single_cell_harness(tff)
+        sim.schedule_input(tff, "din", 0.0)
+        sim.schedule_input(tff, "din", 20.0)  # < 39.9 ps
+        sim.run()
+        assert len(sim.violations) == 1
+
+
+class TestConverters:
+    def test_dcsfq_and_sfqdc_pass_pulses(self):
+        for cls in (library.DCSFQ, library.SFQDC):
+            cell = cls("c")
+            sim, probes = single_cell_harness(cell)
+            sim.schedule_input(cell, "din", 0.0)
+            sim.run()
+            assert len(probes["dout"].times) == 1
+
+
+class TestCellGenerics:
+    @pytest.mark.parametrize("cls", library.ALL_CELLS)
+    def test_resource_figures_are_consistent(self, cls):
+        assert cls.JJ_COUNT >= 0
+        assert cls.AREA_UM2 >= 0.0
+        assert cls.DELAY_PS >= 0.0
+        assert cls.STATIC_POWER_NW >= 0.0
+        if cls is not library.Probe:
+            assert cls.JJ_COUNT > 0
+
+    def test_unknown_input_port_raises(self):
+        jtl = library.JTL("j")
+        sim, _ = single_cell_harness(jtl)
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input(jtl, "nonsense", 0.0)
+
+    def test_reset_state_clears_everything(self):
+        ndro = library.NDRO("n")
+        sim, probes = single_cell_harness(ndro)
+        sim.schedule_input(ndro, "din", 0.0)
+        sim.run()
+        assert ndro.stored
+        sim.reset()
+        assert not ndro.stored
+        assert ndro.switch_count == 0

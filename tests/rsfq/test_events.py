@@ -1,0 +1,47 @@
+"""Tests for the event queue primitives."""
+
+from repro.rsfq.events import EventQueue, PulseEvent
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(30.0, "b", "din")
+        queue.push(10.0, "a", "din")
+        queue.push(20.0, "c", "din")
+        order = [queue.pop().component for _ in range(3)]
+        assert order == ["a", "c", "b"]
+
+    def test_ties_broken_by_schedule_order(self):
+        queue = EventQueue()
+        queue.push(5.0, "first", "din")
+        queue.push(5.0, "second", "din")
+        assert queue.pop().component == "first"
+        assert queue.pop().component == "second"
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(7.0, "a", "din")
+        assert queue.peek_time() == 7.0
+        assert len(queue) == 1
+
+    def test_empty_behaviour(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, "a", "din")
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_event_fields(self):
+        queue = EventQueue()
+        event = queue.push(3.0, "cell", "port")
+        assert isinstance(event, PulseEvent)
+        assert event.time == 3.0
+        assert event.component == "cell"
+        assert event.port == "port"
+        assert event.sort_key() == (3.0, 0)

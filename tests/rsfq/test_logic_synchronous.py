@@ -1,0 +1,180 @@
+"""Tests for clocked RSFQ gates and the synchronous building blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rsfq import Netlist, Simulator, library
+from repro.rsfq.logic import AND2, NOT, OR2, XOR2
+from repro.rsfq.synchronous import (
+    BitSerialAdder,
+    ClockTree,
+    SyncShiftRegister,
+    clock_overhead_fraction,
+)
+
+
+def gate_harness(gate):
+    net = Netlist("g")
+    net.add(gate)
+    probe = net.add(library.Probe("p"))
+    net.connect(gate, "dout", probe, "din", delay=0.0)
+    return Simulator(net), probe
+
+
+TRUTH_TABLES = {
+    AND2: {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+    OR2: {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+    XOR2: {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+}
+
+
+class TestClockedGates:
+    @pytest.mark.parametrize("gate_cls", [AND2, OR2, XOR2])
+    def test_truth_table(self, gate_cls):
+        for (a, b), expected in TRUTH_TABLES[gate_cls].items():
+            gate = gate_cls("g")
+            sim, probe = gate_harness(gate)
+            if a:
+                sim.schedule_input(gate, "dinA", 0.0)
+            if b:
+                sim.schedule_input(gate, "dinB", 0.0)
+            sim.schedule_input(gate, "clk", 30.0)
+            sim.run()
+            assert len(probe.times) == expected, (gate_cls, a, b)
+
+    def test_not_gate(self):
+        for a, expected in ((0, 1), (1, 0)):
+            gate = NOT("g")
+            sim, probe = gate_harness(gate)
+            if a:
+                sim.schedule_input(gate, "dinA", 0.0)
+            sim.schedule_input(gate, "clk", 30.0)
+            sim.run()
+            assert len(probe.times) == expected
+
+    def test_clock_clears_state(self):
+        """Each clock period is independent (gate-level pipelining)."""
+        gate = AND2("g")
+        sim, probe = gate_harness(gate)
+        sim.schedule_input(gate, "dinA", 0.0)
+        sim.schedule_input(gate, "clk", 30.0)   # A only: no output
+        sim.schedule_input(gate, "dinB", 100.0)
+        sim.schedule_input(gate, "clk", 130.0)  # B only: no output either
+        sim.run()
+        assert probe.times == []
+
+    def test_too_fast_clock_flagged(self):
+        gate = XOR2("g")
+        sim, _ = gate_harness(gate)
+        sim.schedule_input(gate, "clk", 0.0)
+        sim.schedule_input(gate, "clk", 5.0)
+        sim.run()
+        assert sim.violations
+
+
+class TestClockTree:
+    def test_delivers_to_all_leaves_with_skew(self):
+        net = Netlist("ct")
+        probes = [net.add(library.Probe(f"p{i}")) for i in range(5)]
+        tree = ClockTree(net, "ct", [
+            (p, "din", 10.0 * i) for i, p in enumerate(probes)
+        ])
+        sim = Simulator(net)
+        cell, port = tree.input
+        sim.schedule_input(cell, port, 0.0)
+        sim.run()
+        arrivals = [p.times[0] for p in probes]
+        assert all(len(p.times) == 1 for p in probes)
+        # Programmed skews dominate tree-depth asymmetry at the extremes.
+        assert arrivals[-1] - arrivals[0] >= 30.0
+        assert arrivals[-1] == max(arrivals)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockTree(Netlist("ct"), "ct", [])
+
+
+class TestShiftRegister:
+    def shift(self, bits_in, depth=4, extra=6):
+        net = Netlist("sr")
+        sr = SyncShiftRegister(net, "sr", depth=depth)
+        sim = Simulator(net)
+        cell, port = sr.data_input
+        clk_cell, clk_port = sr.clock.input
+        period = 300.0
+        times = []
+        for k in range(len(bits_in) + extra):
+            t0 = 50.0 + k * period
+            if k < len(bits_in) and bits_in[k]:
+                sim.schedule_input(cell, port, t0)
+            sim.schedule_input(clk_cell, clk_port, t0 + 40.0)
+            times.append(t0 + 40.0)
+        sim.run()
+        assert sim.violations == []
+        return sr.read_bits(times)
+
+    def test_word_emerges_after_depth_cycles(self):
+        out = self.shift([1, 0, 1, 1], depth=4)
+        assert out[:3] == [0, 0, 0]
+        assert out[3:7] == [1, 0, 1, 1]
+
+    def test_sequential_access_only(self):
+        """Reading bit k requires k+depth clock cycles -- the structural
+        reason shift-register memory causes the paper's memory wall."""
+        out = self.shift([1], depth=6, extra=8)
+        first_out = out.index(1)
+        assert first_out == 5  # depth-1 more cycles than a random access
+
+    def test_depth_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyncShiftRegister(Netlist("sr"), "sr", depth=0)
+
+
+class TestBitSerialAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (7, 9), (255, 255),
+                                     (1000, 24), (170, 85)])
+    def test_adds_correctly(self, a, b):
+        net = Netlist("adder")
+        adder = BitSerialAdder(net)
+        assert adder.add_numbers(a, b) == a + b
+
+    @given(a=st.integers(min_value=0, max_value=4095),
+           b=st.integers(min_value=0, max_value=4095))
+    @settings(max_examples=15, deadline=None)
+    def test_adds_any_operands(self, a, b):
+        net = Netlist("adder")
+        adder = BitSerialAdder(net)
+        assert adder.add_numbers(a, b) == a + b
+
+    def test_reusable_after_reset(self):
+        net = Netlist("adder")
+        adder = BitSerialAdder(net)
+        assert adder.add_numbers(3, 4) == 7
+        assert adder.add_numbers(10, 20) == 30
+
+    def test_negative_rejected(self):
+        net = Netlist("adder")
+        adder = BitSerialAdder(net)
+        with pytest.raises(ConfigurationError):
+            adder.add_numbers(-1, 2)
+
+
+class TestClockOverhead:
+    def test_synchronous_designs_are_wiring_dominated(self):
+        """The paper's motivation: timing resources eat the majority of a
+        synchronous RSFQ design (~80% in their experience)."""
+        net = Netlist("sr")
+        SyncShiftRegister(net, "sr", depth=16)
+        fraction = clock_overhead_fraction(net)
+        assert fraction > 0.6
+
+    def test_adder_overhead_substantial(self):
+        net = Netlist("adder")
+        BitSerialAdder(net)
+        assert clock_overhead_fraction(net) > 0.5
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clock_overhead_fraction(Netlist("empty"))

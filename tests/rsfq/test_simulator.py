@@ -1,0 +1,179 @@
+"""Tests for the discrete-event engine, netlist rules and constraint modes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ConstraintViolationError
+from repro.rsfq import Netlist, PulseTrace, Simulator, library
+
+
+def chain_netlist(n_jtl=3, delay=1.0):
+    """A JTL chain feeding a probe."""
+    net = Netlist("chain")
+    cells = [net.add(library.JTL(f"j{i}")) for i in range(n_jtl)]
+    probe = net.add(library.Probe("p"))
+    for a, b in zip(cells, cells[1:]):
+        net.connect(a, "dout", b, "din", delay=delay)
+    net.connect(cells[-1], "dout", probe, "din", delay=delay)
+    return net, cells, probe
+
+
+class TestNetlist:
+    def test_duplicate_cell_name_rejected(self):
+        net = Netlist("n")
+        net.add(library.JTL("a"))
+        with pytest.raises(ConfigurationError):
+            net.add(library.JTL("a"))
+
+    def test_fanout_of_one_enforced(self):
+        net = Netlist("n")
+        j = net.add(library.JTL("j"))
+        p1 = net.add(library.Probe("p1"))
+        p2 = net.add(library.Probe("p2"))
+        net.connect(j, "dout", p1, "din")
+        with pytest.raises(ConfigurationError):
+            net.connect(j, "dout", p2, "din")
+
+    def test_connect_checks_port_names(self):
+        net = Netlist("n")
+        j = net.add(library.JTL("j"))
+        p = net.add(library.Probe("p"))
+        with pytest.raises(ConfigurationError):
+            net.connect(j, "bogus", p, "din")
+        with pytest.raises(ConfigurationError):
+            net.connect(j, "dout", p, "bogus")
+
+    def test_foreign_cell_rejected(self):
+        net = Netlist("n")
+        foreign = library.JTL("f")
+        p = net.add(library.Probe("p"))
+        with pytest.raises(ConfigurationError):
+            net.connect(foreign, "dout", p, "din")
+
+    def test_jj_accounting(self):
+        net, cells, _ = chain_netlist(n_jtl=4)
+        assert net.logic_jj_count() == 4 * library.JTL.JJ_COUNT
+        assert net.wiring_jj_count() == 0
+        net.connect(net.add(library.SPL("s")), "doutA", cells[0], "din",
+                    jtl_count=5)
+        assert net.wiring_jj_count() == 5 * library.JTL.JJ_COUNT
+        assert net.total_jj_count() == (
+            net.logic_jj_count() + net.wiring_jj_count()
+        )
+
+    def test_cell_histogram(self):
+        net, _, _ = chain_netlist(n_jtl=2)
+        hist = net.cell_histogram()
+        assert hist == {"JTL": 2, "Probe": 1}
+
+
+class TestSimulator:
+    def test_pulse_traverses_chain_with_accumulated_delay(self):
+        net, cells, probe = chain_netlist(n_jtl=3, delay=2.0)
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        expected = 3 * library.JTL.DELAY_PS + 3 * 2.0
+        assert probe.times == [pytest.approx(expected)]
+
+    def test_run_until_stops_at_boundary(self):
+        net, cells, probe = chain_netlist(n_jtl=3, delay=100.0)
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run(until=150.0)
+        assert probe.times == []  # pulse still in flight
+        sim.run()
+        assert len(probe.times) == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        net, cells, _ = chain_netlist()
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 100.0)
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input(cells[0], "din", 50.0)
+
+    def test_strict_mode_raises_on_violation(self):
+        net = Netlist("n")
+        tff = net.add(library.TFFL("t"))
+        sim = Simulator(net, strict=True)
+        sim.schedule_input(tff, "din", 0.0)
+        sim.schedule_input(tff, "din", 5.0)
+        with pytest.raises(ConstraintViolationError):
+            sim.run()
+
+    def test_tolerant_mode_records_violation(self):
+        net = Netlist("n")
+        tff = net.add(library.TFFL("t"))
+        sim = Simulator(net, strict=False)
+        sim.schedule_input(tff, "din", 0.0)
+        sim.schedule_input(tff, "din", 5.0)
+        sim.run()
+        assert len(sim.violations) == 1
+        assert "TFFL" in str(sim.violations[0])
+
+    def test_trace_records_all_arrivals(self):
+        net, cells, probe = chain_netlist(n_jtl=2)
+        trace = PulseTrace()
+        sim = Simulator(net, trace=trace)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert trace.times("j0", "din") == [0.0]
+        assert len(trace.times("j1", "din")) == 1
+        assert len(trace.times("p", "din")) == 1
+        assert trace.total_pulses() == 3
+
+    def test_deterministic_event_order_for_simultaneous_pulses(self):
+        """Two pulses at the same time are processed in schedule order."""
+        net = Netlist("n")
+        cb = net.add(library.CB("c"))
+        probe = net.add(library.Probe("p"))
+        net.connect(cb, "dout", probe, "din", delay=0.0)
+        results = []
+        for _ in range(3):
+            sim = Simulator(net)
+            sim.schedule_input(cb, "dinA", 10.0)
+            sim.schedule_input(cb, "dinB", 10.0)
+            sim.run()
+            results.append(tuple(probe.times))
+            sim.reset()
+        assert len(set(results)) == 1
+
+    def test_jitter_is_deterministic_per_seed(self):
+        net, cells, probe = chain_netlist(n_jtl=3, delay=5.0)
+        times = []
+        for _ in range(2):
+            sim = Simulator(net, jitter_ps=0.5, seed=42)
+            sim.schedule_input(cells[0], "din", 0.0)
+            sim.run()
+            times.append(tuple(probe.times))
+            sim.reset()
+        assert times[0] == times[1]
+        sim = Simulator(net, jitter_ps=0.5, seed=7)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert tuple(probe.times) != times[0]
+
+    def test_runaway_feedback_detected(self):
+        """A JTL loop oscillates forever; the engine must abort."""
+        net = Netlist("loop")
+        a = net.add(library.JTL("a"))
+        b = net.add(library.JTL("b"))
+        net.connect(a, "dout", b, "din", delay=25.0)
+        net.connect(b, "dout", a, "din", delay=25.0)
+        sim = Simulator(net)
+        sim.schedule_input(a, "din", 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(max_events=1000)
+
+    def test_reset_clears_time_and_violations(self):
+        net = Netlist("n")
+        tff = net.add(library.TFFL("t"))
+        sim = Simulator(net)
+        sim.schedule_input(tff, "din", 0.0)
+        sim.schedule_input(tff, "din", 5.0)
+        sim.run()
+        assert sim.violations and sim.now > 0
+        sim.reset()
+        assert sim.violations == []
+        assert sim.now == 0.0
+        assert sim.delivered_pulses == 0

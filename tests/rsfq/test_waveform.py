@@ -1,0 +1,124 @@
+"""Tests for pulse-level conversion and waveform rendering (Fig. 14/16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rsfq.waveform import (
+    PulseTrace,
+    count_pulses_from_levels,
+    levels_to_pulses,
+    pulses_to_levels,
+    render_waveform,
+)
+
+
+class TestPulsesToLevels:
+    def test_each_pulse_toggles_level(self):
+        levels = pulses_to_levels([10.0, 30.0, 50.0], t_end=70.0, dt=10.0)
+        # Samples at 0,10,...,60: level flips just after each pulse.
+        assert levels.tolist() == [0, 0, 1, 1, 0, 0, 1]
+
+    def test_no_pulses_stays_low(self):
+        levels = pulses_to_levels([], t_end=50.0, dt=10.0)
+        assert not levels.any()
+
+    def test_three_pulses_invert_level_three_times(self):
+        """Paper Fig. 14: 3 output pulses leave the DC level inverted 3x."""
+        levels = pulses_to_levels([5.0, 15.0, 25.0], t_end=100.0, dt=1.0)
+        assert levels[-1] == 1  # odd pulse count ends high
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pulses_to_levels([1.0], t_end=10.0, dt=0.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pulses_to_levels([1.0], t_end=0.0, t_start=10.0)
+
+
+class TestRoundTrip:
+    def test_levels_to_pulses_recovers_count(self):
+        times = [10.0, 30.0, 55.0, 90.0]
+        levels = pulses_to_levels(times, t_end=120.0, dt=1.0)
+        recovered = levels_to_pulses(levels, dt=1.0)
+        assert len(recovered) == len(times)
+        assert count_pulses_from_levels(levels) == len(times)
+
+    def test_recovered_times_within_sampling_error(self):
+        times = [10.0, 30.0, 55.0]
+        dt = 2.0
+        levels = pulses_to_levels(times, t_end=100.0, dt=dt)
+        recovered = levels_to_pulses(levels, dt=dt)
+        for orig, rec in zip(times, recovered):
+            assert abs(orig - rec) <= dt
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=999.0, allow_nan=False),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pulse_count_preserved_when_separated(self, raw_times):
+        """Any pulses separated by more than the sampling step survive the
+        level round trip (Fig. 14 is invertible at the oscilloscope)."""
+        dt = 1.0
+        times = sorted(set(round(t) + 0.5 for t in raw_times))
+        # Enforce separation > dt.
+        separated = []
+        for t in times:
+            if not separated or t - separated[-1] > dt:
+                separated.append(t)
+        levels = pulses_to_levels(separated, t_end=1001.0, dt=dt)
+        assert count_pulses_from_levels(levels) == len(separated)
+
+    def test_empty_levels(self):
+        assert levels_to_pulses([], dt=1.0) == []
+
+
+class TestPulseTrace:
+    def test_records_and_reads_back(self):
+        trace = PulseTrace()
+        trace.record("npe0", "out", 1.0)
+        trace.record("npe0", "out", 2.0)
+        trace.record("npe1", "out", 3.0)
+        assert trace.times("npe0", "out") == [1.0, 2.0]
+        assert trace.channels() == [("npe0", "out"), ("npe1", "out")]
+        assert trace.total_pulses() == 3
+
+    def test_unknown_channel_is_empty(self):
+        trace = PulseTrace()
+        assert trace.times("ghost", "out") == []
+
+    def test_clear(self):
+        trace = PulseTrace()
+        trace.record("a", "b", 0.0)
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestRenderWaveform:
+    def test_renders_one_row_per_channel(self):
+        out = render_waveform(
+            {"NPE0": [10.0], "NPE1": [20.0, 40.0]}, t_end=100.0, width=20
+        )
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("NPE0")
+        assert "#" in lines[0]
+
+    def test_row_width_matches_request(self):
+        out = render_waveform({"x": [5.0]}, t_end=100.0, width=32)
+        body = out.split("|")[1]
+        assert len(body) == 32
+
+    def test_pulse_free_channel_is_flat(self):
+        out = render_waveform({"idle": []}, t_end=100.0, width=10)
+        assert "#" not in out
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_waveform({"x": [1.0]}, t_end=10.0, width=0)

@@ -1,0 +1,95 @@
+"""Tests for ANN training and ANN-to-SNN conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.snn import ANNClassifier, convert_ann_to_snn
+from repro.snn.layers import Linear
+from repro.snn.neurons import IFNode
+
+
+def tiny_data(n=120, side=6, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    images = rng.random((n, side, side)) * 0.1
+    for i, label in enumerate(labels):
+        half = slice(0, side // 2) if label == 0 else slice(side // 2, side)
+        images[i][:, half] += 0.8
+    return np.clip(images, 0, 1), labels.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def trained_ann():
+    images, labels = tiny_data()
+    ann = ANNClassifier(input_size=36, hidden_size=16, num_classes=2,
+                        seed=0)
+    losses = ann.fit(images, labels, epochs=12, batch_size=16,
+                     learning_rate=5e-3)
+    return ann, images, labels, losses
+
+
+class TestANNClassifier:
+    def test_training_converges(self, trained_ann):
+        ann, images, labels, losses = trained_ann
+        assert losses[-1] < losses[0]
+        assert (ann.predict(images) == labels).mean() > 0.9
+
+    def test_bad_data_rejected(self):
+        ann = ANNClassifier(input_size=4, hidden_size=4, num_classes=2)
+        with pytest.raises(TrainingError):
+            ann.fit(np.zeros((3, 2, 2)), np.zeros(2, dtype=int))
+
+
+class TestConversion:
+    def test_converted_structure(self, trained_ann):
+        ann, images, _, _ = trained_ann
+        snn = convert_ann_to_snn(ann, images[:50], time_steps=8)
+        linears = [m for m in snn.network.modules
+                   if isinstance(m, Linear)]
+        nodes = [m for m in snn.network.modules if isinstance(m, IFNode)]
+        assert len(linears) == 2
+        assert len(nodes) == 2
+        assert snn.time_steps == 8
+
+    def test_converted_snn_tracks_ann(self, trained_ann):
+        """With enough time steps, rate coding recovers the ANN decision
+        on the large majority of samples."""
+        ann, images, labels, _ = trained_ann
+        snn = convert_ann_to_snn(ann, images[:50], time_steps=24,
+                                 encoder_seed=0)
+        ann_preds = ann.predict(images)
+        snn_preds = snn.predict(images)
+        assert (snn_preds == ann_preds).mean() > 0.85
+
+    def test_more_time_steps_do_not_hurt(self, trained_ann):
+        ann, images, labels, _ = trained_ann
+        short = convert_ann_to_snn(ann, images[:50], time_steps=4,
+                                   encoder_seed=0)
+        long = convert_ann_to_snn(ann, images[:50], time_steps=32,
+                                  encoder_seed=0)
+        acc_short = (short.predict(images) == labels).mean()
+        acc_long = (long.predict(images) == labels).mean()
+        assert acc_long >= acc_short - 0.05
+
+    def test_weights_are_rescaled(self, trained_ann):
+        ann, images, _, _ = trained_ann
+        snn = convert_ann_to_snn(ann, images[:50], time_steps=8)
+        original = [m for m in ann.network.modules
+                    if isinstance(m, Linear)]
+        converted = [m for m in snn.network.modules
+                     if isinstance(m, Linear)]
+        # Same sign pattern, different magnitudes (normalised).
+        for orig, conv in zip(original, converted):
+            np.testing.assert_array_equal(
+                np.sign(orig.weight.numpy()), np.sign(conv.weight.numpy())
+            )
+            assert not np.allclose(orig.weight.numpy(),
+                                   conv.weight.numpy())
+
+    def test_validation(self, trained_ann):
+        ann, images, _, _ = trained_ann
+        with pytest.raises(ConfigurationError):
+            convert_ann_to_snn(ann, images[:10], percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            convert_ann_to_snn(ann, images[:10], time_steps=0)

@@ -1,0 +1,188 @@
+"""Tests for SNN modules: layers, neuron nodes, encoders."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.snn import (
+    BinaryLinear,
+    Dropout,
+    Flatten,
+    IFNode,
+    LIFNode,
+    Linear,
+    Sequential,
+    StatelessIFNode,
+)
+from repro.snn.encoding import LatencyEncoder, PoissonEncoder
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, seed=0)
+        out = layer(Tensor.randn(2, 4, seed=1))
+        assert out.shape == (2, 3)
+
+    def test_parameters(self):
+        layer = Linear(4, 3)
+        assert len(layer.parameters()) == 2
+        assert len(Linear(4, 3, bias=False).parameters()) == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3)
+
+    def test_gradients_reach_weights(self):
+        layer = Linear(4, 3, seed=0)
+        layer(Tensor.randn(2, 4, seed=1)).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestBinaryLinear:
+    def test_effective_weights_are_scaled_signs(self):
+        layer = BinaryLinear(4, 2, bias=False, seed=0)
+        x = Tensor.from_array(np.eye(4))
+        out = layer(x).numpy()
+        alpha = np.abs(layer.weight.numpy()).mean(axis=0)
+        signs = np.sign(layer.weight.numpy())
+        np.testing.assert_allclose(out, signs * alpha)
+
+    def test_latent_weights_receive_gradients(self):
+        layer = BinaryLinear(4, 2, seed=0)
+        layer(Tensor.randn(3, 4, seed=1)).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+
+class TestFlattenDropoutSequential:
+    def test_flatten(self):
+        out = Flatten()(Tensor.randn(2, 3, 4, seed=0))
+        assert out.shape == (2, 12)
+
+    def test_dropout_train_vs_eval(self):
+        drop = Dropout(0.5, seed=0)
+        x = Tensor.ones(1, 1000)
+        out_train = drop(x).numpy()
+        assert (out_train == 0).any()
+        # Inverted dropout keeps the expectation.
+        assert abs(out_train.mean() - 1.0) < 0.15
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).numpy(), x.numpy())
+
+    def test_dropout_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+    def test_sequential_composes_and_collects(self):
+        net = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        assert net(Tensor.randn(3, 4, seed=2)).shape == (3, 2)
+        assert len(net.parameters()) == 4
+        assert len(net) == 2
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential()
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5), Linear(2, 2))
+        net.eval()
+        assert not net[0].training
+
+
+class TestIFNode:
+    def test_fires_when_membrane_reaches_threshold(self):
+        node = IFNode(v_threshold=1.0)
+        x = Tensor.from_array([[0.6]])
+        assert node(x).numpy()[0, 0] == 0.0  # V = 0.6
+        assert node(x).numpy()[0, 0] == 1.0  # V = 1.2 >= 1.0
+
+    def test_hard_reset_after_fire(self):
+        node = IFNode(v_threshold=1.0, v_reset=0.0)
+        node(Tensor.from_array([[1.5]]))
+        np.testing.assert_allclose(node.membrane, [[0.0]])
+
+    def test_subthreshold_residual_carries_over(self):
+        """The residual the SSNN stateless optimisation eliminates."""
+        node = IFNode(v_threshold=1.0)
+        node(Tensor.from_array([[0.4]]))
+        node(Tensor.from_array([[0.4]]))
+        np.testing.assert_allclose(node.membrane, [[0.8]])
+
+    def test_reset_state_clears_membrane(self):
+        node = IFNode()
+        node(Tensor.from_array([[0.4]]))
+        node.reset_state()
+        assert node.membrane is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            IFNode(v_threshold=0.0, v_reset=0.0)
+
+    def test_paper_equations_1_to_3(self):
+        """One step: H = V + X; S = Theta(H - Vth); V' = H(1-S) + Vr*S."""
+        node = IFNode(v_threshold=1.0, v_reset=0.25)
+        node(Tensor.from_array([[0.7]]))
+        spike = node(Tensor.from_array([[0.7]]))
+        assert spike.numpy()[0, 0] == 1.0
+        np.testing.assert_allclose(node.membrane, [[0.25]])
+
+
+class TestLIFNode:
+    def test_leak_decays_membrane(self):
+        node = LIFNode(tau=2.0, v_threshold=10.0)
+        node(Tensor.from_array([[1.0]]))  # V = 0.5
+        node(Tensor.from_array([[0.0]]))  # V decays toward reset
+        assert node.membrane[0, 0] < 0.5
+
+    def test_tau_validation(self):
+        with pytest.raises(ConfigurationError):
+            LIFNode(tau=0.5)
+
+
+class TestStatelessIFNode:
+    def test_no_carry_over(self):
+        node = StatelessIFNode(v_threshold=1.0)
+        x = Tensor.from_array([[0.6]])
+        assert node(x).numpy()[0, 0] == 0.0
+        assert node(x).numpy()[0, 0] == 0.0  # still 0: nothing accumulated
+
+    def test_fires_on_single_step_drive(self):
+        node = StatelessIFNode(v_threshold=1.0)
+        assert node(Tensor.from_array([[1.0]])).numpy()[0, 0] == 1.0
+
+
+class TestEncoders:
+    def test_poisson_rate_tracks_intensity(self):
+        enc = PoissonEncoder(seed=0)
+        images = np.full((1, 100, 100), 0.3)
+        rate = enc.encode_steps(images, 50).mean()
+        assert abs(rate - 0.3) < 0.01
+
+    def test_poisson_deterministic_per_seed(self):
+        images = np.random.default_rng(0).random((2, 8, 8))
+        a = PoissonEncoder(seed=7).encode_steps(images, 5)
+        b = PoissonEncoder(seed=7).encode_steps(images, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_poisson_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            PoissonEncoder()(np.array([1.5]))
+
+    def test_poisson_extremes(self):
+        enc = PoissonEncoder(seed=0)
+        out = enc.encode_steps(np.array([[0.0, 1.0]]), 20)
+        assert out[:, 0, 0].sum() == 0
+        assert out[:, 0, 1].sum() == 20
+
+    def test_latency_bright_spikes_early(self):
+        enc = LatencyEncoder(steps=10)
+        out = enc.encode_steps(np.array([[1.0, 0.5, 0.0]]))
+        assert out[0, 0, 0] == 1.0  # brightest: first step
+        assert out[:, 0, 2].sum() == 0  # zero intensity never spikes
+        assert out[:, 0, 1].sum() == 1  # exactly one spike
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyEncoder(steps=0)

@@ -1,0 +1,92 @@
+"""Tests for classification and spike-activity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.metrics import (
+    SpikeStats,
+    confusion_matrix,
+    per_class_report,
+    spike_stats,
+)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        labels = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(labels, labels)
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix(np.array([1, 1]), np.array([0, 1]))
+        assert matrix[0, 1] == 1  # true 0 predicted as 1
+        assert matrix[1, 1] == 1
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]),
+                                  num_classes=5)
+        assert matrix.shape == (5, 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([]), np.array([]))
+
+
+class TestPerClassReport:
+    def test_perfect_class(self):
+        rows = per_class_report(np.array([0, 0, 1]), np.array([0, 0, 1]))
+        assert rows[0] == {"class": "0", "precision": 1.0, "recall": 1.0,
+                           "f1": 1.0, "support": 2}
+
+    def test_precision_recall_asymmetry(self):
+        # True: [0, 0, 1]; predicted: [0, 1, 1].
+        rows = per_class_report(np.array([0, 1, 1]), np.array([0, 0, 1]))
+        assert rows[0]["recall"] == 0.5
+        assert rows[0]["precision"] == 1.0
+        assert rows[1]["precision"] == 0.5
+        assert rows[1]["recall"] == 1.0
+
+    def test_custom_names(self):
+        rows = per_class_report(np.array([0, 1]), np.array([0, 1]),
+                                class_names=["cat", "dog"])
+        assert rows[1]["class"] == "dog"
+
+    def test_missing_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_class_report(np.array([0, 2]), np.array([0, 2]),
+                             class_names=["a"])
+
+    def test_absent_class_yields_zeros(self):
+        rows = per_class_report(np.array([0, 0]), np.array([0, 0]),
+                                class_names=["a", "b"])
+        # Request two classes explicitly via names and a 2-class matrix.
+        rows = per_class_report(
+            np.array([0, 0]), np.array([0, 1]), class_names=["a", "b"]
+        )
+        assert rows[1]["recall"] == 0.0
+
+
+class TestSpikeStats:
+    def test_basic_statistics(self):
+        raster = np.zeros((4, 2, 3))
+        raster[0, 0, 0] = 1
+        raster[1, 0, 0] = 1
+        raster[2, 1, 2] = 1
+        stats = spike_stats(raster)
+        assert isinstance(stats, SpikeStats)
+        assert stats.mean_rate == pytest.approx(3 / 24)
+        assert stats.active_fraction == pytest.approx(2 / 6)
+        assert stats.spikes_per_sample == pytest.approx(1.5)
+        assert stats.silent_steps == pytest.approx(5 / 8)
+
+    def test_all_silent(self):
+        stats = spike_stats(np.zeros((3, 2, 4)))
+        assert stats.mean_rate == 0.0
+        assert stats.silent_steps == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spike_stats(np.zeros((3, 2)))

@@ -1,0 +1,195 @@
+"""Tests for the spiking classifier, trainer, metrics and binarization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.snn import (
+    SpikingClassifier,
+    Trainer,
+    TrainerConfig,
+    accuracy,
+    binarize_network,
+    consistency,
+    quantize_network,
+)
+from repro.snn.encoding import PoissonEncoder
+
+
+def tiny_dataset(n=80, side=6, seed=0):
+    """Two easily-separable classes: bright left half vs bright right."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    images = rng.random((n, side, side)) * 0.1
+    for i, label in enumerate(labels):
+        half = slice(0, side // 2) if label == 0 else slice(side // 2, side)
+        images[i][:, half] += 0.8
+    return np.clip(images, 0, 1), labels.astype(np.int64)
+
+
+def tiny_model(binary_aware=False, stateless=False, time_steps=4):
+    return SpikingClassifier.mlp(
+        input_size=36, hidden_size=24, num_classes=2,
+        time_steps=time_steps, binary_aware=binary_aware,
+        stateless=stateless, seed=0,
+    )
+
+
+class TestSpikingClassifier:
+    def test_forward_rate_logits_in_unit_interval(self):
+        model = tiny_model()
+        images, _ = tiny_dataset(8)
+        rates = model.forward(images).numpy()
+        assert rates.shape == (8, 2)
+        assert (rates >= 0).all() and (rates <= 1).all()
+
+    def test_spike_raster_shape_and_binary(self):
+        model = tiny_model(time_steps=3)
+        images, _ = tiny_dataset(4)
+        raster = model.spike_raster(images)
+        assert raster.shape == (3, 4, 2)
+        assert set(np.unique(raster)) <= {0.0, 1.0}
+
+    def test_predict_is_deterministic(self):
+        model = tiny_model()
+        images, _ = tiny_dataset(6)
+        np.testing.assert_array_equal(model.predict(images),
+                                      model.predict(images))
+
+    def test_invalid_time_steps(self):
+        with pytest.raises(ConfigurationError):
+            SpikingClassifier(tiny_model().network, time_steps=0)
+
+    def test_linear_layers_enumerated_in_order(self):
+        model = tiny_model()
+        layers = model.linear_layers()
+        assert [l.in_features for l in layers] == [36, 24]
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self):
+        images, labels = tiny_dataset(120)
+        model = tiny_model()
+        trainer = Trainer(model, TrainerConfig(epochs=6, batch_size=16,
+                                               learning_rate=5e-3))
+        before = trainer.evaluate(images, labels)
+        trainer.fit(images, labels)
+        after = trainer.evaluate(images, labels)
+        assert after > before
+        assert after >= 0.85
+
+    def test_history_recorded(self):
+        images, labels = tiny_dataset(40)
+        trainer = Trainer(tiny_model(), TrainerConfig(epochs=2, batch_size=8))
+        history = trainer.fit(images, labels)
+        assert len(history.losses) == 2
+        assert len(history.train_accuracies) == 2
+
+    def test_loss_decreases(self):
+        images, labels = tiny_dataset(120)
+        trainer = Trainer(tiny_model(), TrainerConfig(epochs=5, batch_size=16,
+                                                      learning_rate=5e-3))
+        history = trainer.fit(images, labels)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_mismatched_inputs_rejected(self):
+        trainer = Trainer(tiny_model())
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((3, 6, 6)), np.zeros(2, dtype=int))
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((0, 6, 6)), np.zeros(0, dtype=int))
+
+    def test_binary_aware_training_converges(self):
+        images, labels = tiny_dataset(120)
+        model = tiny_model(binary_aware=True)
+        trainer = Trainer(model, TrainerConfig(epochs=8, batch_size=16,
+                                               learning_rate=5e-3))
+        trainer.fit(images, labels)
+        assert trainer.evaluate(images, labels) >= 0.8
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(learning_rate=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_consistency_symmetric(self):
+        a, b = np.array([1, 2, 3]), np.array([1, 9, 3])
+        assert consistency(a, b) == consistency(b, a) == pytest.approx(2 / 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ConfigurationError):
+            consistency(np.array([]), np.array([]))
+
+
+class TestBinarization:
+    def trained(self):
+        images, labels = tiny_dataset(120)
+        model = tiny_model(binary_aware=True)
+        Trainer(model, TrainerConfig(epochs=8, batch_size=16,
+                                     learning_rate=5e-3)).fit(images, labels)
+        return model, images, labels
+
+    def test_binarized_weights_are_signs(self):
+        model, _, _ = self.trained()
+        net = binarize_network(model)
+        for layer in net.layers:
+            assert set(np.unique(layer.signed_weights)) <= {-1, 1}
+            assert (layer.thresholds >= 1).all()
+
+    def test_binarized_network_tracks_model(self):
+        """Binary-aware trained nets survive 1-bit conversion with high
+        agreement (the point of section 5.1)."""
+        model, images, labels = self.trained()
+        net = binarize_network(model)
+        encoder = PoissonEncoder(seed=model.encoder_seed)
+        trains = encoder.encode_steps(images.reshape(len(images), -1),
+                                      model.time_steps)
+        agreement = consistency(net.predict(trains), model.predict(images))
+        assert agreement >= 0.85
+
+    def test_quantized_magnitudes_bounded(self):
+        model, _, _ = self.trained()
+        net = quantize_network(model, bits=2)
+        for layer in net.layers:
+            assert layer.max_strength <= 3
+
+    def test_quantize_bits_validation(self):
+        model, _, _ = self.trained()
+        with pytest.raises(ConfigurationError):
+            quantize_network(model, bits=0)
+
+    def test_layer_width_mismatch_rejected(self):
+        from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+
+        a = BinarizedLayer(np.ones((4, 3), dtype=int), np.ones(3, dtype=int))
+        b = BinarizedLayer(np.ones((5, 2), dtype=int), np.ones(2, dtype=int))
+        with pytest.raises(ConfigurationError):
+            BinarizedNetwork([a, b])
+
+    def test_forward_step_integer_semantics(self):
+        from repro.snn.binarize import BinarizedLayer
+
+        layer = BinarizedLayer(
+            np.array([[1, -1], [1, 1], [1, -1]]), np.array([2, 1])
+        )
+        out = layer.forward(np.array([[1, 1, 1], [1, 0, 0]]))
+        # Neuron 0: sums 3 and 1 vs threshold 2; neuron 1: sums -1 and -1.
+        np.testing.assert_array_equal(out, [[1, 0], [0, 0]])
+
+    def test_membrane_bounds_bracket_running_sum(self):
+        from repro.snn.binarize import BinarizedLayer
+
+        layer = BinarizedLayer(
+            np.array([[1, -1], [-1, 1], [1, 1]]), np.array([1, 1])
+        )
+        spikes = np.array([[1, 1, 1]])
+        low, high = layer.membrane_bounds(spikes)
+        assert low <= -1 and high >= 2

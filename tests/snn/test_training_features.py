@@ -1,0 +1,78 @@
+"""Tests for trainer extensions: LR decay, validation and early stop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.snn import SpikingClassifier, Trainer, TrainerConfig
+
+
+def toy(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    images = rng.random((n, 4, 4)) * 0.1
+    for i, label in enumerate(labels):
+        sl = slice(0, 2) if label == 0 else slice(2, 4)
+        images[i][:, sl] += 0.8
+    return np.clip(images, 0, 1), labels.astype(np.int64)
+
+
+def model():
+    return SpikingClassifier.mlp(input_size=16, hidden_size=12,
+                                 num_classes=2, time_steps=3, seed=0)
+
+
+class TestLRDecay:
+    def test_learning_rate_decays_per_epoch(self):
+        images, labels = toy()
+        trainer = Trainer(model(), TrainerConfig(
+            epochs=3, batch_size=25, learning_rate=1e-2, lr_decay=0.5,
+        ))
+        trainer.fit(images, labels)
+        assert trainer.optimizer.lr == pytest.approx(1e-2 * 0.5 ** 3)
+
+    def test_no_decay_by_default(self):
+        images, labels = toy()
+        trainer = Trainer(model(), TrainerConfig(epochs=2, batch_size=25))
+        trainer.fit(images, labels)
+        assert trainer.optimizer.lr == pytest.approx(1e-3)
+
+    def test_decay_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(lr_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(lr_decay=1.5)
+
+
+class TestValidationAndEarlyStop:
+    def test_validation_curve_recorded(self):
+        images, labels = toy()
+        trainer = Trainer(model(), TrainerConfig(epochs=3, batch_size=25,
+                                                 learning_rate=5e-3))
+        history = trainer.fit(images[:80], labels[:80],
+                              val_images=images[80:],
+                              val_labels=labels[80:])
+        assert len(history.val_accuracies) == 3
+        assert all(0 <= acc <= 1 for acc in history.val_accuracies)
+
+    def test_early_stopping_halts_training(self):
+        images, labels = toy()
+        # Patience 1 with many epochs: training must stop well short.
+        trainer = Trainer(model(), TrainerConfig(
+            epochs=30, batch_size=25, learning_rate=5e-3, patience=1,
+        ))
+        history = trainer.fit(images[:80], labels[:80],
+                              val_images=images[80:],
+                              val_labels=labels[80:])
+        assert history.stopped_early
+        assert len(history.losses) < 30
+
+    def test_patience_requires_validation(self):
+        images, labels = toy()
+        trainer = Trainer(model(), TrainerConfig(epochs=2, patience=1))
+        with pytest.raises(TrainingError):
+            trainer.fit(images, labels)
+
+    def test_patience_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(patience=0)

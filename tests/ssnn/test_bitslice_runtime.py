@@ -1,0 +1,210 @@
+"""Tests for the bit-slice planner, stream encoder and chip runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+from repro.ssnn import (
+    SushiRuntime,
+    encode_inference,
+    plan_network,
+)
+from repro.ssnn.bitslice import ceil_div
+from repro.ssnn.encoder import InferenceTiming
+
+
+def random_network(rng, sizes=(7, 5, 3), zero_frac=0.2):
+    layers = []
+    for a, b in zip(sizes, sizes[1:]):
+        weights = rng.choice([-1, 1], size=(a, b))
+        weights[rng.random((a, b)) < zero_frac] = 0
+        layers.append(BinarizedLayer(weights, rng.integers(1, 4, size=b)))
+    return BinarizedNetwork(layers)
+
+
+class TestPlanner:
+    def test_slice_counts(self):
+        net = random_network(np.random.default_rng(0), sizes=(10, 7, 3))
+        plan = plan_network(net, chip_n=4)
+        assert plan.slice_counts() == [
+            (ceil_div(10, 4), ceil_div(7, 4)),
+            (ceil_div(7, 4), ceil_div(3, 4)),
+        ]
+
+    def test_pass_count_is_two_per_block(self):
+        net = random_network(np.random.default_rng(1), sizes=(8, 4))
+        plan = plan_network(net, chip_n=4)
+        # 2 input slices x 1 output slice x 2 polarities.
+        assert plan.pass_count == 4
+
+    def test_inhibitory_passes_precede_excitatory_within_out_slice(self):
+        """Cross-slice reordering: all SET0 passes of an output slice come
+        before any SET1 pass (otherwise premature firing is possible)."""
+        net = random_network(np.random.default_rng(2), sizes=(12, 5))
+        plan = plan_network(net, chip_n=3)
+        by_slice = {}
+        for task in plan.tasks:
+            by_slice.setdefault((task.layer_index, task.out_slice),
+                                []).append(task.polarity)
+        for polarities in by_slice.values():
+            first_exc = polarities.index(Polarity.SET1)
+            assert all(p is Polarity.SET1 for p in polarities[first_exc:])
+
+    def test_strength_matrices_are_nonnegative_and_padded(self):
+        net = random_network(np.random.default_rng(3), sizes=(5, 3))
+        plan = plan_network(net, chip_n=4)
+        for task in plan.tasks:
+            assert task.strengths.shape == (4, 4)
+            assert (task.strengths >= 0).all()
+            # Padding region stays zero.
+            assert (task.strengths[:, 3:] == 0).all()
+
+    def test_polarity_decomposition_reconstructs_weights(self):
+        net = random_network(np.random.default_rng(4), sizes=(6, 4))
+        plan = plan_network(net, chip_n=6)
+        inh = next(t for t in plan.tasks if t.polarity is Polarity.SET0)
+        exc = next(t for t in plan.tasks if t.polarity is Polarity.SET1)
+        rebuilt = exc.strengths - inh.strengths
+        np.testing.assert_array_equal(
+            rebuilt[:6, :4], net.layers[0].signed_weights
+        )
+
+    def test_capacity_guard(self):
+        heavy = BinarizedNetwork([
+            BinarizedLayer(np.full((40, 2), -1, dtype=int), [2, 2])
+        ])
+        with pytest.raises(CapacityError):
+            plan_network(heavy, chip_n=2, sc_per_npe=5)
+
+    def test_strength_guard(self):
+        net = BinarizedNetwork([
+            BinarizedLayer(np.full((2, 2), 3, dtype=int), [1, 1])
+        ])
+        with pytest.raises(CapacityError):
+            plan_network(net, chip_n=2, max_strength=2)
+        plan = plan_network(net, chip_n=2)  # auto strength
+        assert plan.max_strength == 3
+
+    def test_reload_statistics(self):
+        net = random_network(np.random.default_rng(5), sizes=(6, 6))
+        plan = plan_network(net, chip_n=3)
+        assert plan.reload_events() > 0
+        assert 0 < plan.reload_passes() <= plan.pass_count
+
+
+class TestRuntimeEngines:
+    def test_fast_matches_reference_network(self):
+        rng = np.random.default_rng(0)
+        net = random_network(rng)
+        trains = (rng.random((5, 10, 7)) < 0.4).astype(float)
+        result = SushiRuntime(chip_n=4, sc_per_npe=8).infer(net, trains)
+        np.testing.assert_array_equal(
+            result.predictions, net.predict(trains)
+        )
+        assert result.spurious_decisions == 0
+
+    def test_behavioral_matches_fast(self):
+        rng = np.random.default_rng(1)
+        net = random_network(rng, sizes=(5, 4, 3))
+        trains = (rng.random((3, 4, 5)) < 0.5).astype(float)
+        fast = SushiRuntime(chip_n=3, sc_per_npe=6).infer(net, trains)
+        slow = SushiRuntime(chip_n=3, sc_per_npe=6,
+                            engine="behavioral").infer(net, trains)
+        np.testing.assert_array_equal(fast.output_raster, slow.output_raster)
+        np.testing.assert_array_equal(fast.predictions, slow.predictions)
+
+    @given(chip_n=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_mesh_size_does_not_change_results(self, chip_n):
+        """Bit-slicing is semantics-preserving: any mesh size computes the
+        same network (the state-preservation claim of section 5.3)."""
+        rng = np.random.default_rng(7)
+        net = random_network(rng, sizes=(6, 5, 3))
+        trains = (rng.random((3, 5, 6)) < 0.5).astype(float)
+        result = SushiRuntime(chip_n=chip_n, sc_per_npe=8,
+                              engine="behavioral").infer(net, trains)
+        np.testing.assert_array_equal(result.predictions, net.predict(trains))
+
+    def test_naive_reorder_ablation_can_differ(self):
+        layer = BinarizedLayer(np.array([[1], [1], [-1], [-1]]), [2])
+        net = BinarizedNetwork([layer])
+        trains = np.ones((1, 1, 4))
+        naive = SushiRuntime(chip_n=2, reorder=False).infer(net, trains)
+        assert naive.spurious_decisions == 1
+        ordered = SushiRuntime(chip_n=2).infer(net, trains)
+        assert ordered.spurious_decisions == 0
+
+    def test_behavioral_rejects_naive_mode(self):
+        net = random_network(np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            SushiRuntime(engine="behavioral", reorder=False).infer(
+                net, np.zeros((1, 1, 7))
+            )
+
+    def test_input_validation(self):
+        net = random_network(np.random.default_rng(3))
+        runtime = SushiRuntime()
+        with pytest.raises(ConfigurationError):
+            runtime.infer(net, np.zeros((2, 7)))
+        with pytest.raises(ConfigurationError):
+            runtime.infer(net, np.zeros((2, 1, 9)))
+        with pytest.raises(ConfigurationError):
+            SushiRuntime(engine="quantum")
+
+
+class TestEncoder:
+    def make(self, chip_n=3):
+        rng = np.random.default_rng(0)
+        net = random_network(rng, sizes=(9, 6, 3))
+        plan = plan_network(net, chip_n=chip_n)
+        trains = (rng.random((5, 9)) < 0.5).astype(float)
+        return plan, trains
+
+    def test_total_time_is_sum_of_components(self):
+        plan, trains = self.make()
+        enc = encode_inference(plan, trains)
+        assert enc.total_ps == pytest.approx(
+            enc.input_time_ps + enc.reload_time_ps
+            + enc.protocol_time_ps + enc.transmission_time_ps
+        )
+
+    def test_fractions_in_unit_interval(self):
+        plan, trains = self.make()
+        enc = encode_inference(plan, trains)
+        assert 0.0 <= enc.reload_fraction < 1.0
+        assert 0.0 <= enc.transmission_fraction < 1.0
+        assert enc.fps > 0
+
+    def test_no_spikes_means_no_input_time(self):
+        plan, _ = self.make()
+        enc = encode_inference(plan, np.zeros((5, 9)))
+        assert enc.input_time_ps == 0.0
+        assert enc.synaptic_ops == 0
+        assert enc.protocol_time_ps > 0  # protocol still runs
+
+    def test_transmission_grows_with_mesh(self):
+        """Larger meshes spend proportionally more on transmission -- the
+        effect behind the paper's 6% -> 53% delay analysis."""
+        rng = np.random.default_rng(1)
+        net = random_network(rng, sizes=(12, 8, 4))
+        trains = (rng.random((5, 12)) < 0.6).astype(float)
+        small = encode_inference(plan_network(net, 2), trains)
+        large = encode_inference(plan_network(net, 8), trains)
+        assert large.transmission_fraction > small.transmission_fraction
+
+    def test_shape_validation(self):
+        plan, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            encode_inference(plan, np.zeros(9))
+        with pytest.raises(ConfigurationError):
+            encode_inference(plan, np.zeros((5, 4)))
+
+    def test_timing_constants_validation(self):
+        from repro.neuro.timing import TimingPolicy
+
+        with pytest.raises(ConfigurationError):
+            TimingPolicy(input_interval=10.0)  # below TFF interval

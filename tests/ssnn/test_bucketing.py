@@ -1,0 +1,136 @@
+"""Tests for synapse reordering/bucketing and hardware-order semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.snn.binarize import BinarizedLayer
+from repro.ssnn.bucketing import (
+    build_schedule,
+    check_capacity,
+    hardware_layer_outputs,
+    premature_fire_count,
+    required_capacity,
+)
+
+
+def layer_from(weights, thresholds):
+    return BinarizedLayer(np.asarray(weights), np.asarray(thresholds))
+
+
+class TestSchedule:
+    def test_reordered_schedule_inhibitory_first(self):
+        layer = layer_from([[1, -1], [-1, 1]], [1, 1])
+        schedule = build_schedule(layer, reorder=True)
+        polarities = [b.polarity for b in schedule.buckets]
+        assert polarities == [Polarity.SET0, Polarity.SET1]
+        assert schedule.polarity_switches() == 1
+
+    def test_bucket_size_splits_groups(self):
+        layer = layer_from(np.ones((6, 2), dtype=int), [1, 1])
+        schedule = build_schedule(layer, reorder=True, bucket_size=2)
+        assert len(schedule.buckets) == 6  # 3 inhibitory + 3 excitatory
+        assert all(len(b.axons) <= 2 for b in schedule.buckets)
+
+    def test_naive_schedule_interleaves_polarities(self):
+        layer = layer_from([[1, -1], [-1, 1]], [1, 1])
+        schedule = build_schedule(layer, reorder=False)
+        assert schedule.polarity_switches() == len(schedule.buckets) - 1
+
+    def test_negative_bucket_size_rejected(self):
+        layer = layer_from([[1]], [1])
+        with pytest.raises(ConfigurationError):
+            build_schedule(layer, bucket_size=-1)
+
+
+class TestCapacity:
+    def test_required_capacity_counts_inhibition(self):
+        layer = layer_from([[-1, 1], [-1, 1], [-1, -1]], [2, 3])
+        # Worst neuron: threshold 3 + inhibition 3 (neuron 0 has 3 neg).
+        assert required_capacity(layer) == 3 + 3
+
+    def test_check_capacity_pass_and_fail(self):
+        layer = layer_from(np.full((10, 1), -1, dtype=int), [4])
+        check_capacity(layer, n_sc=4)  # needs 14 <= 16
+        with pytest.raises(CapacityError):
+            check_capacity(layer, n_sc=3)  # needs 14 > 8
+
+
+class TestHardwareSemantics:
+    def test_reordered_matches_final_sum(self):
+        layer = layer_from([[1, -1], [1, 1], [-1, 1]], [2, 1])
+        spikes = np.array([[1, 1, 1], [1, 0, 1], [0, 0, 0]])
+        decisions, _ = hardware_layer_outputs(layer, spikes, 64, reorder=True)
+        np.testing.assert_array_equal(decisions, layer.forward(spikes))
+
+    def test_naive_order_premature_fire(self):
+        """Excitation before inhibition transiently crosses the threshold:
+        the hardware emits a spike the final sum would not."""
+        # Axon order: +1, +1 (crosses T=2), then -2 pulls it back down.
+        layer = layer_from([[1], [1], [-1], [-1]], [2])
+        spikes = np.array([[1, 1, 1, 1]])
+        naive, pulses = hardware_layer_outputs(layer, spikes, 64,
+                                               reorder=False)
+        assert naive[0, 0] == 1.0  # premature fire
+        assert layer.forward(spikes)[0, 0] == 0.0  # truth: no fire
+        reordered, _ = hardware_layer_outputs(layer, spikes, 64,
+                                              reorder=True)
+        assert reordered[0, 0] == 0.0
+
+    def test_underflow_emits_spurious_output(self):
+        """Inhibition past the counter floor emits a borrow pulse that the
+        read-out cannot distinguish from a fire."""
+        layer = layer_from(np.full((6, 1), -1, dtype=int), [2])
+        spikes = np.ones((1, 6))
+        # Capacity 4: preload 2, inhibition 6 -> wraps below zero.
+        decisions, pulses = hardware_layer_outputs(layer, spikes, 4,
+                                                   reorder=True)
+        assert decisions[0, 0] == 1.0
+        assert pulses[0, 0] >= 1
+        # With adequate capacity the same stream is silent.
+        ok, _ = hardware_layer_outputs(layer, spikes, 16, reorder=True)
+        assert ok[0, 0] == 0.0
+
+    def test_premature_fire_count_nonnegative_and_zero_when_no_mixed_signs(self):
+        excitatory = layer_from(np.ones((4, 3), dtype=int), [2, 3, 4])
+        spikes = (np.random.default_rng(0).random((8, 4)) < 0.5).astype(float)
+        assert premature_fire_count(excitatory, spikes, 64) == 0
+
+    def test_input_shape_validation(self):
+        layer = layer_from([[1]], [1])
+        with pytest.raises(ConfigurationError):
+            hardware_layer_outputs(layer, np.ones((2, 3)), 64)
+        with pytest.raises(ConfigurationError):
+            hardware_layer_outputs(layer, np.ones((2, 1)), 1)
+
+    @given(
+        data=st.data(),
+        n_in=st.integers(min_value=1, max_value=8),
+        n_out=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reordered_equals_reference_given_capacity(self, data, n_in, n_out):
+        """Property: with reordering and sufficient SC capacity, hardware
+        streaming is exactly the final-sum IF decision (the correctness
+        claim of section 5.1)."""
+        weights = np.array([
+            [data.draw(st.integers(min_value=-2, max_value=2))
+             for _ in range(n_out)]
+            for _ in range(n_in)
+        ])
+        thresholds = np.array([
+            data.draw(st.integers(min_value=1, max_value=5))
+            for _ in range(n_out)
+        ])
+        layer = BinarizedLayer(weights, thresholds)
+        spikes = np.array([
+            [data.draw(st.booleans()) for _ in range(n_in)]
+            for _ in range(3)
+        ], dtype=float)
+        capacity = 1 << 10  # plenty
+        decisions, _ = hardware_layer_outputs(layer, spikes, capacity,
+                                              reorder=True)
+        np.testing.assert_array_equal(decisions, layer.forward(spikes))

@@ -1,0 +1,68 @@
+"""Unit tests for the stream-encoder timing constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neuro.timing import TimingPolicy
+from repro.ssnn.encoder import EncodedInference, InferenceTiming
+
+
+class TestInferenceTiming:
+    def test_row_spacing_grows_with_gain(self):
+        timing = InferenceTiming()
+        assert timing.row_spacing(2) > timing.row_spacing(1)
+        # Unit gain: just the policy interval plus the tree margin.
+        assert timing.row_spacing(1) == pytest.approx(
+            timing.policy.input_interval + 15.0
+        )
+
+    def test_protocol_windows_scale_with_chain_length(self):
+        short = InferenceTiming(sc_per_npe=4)
+        long = InferenceTiming(sc_per_npe=12)
+        assert long.pass_protocol_ps() > short.pass_protocol_ps()
+        assert long.timestep_protocol_ps() > short.timestep_protocol_ps()
+
+    def test_reload_latency_scales_with_span(self):
+        timing = InferenceTiming()
+        assert timing.reload_latency_ps(16) > timing.reload_latency_ps(1)
+        assert timing.reload_latency_ps(1) == pytest.approx(
+            timing.reload_base_ps + timing.reload_per_span_ps
+        )
+
+    def test_transmission_covers_row_and_column(self):
+        timing = InferenceTiming()
+        assert timing.transmission_ps(4) == pytest.approx(
+            timing.line_delay_per_span_ps * 8
+        )
+
+    def test_custom_policy_respected(self):
+        policy = TimingPolicy(input_interval=80.0)
+        timing = InferenceTiming(policy=policy)
+        assert timing.row_spacing(1) == pytest.approx(95.0)
+
+
+class TestEncodedInference:
+    def make(self, **overrides):
+        values = dict(
+            chip_n=4, time_steps=5, input_time_ps=1000.0,
+            reload_time_ps=250.0, protocol_time_ps=500.0,
+            transmission_time_ps=250.0, synaptic_ops=100,
+            spikes_streamed=40, reload_passes=3, total_passes=10,
+        )
+        values.update(overrides)
+        return EncodedInference(**values)
+
+    def test_total_and_fractions(self):
+        enc = self.make()
+        assert enc.total_ps == 2000.0
+        assert enc.reload_fraction == pytest.approx(0.125)
+        assert enc.transmission_fraction == pytest.approx(0.125)
+        assert enc.fps == pytest.approx(5e8)
+        assert enc.sops() == pytest.approx(100 / 2e-9)
+
+    def test_zero_duration_degenerate(self):
+        enc = self.make(input_time_ps=0.0, reload_time_ps=0.0,
+                        protocol_time_ps=0.0, transmission_time_ps=0.0)
+        assert enc.reload_fraction == 0.0
+        assert enc.sops() == 0.0
+        assert enc.fps == float("inf")

@@ -1,0 +1,73 @@
+"""Tests for the per-layer inference profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+from repro.ssnn.profiler import profile_network, profile_report
+
+
+def network_and_trains(seed=0, sizes=(20, 12, 4), steps=4):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for a, b in zip(sizes, sizes[1:]):
+        weights = rng.choice([-1, 0, 1], size=(a, b))
+        layers.append(BinarizedLayer(weights, rng.integers(1, 3, size=b)))
+    net = BinarizedNetwork(layers)
+    trains = (rng.random((steps, sizes[0])) < 0.5).astype(float)
+    return net, trains
+
+
+class TestProfiler:
+    def test_one_profile_per_layer(self):
+        net, trains = network_and_trains()
+        profiles = profile_network(net, trains, chip_n=8)
+        assert len(profiles) == 2
+        assert profiles[0].shape == (20, 12)
+        assert profiles[1].shape == (12, 4)
+
+    def test_time_shares_sum_to_one(self):
+        net, trains = network_and_trains()
+        profiles = profile_network(net, trains, chip_n=8)
+        assert sum(p.time_share for p in profiles) == pytest.approx(1.0)
+
+    def test_bigger_layer_dominates(self):
+        net, trains = network_and_trains(sizes=(64, 32, 4))
+        profiles = profile_network(net, trains, chip_n=8)
+        assert profiles[0].time_share > profiles[1].time_share
+        assert profiles[0].synaptic_ops > profiles[1].synaptic_ops
+
+    def test_activity_rates_in_unit_interval(self):
+        net, trains = network_and_trains()
+        for p in profile_network(net, trains, chip_n=4):
+            assert 0.0 <= p.input_spike_rate <= 1.0
+            assert 0.0 <= p.output_spike_rate <= 1.0
+
+    def test_layer_synops_sum_matches_runtime(self):
+        from repro.ssnn import SushiRuntime
+
+        net, trains = network_and_trains()
+        profiles = profile_network(net, trains, chip_n=8)
+        runtime = SushiRuntime(chip_n=8).infer(net, trains[:, None, :])
+        assert sum(p.synaptic_ops for p in profiles) == runtime.synaptic_ops
+
+    def test_energy_positive_and_scaled_by_time(self):
+        net, trains = network_and_trains()
+        profiles = profile_network(net, trains, chip_n=8)
+        for p in profiles:
+            assert p.energy_nj > 0
+        ratio_time = profiles[0].time_ps / profiles[1].time_ps
+        ratio_energy = profiles[0].energy_nj / profiles[1].energy_nj
+        assert ratio_energy == pytest.approx(ratio_time, rel=1e-6)
+
+    def test_report_renders(self):
+        net, trains = network_and_trains()
+        report = profile_report(profile_network(net, trains, chip_n=4))
+        assert "Per-layer inference profile" in report
+        assert "time_share_pct" in report
+
+    def test_shape_validation(self):
+        net, trains = network_and_trains()
+        with pytest.raises(ConfigurationError):
+            profile_network(net, trains[:, None, :], chip_n=4)

@@ -1,0 +1,101 @@
+"""Tests for static bit-slice plan verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.neuro.state_controller import Polarity
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+from repro.ssnn.bitslice import plan_network
+from repro.ssnn.verification import (
+    reconstruct_weights,
+    verify_plan,
+)
+
+
+def random_network(seed, sizes=(9, 6, 4), levels=(-2, -1, 0, 1, 2)):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for a, b in zip(sizes, sizes[1:]):
+        weights = rng.choice(levels, size=(a, b))
+        layers.append(BinarizedLayer(weights, rng.integers(1, 4, size=b)))
+    return BinarizedNetwork(layers)
+
+
+class TestReconstruction:
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           chip_n=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_always_reconstructible(self, seed, chip_n):
+        """Property: slicing and polarity decomposition lose nothing."""
+        net = random_network(seed)
+        plan = plan_network(net, chip_n)
+        for index, layer in enumerate(net.layers):
+            np.testing.assert_array_equal(
+                reconstruct_weights(plan, index), layer.signed_weights
+            )
+
+    def test_plan_without_network_rejected(self):
+        net = random_network(0)
+        plan = plan_network(net, 3)
+        plan.network = None
+        with pytest.raises(ConfigurationError):
+            reconstruct_weights(plan, 0)
+
+
+class TestVerifyPlan:
+    def test_valid_plan_passes(self):
+        plan = plan_network(random_network(1), 4)
+        report = verify_plan(plan)
+        assert report.ok
+        assert report.errors == []
+        report.raise_if_failed()  # no-op
+
+    def test_corrupted_gains_detected(self):
+        plan = plan_network(random_network(2), 4)
+        plan.tasks[0].strengths[0, 0] += 1
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any("synapses differ" in e for e in report.errors)
+        with pytest.raises(ConfigurationError):
+            report.raise_if_failed()
+
+    def test_misordered_polarity_detected(self):
+        plan = plan_network(random_network(3), 4)
+        # Move the first excitatory pass of slice 0 before its inhibitory
+        # passes (keeps reconstruction intact, breaks ordering).
+        key = (plan.tasks[0].layer_index, plan.tasks[0].out_slice)
+        slice_tasks = [t for t in plan.tasks
+                       if (t.layer_index, t.out_slice) == key]
+        exc = next(t for t in slice_tasks if t.polarity is Polarity.SET1)
+        plan.tasks.remove(exc)
+        plan.tasks.insert(1, exc)
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any("inhibitory pass after" in e for e in report.errors)
+
+    def test_capacity_violation_detected(self):
+        heavy = BinarizedNetwork([
+            BinarizedLayer(np.full((30, 2), -1, dtype=int), [2, 2])
+        ])
+        plan = plan_network(heavy, 2, sc_per_npe=10)
+        report = verify_plan(plan, sc_per_npe=4)  # stricter chain
+        assert not report.ok
+        assert any("states" in e for e in report.errors)
+
+    def test_excess_gain_detected(self):
+        plan = plan_network(random_network(4), 3)
+        plan.max_strength = 1  # pretend the chip only has unit gains
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any("gain exceeds" in e for e in report.errors)
+
+    def test_missing_preload_detected(self):
+        plan = plan_network(random_network(5), 3)
+        first = plan.tasks[0]
+        object.__setattr__(first, "first_pass_of_out_slice", False)
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any("preload" in e for e in report.errors)

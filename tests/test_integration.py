@@ -1,0 +1,107 @@
+"""End-to-end integration: the complete Fig. 12 workflow in miniature.
+
+Covers the whole pipeline in one place -- dataset, training, binarization,
+planning, verification, fast-engine inference, behavioural-chip inference,
+and the encoded-stream timing -- on sizes small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SpikingClassifier,
+    SushiRuntime,
+    Trainer,
+    TrainerConfig,
+    accuracy,
+    binarize_network,
+    consistency,
+    load_digits,
+    plan_network,
+)
+from repro.harness.artifacts import downsample_images
+from repro.snn.encoding import PoissonEncoder
+from repro.ssnn import encode_inference, verify_plan
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Train a tiny model once for the whole module."""
+    data = load_digits(train_size=600, test_size=80, seed=3)
+    images_tr = downsample_images(data.train_images, 4)
+    images_te = downsample_images(data.test_images, 4)
+    model = SpikingClassifier.mlp(
+        input_size=49, hidden_size=32, time_steps=4,
+        binary_aware=True, seed=3,
+    )
+    Trainer(model, TrainerConfig(epochs=25, batch_size=32,
+                                 learning_rate=8e-3)).fit(
+        images_tr, data.train_labels
+    )
+    network = binarize_network(model)
+    encoder = PoissonEncoder(seed=model.encoder_seed)
+    trains = encoder.encode_steps(
+        images_te.reshape(len(images_te), -1), model.time_steps
+    )
+    return model, network, trains, data.test_labels
+
+
+class TestEndToEnd:
+    def test_training_learned_something(self, pipeline):
+        model, network, trains, labels = pipeline
+        preds = network.predict(trains)
+        assert accuracy(preds, labels) > 0.5
+
+    def test_plan_verifies(self, pipeline):
+        _, network, _, _ = pipeline
+        plan = plan_network(network, chip_n=8)
+        verify_plan(plan).raise_if_failed()
+
+    def test_fast_engine_matches_software(self, pipeline):
+        _, network, trains, _ = pipeline
+        result = SushiRuntime(chip_n=8).infer(network, trains)
+        np.testing.assert_array_equal(result.predictions,
+                                      network.predict(trains))
+        assert result.spurious_decisions == 0
+
+    def test_behavioural_chip_matches_fast_engine(self, pipeline):
+        _, network, trains, _ = pipeline
+        subset = trains[:, :3, :]
+        fast = SushiRuntime(chip_n=6, sc_per_npe=8).infer(network, subset)
+        slow = SushiRuntime(chip_n=6, sc_per_npe=8,
+                            engine="behavioral").infer(network, subset)
+        np.testing.assert_array_equal(fast.output_raster, slow.output_raster)
+
+    def test_different_mesh_sizes_agree(self, pipeline):
+        _, network, trains, _ = pipeline
+        subset = trains[:, :10, :]
+        small = SushiRuntime(chip_n=3).infer(network, subset)
+        large = SushiRuntime(chip_n=16).infer(network, subset)
+        np.testing.assert_array_equal(small.predictions, large.predictions)
+
+    def test_encoded_stream_timing_is_sane(self, pipeline):
+        _, network, trains, _ = pipeline
+        plan = plan_network(network, chip_n=8)
+        enc = encode_inference(plan, trains[:, 0, :])
+        assert enc.total_ps > 0
+        assert 0 <= enc.reload_fraction < 1
+        assert enc.fps > 100  # a tiny net on a GHz-pulse chip is fast
+        assert enc.synaptic_ops > 0
+
+    def test_encoder_and_runtime_agree_on_synaptic_ops(self, pipeline):
+        """The stream encoder and the runtime count the same synaptic
+        operations for the same sample (independent implementations)."""
+        _, network, trains, _ = pipeline
+        single = trains[:, :1, :]
+        runtime = SushiRuntime(chip_n=8).infer(network, single)
+        plan = plan_network(network, chip_n=8)
+        enc = encode_inference(plan, trains[:, 0, :])
+        assert enc.synaptic_ops == runtime.synaptic_ops
+
+    def test_chip_agreement_with_trained_model(self, pipeline):
+        model, network, trains, labels = pipeline
+        # Use the downsampled test images the pipeline was built on.
+        result = SushiRuntime(chip_n=8).infer(network, trains)
+        agreement = consistency(result.predictions,
+                                network.predict(trains))
+        assert agreement == 1.0  # same integer semantics end to end
