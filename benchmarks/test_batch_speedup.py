@@ -1,0 +1,113 @@
+"""Batched dispatch speedup: whole-test-set inference vs per-sample loop.
+
+The batched fast engine folds the full ``(T, batch)`` digits test set into
+one row block per layer (see :mod:`repro.ssnn.runtime`), which the issue
+gates at a >= 3x wall-clock win over the per-sample reference loop on a
+200-sample run -- while staying *bit-identical* to it (and to the
+behavioural chip on a subset: batching is a pure performance transform).
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import get_trained_bundle
+from repro.snn import binarize_network
+from repro.snn.encoding import PoissonEncoder
+from repro.ssnn import SushiRuntime
+
+SAMPLES = 200
+BEHAVIORAL_SUBSET = 6
+
+
+def _digits_workload(once):
+    """A trained digits network plus 200 encoded test samples (cached)."""
+
+    def build():
+        bundle = get_trained_bundle(
+            dataset="digits", hidden=48, epochs=12,
+            train_size=800, test_size=SAMPLES, downsample=4,
+        )
+        model, data = bundle.model, bundle.dataset
+        network = binarize_network(model)
+        encoder = PoissonEncoder(seed=model.encoder_seed)
+        trains = encoder.encode_steps(
+            data.test_images.reshape(len(data.test_images), -1),
+            model.time_steps,
+        )
+        return network, trains
+
+    return once("batch_speedup_workload", build)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_batched_dispatch_is_3x_faster_and_bit_identical(benchmark, once):
+    network, trains = _digits_workload(once)
+    assert trains.shape[1] == SAMPLES
+    runtime = SushiRuntime(chip_n=16, sc_per_npe=10)
+
+    runtime.infer(network, trains)  # warm caches (plan, numpy buffers)
+    batched, batched_s = _best_of(lambda: runtime.infer(network, trains))
+    per_sample, per_sample_s = _best_of(
+        lambda: runtime.infer_per_sample(network, trains), repeats=1
+    )
+    benchmark.pedantic(
+        lambda: runtime.infer(network, trains), rounds=3, iterations=1
+    )
+
+    speedup = per_sample_s / batched_s
+    emit(
+        "batched dispatch on {} digits samples:\n"
+        "  per-sample loop : {:8.4f} s\n"
+        "  batched         : {:8.4f} s\n"
+        "  speedup         : {:8.2f}x (gate: >= 3x)".format(
+            SAMPLES, per_sample_s, batched_s, speedup
+        )
+    )
+
+    # Performance gate from the issue: >= 3x on 200 samples.
+    assert speedup >= 3.0, (
+        f"batched dispatch only {speedup:.2f}x faster than the "
+        f"per-sample loop (need >= 3x)"
+    )
+
+    # Equivalence gate: batching must not change a single bit.
+    assert np.array_equal(batched.output_raster, per_sample.output_raster)
+    assert np.array_equal(batched.predictions, per_sample.predictions)
+    assert batched.spurious_decisions == per_sample.spurious_decisions == 0
+    assert batched.synaptic_ops == per_sample.synaptic_ops
+    assert batched.reload_events == per_sample.reload_events
+
+
+def test_batched_matches_behavioral_chip_on_subset(once):
+    """The protocol-exact chip agrees with the batched engine bit for bit
+    (small subset: the behavioural model simulates every pass)."""
+    network, trains = _digits_workload(once)
+    subset = trains[:, :BEHAVIORAL_SUBSET, :]
+    fast = SushiRuntime(chip_n=16, sc_per_npe=10).infer(network, subset)
+    chip = SushiRuntime(
+        chip_n=16, sc_per_npe=10, engine="behavioral"
+    ).infer(network, subset)
+    assert np.array_equal(fast.output_raster, chip.output_raster)
+    assert np.array_equal(fast.predictions, chip.predictions)
+    assert fast.spurious_decisions == chip.spurious_decisions == 0
+
+
+def test_process_pool_matches_serial_on_full_set(once):
+    network, trains = _digits_workload(once)
+    serial = SushiRuntime(chip_n=16, sc_per_npe=10).infer(network, trains)
+    pooled = SushiRuntime(
+        chip_n=16, sc_per_npe=10, max_workers=2
+    ).infer(network, trains)
+    assert np.array_equal(serial.output_raster, pooled.output_raster)
+    assert np.array_equal(serial.predictions, pooled.predictions)

@@ -9,6 +9,15 @@ so repeated benchmark runs do not retrain.
 
 from repro.harness.reporting import format_table, paper_vs_measured
 from repro.harness.artifacts import get_trained_bundle, TrainedBundle
+from repro.harness.differential import (
+    DifferentialReport,
+    EngineComparison,
+    differential_snapshot,
+    random_binarized_network,
+    random_spike_trains,
+    run_differential,
+    run_gate_level_differential,
+)
 from repro.harness import experiments
 
 __all__ = [
@@ -17,4 +26,11 @@ __all__ = [
     "get_trained_bundle",
     "TrainedBundle",
     "experiments",
+    "DifferentialReport",
+    "EngineComparison",
+    "differential_snapshot",
+    "random_binarized_network",
+    "random_spike_trains",
+    "run_differential",
+    "run_gate_level_differential",
 ]

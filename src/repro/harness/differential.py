@@ -1,0 +1,414 @@
+"""Differential-equivalence harness: fast vs behavioural vs gate level.
+
+The batched fast engine is only trustworthy because it is *provably* the
+same computation as the protocol-exact paths.  This module packages that
+proof as reusable machinery:
+
+* :func:`random_binarized_network` / :func:`random_spike_trains` --
+  seeded generators of capacity-safe random workloads;
+* :func:`run_differential` -- run one workload through every requested
+  engine (batched fast, per-sample fast, behavioural chip, software
+  final-sum reference) and compare rasters, predictions and spike counts
+  bit-for-bit;
+* :func:`gate_level_step_outputs` / :func:`run_gate_level_differential`
+  -- drive a single random neuron through the gate-level RSFQ chip and
+  check it against the behavioural/fast decisions (the miniature version
+  of the paper's Fig. 16 chip-vs-simulation study);
+* :meth:`DifferentialReport.to_snapshot` -- feed the result into the
+  :mod:`repro.harness.regression` snapshot machinery so CI can gate on
+  "still equivalent, still the same totals".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.harness.regression import MetricSnapshot
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+from repro.ssnn.runtime import RuntimeResult, SushiRuntime
+
+#: Engines understood by :func:`run_differential`.
+ENGINES = ("fast", "per-sample", "behavioral")
+
+
+# ---------------------------------------------------------------------------
+# Workload generators
+# ---------------------------------------------------------------------------
+
+def random_binarized_network(
+    rng: np.random.Generator,
+    sizes: Sequence[int] = (8, 6, 4),
+    max_magnitude: int = 1,
+    sc_per_npe: int = 8,
+) -> BinarizedNetwork:
+    """A random integer network guaranteed to stream safely on an
+    ``sc_per_npe``-SC NPE under reordered bucketing.
+
+    Weights are drawn from ``[-max_magnitude, max_magnitude]`` (re-drawn
+    until every neuron keeps at least one connection); thresholds are
+    drawn so that ``threshold + worst-case inhibition <= 2**sc_per_npe``
+    (the :func:`repro.ssnn.bucketing.required_capacity` bound) *and*
+    ``threshold <= total excitation`` (so neurons are actually reachable
+    and the differential exercises both fire and no-fire paths).
+    """
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least an input and output size")
+    capacity = 1 << sc_per_npe
+    layers = []
+    for n_in, n_out in zip(sizes, sizes[1:]):
+        for _ in range(100):
+            weights = rng.integers(
+                -max_magnitude, max_magnitude + 1, size=(n_in, n_out)
+            )
+            if not (np.abs(weights).sum(axis=0) == 0).any():
+                break
+        else:
+            raise ConfigurationError(
+                "could not draw a network without dead neurons"
+            )
+        inhibition = -np.minimum(weights, 0).sum(axis=0)  # (out,) >= 0
+        excitation = np.maximum(weights, 0).sum(axis=0)   # (out,) >= 0
+        headroom = capacity - inhibition
+        if (headroom < 1).any():
+            raise ConfigurationError(
+                f"layer {n_in}x{n_out} cannot fit {sc_per_npe} SCs; "
+                "use smaller sizes or more SCs"
+            )
+        # Bias thresholds low (a third of the reachable range): random
+        # signed sums concentrate near zero, so mid-range thresholds would
+        # almost never fire and the differential would only exercise the
+        # all-silent path.
+        upper = np.minimum(headroom, np.maximum(excitation // 3, 1))
+        thresholds = np.array([
+            int(rng.integers(1, int(u) + 1)) for u in upper
+        ])
+        layers.append(BinarizedLayer(weights, thresholds))
+    return BinarizedNetwork(layers)
+
+
+def random_spike_trains(
+    rng: np.random.Generator,
+    steps: int,
+    batch: int,
+    in_features: int,
+    rate: float = 0.4,
+) -> np.ndarray:
+    """A Bernoulli ``(T, batch, in_features)`` binary spike train."""
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError("rate must be in [0, 1]")
+    return (rng.random((steps, batch, in_features)) < rate).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Engine comparison
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineComparison:
+    """Bit-level agreement between a candidate engine and the baseline."""
+
+    baseline: str
+    candidate: str
+    raster_equal: bool
+    predictions_equal: bool
+    spike_counts_equal: bool
+    mismatched_samples: Tuple[int, ...] = ()
+
+    @property
+    def equivalent(self) -> bool:
+        return (self.raster_equal and self.predictions_equal
+                and self.spike_counts_equal)
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run across engines."""
+
+    baseline: str
+    comparisons: List[EngineComparison]
+    results: Dict[str, RuntimeResult] = field(default_factory=dict)
+    software_agreement: Optional[bool] = None
+    samples: int = 0
+    steps: int = 0
+
+    @property
+    def passed(self) -> bool:
+        ok = all(c.equivalent for c in self.comparisons)
+        if self.software_agreement is not None:
+            ok = ok and self.software_agreement
+        return ok
+
+    def summary(self) -> str:
+        lines = [
+            f"differential over {self.samples} samples x {self.steps} steps "
+            f"(baseline: {self.baseline})"
+        ]
+        for c in self.comparisons:
+            verdict = "EQUIVALENT" if c.equivalent else "MISMATCH"
+            detail = ""
+            if c.mismatched_samples:
+                detail = f" (samples {list(c.mismatched_samples)[:5]}...)"
+            lines.append(f"  {c.baseline} vs {c.candidate}: {verdict}{detail}")
+        if self.software_agreement is not None:
+            lines.append(
+                "  software final-sum reference: "
+                + ("agrees" if self.software_agreement else "DISAGREES")
+            )
+        return "\n".join(lines)
+
+    def to_snapshot(self, name: str = "differential") -> MetricSnapshot:
+        """Scalar form for the :mod:`repro.harness.regression` gate.
+
+        Mismatch metrics must stay 0; the totals (spikes, synaptic ops)
+        pin the workload so a silent semantics change trips the gate.
+        """
+        snap = MetricSnapshot(name)
+        snap.record("samples", self.samples)
+        snap.record("steps", self.steps)
+        snap.record("engines", len(self.results))
+        snap.record(
+            "mismatched_comparisons",
+            sum(0 if c.equivalent else 1 for c in self.comparisons),
+        )
+        base = self.results.get(self.baseline)
+        if base is not None:
+            snap.record("total_output_spikes",
+                        float(base.output_raster.sum()))
+            snap.record("spurious_decisions",
+                        float(base.spurious_decisions))
+            snap.record("synaptic_ops", float(base.synaptic_ops))
+            snap.record("prediction_sum", float(base.predictions.sum()))
+        if self.software_agreement is not None:
+            snap.record("software_agrees", float(self.software_agreement))
+        return snap
+
+
+def _compare(
+    baseline_name: str,
+    baseline: RuntimeResult,
+    candidate_name: str,
+    candidate: RuntimeResult,
+) -> EngineComparison:
+    raster_equal = bool(
+        np.array_equal(baseline.output_raster, candidate.output_raster)
+    )
+    predictions_equal = bool(
+        np.array_equal(baseline.predictions, candidate.predictions)
+    )
+    counts_equal = bool(
+        np.array_equal(
+            baseline.output_raster.sum(axis=0),
+            candidate.output_raster.sum(axis=0),
+        )
+    )
+    mismatched: Tuple[int, ...] = ()
+    if not raster_equal:
+        diff = (baseline.output_raster != candidate.output_raster).any(
+            axis=(0, 2)
+        )
+        mismatched = tuple(int(i) for i in np.flatnonzero(diff))
+    return EngineComparison(
+        baseline=baseline_name,
+        candidate=candidate_name,
+        raster_equal=raster_equal,
+        predictions_equal=predictions_equal,
+        spike_counts_equal=counts_equal,
+        mismatched_samples=mismatched,
+    )
+
+
+def run_differential(
+    network: BinarizedNetwork,
+    spike_trains: np.ndarray,
+    chip_n: int = 4,
+    sc_per_npe: int = 8,
+    engines: Sequence[str] = ENGINES,
+    reorder: bool = True,
+    check_software: bool = True,
+) -> DifferentialReport:
+    """Run one workload through every requested engine and diff the bits.
+
+    ``engines`` may contain ``"fast"`` (batched), ``"per-sample"`` (the
+    fast engine sample by sample) and ``"behavioral"`` (protocol-exact
+    chip).  The first entry is the baseline the others are compared to.
+    With ``check_software=True`` (and ``reorder=True``) the baseline's
+    raster is also checked against the software final-sum reference
+    (:meth:`BinarizedNetwork.forward_step` per step).
+    """
+    if not engines:
+        raise ConfigurationError("need at least one engine")
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engines {unknown}; available: {list(ENGINES)}"
+        )
+    if "behavioral" in engines and not reorder:
+        raise ConfigurationError(
+            "the behavioural engine only supports reorder=True; drop it "
+            "from `engines` for the naive-order differential"
+        )
+    spike_trains = np.asarray(spike_trains, dtype=np.float64)
+    results: Dict[str, RuntimeResult] = {}
+    for engine in engines:
+        if engine == "per-sample":
+            runtime = SushiRuntime(
+                chip_n=chip_n, sc_per_npe=sc_per_npe,
+                engine="fast", reorder=reorder,
+            )
+            results[engine] = runtime.infer_per_sample(network, spike_trains)
+        else:
+            runtime = SushiRuntime(
+                chip_n=chip_n, sc_per_npe=sc_per_npe,
+                engine=engine, reorder=reorder,
+            )
+            results[engine] = runtime.infer(network, spike_trains)
+    baseline = engines[0]
+    comparisons = [
+        _compare(baseline, results[baseline], other, results[other])
+        for other in engines[1:]
+    ]
+    software_agreement = None
+    if check_software and reorder:
+        steps = spike_trains.shape[0]
+        reference = np.stack(
+            [network.forward_step(spike_trains[t]) for t in range(steps)]
+        ) if steps else np.zeros_like(results[baseline].output_raster)
+        software_agreement = bool(
+            np.array_equal(results[baseline].output_raster, reference)
+        )
+    return DifferentialReport(
+        baseline=baseline,
+        comparisons=comparisons,
+        results=results,
+        software_agreement=software_agreement,
+        samples=int(spike_trains.shape[1]),
+        steps=int(spike_trains.shape[0]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gate-level cross-check (miniature Fig. 16)
+# ---------------------------------------------------------------------------
+
+def gate_level_step_outputs(
+    weights: np.ndarray,
+    threshold: int,
+    input_spikes: np.ndarray,
+    sc_per_npe: int = 6,
+    jitter_ps: float = 0.0,
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Per-step spike decisions of one neuron on the gate-level chip.
+
+    ``weights`` is the neuron's (in,) signed weight vector, ``input_spikes``
+    a (T, in) binary matrix.  Each step streams the active inhibitory then
+    excitatory synapses through a 1x1 gate-level chip (NPE0 relaying into
+    NPE1), exactly like the Fig. 16 waveform path.
+    """
+    from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
+    from repro.neuro.state_controller import Polarity
+
+    weights = np.asarray(weights).astype(np.int64)
+    input_spikes = np.asarray(input_spikes)
+    if weights.ndim != 1 or input_spikes.ndim != 2 \
+            or input_spikes.shape[1] != weights.shape[0]:
+        raise ConfigurationError(
+            "weights must be (in,) and input_spikes (T, in)"
+        )
+    chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=sc_per_npe))
+    sim = chip.simulator(jitter_ps=jitter_ps, seed=seed)
+    driver = ChipDriver(chip, sim)
+    outputs: List[int] = []
+    for t in range(input_spikes.shape[0]):
+        driver.begin_timestep([int(threshold)])
+        before = len(chip.fire_times(0))
+        for polarity, sign in ((Polarity.SET0, -1), (Polarity.SET1, 1)):
+            for axon in range(weights.shape[0]):
+                strength = int(abs(weights[axon]))
+                if input_spikes[t, axon] and np.sign(weights[axon]) == sign:
+                    for _ in range(strength):
+                        driver.configure_weights([[1]])
+                        driver.run_pass(polarity, [True])
+        outputs.append(1 if len(chip.fire_times(0)) > before else 0)
+    return outputs
+
+
+def run_gate_level_differential(
+    seed: int = 0,
+    in_features: int = 4,
+    steps: int = 3,
+    sc_per_npe: int = 5,
+) -> Dict:
+    """Random single-neuron workload: gate level vs behavioural/fast.
+
+    Small by construction -- the gate-level chip simulates every SFQ pulse
+    -- but it closes the chain: software == fast == behavioural ==
+    gate-level RSFQ cells.  Returns a dict with per-path outputs and an
+    ``equivalent`` flag.
+    """
+    rng = np.random.default_rng(seed)
+    capacity = 1 << sc_per_npe
+    network = random_binarized_network(
+        rng, sizes=(in_features, 1), sc_per_npe=sc_per_npe
+    )
+    layer = network.layers[0]
+    weights = layer.signed_weights[:, 0]
+    threshold = int(layer.thresholds[0])
+    trains = random_spike_trains(rng, steps, 1, in_features, rate=0.6)
+
+    fast = SushiRuntime(chip_n=1, sc_per_npe=sc_per_npe).infer(
+        network, trains
+    )
+    behavioral = SushiRuntime(
+        chip_n=1, sc_per_npe=sc_per_npe, engine="behavioral"
+    ).infer(network, trains)
+    gate = gate_level_step_outputs(
+        weights, threshold, trains[:, 0, :], sc_per_npe=sc_per_npe
+    )
+    fast_steps = [int(v) for v in fast.output_raster[:, 0, 0]]
+    behavioral_steps = [int(v) for v in behavioral.output_raster[:, 0, 0]]
+    software_steps = [
+        int(network.forward_step(trains[t])[0, 0]) for t in range(steps)
+    ]
+    equivalent = (
+        fast_steps == behavioral_steps == gate == software_steps
+    )
+    return {
+        "weights": weights.tolist(),
+        "threshold": threshold,
+        "capacity": capacity,
+        "fast": fast_steps,
+        "behavioral": behavioral_steps,
+        "gate_level": gate,
+        "software": software_steps,
+        "equivalent": equivalent,
+    }
+
+
+def differential_snapshot(
+    seed: int = 0,
+    sizes: Sequence[int] = (10, 8, 6),
+    steps: int = 4,
+    batch: int = 12,
+    chip_n: int = 4,
+    sc_per_npe: int = 8,
+) -> MetricSnapshot:
+    """One seeded differential run folded into a regression snapshot.
+
+    Save it once as a baseline, re-run and :func:`repro.harness.regression.
+    compare` in CI: any drift in equivalence or workload totals fails the
+    gate.
+    """
+    rng = np.random.default_rng(seed)
+    network = random_binarized_network(
+        rng, sizes=sizes, sc_per_npe=sc_per_npe
+    )
+    trains = random_spike_trains(rng, steps, batch, sizes[0])
+    report = run_differential(
+        network, trains, chip_n=chip_n, sc_per_npe=sc_per_npe
+    )
+    return report.to_snapshot(f"differential-seed{seed}")

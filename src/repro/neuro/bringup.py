@@ -59,6 +59,35 @@ class BringupReport:
         ]
 
 
+def two_npe_bringup_trace(
+    sc_per_npe: int = 4,
+    jitter_ps: float = 0.0,
+    seed: Optional[int] = None,
+) -> PulseTrace:
+    """Pulse trace of a canonical 2-NPE bring-up script (Fig. 16 path).
+
+    Drives the fabricated chip's configuration -- one row NPE relaying
+    into one column NPE over a 1x1 mesh -- through a fixed little
+    inference: threshold preload, weight configuration, an inhibitory
+    pass and three excitatory passes (the third crosses the threshold
+    and fires).  At ``jitter_ps=0`` the returned
+    :class:`~repro.rsfq.waveform.PulseTrace` is bit-reproducible, which
+    makes it the reference artefact for the golden-trace snapshot tests;
+    with jitter it is deterministic per seed.
+    """
+    chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=sc_per_npe))
+    trace = PulseTrace()
+    sim = chip.simulator(jitter_ps=jitter_ps, seed=seed, trace=trace)
+    driver = ChipDriver(chip, sim)
+    driver.begin_timestep([2])
+    driver.configure_weights([[1]])
+    driver.run_pass(Polarity.SET1, [True])   # membrane 1: below threshold
+    driver.run_pass(Polarity.SET0, [True])   # membrane back to 0
+    driver.run_pass(Polarity.SET1, [True])   # membrane 1
+    driver.run_pass(Polarity.SET1, [True])   # membrane 2: fires
+    return trace
+
+
 def run_bringup(
     sc_per_npe: int = 4,
     jitter_ps: float = 0.0,

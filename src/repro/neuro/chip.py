@@ -106,6 +106,29 @@ class BehavioralChip:
         self._underflows = [0] * n
         self._in_timestep = False
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the chip to its power-on state, keeping the statistics.
+
+        Equivalent to constructing a fresh :class:`BehavioralChip` except
+        that the accumulated counters (:attr:`synaptic_ops`,
+        :attr:`reload_events`, :attr:`pulses_streamed`) survive -- this is
+        what lets one elaborated chip instance be reused across the samples
+        of a batch (see :class:`repro.ssnn.runtime.SushiRuntime`) while
+        producing bit-identical results to the rebuild-per-sample path.
+        """
+        for npe in self.row_npes:
+            npe.rst()
+        for npe in self.col_npes:
+            npe.rst()
+        for row in self.crosspoints:
+            for xp in row:
+                xp.reset_state()
+        self._out_pulses = [0] * self.config.n
+        self._underflows = [0] * self.config.n
+        self._in_timestep = False
+
     # -- per-timestep protocol ------------------------------------------------
 
     def begin_timestep(self, thresholds: Sequence[int]) -> List[int]:

@@ -55,6 +55,11 @@ class BehavioralWeightStructure:
         self.reload_count += 1
         return True
 
+    def reset_state(self) -> None:
+        """Power-on reset: gain back to 0 *without* counting a reload
+        (used when one chip instance is reused across batch samples)."""
+        self.strength = 0
+
     @property
     def enabled(self) -> bool:
         return self.strength > 0

@@ -33,9 +33,15 @@ from repro.rsfq.constraints import (
     NDRO_RST_TO_CLK,
     TFF_MIN_INTERVAL,
 )
-from repro.rsfq.events import PulseEvent
-from repro.rsfq.netlist import Netlist, Wire
-from repro.rsfq.simulator import Simulator
+from repro.rsfq.events import (
+    QUEUE_BACKENDS,
+    EventQueue,
+    PulseEvent,
+    SortedListQueue,
+)
+from repro.rsfq.netlist import FanoutTable, Netlist, Wire
+from repro.rsfq.session import RunResult, SessionStats, SimulationSession
+from repro.rsfq.simulator import RunStats, Simulator
 from repro.rsfq.waveform import (
     PulseTrace,
     levels_to_pulses,
@@ -51,9 +57,17 @@ __all__ = [
     "Cell",
     "Violation",
     "PulseEvent",
+    "EventQueue",
+    "SortedListQueue",
+    "QUEUE_BACKENDS",
     "Netlist",
+    "FanoutTable",
     "Wire",
     "Simulator",
+    "RunStats",
+    "SimulationSession",
+    "RunResult",
+    "SessionStats",
     "PulseTrace",
     "levels_to_pulses",
     "pulses_to_levels",

@@ -18,6 +18,31 @@ CellRef = Union[Cell, str]
 
 
 @dataclass(frozen=True)
+class FanoutTable:
+    """Pre-resolved routing of a netlist, memoised per topology version.
+
+    Built once by :meth:`Netlist.elaborate` and shared by every simulator
+    run over the same circuit: the event loop's hot path looks up
+    ``(cell, port) -> ((dst_name, dst_port, delay), ...)`` tuples instead
+    of re-resolving cells and copying wire lists on every delivered pulse.
+
+    Attributes:
+        version: The netlist topology version this table was built from
+            (used to detect staleness after further construction).
+        routes: Output-port routing, ``(src, src_port)`` -> destinations.
+        cells: Cell-name -> cell object mapping (pre-resolved indices).
+    """
+
+    version: int
+    routes: Dict[Tuple[str, str], Tuple[Tuple[str, str, float], ...]]
+    cells: Dict[str, Cell]
+
+    def fanout(self, cell_name: str, port: str) -> Tuple[Tuple[str, str, float], ...]:
+        """Destinations driven by ``cell_name.port`` (possibly empty)."""
+        return self.routes.get((cell_name, port), ())
+
+
+@dataclass(frozen=True)
 class Wire:
     """A directed connection between two cell ports.
 
@@ -48,6 +73,10 @@ class Netlist:
         self.cells: Dict[str, Cell] = {}
         self._wires_by_src: Dict[Tuple[str, str], List[Wire]] = {}
         self.wires: List[Wire] = []
+        #: Bumped on every structural change (add/connect); lets memoised
+        #: elaborations detect staleness without hashing the whole graph.
+        self.topology_version = 0
+        self._elaborated: FanoutTable = None
 
     # -- construction ------------------------------------------------------
 
@@ -58,6 +87,7 @@ class Netlist:
                 f"duplicate cell name '{cell.name}' in netlist '{self.name}'"
             )
         self.cells[cell.name] = cell
+        self.topology_version += 1
         return cell
 
     def connect(
@@ -100,6 +130,7 @@ class Netlist:
         )
         self._wires_by_src.setdefault(key, []).append(wire)
         self.wires.append(wire)
+        self.topology_version += 1
         return wire
 
     def _resolve(self, ref: CellRef) -> Cell:
@@ -121,6 +152,28 @@ class Netlist:
         """Wires driven by the given output port (0 or 1 entries)."""
         src_cell = self._resolve(src)
         return list(self._wires_by_src.get((src_cell.name, src_port), ()))
+
+    def elaborate(self) -> FanoutTable:
+        """Pre-resolved routing table, memoised per topology version.
+
+        The returned :class:`FanoutTable` is rebuilt only when cells or
+        wires have been added since the last call, so repeated simulator
+        construction / batched runs over the same netlist amortise the
+        elaboration cost.
+        """
+        cached = self._elaborated
+        if cached is not None and cached.version == self.topology_version:
+            return cached
+        routes = {
+            key: tuple((w.dst, w.dst_port, w.delay) for w in wires)
+            for key, wires in self._wires_by_src.items()
+        }
+        self._elaborated = FanoutTable(
+            version=self.topology_version,
+            routes=routes,
+            cells=dict(self.cells),
+        )
+        return self._elaborated
 
     def cells_of_type(self, cell_type: type) -> List[Cell]:
         """All cells that are instances of ``cell_type``."""

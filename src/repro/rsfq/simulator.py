@@ -3,13 +3,38 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Union
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ConstraintViolationError
 from repro.rsfq.cells import Cell, Violation
-from repro.rsfq.events import EventQueue
+from repro.rsfq.events import QUEUE_BACKENDS, EventQueue
 from repro.rsfq.netlist import Netlist
 from repro.rsfq.waveform import PulseTrace
+
+#: External stimulus: ``(cell or cell name, input port, time in ps)``.
+Stimulus = Tuple[Union[Cell, str], str, float]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Per-run execution statistics (returned by :meth:`Simulator.run_batch`
+    and :class:`~repro.rsfq.session.SimulationSession`).
+
+    Attributes:
+        events: Events processed during the run.
+        final_time_ps: Simulation time when the run finished.
+        delivered_pulses: Pulses delivered during the run.
+        violations: Timing violations recorded during the run.
+        wall_time_s: Host wall-clock seconds the run took.
+    """
+
+    events: int
+    final_time_ps: float
+    delivered_pulses: int
+    violations: int
+    wall_time_s: float
 
 
 class Simulator:
@@ -27,6 +52,17 @@ class Simulator:
             variation of the physical chip (used as the "measured chip" side
             of the Fig. 16 comparison).
         seed: Seed for the jitter random stream (deterministic runs).
+        queue_backend: Event-queue implementation -- a name from
+            :data:`repro.rsfq.events.QUEUE_BACKENDS` (``"heap"`` or
+            ``"sorted"``) or any zero-argument callable returning an object
+            with the queue protocol (``push``/``pop``/``peek_time``/
+            ``clear``/``__len__``/``__bool__``).  All backends are
+            deterministic and produce identical event orders.
+
+    The simulator resolves the netlist's routing through
+    :meth:`Netlist.elaborate`, so the per-pulse hot path performs tuple
+    lookups instead of cell resolution; the elaboration is memoised on the
+    netlist and shared across simulators and runs.
     """
 
     def __init__(
@@ -36,27 +72,51 @@ class Simulator:
         trace: Optional[PulseTrace] = None,
         jitter_ps: float = 0.0,
         seed: Optional[int] = None,
+        queue_backend: Union[str, Callable] = "heap",
     ):
         self.netlist = netlist
         self.strict = strict
         self.trace = trace
         self.jitter_ps = float(jitter_ps)
         self._rng = random.Random(seed)
-        self.queue = EventQueue()
+        self.queue = self._make_queue(queue_backend)
         self.now = 0.0
         self.violations: List[Violation] = []
         #: Total pulses delivered (event count) -- activity metric.
         self.delivered_pulses = 0
+        #: Total events processed across all runs since the last reset.
+        self.events_processed = 0
         #: Minimum observed interval per constraint family:
         #: (cell_type, port_a, port_b) -> (required, tightest_actual).
         self.margins: dict = {}
+        self._fanout = netlist.elaborate()
+
+    @staticmethod
+    def _make_queue(queue_backend: Union[str, Callable]):
+        if callable(queue_backend):
+            return queue_backend()
+        try:
+            factory = QUEUE_BACKENDS[queue_backend]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown queue backend '{queue_backend}'; available: "
+                f"{sorted(QUEUE_BACKENDS)} (or pass a callable)"
+            )
+        return factory()
 
     # -- scheduling --------------------------------------------------------
 
     def schedule_input(
         self, cell: Union[Cell, str], port: str, time: float
     ) -> None:
-        """Inject an external pulse into ``cell.port`` at ``time`` (ps)."""
+        """Inject an external pulse into ``cell.port`` at ``time`` (ps).
+
+        ``time`` must be at or after the current simulation time
+        :attr:`now`: scheduling *at exactly* ``now`` is allowed (the pulse
+        is processed in the next :meth:`run` call, after any event already
+        queued for the same instant), while scheduling in the past raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
         cell = self._resolve(cell)
         if port not in cell.INPUTS:
             raise ConfigurationError(
@@ -64,18 +124,18 @@ class Simulator:
             )
         if time < self.now:
             raise ConfigurationError(
-                f"cannot schedule input at {time} ps: simulation time is "
-                f"already {self.now} ps"
+                f"cannot schedule input for '{cell.name}.{port}' at "
+                f"{time} ps: simulation time is already {self.now} ps "
+                "(inputs must be scheduled at or after the current time)"
             )
         self.queue.push(time, cell.name, port)
 
     def deliver(self, cell: Cell, port: str, time: float) -> None:
         """Propagate an output pulse along the port's wire (called by cells)."""
-        for wire in self.netlist.fanout(cell, port):
-            delay = wire.delay
+        for dst, dst_port, delay in self._fanout.fanout(cell.name, port):
             if self.jitter_ps > 0.0:
                 delay = max(0.0, delay + self._rng.gauss(0.0, self.jitter_ps))
-            self.queue.push(time + delay, wire.dst, wire.dst_port)
+            self.queue.push(time + delay, dst, dst_port)
 
     # -- execution ---------------------------------------------------------
 
@@ -85,16 +145,21 @@ class Simulator:
         Returns the final simulation time.  ``max_events`` guards against
         runaway feedback loops in malformed circuits.
         """
+        if self._fanout.version != self.netlist.topology_version:
+            self._fanout = self.netlist.elaborate()
+        cells = self._fanout.cells
+        queue = self.queue
+        trace = self.trace
         processed = 0
-        while self.queue:
-            next_time = self.queue.peek_time()
+        while queue:
+            next_time = queue.peek_time()
             if until is not None and next_time > until:
                 break
-            event = self.queue.pop()
+            event = queue.pop()
             self.now = event.time
-            cell = self.netlist.cells[event.component]
-            if self.trace is not None:
-                self.trace.record(event.component, event.port, event.time)
+            cell = cells[event.component]
+            if trace is not None:
+                trace.record(event.component, event.port, event.time)
             cell.receive(event.port, event.time, self)
             self.delivered_pulses += 1
             processed += 1
@@ -103,9 +168,46 @@ class Simulator:
                     f"simulation exceeded {max_events} events; suspected "
                     "feedback oscillation in the netlist"
                 )
+        self.events_processed += processed
         if until is not None and until > self.now:
             self.now = until
         return self.now
+
+    def run_batch(
+        self,
+        batches: Iterable[Sequence[Stimulus]],
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> List[RunStats]:
+        """Execute several independent stimulus sets, resetting between runs.
+
+        Each element of ``batches`` is a sequence of ``(cell, port, time)``
+        stimuli describing one run; the circuit state, clock and queue are
+        reset before each run (the jitter stream is *not* reseeded, so a
+        jittered batch models repeated trials on one physical chip).  The
+        netlist elaboration is resolved once and shared across the batch.
+
+        Returns one :class:`RunStats` per stimulus set.  For richer per-run
+        control (per-run traces, seeds, aggregate stats) use
+        :class:`repro.rsfq.session.SimulationSession`.
+        """
+        stats: List[RunStats] = []
+        for stimuli in batches:
+            self.reset()
+            for cell, port, time in stimuli:
+                self.schedule_input(cell, port, time)
+            events_before = self.events_processed
+            start = _time.perf_counter()
+            final = self.run(until=until, max_events=max_events)
+            wall = _time.perf_counter() - start
+            stats.append(RunStats(
+                events=self.events_processed - events_before,
+                final_time_ps=final,
+                delivered_pulses=self.delivered_pulses,
+                violations=len(self.violations),
+                wall_time_s=wall,
+            ))
+        return stats
 
     def report_violation(self, violation: Violation) -> None:
         """Record (or raise, in strict mode) a timing violation."""
@@ -158,6 +260,7 @@ class Simulator:
         self.now = 0.0
         self.violations.clear()
         self.delivered_pulses = 0
+        self.events_processed = 0
         self.margins.clear()
         self.netlist.reset_state()
         if self.trace is not None:

@@ -10,6 +10,8 @@ view as ASCII for the Fig. 16 comparison.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
@@ -19,13 +21,22 @@ from repro.errors import ConfigurationError
 
 
 class PulseTrace:
-    """Records pulse arrival times per ``(component, port)`` channel."""
+    """Records pulse arrival times per ``(component, port)`` channel.
+
+    Besides the per-channel view, the trace keeps the flat event log in
+    global record order, so two traces can be compared event-by-event
+    (:meth:`events`) and serialised exactly (:meth:`save` /
+    :meth:`load` -- JSON ``repr`` round-trips Python floats losslessly,
+    which is what the golden-trace snapshot tests rely on).
+    """
 
     def __init__(self):
         self._events: "OrderedDict[Tuple[str, str], List[float]]" = OrderedDict()
+        self._log: List[Tuple[str, str, float]] = []
 
     def record(self, component: str, port: str, time: float) -> None:
         self._events.setdefault((component, port), []).append(time)
+        self._log.append((component, port, time))
 
     def times(self, component: str, port: str) -> List[float]:
         """Pulse times observed on a channel (empty list if none)."""
@@ -35,14 +46,76 @@ class PulseTrace:
         """All channels that saw at least one pulse, in first-seen order."""
         return list(self._events.keys())
 
+    def events(self) -> List[Tuple[str, str, float]]:
+        """The full event sequence ``(component, port, time)`` in the
+        order the simulator processed it."""
+        return list(self._log)
+
     def total_pulses(self) -> int:
         return sum(len(v) for v in self._events.values())
 
     def clear(self) -> None:
         self._events.clear()
+        self._log.clear()
 
     def __len__(self) -> int:
         return len(self._events)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PulseTrace):
+            return NotImplemented
+        return self._log == other._log
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (exact, ordered event log)."""
+        return {
+            "version": 1,
+            "events": [
+                {"component": c, "port": p, "time": t}
+                for c, p, t in self._log
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PulseTrace":
+        """Rebuild a trace from :meth:`to_payload` output."""
+        try:
+            version = payload["version"]
+            events = payload["events"]
+        except (TypeError, KeyError):
+            raise ConfigurationError("malformed pulse-trace payload")
+        if version != 1:
+            raise ConfigurationError(
+                f"unsupported pulse-trace payload version: {version!r}"
+            )
+        trace = cls()
+        for event in events:
+            try:
+                trace.record(
+                    str(event["component"]), str(event["port"]),
+                    float(event["time"]),
+                )
+            except (TypeError, KeyError, ValueError):
+                raise ConfigurationError(
+                    f"malformed pulse-trace event: {event!r}"
+                )
+        return trace
+
+    def save(self, path: str) -> None:
+        """Write the trace as JSON (float-exact round trip)."""
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_payload(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "PulseTrace":
+        """Read a trace previously written by :meth:`save`."""
+        if not os.path.exists(path):
+            raise ConfigurationError(f"no pulse trace at '{path}'")
+        with open(path) as handle:
+            return cls.from_payload(json.load(handle))
 
 
 def pulses_to_levels(

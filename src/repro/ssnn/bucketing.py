@@ -135,6 +135,16 @@ def hardware_layer_outputs(
     ``reorder=True`` streams inhibitory contributions first (the paper's
     ordering); ``reorder=False`` streams axons in index order with
     interleaved polarities (the ablation baseline).
+
+    Implementation notes (batched execution): under reordering the counter
+    moves *monotonically* within each polarity bucket, so the per-pulse
+    floor-crossing count telescopes -- the crossings of a monotone segment
+    equal ``|floor(end / capacity) - floor(start / capacity)|``.  The whole
+    layer then reduces to two matmuls (inhibitory and excitatory column
+    sums) instead of a ``(batch, 2 * in, out)`` cumsum cube, which is what
+    makes the batched fast engine scale.  The naive interleaved order is
+    genuinely non-monotone and keeps the exact pulse-by-pulse cube,
+    evaluated in cache-sized chunks.
     """
     spikes = np.asarray(spikes)
     if spikes.ndim != 2 or spikes.shape[1] != layer.in_features:
@@ -145,29 +155,39 @@ def hardware_layer_outputs(
         raise ConfigurationError("capacity must be >= 2")
     weights = layer.signed_weights  # (in, out)
     preload = capacity - layer.thresholds  # (out,)
+    if reorder:
+        # Counter trajectory: preload -> preload + neg (monotone down)
+        # -> preload + neg + pos (monotone up).  The streaming order
+        # within a bucket cannot change the crossing count.
+        neg = spikes @ np.minimum(weights, 0)  # (batch, out), <= 0
+        pos = spikes @ np.maximum(weights, 0)  # (batch, out), >= 0
+        floor_q = np.floor_divide(preload[None, :] + neg, capacity)
+        final_q = np.floor_divide(preload[None, :] + neg + pos, capacity)
+        # The chain starts inside [0, capacity): quotient 0.
+        crossings = np.abs(floor_q) + np.abs(final_q - floor_q)
+        pulse_counts = crossings.astype(np.int64)
+        decisions = (pulse_counts > 0).astype(np.float64)
+        return decisions, pulse_counts
     batch = spikes.shape[0]
     decisions = np.zeros((batch, layer.out_features), dtype=np.float64)
     pulse_counts = np.zeros((batch, layer.out_features), dtype=np.int64)
-    # Process in manageable chunks: the (chunk, in, out) contribution cube
-    # is the memory bottleneck.
-    chunk = max(1, int(4_000_000 // max(1, weights.size)))
+    # Exact pulse-by-pulse semantics for the interleaved ablation order.
+    # Process in cache-sized chunks: the (chunk, 2 * in, out) contribution
+    # cube is the memory bottleneck, and large cubes fall off the cache
+    # cliff, so target a modest working set per chunk.
+    chunk = max(1, int(300_000 // max(1, 2 * weights.size)))
     for start in range(0, batch, chunk):
         sub = spikes[start:start + chunk]  # (c, in)
         contrib = sub[:, :, None] * weights[None, :, :]  # (c, in, out)
-        if reorder:
-            ordered = np.concatenate(
-                [np.minimum(contrib, 0), np.maximum(contrib, 0)], axis=1
-            )
-        else:
-            # Per axon: negative part then positive part, axon order.
-            neg = np.minimum(contrib, 0)
-            pos = np.maximum(contrib, 0)
-            ordered = np.empty(
-                (contrib.shape[0], 2 * contrib.shape[1], contrib.shape[2]),
-                dtype=contrib.dtype,
-            )
-            ordered[:, 0::2, :] = neg
-            ordered[:, 1::2, :] = pos
+        # Per axon: negative part then positive part, axon order.
+        neg = np.minimum(contrib, 0)
+        pos = np.maximum(contrib, 0)
+        ordered = np.empty(
+            (contrib.shape[0], 2 * contrib.shape[1], contrib.shape[2]),
+            dtype=contrib.dtype,
+        )
+        ordered[:, 0::2, :] = neg
+        ordered[:, 1::2, :] = pos
         running = np.cumsum(ordered, axis=1) + preload[None, None, :]
         quotient = np.floor_divide(running, capacity)
         initial = np.zeros_like(quotient[:, :1, :])

@@ -3,28 +3,35 @@
 Two execution engines share one semantics:
 
 * ``engine="fast"`` -- vectorised ripple-counter simulation
-  (:func:`repro.ssnn.bucketing.hardware_layer_outputs`): runs whole test
-  sets, used by the Table 3 benchmark.
+  (:func:`repro.ssnn.bucketing.hardware_layer_outputs`): the whole
+  ``(T, batch)`` test set is folded into one row block per layer, so the
+  numpy kernels see thousands of independent rows at once instead of one
+  time step at a time; used by the Table 3 benchmark.  An optional
+  ``max_workers`` process pool shards the rows for multi-core runs.
 * ``engine="behavioral"`` -- drives a
   :class:`repro.neuro.chip.BehavioralChip` through the full bit-slice
   protocol pass by pass: slow but protocol-exact, used to validate the fast
-  engine and (in miniature) the gate-level chip.
+  engine and (in miniature) the gate-level chip.  One elaborated chip
+  instance is reused (power-on reset) across the samples of a batch.
 
 Both honour the ``reorder`` flag so the bucketing ablation
 (section 4.2.2 / 5.1) can quantify the accuracy cost of naive synapse
-ordering.
+ordering, and both are bit-identical to the per-sample reference loop
+(:meth:`SushiRuntime.infer_per_sample`) -- the differential harness in
+:mod:`repro.harness.differential` asserts exactly that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import weakref
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.neuro.chip import BehavioralChip, ChipConfig
-from repro.snn.binarize import BinarizedNetwork
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
 from repro.ssnn.bitslice import BitSlicePlan, plan_network
 from repro.ssnn.bucketing import hardware_layer_outputs
 
@@ -41,6 +48,53 @@ def layer_activity(plan: BitSlicePlan, spike_trains: np.ndarray) -> List[np.ndar
         current = layer.forward(current)
         activity.append(current)
     return activity
+
+
+def batch_layer_activity(
+    plan: BitSlicePlan, spike_trains: np.ndarray
+) -> List[np.ndarray]:
+    """Batched :func:`layer_activity`: ``activity[l]`` is the
+    ``(T, batch, features)`` input block of layer ``l``.  One vectorised
+    forward pass per layer replaces the per-sample/per-step loops."""
+    if plan.network is None:
+        raise ConfigurationError("plan carries no network reference")
+    spike_trains = np.asarray(spike_trains, dtype=np.float64)
+    if spike_trains.ndim != 3:
+        raise ConfigurationError("spike_trains must be (T, batch, features)")
+    steps, batch, _ = spike_trains.shape
+    activity = [spike_trains]
+    current = spike_trains
+    for layer in plan.network.layers:
+        flat = layer.forward(current.reshape(steps * batch, -1))
+        current = flat.reshape(steps, batch, layer.out_features)
+        activity.append(current)
+    return activity
+
+
+def _fast_forward_rows(
+    layers: Sequence[BinarizedLayer],
+    rows: np.ndarray,
+    capacity: int,
+    reorder: bool,
+) -> Tuple[np.ndarray, int, int]:
+    """Push independent spike rows through the layer stack under exact
+    ripple-counter semantics.
+
+    Returns ``(decisions, spurious, synops)``.  Module-level (not a
+    method) so process-pool workers can pickle it.
+    """
+    current = rows
+    spurious = 0
+    synops = 0
+    for layer in layers:
+        decisions, _ = hardware_layer_outputs(
+            layer, current, capacity, reorder=reorder
+        )
+        reference = layer.forward(current)
+        spurious += int((decisions != reference).sum())
+        synops += int((current @ (layer.signed_weights != 0)).sum())
+        current = decisions
+    return current, spurious, synops
 
 
 @dataclass
@@ -69,7 +123,23 @@ class RuntimeResult:
 
 
 class SushiRuntime:
-    """Runs binarized networks on a SUSHI chip model."""
+    """Runs binarized networks on a SUSHI chip model.
+
+    Args:
+        chip_n: Mesh size of the target chip.
+        sc_per_npe: SC-chain length (membrane states = ``2**sc_per_npe``).
+        engine: ``"fast"`` (vectorised, batched) or ``"behavioral"``
+            (protocol-exact chip model).
+        reorder: Stream inhibitory synapses first (the paper's bucketing);
+            ``False`` selects the naive-order ablation (fast engine only).
+        max_workers: Fast engine only -- shard the row block across a
+            process pool of this size.  ``None``/``0``/``1`` run serially
+            (the default; identical results either way, the pool only
+            changes wall-clock time).
+
+    Bit-slice plans are memoised per network object, so repeated
+    ``infer`` calls against the same network skip re-planning.
+    """
 
     def __init__(
         self,
@@ -77,22 +147,72 @@ class SushiRuntime:
         sc_per_npe: int = 10,
         engine: str = "fast",
         reorder: bool = True,
+        max_workers: Optional[int] = None,
     ):
         if engine not in ("fast", "behavioral"):
             raise ConfigurationError(
                 f"unknown engine '{engine}'; use 'fast' or 'behavioral'"
             )
+        if max_workers is not None and max_workers < 0:
+            raise ConfigurationError("max_workers must be >= 0")
         self.chip_n = chip_n
         self.sc_per_npe = sc_per_npe
         self.engine = engine
         self.reorder = reorder
+        self.max_workers = max_workers
+        self._plan_cache: dict = {}
 
     # -- public API ---------------------------------------------------------
 
     def infer(
         self, network: BinarizedNetwork, spike_trains: np.ndarray
     ) -> RuntimeResult:
-        """Run inference on a (T, batch, in_features) binary spike train."""
+        """Run inference on a (T, batch, in_features) binary spike train.
+
+        The whole batch is dispatched at once; results are bit-identical
+        to :meth:`infer_per_sample` (samples are independent under both
+        engines -- the differential tests assert it).
+        """
+        spike_trains = self._validated(network, spike_trains)
+        if self.engine == "fast":
+            return self._infer_fast(network, spike_trains)
+        return self._infer_behavioral(network, spike_trains)
+
+    def infer_per_sample(
+        self, network: BinarizedNetwork, spike_trains: np.ndarray
+    ) -> RuntimeResult:
+        """Reference path: run each sample through :meth:`infer` on its
+        own and stitch the results back together.
+
+        Slow by construction (no batching); exists as the oracle the
+        batched dispatch is differentially tested against, and as the
+        baseline of the batching benchmark.
+        """
+        spike_trains = self._validated(network, spike_trains)
+        steps, batch, _ = spike_trains.shape
+        raster = np.zeros((steps, batch, network.out_features))
+        spurious = 0
+        synops = 0
+        reloads = 0
+        for b in range(batch):
+            single = self.infer(network, spike_trains[:, b:b + 1, :])
+            raster[:, b, :] = single.output_raster[:, 0, :]
+            spurious += single.spurious_decisions
+            synops += single.synaptic_ops
+            reloads += single.reload_events
+        rates = raster.mean(axis=0) if steps else raster.sum(axis=0)
+        return RuntimeResult(
+            rates=rates,
+            predictions=rates.argmax(axis=1),
+            output_raster=raster,
+            spurious_decisions=spurious,
+            synaptic_ops=synops,
+            reload_events=reloads,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _validated(self, network, spike_trains) -> np.ndarray:
         spike_trains = np.asarray(spike_trains, dtype=np.float64)
         if spike_trains.ndim != 3:
             raise ConfigurationError(
@@ -103,33 +223,35 @@ class SushiRuntime:
                 f"spike width {spike_trains.shape[2]} != network input "
                 f"{network.in_features}"
             )
-        if self.engine == "fast":
-            return self._infer_fast(network, spike_trains)
-        return self._infer_behavioral(network, spike_trains)
+        return spike_trains
+
+    def _plan_for(self, network: BinarizedNetwork) -> BitSlicePlan:
+        """Memoised bit-slice plan per network object (id + liveness
+        checked through a weak reference, so recycled ids cannot alias)."""
+        key = id(network)
+        cached = self._plan_cache.get(key)
+        if cached is not None and cached[0]() is network:
+            return cached[1]
+        plan = plan_network(network, self.chip_n, self.sc_per_npe)
+        # Prune entries whose networks have been collected.
+        dead = [k for k, (ref, _) in self._plan_cache.items() if ref() is None]
+        for k in dead:
+            del self._plan_cache[k]
+        self._plan_cache[key] = (weakref.ref(network), plan)
+        return plan
 
     # -- fast engine ----------------------------------------------------------
 
     def _infer_fast(self, network, spike_trains) -> RuntimeResult:
         capacity = 1 << self.sc_per_npe
         steps, batch, _ = spike_trains.shape
-        raster = np.zeros((steps, batch, network.out_features))
-        spurious = 0
-        synops = 0
-        for t in range(steps):
-            current = spike_trains[t]
-            for layer in network.layers:
-                decisions, _ = hardware_layer_outputs(
-                    layer, current, capacity, reorder=self.reorder
-                )
-                reference = layer.forward(current)
-                spurious += int((decisions != reference).sum())
-                synops += int(
-                    (current @ (layer.signed_weights != 0)).sum()
-                )
-                current = decisions
-            raster[t] = current
-        rates = raster.mean(axis=0)
-        plan = plan_network(network, self.chip_n, self.sc_per_npe)
+        rows = spike_trains.reshape(steps * batch, network.in_features)
+        decisions, spurious, synops = self._dispatch_rows(
+            network.layers, rows, capacity
+        )
+        raster = decisions.reshape(steps, batch, network.out_features)
+        rates = raster.mean(axis=0) if steps else raster.sum(axis=0)
+        plan = self._plan_for(network)
         return RuntimeResult(
             rates=rates,
             predictions=rates.argmax(axis=1),
@@ -138,6 +260,41 @@ class SushiRuntime:
             synaptic_ops=synops,
             reload_events=plan.reload_events() * steps * batch,
         )
+
+    def _dispatch_rows(self, layers, rows, capacity):
+        """Serial or process-pool execution of the row block.  Sharding is
+        by rows, which are independent, so worker count never changes the
+        results -- only the wall-clock time."""
+        workers = self.max_workers or 0
+        if workers > 1 and rows.shape[0] >= 2 * workers:
+            try:
+                return self._dispatch_rows_parallel(
+                    layers, rows, capacity, workers
+                )
+            except (ImportError, OSError, PermissionError):
+                pass  # no usable process pool here; fall through to serial
+        decisions, spurious, synops = _fast_forward_rows(
+            layers, rows, capacity, self.reorder
+        )
+        return decisions, spurious, synops
+
+    def _dispatch_rows_parallel(self, layers, rows, capacity, workers):
+        from concurrent.futures import ProcessPoolExecutor
+
+        layers = list(layers)
+        chunks = np.array_split(rows, workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(
+                _fast_forward_rows,
+                [layers] * len(chunks),
+                chunks,
+                [capacity] * len(chunks),
+                [self.reorder] * len(chunks),
+            ))
+        decisions = np.concatenate([p[0] for p in parts], axis=0)
+        spurious = sum(p[1] for p in parts)
+        synops = sum(p[2] for p in parts)
+        return decisions, spurious, synops
 
     # -- behavioural engine ------------------------------------------------------
 
@@ -148,7 +305,7 @@ class SushiRuntime:
                 "always reordered; use engine='fast' for the naive-order "
                 "ablation"
             )
-        plan = plan_network(network, self.chip_n, self.sc_per_npe)
+        plan = self._plan_for(network)
         from repro.ssnn.verification import verify_plan
 
         verify_plan(plan, self.sc_per_npe).raise_if_failed()
@@ -159,32 +316,30 @@ class SushiRuntime:
         )
         steps, batch, _ = spike_trains.shape
         raster = np.zeros((steps, batch, network.out_features))
-        spurious = 0
-        synops = 0
-        reloads = 0
         capacity = config.state_capacity
+        # One vectorised forward sweep provides every layer's input block
+        # (and the final-sum reference) for the whole batch.
+        activity = batch_layer_activity(plan, spike_trains)
+        reference = activity[-1]  # (T, batch, out)
+        # One elaborated chip, power-on reset between samples: identical
+        # semantics to rebuilding, without re-allocating 2n NPEs and n^2
+        # crosspoints per sample.
+        chip = BehavioralChip(config)
         for b in range(batch):
-            chip = BehavioralChip(config)
-            activity = layer_activity(plan, spike_trains[:, b, :])
+            chip.reset()
+            sample_activity = [block[:, b, :] for block in activity]
             for t in range(steps):
-                outputs = self._run_sample_step(
-                    chip, plan, activity, t, capacity
+                raster[t, b] = self._run_sample_step(
+                    chip, plan, sample_activity, t, capacity
                 )
-                raster[t, b] = outputs
-                reference = network.forward_step(
-                    spike_trains[t, b:b + 1]
-                )[0]
-                spurious += int((outputs != reference).sum())
-            synops += chip.synaptic_ops
-            reloads += chip.reload_events
-        rates = raster.mean(axis=0)
+        rates = raster.mean(axis=0) if steps else raster.sum(axis=0)
         return RuntimeResult(
             rates=rates,
             predictions=rates.argmax(axis=1),
             output_raster=raster,
-            spurious_decisions=spurious,
-            synaptic_ops=synops,
-            reload_events=reloads,
+            spurious_decisions=int((raster != reference).sum()),
+            synaptic_ops=chip.synaptic_ops,
+            reload_events=chip.reload_events,
         )
 
     def _run_sample_step(self, chip, plan, activity, t, capacity):
@@ -194,9 +349,7 @@ class SushiRuntime:
         outputs_per_layer = [
             np.zeros(shape[1]) for shape in plan.layer_shapes
         ]
-        current_slice = None
         for task in plan.tasks:
-            key = (task.layer_index, task.out_slice)
             width = task.out_slice[1] - task.out_slice[0]
             if task.first_pass_of_out_slice:
                 thresholds = list(
@@ -204,7 +357,6 @@ class SushiRuntime:
                     .thresholds[task.out_slice[0]:task.out_slice[1]]
                 ) + [capacity] * (n - width)
                 chip.begin_timestep(thresholds)
-                current_slice = key
             chip.configure_weights(task.strengths.tolist())
             rows = activity[task.layer_index][t][
                 task.in_slice[0]:task.in_slice[1]

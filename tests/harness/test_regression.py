@@ -1,5 +1,7 @@
 """Tests for metric snapshots and regression comparison."""
 
+import json
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -29,6 +31,36 @@ class TestSnapshot:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             MetricSnapshot.load(str(tmp_path / "ghost.json"))
+
+    def test_malformed_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"name": "x"}))  # no "metrics" key
+        with pytest.raises(ConfigurationError) as exc:
+            MetricSnapshot.load(str(path))
+        assert "metrics" in str(exc.value)
+        path.write_text(json.dumps({"metrics": {}}))  # no "name" key
+        with pytest.raises(ConfigurationError):
+            MetricSnapshot.load(str(path))
+
+    def test_int_metrics_coerced_to_float(self, tmp_path):
+        snap = MetricSnapshot("ints")
+        snap.record("count", 7)
+        assert snap.metrics["count"] == 7.0
+        assert isinstance(snap.metrics["count"], float)
+        path = str(tmp_path / "ints.json")
+        snap.save(path)
+        assert MetricSnapshot.load(path).metrics == {"count": 7.0}
+
+    def test_saved_json_is_sorted_and_stable(self, tmp_path):
+        snap = MetricSnapshot("stable")
+        snap.record("zeta", 1.0)
+        snap.record("alpha", 2.0)
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        snap.save(a)
+        snap.save(b)
+        text = open(a).read()
+        assert text == open(b).read()
+        assert text.index('"alpha"') < text.index('"zeta"')
 
 
 class TestCompare:
@@ -76,6 +108,37 @@ class TestCompare:
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ConfigurationError):
             compare(self.make(a=1.0), self.make(a=1.0), tolerance=-1.0)
+
+    def test_tolerance_miss_reports_both_values(self):
+        failures = compare(self.make(x=10.0), self.make(x=12.0),
+                           tolerance=0.1)
+        assert len(failures) == 1
+        drift = failures[0]
+        assert drift.baseline == 10.0
+        assert drift.current == 12.0
+        assert drift.relative == pytest.approx(0.2)
+
+    def test_missing_metric_drift_has_no_relative(self):
+        failures = compare(self.make(x=1.0), self.make())
+        assert len(failures) == 1
+        assert failures[0].current is None
+        assert failures[0].relative is None
+
+    def test_zero_tolerance_is_exact_gate(self):
+        """tolerance=0.0 (the differential harness's CI mode) trips on any
+        movement at all."""
+        assert compare(self.make(x=1.0), self.make(x=1.0),
+                       tolerance=0.0) == []
+        failures = compare(self.make(x=1.0), self.make(x=1.0 + 1e-12),
+                           tolerance=0.0)
+        assert len(failures) == 1
+
+    def test_round_trip_then_compare(self, tmp_path):
+        """The exact CI loop: snapshot -> JSON -> load -> compare."""
+        snap = self.make(spikes=137.0, synops=42.0)
+        path = str(tmp_path / "base.json")
+        snap.save(path)
+        assert compare(MetricSnapshot.load(path), snap, tolerance=0.0) == []
 
 
 class TestHeadlineSnapshot:

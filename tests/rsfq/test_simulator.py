@@ -92,6 +92,53 @@ class TestSimulator:
         with pytest.raises(ConfigurationError):
             sim.schedule_input(cells[0], "din", 50.0)
 
+    def test_schedule_at_exactly_now_is_accepted(self):
+        """time == now is valid: the pulse is processed by the next run()."""
+        net, cells, probe = chain_netlist(n_jtl=2, delay=1.0)
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert sim.now > 0.0
+        before = len(probe.times)
+        sim.schedule_input(cells[0], "din", sim.now)  # exactly now: OK
+        sim.run()
+        assert len(probe.times) == before + 1
+
+    def test_schedule_at_time_zero_on_fresh_simulator(self):
+        """The now == 0.0 boundary of a fresh simulator accepts t=0 inputs."""
+        net, cells, probe = chain_netlist(n_jtl=2)
+        sim = Simulator(net)
+        assert sim.now == 0.0
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert len(probe.times) == 1
+
+    def test_past_schedule_error_names_cell_and_port(self):
+        net, cells, _ = chain_netlist()
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 100.0)
+        sim.run()
+        with pytest.raises(ConfigurationError) as exc:
+            sim.schedule_input(cells[0], "din", sim.now - 1.0)
+        message = str(exc.value)
+        assert "j0.din" in message
+        assert str(sim.now) in message
+
+    def test_unknown_port_error_names_cell_and_port(self):
+        net, cells, _ = chain_netlist()
+        sim = Simulator(net)
+        with pytest.raises(ConfigurationError) as exc:
+            sim.schedule_input(cells[0], "bogus", 0.0)
+        assert "j0" in str(exc.value)
+        assert "bogus" in str(exc.value)
+
+    def test_unknown_cell_name_rejected(self):
+        net, _, _ = chain_netlist()
+        sim = Simulator(net)
+        with pytest.raises(ConfigurationError) as exc:
+            sim.schedule_input("ghost", "din", 0.0)
+        assert "ghost" in str(exc.value)
+
     def test_strict_mode_raises_on_violation(self):
         net = Netlist("n")
         tff = net.add(library.TFFL("t"))
