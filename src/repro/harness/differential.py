@@ -301,13 +301,17 @@ def gate_level_step_outputs(
     sc_per_npe: int = 6,
     jitter_ps: float = 0.0,
     seed: Optional[int] = None,
+    engine: str = "sequential",
+    parts: int = 2,
 ) -> List[int]:
     """Per-step spike decisions of one neuron on the gate-level chip.
 
     ``weights`` is the neuron's (in,) signed weight vector, ``input_spikes``
     a (T, in) binary matrix.  Each step streams the active inhibitory then
     excitatory synapses through a 1x1 gate-level chip (NPE0 relaying into
-    NPE1), exactly like the Fig. 16 waveform path.
+    NPE1), exactly like the Fig. 16 waveform path.  ``engine="parallel"``
+    runs the same protocol on the partitioned
+    :class:`~repro.rsfq.parallel.ParallelSimulator`.
     """
     from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
     from repro.neuro.state_controller import Polarity
@@ -320,7 +324,16 @@ def gate_level_step_outputs(
             "weights must be (in,) and input_spikes (T, in)"
         )
     chip = GateLevelChip(ChipConfig(n=1, sc_per_npe=sc_per_npe))
-    sim = chip.simulator(jitter_ps=jitter_ps, seed=seed)
+    if engine == "parallel":
+        sim = chip.parallel_simulator(
+            parts=parts, jitter_ps=jitter_ps, seed=seed
+        )
+    elif engine == "sequential":
+        sim = chip.simulator(jitter_ps=jitter_ps, seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown engine '{engine}'; use 'sequential' or 'parallel'"
+        )
     driver = ChipDriver(chip, sim)
     outputs: List[int] = []
     for t in range(input_spikes.shape[0]):
@@ -387,6 +400,108 @@ def run_gate_level_differential(
         "software": software_steps,
         "equivalent": equivalent,
     }
+
+
+def run_parallel_gate_differential(
+    seed: int = 0,
+    n: int = 2,
+    sc_per_npe: int = 3,
+    passes: int = 4,
+    parts: int = 4,
+    jitter_ps: float = 0.0,
+    executor: str = "serial",
+) -> Dict:
+    """Sequential vs partitioned gate-level engine on one random workload.
+
+    Drives two freshly-built ``n x n`` :class:`GateLevelChip` instances --
+    one under the sequential :class:`~repro.rsfq.simulator.Simulator`
+    (``jitter_mode="wire"`` so jitter draws are interleaving-independent),
+    one under :class:`~repro.rsfq.parallel.ParallelSimulator` cut along
+    the mesh -- through an identical seeded protocol (random thresholds,
+    weights and spike patterns), then compares the physics bit-for-bit:
+    per-channel pulse times, violation counts, margin tables, per-column
+    fire times and final simulation time.
+
+    Returns a dict with an ``equivalent`` flag and the per-aspect
+    verdicts (the parallel acceptance artefact; see
+    ``tests/rsfq/test_parallel.py``).
+    """
+    from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
+    from repro.neuro.state_controller import Polarity
+    from repro.rsfq.parallel import ParallelSimulator
+    from repro.rsfq.simulator import Simulator
+    from repro.rsfq.waveform import PulseTrace
+
+    rng = np.random.default_rng(seed)
+    capacity = 1 << sc_per_npe
+    thresholds = [int(rng.integers(1, capacity)) for _ in range(n)]
+    weight_sets = [
+        [[int(rng.integers(0, 2)) for _ in range(n)] for _ in range(n)]
+        for _ in range(passes)
+    ]
+    spike_sets = [
+        [bool(rng.integers(0, 2)) for _ in range(n)] for _ in range(passes)
+    ]
+    polarities = [
+        Polarity.SET0 if rng.random() < 0.3 else Polarity.SET1
+        for _ in range(passes)
+    ]
+
+    def execute(make_sim):
+        chip = GateLevelChip(ChipConfig(n=n, sc_per_npe=sc_per_npe))
+        trace = PulseTrace()
+        sim = make_sim(chip, trace)
+        driver = ChipDriver(chip, sim)
+        driver.begin_timestep(thresholds)
+        for strengths, spikes, polarity in zip(
+            weight_sets, spike_sets, polarities
+        ):
+            driver.configure_weights(strengths)
+            driver.run_pass(polarity, spikes)
+        fires = [list(chip.fire_times(j)) for j in range(n)]
+        return sim, trace, fires
+
+    seq_sim, seq_trace, seq_fires = execute(
+        lambda chip, trace: Simulator(
+            chip.net, trace=trace, jitter_ps=jitter_ps, seed=seed,
+            jitter_mode="wire",
+        )
+    )
+    par_sim, par_trace, par_fires = execute(
+        lambda chip, trace: ParallelSimulator(
+            chip.net, parts=parts, hints=chip.partition_hints(),
+            trace=trace, jitter_ps=jitter_ps, seed=seed, executor=executor,
+        )
+    )
+
+    channels = set(seq_trace.channels()) | set(par_trace.channels())
+    channels_equal = all(
+        seq_trace.times(*channel) == par_trace.times(*channel)
+        for channel in channels
+    )
+    verdict = {
+        "partitions": par_sim.plan.n_partitions,
+        "rounds": par_sim.rounds,
+        "cut_wires": len(par_sim.plan.cut_wires),
+        "events": (seq_sim.events_processed, par_sim.events_processed),
+        "channels_equal": channels_equal,
+        "log_equal": seq_trace.events() == par_trace.events(),
+        "violations_equal": (
+            len(seq_sim.violations) == len(par_sim.violations)
+        ),
+        "margins_equal": seq_sim.margins == par_sim.margins,
+        "fires_equal": seq_fires == par_fires,
+        "now_equal": seq_sim.now == par_sim.now,
+    }
+    verdict["equivalent"] = (
+        channels_equal
+        and verdict["violations_equal"]
+        and verdict["margins_equal"]
+        and verdict["fires_equal"]
+        and verdict["now_equal"]
+        and seq_sim.events_processed == par_sim.events_processed
+    )
+    return verdict
 
 
 def differential_snapshot(

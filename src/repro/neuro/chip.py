@@ -255,25 +255,34 @@ class GateLevelChip:
         n = self.config.n
         self.net = Netlist(f"sushi_{n}x{n}")
         self.wire_delay = wire_delay
+        #: Cell name -> partition-group key (``"row{i}"`` / ``"col{j}"``);
+        #: see :meth:`partition_hints`.
+        self._partition_hints: dict = {}
         add, con = self.net.add, self.net.connect
 
-        # Input converters feeding row NPEs.
-        self.inputs = [add(library.DCSFQ(f"in{i}")) for i in range(n)]
-        self.row_npes = [
-            GateLevelNPE(self.net, f"row{i}", self.config.sc_per_npe,
-                         wire_delay, attach_driver=False)
-            for i in range(n)
-        ]
-        for conv, npe in zip(self.inputs, self.row_npes):
+        # Input converters feeding row NPEs.  Each row group claims the
+        # cells added while it is built (converter + the NPE's internals).
+        self.inputs = []
+        self.row_npes = []
+        mark = len(self.net.cells)
+        for i in range(n):
+            conv = add(library.DCSFQ(f"in{i}"))
+            npe = GateLevelNPE(self.net, f"row{i}", self.config.sc_per_npe,
+                               wire_delay, attach_driver=False)
             cell, port = npe.data_input()
             con(conv, "dout", cell, port, delay=wire_delay)
+            self.inputs.append(conv)
+            self.row_npes.append(npe)
+            mark = self._claim(f"row{i}", mark)
 
         # Column NPEs with output drivers.
-        self.col_npes = [
-            GateLevelNPE(self.net, f"col{j}", self.config.sc_per_npe,
-                         wire_delay, attach_driver=True)
-            for j in range(n)
-        ]
+        self.col_npes = []
+        for j in range(n):
+            self.col_npes.append(
+                GateLevelNPE(self.net, f"col{j}", self.config.sc_per_npe,
+                             wire_delay, attach_driver=True)
+            )
+            mark = self._claim(f"col{j}", mark)
 
         # Mesh fabric: row fan-out -> (weight structures) -> column merge.
         # The row/column lines span the mesh, so they carry JTL repeaters
@@ -285,7 +294,8 @@ class GateLevelChip:
         col_merge_inputs = []
         for j in range(n):
             merge_ins, merge_out = merge_tree(
-                self.net, f"colmerge{j}", n, wire_delay
+                self.net, f"colmerge{j}", n, wire_delay,
+                hints=self._partition_hints, group=f"col{j}",
             )
             cell, port = self.col_npes[j].data_input()
             con(merge_out[0], merge_out[1], cell, port, delay=line_delay,
@@ -293,11 +303,13 @@ class GateLevelChip:
             col_merge_inputs.append(merge_ins)
         for i in range(n):
             fan_in, fan_leaves = fanout_tree(
-                self.net, f"rowline{i}", n, wire_delay
+                self.net, f"rowline{i}", n, wire_delay,
+                hints=self._partition_hints, group=f"row{i}",
             )
             self.row_npes[i].connect_out(fan_in[0], fan_in[1],
                                          delay=line_delay,
                                          jtl_count=line_jtls)
+            mark = len(self.net.cells)
             row_xps: List[Optional[GateLevelWeightStructure]] = []
             for j in range(n):
                 dst_cell, dst_port = col_merge_inputs[j][i]
@@ -312,15 +324,53 @@ class GateLevelChip:
                     o_cell, o_port = xp.column_output
                     con(o_cell, o_port, dst_cell, dst_port, delay=wire_delay)
                     row_xps.append(xp)
+                    # Crosspoints ride with their column: the only wire
+                    # into them from the row side is the positive-delay
+                    # axon leaf, which is exactly where the cut belongs.
+                    mark = self._claim(f"col{j}", mark)
                 else:
                     src = fan_leaves[j]
                     con(src[0], src[1], dst_cell, dst_port, delay=wire_delay)
                     row_xps.append(None)
             self.crosspoints.append(row_xps)
 
+    def _claim(self, group: str, mark: int) -> int:
+        """Assign every cell added since ``mark`` to partition ``group``.
+
+        Returns the new high-water mark.  Netlist cell order is insertion
+        order, so the slice is exactly the cells the enclosing construction
+        block created.
+        """
+        names = list(self.net.cells)
+        for name in names[mark:]:
+            self._partition_hints[name] = group
+        return len(names)
+
+    def partition_hints(self) -> dict:
+        """Cell name -> partition-group key for parallel simulation.
+
+        Groups follow the chip's natural concurrency: ``row{i}`` holds the
+        input converter, row NPE and row line of row ``i``; ``col{j}``
+        holds the crosspoints, merge tree and column NPE of column ``j``.
+        All intra-group wiring (including any zero-delay wiring inside
+        NPEs and weight structures) stays uncut; every inter-group wire is
+        a positive-delay mesh wire, which becomes the conservative
+        lookahead of :class:`repro.rsfq.parallel.ParallelSimulator`.
+        """
+        return dict(self._partition_hints)
+
     def simulator(self, **kwargs) -> Simulator:
         """Build a simulator over the chip's netlist."""
         return Simulator(self.net, **kwargs)
+
+    def parallel_simulator(self, parts: int = 2, **kwargs):
+        """Build a partitioned parallel simulator over the chip's netlist,
+        cutting along the mesh wires via :meth:`partition_hints`."""
+        from repro.rsfq.parallel import ParallelSimulator
+
+        return ParallelSimulator(
+            self.net, parts=parts, hints=self.partition_hints(), **kwargs
+        )
 
     def fire_times(self, j: int) -> List[float]:
         """Output pulse times observed at column neuron ``j``."""

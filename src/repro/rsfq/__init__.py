@@ -40,8 +40,15 @@ from repro.rsfq.events import (
     SortedListQueue,
 )
 from repro.rsfq.netlist import FanoutTable, Netlist, Wire
+from repro.rsfq.parallel import ParallelSimulator
+from repro.rsfq.partition import Partition, PartitionPlan, partition_netlist
 from repro.rsfq.session import RunResult, SessionStats, SimulationSession
-from repro.rsfq.simulator import RunStats, Simulator
+from repro.rsfq.simulator import (
+    JITTER_MODES,
+    RunStats,
+    Simulator,
+    wire_jitter_rng,
+)
 from repro.rsfq.waveform import (
     PulseTrace,
     levels_to_pulses,
@@ -64,6 +71,12 @@ __all__ = [
     "FanoutTable",
     "Wire",
     "Simulator",
+    "ParallelSimulator",
+    "Partition",
+    "PartitionPlan",
+    "partition_netlist",
+    "JITTER_MODES",
+    "wire_jitter_rng",
     "RunStats",
     "SimulationSession",
     "RunResult",

@@ -1,8 +1,17 @@
 """Event primitives for the RSFQ discrete-event simulator.
 
+The hot path of the engine never allocates an event *object*: queue
+entries are plain ``(time, seq, target, port)`` tuples, where ``target``
+and ``port`` are whatever the pusher chose to store -- the
+:class:`repro.rsfq.simulator.Simulator` stores the integer cell / port
+indices of the elaborated :class:`repro.rsfq.netlist.FanoutTable`, while
+standalone users may store strings.  :class:`PulseEvent` objects exist
+only as a *materialisation boundary* for tracing, debugging and error
+messages (:meth:`EventQueue.pop_event` / :meth:`PulseEvent.from_entry`).
+
 Two interchangeable queue backends implement the same protocol
-(``push`` / ``pop`` / ``peek_time`` / ``clear`` / ``__len__`` /
-``__bool__``):
+(``push`` / ``pop`` / ``pop_event`` / ``peek_time`` / ``clear`` /
+``__len__`` / ``__bool__``):
 
 * :class:`EventQueue` -- a binary min-heap, the default.  O(log n) per
   operation regardless of schedule shape.
@@ -12,8 +21,10 @@ Two interchangeable queue backends implement the same protocol
   with interleaved arrival times.
 
 Both are deterministic: simultaneous events pop in schedule (sequence)
-order.  :data:`QUEUE_BACKENDS` maps backend names to classes for the
-:class:`repro.rsfq.simulator.Simulator` ``queue_backend=`` option.
+order, because the heap/list keys compare ``(time, seq)`` first and
+``seq`` is unique.  :data:`QUEUE_BACKENDS` maps backend names to classes
+for the :class:`repro.rsfq.simulator.Simulator` ``queue_backend=``
+option.
 """
 
 from __future__ import annotations
@@ -21,25 +32,38 @@ from __future__ import annotations
 import bisect
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+#: A queue entry: ``(time, seq, target, port)``.  ``target``/``port`` are
+#: opaque to the queue (integer indices on the simulator fast path).
+Entry = Tuple[float, int, object, object]
 
 
 @dataclass(frozen=True)
 class PulseEvent:
-    """An SFQ pulse arriving at a cell input port.
+    """An SFQ pulse arriving at a cell input port (debug/trace view).
+
+    The engine itself moves bare tuples; ``PulseEvent`` is only built at
+    trace and debugging boundaries via :meth:`from_entry`.
 
     Attributes:
         time: Arrival time in picoseconds.
         seq: Tie-breaking sequence number (schedule order) so that
             simultaneous events are processed deterministically.
-        component: Name of the destination cell.
-        port: Destination input port name.
+        component: Destination cell (name or elaborated index).
+        port: Destination input port (name or elaborated index).
     """
 
     time: float
     seq: int
-    component: str
-    port: str
+    component: object
+    port: object
+
+    @classmethod
+    def from_entry(cls, entry: Entry) -> "PulseEvent":
+        """Materialise a queue entry tuple into an event object."""
+        time, seq, component, port = entry
+        return cls(time=time, seq=seq, component=component, port=port)
 
     def sort_key(self) -> tuple:
         return (self.time, self.seq)
@@ -47,26 +71,31 @@ class PulseEvent:
 
 @dataclass
 class EventQueue:
-    """A deterministic min-heap of :class:`PulseEvent` objects."""
+    """A deterministic min-heap of ``(time, seq, target, port)`` tuples."""
 
-    _heap: List[tuple] = field(default_factory=list)
+    _heap: List[Entry] = field(default_factory=list)
     _seq: int = 0
 
-    def push(self, time: float, component: str, port: str) -> PulseEvent:
-        """Schedule a pulse arrival and return the created event."""
-        event = PulseEvent(time=time, seq=self._seq, component=component, port=port)
+    def push(self, time: float, target, port) -> Entry:
+        """Schedule a pulse arrival; returns the stored entry tuple."""
+        entry = (time, self._seq, target, port)
         self._seq += 1
-        heapq.heappush(self._heap, (event.time, event.seq, event))
-        return event
+        heapq.heappush(self._heap, entry)
+        return entry
 
-    def pop(self) -> Optional[PulseEvent]:
-        """Remove and return the earliest event, or None when empty."""
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the earliest entry tuple, or None when empty."""
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)
+
+    def pop_event(self) -> Optional[PulseEvent]:
+        """Like :meth:`pop` but materialises a :class:`PulseEvent`."""
+        entry = self.pop()
+        return None if entry is None else PulseEvent.from_entry(entry)
 
     def peek_time(self) -> Optional[float]:
-        """Return the time of the earliest pending event without removing it."""
+        """Return the time of the earliest pending entry without removing it."""
         if not self._heap:
             return None
         return self._heap[0][0]
@@ -83,10 +112,10 @@ class EventQueue:
 
 @dataclass
 class SortedListQueue:
-    """A sorted-list queue popped from the tail (earliest event last).
+    """A sorted-list queue popped from the tail (earliest entry last).
 
     Insertion uses :func:`bisect.insort` on ``(-time, -seq)`` keys so that
-    the earliest event sits at the end of the list: ``pop`` and
+    the earliest entry sits at the end of the list: ``pop`` and
     ``peek_time`` are O(1) list-tail operations, while pushes pay a
     bisect search plus a C-level ``memmove``.
     """
@@ -94,21 +123,27 @@ class SortedListQueue:
     _items: List[tuple] = field(default_factory=list)
     _seq: int = 0
 
-    def push(self, time: float, component: str, port: str) -> PulseEvent:
-        """Schedule a pulse arrival and return the created event."""
-        event = PulseEvent(time=time, seq=self._seq, component=component, port=port)
+    def push(self, time: float, target, port) -> Entry:
+        """Schedule a pulse arrival; returns the entry tuple."""
+        seq = self._seq
         self._seq += 1
-        bisect.insort(self._items, (-event.time, -event.seq, event))
-        return event
+        bisect.insort(self._items, (-time, -seq, target, port))
+        return (time, seq, target, port)
 
-    def pop(self) -> Optional[PulseEvent]:
-        """Remove and return the earliest event, or None when empty."""
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the earliest entry tuple, or None when empty."""
         if not self._items:
             return None
-        return self._items.pop()[2]
+        neg_time, neg_seq, target, port = self._items.pop()
+        return (-neg_time, -neg_seq, target, port)
+
+    def pop_event(self) -> Optional[PulseEvent]:
+        """Like :meth:`pop` but materialises a :class:`PulseEvent`."""
+        entry = self.pop()
+        return None if entry is None else PulseEvent.from_entry(entry)
 
     def peek_time(self) -> Optional[float]:
-        """Return the time of the earliest pending event without removing it."""
+        """Return the time of the earliest pending entry without removing it."""
         if not self._items:
             return None
         return -self._items[-1][0]

@@ -32,6 +32,8 @@ from repro.rsfq.cells import Cell
 class JTL(Cell):
     """Josephson transmission line segment: a powered wire repeater."""
 
+    __slots__ = ()
+
     INPUTS = ("din",)
     OUTPUTS = ("dout",)
     CONSTRAINTS = {("din", "din"): K.MIN_PULSE_INTERVAL}
@@ -41,11 +43,14 @@ class JTL(Cell):
     STATIC_POWER_NW = 77.0
 
     def on_pulse(self, port, time, sim):
-        self.emit("dout", time + self.DELAY_PS, sim)
+        # Hot path: "dout" is statically valid, skip emit()'s validation.
+        sim.deliver(self, "dout", time + self.DELAY_PS)
 
 
 class SPL(Cell):
     """1-to-2 splitter: every input pulse is duplicated on both outputs."""
+
+    __slots__ = ()
 
     INPUTS = ("din",)
     OUTPUTS = ("doutA", "doutB")
@@ -56,12 +61,15 @@ class SPL(Cell):
     STATIC_POWER_NW = 116.0
 
     def on_pulse(self, port, time, sim):
-        self.emit("doutA", time + self.DELAY_PS, sim)
-        self.emit("doutB", time + self.DELAY_PS, sim)
+        t = time + self.DELAY_PS
+        sim.deliver(self, "doutA", t)
+        sim.deliver(self, "doutB", t)
 
 
 class SPL3(Cell):
     """1-to-3 splitter (a fused pair of SPLs)."""
+
+    __slots__ = ()
 
     INPUTS = ("din",)
     OUTPUTS = ("doutA", "doutB", "doutC")
@@ -72,13 +80,16 @@ class SPL3(Cell):
     STATIC_POWER_NW = 193.0
 
     def on_pulse(self, port, time, sim):
-        self.emit("doutA", time + self.DELAY_PS, sim)
-        self.emit("doutB", time + self.DELAY_PS, sim)
-        self.emit("doutC", time + self.DELAY_PS, sim)
+        t = time + self.DELAY_PS
+        sim.deliver(self, "doutA", t)
+        sim.deliver(self, "doutB", t)
+        sim.deliver(self, "doutC", t)
 
 
 class CB(Cell):
     """2-to-1 confluence buffer: pulses on either input appear on dout."""
+
+    __slots__ = ()
 
     INPUTS = ("dinA", "dinB")
     OUTPUTS = ("dout",)
@@ -94,11 +105,13 @@ class CB(Cell):
     STATIC_POWER_NW = 154.0
 
     def on_pulse(self, port, time, sim):
-        self.emit("dout", time + self.DELAY_PS, sim)
+        sim.deliver(self, "dout", time + self.DELAY_PS)
 
 
 class CB3(Cell):
     """3-to-1 confluence buffer (a fused pair of CBs)."""
+
+    __slots__ = ()
 
     INPUTS = ("dinA", "dinB", "dinC")
     OUTPUTS = ("dout",)
@@ -119,11 +132,13 @@ class CB3(Cell):
     STATIC_POWER_NW = 246.0
 
     def on_pulse(self, port, time, sim):
-        self.emit("dout", time + self.DELAY_PS, sim)
+        sim.deliver(self, "dout", time + self.DELAY_PS)
 
 
 class DFF(Cell):
     """D flip-flop: stores one pulse on din, releases it on clk."""
+
+    __slots__ = ("stored",)
 
     INPUTS = ("din", "clk")
     OUTPUTS = ("dout",)
@@ -162,6 +177,8 @@ class NDRO(Cell):
     controller and as the crosspoint enable switches of the mesh network.
     """
 
+    __slots__ = ("stored",)
+
     INPUTS = ("din", "rst", "clk")
     OUTPUTS = ("dout",)
     CONSTRAINTS = {
@@ -196,6 +213,8 @@ class NDRO(Cell):
 class _TFFBase(Cell):
     """Shared behaviour of TFFL/TFFR: toggle on every din pulse."""
 
+    __slots__ = ("state",)
+
     INPUTS = ("din",)
     OUTPUTS = ("dout",)
     CONSTRAINTS = {("din", "din"): K.TFF_MIN_INTERVAL}
@@ -223,17 +242,23 @@ class _TFFBase(Cell):
 class TFFL(_TFFBase):
     """Toggle flip-flop emitting a pulse on the 0 -> 1 flip."""
 
+    __slots__ = ()
+
     EMIT_ON_STATE = True
 
 
 class TFFR(_TFFBase):
     """Toggle flip-flop emitting a pulse on the 1 -> 0 flip."""
 
+    __slots__ = ()
+
     EMIT_ON_STATE = False
 
 
 class DCSFQ(Cell):
     """DC-to-SFQ input converter: one pulse per input edge (pass-through)."""
+
+    __slots__ = ()
 
     INPUTS = ("din",)
     OUTPUTS = ("dout",)
@@ -255,6 +280,8 @@ class SFQDC(Cell):
     toggle per pulse (paper Fig. 14 / Fig. 16).
     """
 
+    __slots__ = ()
+
     INPUTS = ("din",)
     OUTPUTS = ("dout",)
     CONSTRAINTS = {("din", "din"): K.MIN_PULSE_INTERVAL}
@@ -269,6 +296,8 @@ class SFQDC(Cell):
 
 class Probe(Cell):
     """Measurement sink: records pulse arrival times (no hardware cost)."""
+
+    __slots__ = ("times",)
 
     INPUTS = ("din",)
     OUTPUTS = ()

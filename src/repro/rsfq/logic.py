@@ -23,6 +23,8 @@ from repro.rsfq.cells import Cell
 class _ClockedGate(Cell):
     """Shared machinery: latch a/b arrivals, evaluate and clear on clk."""
 
+    __slots__ = ("got_a", "got_b")
+
     INPUTS = ("dinA", "dinB", "clk")
     OUTPUTS = ("dout",)
     CONSTRAINTS = {
@@ -61,6 +63,8 @@ class _ClockedGate(Cell):
 class AND2(_ClockedGate):
     """Clocked AND: emits on clk when both inputs pulsed this period."""
 
+    __slots__ = ()
+
     JJ_COUNT = 11
     AREA_UM2 = 5240.0
     DELAY_PS = 7.8
@@ -73,6 +77,8 @@ class AND2(_ClockedGate):
 class OR2(_ClockedGate):
     """Clocked OR: emits on clk when either input pulsed this period."""
 
+    __slots__ = ()
+
     JJ_COUNT = 9
     AREA_UM2 = 4620.0
     DELAY_PS = 7.2
@@ -84,6 +90,8 @@ class OR2(_ClockedGate):
 
 class XOR2(_ClockedGate):
     """Clocked XOR: emits on clk when exactly one input pulsed."""
+
+    __slots__ = ()
 
     JJ_COUNT = 10
     AREA_UM2 = 4930.0
@@ -100,6 +108,8 @@ class NOT(_ClockedGate):
     (RSFQ NOT gates are inherently clocked -- absence of a pulse can only
     be detected against a clock reference.)
     """
+
+    __slots__ = ()
 
     INPUTS = ("dinA", "clk")
     CONSTRAINTS = {

@@ -19,27 +19,56 @@ CellRef = Union[Cell, str]
 
 @dataclass(frozen=True)
 class FanoutTable:
-    """Pre-resolved routing of a netlist, memoised per topology version.
+    """Pre-resolved, integer-indexed routing of a netlist, memoised per
+    topology version.
 
     Built once by :meth:`Netlist.elaborate` and shared by every simulator
-    run over the same circuit: the event loop's hot path looks up
-    ``(cell, port) -> ((dst_name, dst_port, delay), ...)`` tuples instead
-    of re-resolving cells and copying wire lists on every delivered pulse.
+    run over the same circuit.  Cells and ports are resolved to integer
+    indices *at elaboration time*, so the event loop's hot path moves bare
+    ``(time, seq, cell_idx, port_idx)`` tuples and performs list indexing
+    instead of string-keyed dict lookups per pulse.
 
     Attributes:
         version: The netlist topology version this table was built from
             (used to detect staleness after further construction).
-        routes: Output-port routing, ``(src, src_port)`` -> destinations.
-        cells: Cell-name -> cell object mapping (pre-resolved indices).
+        routes: Output-port routing, ``(src, src_port)`` -> destinations
+            as ``(dst_name, dst_port, delay)`` (string view, kept for
+            analysis tools and backwards compatibility).
+        cells: Cell-name -> cell object mapping.
+        cell_list: Cells in index order (``cell_list[cell_idx]``).
+        cell_index: Cell-name -> integer index.
+        input_ports: Per-cell tuple of input port names, indexed by
+            ``[cell_idx][port_idx]`` (aliases ``cell.INPUTS``).
+        routes_idx: ``(src_name, src_port)`` -> tuple of pre-resolved
+            ``(dst_idx, dst_port_idx, delay, wire_id)`` destinations.
+            ``wire_id`` indexes :attr:`wires` and keys the per-wire
+            jitter streams of ``jitter_mode="wire"``.
+        wires: All wires in construction order (``wires[wire_id]``).
     """
 
     version: int
     routes: Dict[Tuple[str, str], Tuple[Tuple[str, str, float], ...]]
     cells: Dict[str, Cell]
+    cell_list: Tuple[Cell, ...]
+    cell_index: Dict[str, int]
+    input_ports: Tuple[Tuple[str, ...], ...]
+    routes_idx: Dict[Tuple[str, str], Tuple[Tuple[int, int, float, int], ...]]
+    wires: Tuple["Wire", ...]
 
     def fanout(self, cell_name: str, port: str) -> Tuple[Tuple[str, str, float], ...]:
         """Destinations driven by ``cell_name.port`` (possibly empty)."""
         return self.routes.get((cell_name, port), ())
+
+    def resolve_endpoint(self, cell_name: str, port: str) -> Tuple[int, int]:
+        """``(cell_idx, port_idx)`` of an input endpoint (cold path)."""
+        cell_idx = self.cell_index[cell_name]
+        return cell_idx, self.input_ports[cell_idx].index(port)
+
+    def wire_key(self, wire_id: int) -> str:
+        """A stable textual identity for a wire (seed material for the
+        per-wire jitter streams -- see ``jitter_mode="wire"``)."""
+        w = self.wires[wire_id]
+        return f"{w.src}.{w.src_port}->{w.dst}.{w.dst_port}#{wire_id}"
 
 
 @dataclass(frozen=True)
@@ -168,10 +197,31 @@ class Netlist:
             key: tuple((w.dst, w.dst_port, w.delay) for w in wires)
             for key, wires in self._wires_by_src.items()
         }
+        cell_list = tuple(self.cells.values())
+        cell_index = {cell.name: i for i, cell in enumerate(cell_list)}
+        input_ports = tuple(cell.INPUTS for cell in cell_list)
+        wire_ids = {id(w): i for i, w in enumerate(self.wires)}
+        routes_idx = {
+            key: tuple(
+                (
+                    cell_index[w.dst],
+                    input_ports[cell_index[w.dst]].index(w.dst_port),
+                    w.delay,
+                    wire_ids[id(w)],
+                )
+                for w in wires
+            )
+            for key, wires in self._wires_by_src.items()
+        }
         self._elaborated = FanoutTable(
             version=self.topology_version,
             routes=routes,
             cells=dict(self.cells),
+            cell_list=cell_list,
+            cell_index=cell_index,
+            input_ports=input_ports,
+            routes_idx=routes_idx,
+            wires=tuple(self.wires),
         )
         return self._elaborated
 

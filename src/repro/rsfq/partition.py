@@ -1,0 +1,298 @@
+"""Netlist partitioning for conservative parallel discrete-event simulation.
+
+SUSHI's NPEs are asynchronous and pulse-driven *by construction* -- there
+is no global clock coupling them -- so a gate-level chip netlist decomposes
+naturally along the inter-NPE / mesh wires.  This module cuts a
+:class:`~repro.rsfq.netlist.Netlist` into partitions suitable for the
+:class:`~repro.rsfq.parallel.ParallelSimulator`:
+
+* **Hinted partitioning** -- structural builders
+  (:class:`repro.neuro.chip.GateLevelChip`,
+  :mod:`repro.neuro.structure`) expose a ``cell name -> group`` hint map;
+  hinted groups are kept intact and packed onto the requested number of
+  partitions, so cuts fall exactly on the inter-NPE wires the architecture
+  provides.
+* **Fallback heuristic** -- without hints, a min-cut-flavoured
+  graph-growing pass (greedy BFS accretion over zero-delay-contracted
+  clusters) produces balanced partitions whose cuts avoid dense regions.
+
+Every cut wire must have strictly positive delay: the wire delays across
+cuts are the *lookahead* of the conservative synchronisation protocol
+(Chandy--Misra null messages advance a receiver's clock by at least the
+channel's minimum wire delay).  Zero-delay wires are therefore contracted
+-- their endpoints always land in the same partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rsfq.netlist import Netlist, Wire
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One partition: an index plus the names of the cells it owns."""
+
+    index: int
+    cells: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A complete cut of a netlist for parallel simulation.
+
+    Attributes:
+        partitions: The partitions, indexed ``0..len-1``.
+        owner: Cell name -> partition index.
+        cut_wires: Wires whose endpoints live in different partitions.
+        channel_lookahead: ``(src_partition, dst_partition)`` -> minimum
+            wire delay over that channel's cut wires (the conservative
+            lookahead for null-message time advancement).
+        min_lookahead: Smallest channel lookahead (global safe window).
+            ``inf`` when nothing is cut.
+    """
+
+    partitions: Tuple[Partition, ...]
+    owner: Dict[str, int]
+    cut_wires: Tuple[Wire, ...]
+    channel_lookahead: Dict[Tuple[int, int], float]
+    min_lookahead: float
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def channels_into(self, dst: int) -> List[Tuple[int, float]]:
+        """``(src_partition, lookahead)`` pairs feeding partition ``dst``."""
+        return [
+            (src, lookahead)
+            for (src, d), lookahead in self.channel_lookahead.items()
+            if d == dst
+        ]
+
+    def summary(self) -> str:
+        sizes = ", ".join(str(len(p)) for p in self.partitions)
+        return (
+            f"{self.n_partitions} partitions (cells: {sizes}); "
+            f"{len(self.cut_wires)} cut wires; "
+            f"min lookahead {self.min_lookahead:.2f} ps"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+class _UnionFind:
+    def __init__(self, items):
+        self.parent = {item: item for item in items}
+
+    def find(self, item):
+        parent = self.parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _zero_delay_clusters(net: Netlist) -> Dict[str, List[str]]:
+    """Contract zero-delay wires: their endpoints must co-reside (a cut
+    across them would have zero lookahead and stall the null-message
+    protocol).  Returns ``root -> member cells`` in insertion order."""
+    uf = _UnionFind(net.cells)
+    for wire in net.wires:
+        if wire.delay <= 0.0:
+            uf.union(wire.src, wire.dst)
+    clusters: Dict[str, List[str]] = {}
+    for name in net.cells:  # insertion order keeps plans deterministic
+        clusters.setdefault(uf.find(name), []).append(name)
+    return clusters
+
+
+def _pack_groups(
+    groups: Sequence[Tuple[str, List[str]]], parts: int
+) -> List[List[str]]:
+    """Pack named groups onto ``parts`` bins, balancing cell counts.
+
+    Greedy largest-first into the least-loaded bin; ties resolve by bin
+    index so plans are deterministic.  Groups are never split.
+    """
+    bins: List[List[str]] = [[] for _ in range(parts)]
+    loads = [0] * parts
+    order = sorted(
+        range(len(groups)), key=lambda i: (-len(groups[i][1]), groups[i][0])
+    )
+    for i in order:
+        _, members = groups[i]
+        target = min(range(parts), key=lambda b: (loads[b], b))
+        bins[target].extend(members)
+        loads[target] += len(members)
+    return [b for b in bins if b]
+
+
+def _grow_partitions(
+    net: Netlist, clusters: Dict[str, List[str]], parts: int
+) -> List[List[str]]:
+    """Fallback min-cut heuristic: greedy BFS graph growing.
+
+    Clusters (zero-delay-contracted super-nodes) are accreted breadth-first
+    from a seed until a partition reaches its share of the cells, then a
+    new partition starts from the next unvisited cluster.  BFS accretion
+    keeps partitions contiguous in the wire graph, which is what keeps the
+    cut small on mesh/tree-shaped netlists.
+    """
+    root_of: Dict[str, str] = {}
+    for root, members in clusters.items():
+        for name in members:
+            root_of[name] = root
+    # Cluster adjacency (over positive-delay wires only; zero-delay wires
+    # are intra-cluster by construction).
+    adjacency: Dict[str, List[str]] = {root: [] for root in clusters}
+    for wire in net.wires:
+        a, b = root_of[wire.src], root_of[wire.dst]
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+
+    total = len(net.cells)
+    target = max(1, -(-total // parts))  # ceil division
+    assignments: List[List[str]] = []
+    visited = set()
+    pending = list(clusters)  # insertion order: deterministic seeds
+    for seed in pending:
+        if seed in visited:
+            continue
+        frontier = [seed]
+        visited.add(seed)
+        current: List[str] = []
+        while frontier:
+            root = frontier.pop(0)
+            current.extend(clusters[root])
+            if len(current) >= target and len(assignments) < parts - 1:
+                assignments.append(current)
+                current = []
+            for neighbour in adjacency[root]:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append(neighbour)
+        if current:
+            assignments.append(current)
+    # More pieces than requested (disconnected graphs): merge smallest.
+    while len(assignments) > parts:
+        assignments.sort(key=len)
+        smallest = assignments.pop(0)
+        assignments[0] = smallest + assignments[0]
+    return assignments
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def partition_netlist(
+    net: Netlist,
+    parts: int = 2,
+    hints: Optional[Mapping[str, object]] = None,
+) -> PartitionPlan:
+    """Cut ``net`` into at most ``parts`` partitions for parallel simulation.
+
+    Args:
+        net: The netlist to cut.
+        parts: Requested partition count (the plan may contain fewer when
+            the netlist is too small or too strongly connected).
+        hints: Optional ``cell name -> group key`` mapping (e.g. from
+            :meth:`repro.neuro.chip.GateLevelChip.partition_hints`).
+            Cells sharing a group key are kept in one partition; unknown
+            cells fall into a shared ``None`` group.  Without hints a
+            BFS graph-growing heuristic is used.
+
+    Raises :class:`~repro.errors.ConfigurationError` for a non-positive
+    ``parts`` or hints that conflict with zero-delay wires (endpoints of a
+    zero-delay wire must share a partition -- the cut would otherwise have
+    zero lookahead).
+    """
+    if parts < 1:
+        raise ConfigurationError("partition count must be >= 1")
+    if len(net.cells) == 0:
+        raise ConfigurationError(f"netlist '{net.name}' has no cells")
+    parts = min(parts, len(net.cells))
+
+    clusters = _zero_delay_clusters(net)
+
+    if hints is not None:
+        # Merge hinted groups with zero-delay clusters: every cluster maps
+        # to the group of its members (which must agree).
+        group_members: Dict[object, List[str]] = {}
+        cluster_order: List[Tuple[object, List[str]]] = []
+        for root, members in clusters.items():
+            groups = {hints.get(name) for name in members}
+            if len(groups) > 1:
+                raise ConfigurationError(
+                    "partition hints split a zero-delay cluster "
+                    f"(cells {members[:4]}... span groups {sorted(map(str, groups))}); "
+                    "zero-delay wires cannot be cut"
+                )
+            group = groups.pop()
+            if group not in group_members:
+                group_members[group] = []
+                cluster_order.append((str(group), group_members[group]))
+            group_members[group].extend(members)
+        assignments = _pack_groups(cluster_order, parts)
+    else:
+        assignments = _grow_partitions(net, clusters, parts)
+
+    # Canonical cell order within each partition (netlist insertion order)
+    # keeps local event tie-breaking deterministic.
+    position = {name: i for i, name in enumerate(net.cells)}
+    assignments = [sorted(cells, key=position.__getitem__)
+                   for cells in assignments]
+    assignments.sort(key=lambda cells: position[cells[0]])
+
+    partitions = tuple(
+        Partition(index=i, cells=tuple(cells))
+        for i, cells in enumerate(assignments)
+    )
+    owner = {
+        name: part.index for part in partitions for name in part.cells
+    }
+
+    cut_wires: List[Wire] = []
+    channel_lookahead: Dict[Tuple[int, int], float] = {}
+    for wire in net.wires:
+        src_part, dst_part = owner[wire.src], owner[wire.dst]
+        if src_part == dst_part:
+            continue
+        if wire.delay <= 0.0:  # pragma: no cover - excluded by contraction
+            raise ConfigurationError(
+                f"cut wire {wire.src}.{wire.src_port} -> "
+                f"{wire.dst}.{wire.dst_port} has zero delay (no lookahead)"
+            )
+        cut_wires.append(wire)
+        key = (src_part, dst_part)
+        current = channel_lookahead.get(key)
+        if current is None or wire.delay < current:
+            channel_lookahead[key] = wire.delay
+
+    min_lookahead = (
+        min(channel_lookahead.values()) if channel_lookahead else float("inf")
+    )
+    return PartitionPlan(
+        partitions=partitions,
+        owner=owner,
+        cut_wires=tuple(cut_wires),
+        channel_lookahead=channel_lookahead,
+        min_lookahead=min_lookahead,
+    )

@@ -95,6 +95,16 @@ class SimulationSession:
             :class:`RunResult`.
         queue_backend: Event-queue backend name or factory (see
             :data:`repro.rsfq.events.QUEUE_BACKENDS`).
+        parallel_parts: When >= 2, runs execute on the partitioned
+            :class:`~repro.rsfq.parallel.ParallelSimulator` with that
+            many partitions (results are bit-identical to sequential
+            runs at ``jitter_ps=0`` and, with ``jitter_mode="wire"``,
+            under jitter too).
+        partition_hints: Optional cell -> group hints forwarded to the
+            partitioner (e.g. ``GateLevelChip.partition_hints()``).
+        jitter_mode: Jitter stream discipline for sequential runs
+            (``None`` keeps the engine default: ``"global"`` sequential,
+            ``"wire"`` parallel).
     """
 
     def __init__(
@@ -105,6 +115,9 @@ class SimulationSession:
         seed: Optional[int] = None,
         record_traces: bool = False,
         queue_backend: Union[str, Callable] = "heap",
+        parallel_parts: int = 0,
+        partition_hints: Optional[dict] = None,
+        jitter_mode: Optional[str] = None,
     ):
         self.netlist = netlist
         self.strict = strict
@@ -112,12 +125,46 @@ class SimulationSession:
         self.seed = seed
         self.record_traces = record_traces
         self.queue_backend = queue_backend
+        self.parallel_parts = int(parallel_parts)
+        self.partition_hints = partition_hints
+        self.jitter_mode = jitter_mode
         self.stats = SessionStats()
         start = _time.perf_counter()
         netlist.elaborate()  # warm the memoised fan-out table
         self.stats.elaboration_time_s = _time.perf_counter() - start
         self._sim: Optional[Simulator] = None
         self._runs = 0
+
+    def _make_simulator(self, trace, run_seed):
+        if self.parallel_parts >= 2:
+            from repro.rsfq.parallel import ParallelSimulator
+
+            kwargs = {}
+            if self.jitter_mode is not None:
+                kwargs["jitter_mode"] = self.jitter_mode
+            return ParallelSimulator(
+                self.netlist,
+                parts=self.parallel_parts,
+                hints=self.partition_hints,
+                strict=self.strict,
+                trace=trace,
+                jitter_ps=self.jitter_ps,
+                seed=run_seed,
+                queue_backend=self.queue_backend,
+                **kwargs,
+            )
+        kwargs = {}
+        if self.jitter_mode is not None:
+            kwargs["jitter_mode"] = self.jitter_mode
+        return Simulator(
+            self.netlist,
+            strict=self.strict,
+            trace=trace,
+            jitter_ps=self.jitter_ps,
+            seed=run_seed,
+            queue_backend=self.queue_backend,
+            **kwargs,
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -147,14 +194,7 @@ class SimulationSession:
             or self.jitter_ps > 0.0
         )
         if fresh:
-            sim = Simulator(
-                self.netlist,
-                strict=self.strict,
-                trace=trace,
-                jitter_ps=self.jitter_ps,
-                seed=run_seed,
-                queue_backend=self.queue_backend,
-            )
+            sim = self._make_simulator(trace, run_seed)
             if seed is None and trace is None and self.jitter_ps == 0.0:
                 self._sim = sim
         else:

@@ -1,10 +1,32 @@
-"""Discrete-event simulation engine for RSFQ netlists."""
+"""Discrete-event simulation engine for RSFQ netlists.
+
+The engine is tuned around one observation: at gate level every Fig. 16 /
+19 / 20 experiment is millions of identical micro-steps (pop event,
+dispatch to cell, push fan-out), so the per-event constant factor *is*
+the benchmark.  The hot path therefore
+
+* moves bare ``(time, seq, cell_idx, port_idx)`` tuples through the
+  queue backends -- no per-event object allocation
+  (:class:`~repro.rsfq.events.PulseEvent` is materialised only at trace
+  and debug boundaries);
+* resolves cells and ports to integer indices once, at netlist
+  elaboration (:meth:`~repro.rsfq.netlist.Netlist.elaborate`), instead of
+  string-keyed dict lookups per pulse;
+* hoists the jitter and trace branches out of the inner loop: ``deliver``
+  is bound to a jitter-specialised variant at construction, and ``run``
+  dispatches to trace / no-trace loop variants.
+
+See ``docs/ENGINE.md`` for the architecture overview and
+:mod:`repro.rsfq.parallel` for the partitioned parallel engine layered on
+top of the same primitives.
+"""
 
 from __future__ import annotations
 
 import random
 import time as _time
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ConstraintViolationError
@@ -15,6 +37,47 @@ from repro.rsfq.waveform import PulseTrace
 
 #: External stimulus: ``(cell or cell name, input port, time in ps)``.
 Stimulus = Tuple[Union[Cell, str], str, float]
+
+#: Jitter stream modes (see :class:`Simulator` ``jitter_mode``).
+JITTER_MODES = ("global", "wire")
+
+
+def wire_jitter_rng(seed, wire_key: str) -> random.Random:
+    """The deterministic jitter stream of one wire (``jitter_mode="wire"``).
+
+    Seeding :class:`random.Random` with a *string* uses CPython's stable
+    (sha512-based) seeding, so the stream depends only on ``(seed,
+    wire_key)`` -- never on hash randomisation, execution order, or which
+    partition the wire's source cell lives in.  This is what makes
+    jittered runs bit-identical between :class:`Simulator` and
+    :class:`repro.rsfq.parallel.ParallelSimulator`.
+    """
+    return random.Random(f"{seed!r}|{wire_key}")
+
+
+def margin_report_rows(margins: dict) -> List[dict]:
+    """Render a ``{(cell_type, port_a, port_b): (required, tightest)}``
+    margin table as slack rows, tightest (most negative slack) first."""
+    rows = []
+    for (cell_type, port_a, port_b), (required, actual) in sorted(
+        margins.items(), key=lambda kv: kv[1][1] - kv[1][0]
+    ):
+        rows.append({
+            "cell": cell_type,
+            "constraint": f"{port_a}-{port_b}",
+            "required_ps": round(required, 2),
+            "tightest_ps": round(actual, 2),
+            "slack_ps": round(actual - required, 2),
+        })
+    return rows
+
+
+def merge_margins(target: dict, source: dict) -> None:
+    """Fold ``source`` margin observations into ``target`` (tightest wins)."""
+    for key, (required, actual) in source.items():
+        current = target.get(key)
+        if current is None or actual < current[1]:
+            target[key] = (required, actual)
 
 
 @dataclass(frozen=True)
@@ -58,11 +121,23 @@ class Simulator:
             with the queue protocol (``push``/``pop``/``peek_time``/
             ``clear``/``__len__``/``__bool__``).  All backends are
             deterministic and produce identical event orders.
+        jitter_mode: How jitter draws are sequenced.
+
+            * ``"global"`` (default, legacy): one stream consumed in
+              delivery order -- fast, but the draw a given wire receives
+              depends on the global event interleaving.
+            * ``"wire"``: one independent stream per wire, derived from
+              ``(seed, wire identity)`` via :func:`wire_jitter_rng` -- the
+              k-th pulse on a wire always gets that wire's k-th draw, so
+              jittered results are independent of event interleaving and
+              bit-identical between the sequential and the partitioned
+              parallel engine.  With ``seed=None`` the mode behaves as a
+              fixed default seed (still deterministic).
 
     The simulator resolves the netlist's routing through
-    :meth:`Netlist.elaborate`, so the per-pulse hot path performs tuple
-    lookups instead of cell resolution; the elaboration is memoised on the
-    netlist and shared across simulators and runs.
+    :meth:`Netlist.elaborate`, so the per-pulse hot path performs integer
+    indexing instead of cell resolution; the elaboration is memoised on
+    the netlist and shared across simulators and runs.
     """
 
     def __init__(
@@ -73,12 +148,21 @@ class Simulator:
         jitter_ps: float = 0.0,
         seed: Optional[int] = None,
         queue_backend: Union[str, Callable] = "heap",
+        jitter_mode: str = "global",
     ):
+        if jitter_mode not in JITTER_MODES:
+            raise ConfigurationError(
+                f"unknown jitter_mode '{jitter_mode}'; "
+                f"available: {list(JITTER_MODES)}"
+            )
         self.netlist = netlist
         self.strict = strict
         self.trace = trace
         self.jitter_ps = float(jitter_ps)
+        self.jitter_mode = jitter_mode
+        self._seed = seed
         self._rng = random.Random(seed)
+        self._wire_rngs: dict = {}
         self.queue = self._make_queue(queue_backend)
         self.now = 0.0
         self.violations: List[Violation] = []
@@ -90,6 +174,7 @@ class Simulator:
         #: (cell_type, port_a, port_b) -> (required, tightest_actual).
         self.margins: dict = {}
         self._fanout = netlist.elaborate()
+        self._bind_deliver()
 
     @staticmethod
     def _make_queue(queue_backend: Union[str, Callable]):
@@ -103,6 +188,39 @@ class Simulator:
                 f"{sorted(QUEUE_BACKENDS)} (or pass a callable)"
             )
         return factory()
+
+    def _bind_deliver(self) -> None:
+        """Bind ``deliver`` to the jitter-specialised variant (hoists the
+        jitter branch out of the per-event hot path).
+
+        When the instance uses the stock heap backend *and* has not
+        overridden ``_deliver_ideal`` (the partitioned engine's local
+        engines do, to route cross-partition pulses), the ideal variant is
+        further specialised to push entries straight onto the underlying
+        heap, skipping the queue's Python-level ``push`` wrapper.
+        """
+        if self.jitter_ps <= 0.0:
+            if (
+                type(self)._deliver_ideal is Simulator._deliver_ideal
+                and type(self.queue) is EventQueue
+            ):
+                self.deliver = self._deliver_ideal_heap
+            else:
+                self.deliver = self._deliver_ideal
+        elif self.jitter_mode == "wire":
+            self.deliver = self._deliver_jitter_wire
+        else:
+            self.deliver = self._deliver_jitter_global
+
+    def _refresh(self) -> None:
+        """Re-elaborate if the netlist grew since the last elaboration.
+
+        Elaboration preserves the indices of already-present cells
+        (insertion order is stable), so entries already in the queue stay
+        valid across a refresh.
+        """
+        if self._fanout.version != self.netlist.topology_version:
+            self._fanout = self.netlist.elaborate()
 
     # -- scheduling --------------------------------------------------------
 
@@ -128,14 +246,76 @@ class Simulator:
                 f"{time} ps: simulation time is already {self.now} ps "
                 "(inputs must be scheduled at or after the current time)"
             )
-        self.queue.push(time, cell.name, port)
+        self._refresh()
+        cell_idx, port_idx = self._fanout.resolve_endpoint(cell.name, port)
+        self.queue.push(time, cell_idx, port_idx)
 
-    def deliver(self, cell: Cell, port: str, time: float) -> None:
-        """Propagate an output pulse along the port's wire (called by cells)."""
-        for dst, dst_port, delay in self._fanout.fanout(cell.name, port):
-            if self.jitter_ps > 0.0:
-                delay = max(0.0, delay + self._rng.gauss(0.0, self.jitter_ps))
-            self.queue.push(time + delay, dst, dst_port)
+    # -- delivery variants (bound to ``deliver`` at construction) ----------
+
+    def _deliver_ideal(self, cell: Cell, port: str, time: float) -> None:
+        """Propagate an output pulse along the port's wire (no jitter)."""
+        routes = self._fanout.routes_idx.get((cell.name, port))
+        if not routes:
+            return
+        push = self.queue.push
+        for dst_idx, dst_port_idx, delay, _wid in routes:
+            push(time + delay, dst_idx, dst_port_idx)
+
+    def _deliver_ideal_heap(self, cell: Cell, port: str, time: float) -> None:
+        """:meth:`_deliver_ideal` specialised for the stock heap backend:
+        entries go straight onto the underlying heap (same tuples, same
+        sequence numbering, no ``push`` wrapper call per pulse)."""
+        routes = self._fanout.routes_idx.get((cell.name, port))
+        if not routes:
+            return
+        queue = self.queue
+        heap = queue._heap
+        seq = queue._seq
+        for dst_idx, dst_port_idx, delay, _wid in routes:
+            heappush(heap, (time + delay, seq, dst_idx, dst_port_idx))
+            seq += 1
+        queue._seq = seq
+
+    def _deliver_jitter_global(self, cell: Cell, port: str, time: float) -> None:
+        """Jittered delivery drawing from the single global stream (in
+        delivery order -- the legacy behaviour behind the golden jitter
+        snapshots)."""
+        routes = self._fanout.routes_idx.get((cell.name, port))
+        if not routes:
+            return
+        push = self.queue.push
+        gauss = self._rng.gauss
+        sigma = self.jitter_ps
+        for dst_idx, dst_port_idx, delay, _wid in routes:
+            jittered = delay + gauss(0.0, sigma)
+            if jittered < 0.0:
+                jittered = 0.0
+            push(time + jittered, dst_idx, dst_port_idx)
+
+    def _deliver_jitter_wire(self, cell: Cell, port: str, time: float) -> None:
+        """Jittered delivery drawing from per-wire streams (stable under
+        any event interleaving; see :func:`wire_jitter_rng`)."""
+        routes = self._fanout.routes_idx.get((cell.name, port))
+        if not routes:
+            return
+        push = self.queue.push
+        sigma = self.jitter_ps
+        rngs = self._wire_rngs
+        fanout = self._fanout
+        for dst_idx, dst_port_idx, delay, wid in routes:
+            rng = rngs.get(wid)
+            if rng is None:
+                rng = rngs[wid] = wire_jitter_rng(
+                    self._seed, fanout.wire_key(wid)
+                )
+            jittered = delay + rng.gauss(0.0, sigma)
+            if jittered < 0.0:
+                jittered = 0.0
+            push(time + jittered, dst_idx, dst_port_idx)
+
+    # ``deliver`` is rebound per instance; this definition keeps the
+    # method documented and subclass-overridable.
+    deliver = _deliver_ideal
 
     # -- execution ---------------------------------------------------------
 
@@ -143,32 +323,85 @@ class Simulator:
         """Process events (optionally only up to time ``until``).
 
         Returns the final simulation time.  ``max_events`` guards against
-        runaway feedback loops in malformed circuits.
+        runaway feedback loops in malformed circuits: the run raises
+        :class:`~repro.errors.ConfigurationError` after processing exactly
+        ``max_events`` events with work still pending (a run that
+        *completes* on its last allowed event does not raise).
         """
-        if self._fanout.version != self.netlist.topology_version:
-            self._fanout = self.netlist.elaborate()
-        cells = self._fanout.cells
+        self._refresh()
         queue = self.queue
-        trace = self.trace
+        cells = self._fanout.cell_list
+        ports = self._fanout.input_ports
+        pop = queue.pop
         processed = 0
-        while queue:
-            next_time = queue.peek_time()
-            if until is not None and next_time > until:
-                break
-            event = queue.pop()
-            self.now = event.time
-            cell = cells[event.component]
-            if trace is not None:
-                trace.record(event.component, event.port, event.time)
-            cell.receive(event.port, event.time, self)
-            self.delivered_pulses += 1
-            processed += 1
-            if processed > max_events:
-                raise ConfigurationError(
-                    f"simulation exceeded {max_events} events; suspected "
-                    "feedback oscillation in the netlist"
-                )
-        self.events_processed += processed
+        try:
+            if self.trace is None:
+                if until is None and type(queue) is EventQueue:
+                    # Fastest path: no trace, no horizon, stock heap
+                    # backend -- pop entries straight off the underlying
+                    # heap (C-level ``heappop``, list truthiness instead
+                    # of the queue's ``__bool__``/``pop`` wrappers).
+                    heap = queue._heap
+                    while heap:
+                        if processed >= max_events:
+                            raise ConfigurationError(
+                                f"simulation exceeded {max_events} events; "
+                                "suspected feedback oscillation in the netlist"
+                            )
+                        time, _seq, ci, pi = heappop(heap)
+                        self.now = time
+                        cell = cells[ci]
+                        cell.receive(ports[ci][pi], time, self)
+                        processed += 1
+                elif until is None:
+                    # Fast path: no trace, no horizon.
+                    while queue:
+                        if processed >= max_events:
+                            raise ConfigurationError(
+                                f"simulation exceeded {max_events} events; "
+                                "suspected feedback oscillation in the netlist"
+                            )
+                        time, _seq, ci, pi = pop()
+                        self.now = time
+                        cell = cells[ci]
+                        cell.receive(ports[ci][pi], time, self)
+                        processed += 1
+                else:
+                    peek = queue.peek_time
+                    while queue:
+                        if peek() > until:
+                            break
+                        if processed >= max_events:
+                            raise ConfigurationError(
+                                f"simulation exceeded {max_events} events; "
+                                "suspected feedback oscillation in the netlist"
+                            )
+                        time, _seq, ci, pi = pop()
+                        self.now = time
+                        cell = cells[ci]
+                        cell.receive(ports[ci][pi], time, self)
+                        processed += 1
+            else:
+                trace = self.trace
+                peek = queue.peek_time
+                while queue:
+                    if until is not None and peek() > until:
+                        break
+                    if processed >= max_events:
+                        raise ConfigurationError(
+                            f"simulation exceeded {max_events} events; "
+                            "suspected feedback oscillation in the netlist"
+                        )
+                    time, _seq, ci, pi = pop()
+                    self.now = time
+                    cell = cells[ci]
+                    port = ports[ci][pi]
+                    trace.record(cell.name, port, time)
+                    cell.receive(port, time, self)
+                    processed += 1
+        finally:
+            self.delivered_pulses += processed
+            self.events_processed += processed
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -232,18 +465,7 @@ class Simulator:
         (observed - required; negative = violated).  This is the timing
         sign-off view a designer reads before tape-out.
         """
-        rows = []
-        for (cell_type, port_a, port_b), (required, actual) in sorted(
-            self.margins.items(), key=lambda kv: kv[1][1] - kv[1][0]
-        ):
-            rows.append({
-                "cell": cell_type,
-                "constraint": f"{port_a}-{port_b}",
-                "required_ps": round(required, 2),
-                "tightest_ps": round(actual, 2),
-                "slack_ps": round(actual - required, 2),
-            })
-        return rows
+        return margin_report_rows(self.margins)
 
     # -- helpers -----------------------------------------------------------
 
@@ -255,7 +477,11 @@ class Simulator:
         return self.netlist.cells[cell]
 
     def reset(self) -> None:
-        """Clear pending events, time, violations and all cell state."""
+        """Clear pending events, time, violations and all cell state.
+
+        The jitter streams (global or per-wire) are *not* reseeded: a
+        reset models a fresh protocol run on the same physical chip.
+        """
         self.queue.clear()
         self.now = 0.0
         self.violations.clear()

@@ -70,3 +70,60 @@ class TestMarginTracking:
         rows = driver.sim.margin_report()
         assert rows, "protocol should exercise at least one constraint"
         assert all(row["slack_ps"] > 0 for row in rows)
+
+
+class TestMarginPrimitives:
+    """Direct coverage of record_margin / margin_report (previously only
+    exercised through full protocol runs)."""
+
+    def test_empty_report(self):
+        net = Netlist("m")
+        net.add(library.JTL("j"))
+        sim = Simulator(net)
+        assert sim.margins == {}
+        assert sim.margin_report() == []
+
+    def test_record_margin_keeps_tightest_observation(self):
+        net = Netlist("m")
+        net.add(library.JTL("j"))
+        sim = Simulator(net)
+        sim.record_margin("JTL", "din", "din", 10.0, 50.0)
+        sim.record_margin("JTL", "din", "din", 10.0, 12.0)
+        sim.record_margin("JTL", "din", "din", 10.0, 30.0)  # looser: ignored
+        assert sim.margins[("JTL", "din", "din")] == (10.0, 12.0)
+
+    def test_report_rows_carry_identity_and_rounding(self):
+        net = Netlist("m")
+        net.add(library.JTL("j"))
+        sim = Simulator(net)
+        sim.record_margin("NDRO", "din", "clk", 7.125, 9.337)
+        (row,) = sim.margin_report()
+        assert row == {
+            "cell": "NDRO",
+            "constraint": "din-clk",
+            "required_ps": 7.12,
+            "tightest_ps": 9.34,
+            "slack_ps": 2.21,
+        }
+
+    def test_report_sorted_by_slack_including_negative(self):
+        net = Netlist("m")
+        net.add(library.JTL("j"))
+        sim = Simulator(net)
+        sim.record_margin("A", "x", "y", 10.0, 25.0)   # slack +15
+        sim.record_margin("B", "x", "y", 10.0, 4.0)    # slack -6
+        sim.record_margin("C", "x", "y", 10.0, 10.5)   # slack +0.5
+        slacks = [row["slack_ps"] for row in sim.margin_report()]
+        assert slacks == sorted(slacks)
+        assert slacks[0] == pytest.approx(-6.0)
+
+    def test_merge_margins_tightest_wins(self):
+        from repro.rsfq.simulator import merge_margins
+
+        target = {("A", "x", "y"): (10.0, 20.0)}
+        merge_margins(target, {("A", "x", "y"): (10.0, 15.0),
+                               ("B", "x", "y"): (5.0, 9.0)})
+        assert target == {("A", "x", "y"): (10.0, 15.0),
+                          ("B", "x", "y"): (5.0, 9.0)}
+        merge_margins(target, {("A", "x", "y"): (10.0, 18.0)})  # looser
+        assert target[("A", "x", "y")] == (10.0, 15.0)

@@ -1,0 +1,307 @@
+"""Tests for the partitioned parallel engine (conservative synchronisation).
+
+The contract under test: :class:`ParallelSimulator` is *physically*
+bit-identical to the sequential :class:`Simulator` -- every cell sees the
+same pulses at the same times in the same per-cell order, so per-channel
+trace times, violation counts, margin tables and final state all match
+exactly, for any partition count, queue backend, executor, and (in
+``jitter_mode="wire"``) under jitter.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.differential import run_parallel_gate_differential
+from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
+from repro.neuro.state_controller import Polarity
+from repro.rsfq import (
+    Netlist,
+    ParallelSimulator,
+    PulseTrace,
+    SimulationSession,
+    Simulator,
+    library,
+    partition_netlist,
+)
+
+
+def chain(n=8, delay=2.0, name="chain"):
+    net = Netlist(name)
+    cells = [net.add(library.JTL(f"j{i}")) for i in range(n)]
+    probe = net.add(library.Probe("p"))
+    for a, b in zip(cells, cells[1:]):
+        net.connect(a, "dout", b, "din", delay=delay)
+    net.connect(cells[-1], "dout", probe, "din", delay=delay)
+    return net, cells, probe
+
+
+def run_both(build, drive, parts=2, hints=None, **kwargs):
+    """Run the same stimulus on fresh sequential / parallel instances."""
+    net_s, cells_s, probe_s = build()
+    sim_s = Simulator(net_s, trace=PulseTrace(),
+                      jitter_mode="wire", **kwargs)
+    drive(sim_s, cells_s)
+    sim_s.run()
+
+    net_p, cells_p, probe_p = build()
+    sim_p = ParallelSimulator(net_p, parts=parts, hints=hints,
+                              trace=PulseTrace(), **kwargs)
+    drive(sim_p, cells_p)
+    sim_p.run()
+    return (sim_s, probe_s), (sim_p, probe_p)
+
+
+class TestBasicEquivalence:
+    def test_chain_probe_times_identical(self):
+        (s, ps), (p, pp) = run_both(
+            chain,
+            lambda sim, cells: [
+                sim.schedule_input(cells[0], "din", t)
+                for t in (0.0, 60.0, 120.0)
+            ],
+            parts=3,
+        )
+        assert pp.times == ps.times
+        assert p.now == s.now
+        assert p.events_processed == s.events_processed
+        assert p.trace.events() == s.trace.events()
+
+    def test_violations_and_margins_match(self):
+        def build():
+            net = Netlist("tffchain")
+            j = net.add(library.JTL("j"))
+            tff = net.add(library.TFFL("t"))
+            probe = net.add(library.Probe("p"))
+            net.connect(j, "dout", tff, "din", delay=4.0)
+            net.connect(tff, "dout", probe, "din", delay=1.0)
+            return net, [j, tff], probe
+
+        def drive(sim, cells):
+            # Two pulses 30 ps apart clear the JTL's own minimum interval
+            # (19.9 ps) but violate the TFF minimum interval (39.9 ps)
+            # after crossing the partition cut.
+            sim.schedule_input(cells[0], "din", 0.0)
+            sim.schedule_input(cells[0], "din", 30.0)
+
+        hints = {"j": 0, "t": 1, "p": 1}
+        (s, _), (p, _) = run_both(build, drive, parts=2, hints=hints)
+        assert len(s.violations) == 1
+        assert len(p.violations) == len(s.violations)
+        assert p.violations[0].time == s.violations[0].time
+        assert p.margins == s.margins
+        assert p.margin_report() == s.margin_report()
+
+    def test_jittered_wire_mode_identical(self):
+        (s, ps), (p, pp) = run_both(
+            chain,
+            lambda sim, cells: [
+                sim.schedule_input(cells[0], "din", 100.0 * k)
+                for k in range(4)
+            ],
+            parts=4,
+            jitter_ps=0.8,
+            seed=21,
+        )
+        assert pp.times == ps.times
+        assert p.trace.events() == s.trace.events()
+
+    def test_until_horizon_respected(self):
+        net, cells, probe = chain(6, delay=10.0)
+        sim = ParallelSimulator(net, parts=2)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run(until=25.0)
+        mid = sim.events_processed
+        assert 0 < mid < 7
+        assert sim.now == 25.0
+        sim.run()
+        assert sim.events_processed == 7
+        assert len(probe.times) == 1
+
+    def test_strict_mode_raises_across_partitions(self):
+        net = Netlist("strict")
+        j = net.add(library.JTL("j"))
+        tff = net.add(library.TFFL("t"))
+        net.connect(j, "dout", tff, "din", delay=4.0)
+        sim = ParallelSimulator(net, parts=2, hints={"j": 0, "t": 1},
+                                strict=True)
+        sim.schedule_input(j, "din", 0.0)
+        sim.schedule_input(j, "din", 10.0)
+        from repro.errors import ConstraintViolationError
+
+        with pytest.raises(ConstraintViolationError):
+            sim.run()
+
+
+class TestChipEquivalence:
+    """The acceptance workload: gate-level chip, sequential vs parallel."""
+
+    @pytest.mark.parametrize("jitter_ps", [0.0, 0.5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_protocols_bit_identical(self, seed, jitter_ps):
+        verdict = run_parallel_gate_differential(
+            seed=seed, n=2, sc_per_npe=3, passes=3, parts=4,
+            jitter_ps=jitter_ps,
+        )
+        assert verdict["equivalent"], verdict
+        assert verdict["partitions"] == 4
+        assert verdict["cut_wires"] > 0
+
+    def test_thread_executor_matches_serial(self):
+        serial = run_parallel_gate_differential(seed=5, executor="serial")
+        thread = run_parallel_gate_differential(seed=5, executor="thread")
+        assert serial["equivalent"] and thread["equivalent"]
+        assert serial["events"] == thread["events"]
+
+    def test_two_partition_plan_also_identical(self):
+        verdict = run_parallel_gate_differential(seed=2, parts=2)
+        assert verdict["equivalent"], verdict
+        assert verdict["partitions"] == 2
+
+    def test_chip_driver_runs_on_parallel_engine(self):
+        def protocol(sim_factory):
+            chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3))
+            sim = sim_factory(chip)
+            driver = ChipDriver(chip, sim)
+            driver.begin_timestep([2, 2])
+            driver.configure_weights([[1, 0], [1, 1]])
+            driver.run_pass(Polarity.SET1, [True, True])
+            driver.run_pass(Polarity.SET1, [True, False])
+            return driver.read_out(), sim
+
+        seq_out, _ = protocol(lambda chip: chip.simulator())
+        par_out, sim = protocol(
+            lambda chip: chip.parallel_simulator(parts=4))
+        assert par_out == seq_out
+        assert sim.violations == []
+        assert sim.rounds > 0
+
+    def test_determinism_across_repeated_runs(self):
+        traces = []
+        for _ in range(2):
+            chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3))
+            trace = PulseTrace()
+            sim = chip.parallel_simulator(parts=4, trace=trace,
+                                          jitter_ps=0.4, seed=11)
+            driver = ChipDriver(chip, sim)
+            driver.begin_timestep([2, 3])
+            driver.run_pass(Polarity.SET1, [True, True])
+            traces.append(trace)
+        assert traces[0].events() == traces[1].events()
+
+
+class TestProtocolMachinery:
+    def test_lookahead_channels_match_plan(self):
+        chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3))
+        sim = chip.parallel_simulator(parts=4)
+        assert sim._channel_lookahead == sim.plan.channel_lookahead
+        assert "partitions" in sim.partition_summary()
+
+    def test_jitter_lookahead_falls_back_to_emission_delay(self):
+        # With jitter the wire delay is clamped at zero, so the channel
+        # lookahead must be the driving cell's DELAY_PS instead.
+        net, cells, probe = chain(4)
+        sim = ParallelSimulator(net, parts=2, jitter_ps=0.5, seed=0)
+        for (src, dst), lookahead in sim._channel_lookahead.items():
+            assert lookahead == pytest.approx(library.JTL.DELAY_PS)
+
+    def test_reset_restores_initial_state(self):
+        net, cells, probe = chain(5)
+        sim = ParallelSimulator(net, parts=2, trace=PulseTrace())
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        first = list(probe.times)
+        assert sim.now > 0 and sim.events_processed > 0
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.events_processed == 0
+        assert sim.rounds == 0
+        assert len(sim.trace) == 0
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert probe.times == first
+
+    def test_run_batch_matches_sequential(self):
+        net_s, cells_s, _ = chain(5, name="a")
+        net_p, cells_p, _ = chain(5, name="b")
+        stimuli = [
+            [("j0", "din", 0.0), ("j0", "din", 80.0)],
+            [("j0", "din", 5.0)],
+        ]
+        stats_s = Simulator(net_s).run_batch(stimuli)
+        stats_p = ParallelSimulator(net_p, parts=2).run_batch(stimuli)
+        for a, b in zip(stats_s, stats_p):
+            assert a.events == b.events
+            assert a.final_time_ps == b.final_time_ps
+            assert a.violations == b.violations
+
+    def test_max_events_guard(self):
+        net = Netlist("loop")
+        a = net.add(library.JTL("a"))
+        b = net.add(library.JTL("b"))
+        net.connect(a, "dout", b, "din", delay=25.0)
+        net.connect(b, "dout", a, "din", delay=25.0)
+        sim = ParallelSimulator(net, parts=2, hints={"a": 0, "b": 1})
+        sim.schedule_input(a, "din", 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(max_events=100)
+
+    def test_session_runs_parallel_engine(self):
+        net_s, _, _ = chain(6, name="s")
+        net_p, _, _ = chain(6, name="p")
+        stimuli = [[("j0", "din", 0.0)], [("j0", "din", 1.0)]]
+        seq = SimulationSession(net_s).run_batch(stimuli)
+        par = SimulationSession(net_p, parallel_parts=2).run_batch(stimuli)
+        for a, b in zip(seq, par):
+            assert a.stats.events == b.stats.events
+            assert a.stats.final_time_ps == b.stats.final_time_ps
+
+
+class TestValidation:
+    def test_global_jitter_mode_rejected(self):
+        net, _, _ = chain(3)
+        with pytest.raises(ConfigurationError):
+            ParallelSimulator(net, parts=2, jitter_mode="global")
+
+    def test_unknown_executor_rejected(self):
+        net, _, _ = chain(3)
+        with pytest.raises(ConfigurationError):
+            ParallelSimulator(net, parts=2, executor="mpi")
+
+    def test_netlist_growth_after_partitioning_rejected(self):
+        net, cells, _ = chain(3)
+        sim = ParallelSimulator(net, parts=2)
+        net.add(library.JTL("late"))
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input(cells[0], "din", 0.0)
+
+    def test_unknown_cell_and_port_rejected(self):
+        net, cells, _ = chain(3)
+        sim = ParallelSimulator(net, parts=2)
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input("ghost", "din", 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input(cells[0], "nope", 0.0)
+
+    def test_scheduling_in_the_past_rejected(self):
+        net, cells, _ = chain(3)
+        sim = ParallelSimulator(net, parts=2)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.schedule_input(cells[0], "din", sim.now - 1.0)
+
+    def test_precomputed_plan_accepted(self):
+        net, cells, probe = chain(6)
+        plan = partition_netlist(net, 3)
+        sim = ParallelSimulator(net, plan=plan)
+        assert sim.plan is plan
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run()
+        assert len(probe.times) == 1
+
+    def test_context_manager_closes_pool(self):
+        net, cells, _ = chain(4)
+        with ParallelSimulator(net, parts=2, executor="thread") as sim:
+            sim.schedule_input(cells[0], "din", 0.0)
+            sim.run()
+        assert sim._pool is None

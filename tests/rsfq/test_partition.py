@@ -1,0 +1,165 @@
+"""Tests for the netlist partitioner (cut placement, lookahead, hints)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neuro.chip import ChipConfig, GateLevelChip
+from repro.neuro.structure import fanout_tree, merge_tree
+from repro.rsfq import Netlist, library
+from repro.rsfq.partition import partition_netlist
+
+
+def chain(n=8, delay=2.0):
+    net = Netlist("chain")
+    cells = [net.add(library.JTL(f"j{i}")) for i in range(n)]
+    for a, b in zip(cells, cells[1:]):
+        net.connect(a, "dout", b, "din", delay=delay)
+    return net
+
+
+class TestFallbackHeuristic:
+    def test_chain_cut_in_half(self):
+        plan = partition_netlist(chain(8), 2)
+        assert plan.n_partitions == 2
+        assert sorted(len(p) for p in plan.partitions) == [4, 4]
+        assert len(plan.cut_wires) == 1
+        assert plan.min_lookahead == 2.0
+
+    def test_every_cell_owned_exactly_once(self):
+        net = chain(10)
+        plan = partition_netlist(net, 3)
+        assert sorted(plan.owner) == sorted(net.cells)
+        for part in plan.partitions:
+            for name in part.cells:
+                assert plan.owner[name] == part.index
+
+    def test_channel_lookahead_is_min_cut_delay(self):
+        net = Netlist("two-wire")
+        cells = [net.add(library.JTL(f"j{i}")) for i in range(4)]
+        spl = net.add(library.SPL("s"))
+        net.connect(cells[0], "dout", spl, "din", delay=1.0)
+        net.connect(spl, "doutA", cells[1], "din", delay=1.0)
+        net.connect(cells[1], "dout", cells[2], "din", delay=7.0)
+        net.connect(spl, "doutB", cells[3], "din", delay=3.0)
+        hints = {"j0": 0, "s": 0, "j1": 0, "j2": 1, "j3": 1}
+        plan = partition_netlist(net, 2, hints=hints)
+        assert plan.channel_lookahead == {(0, 1): 3.0}
+        assert plan.min_lookahead == 3.0
+        assert plan.channels_into(1) == [(0, 3.0)]
+
+    def test_no_cut_means_infinite_lookahead(self):
+        plan = partition_netlist(chain(3), 1)
+        assert plan.n_partitions == 1
+        assert plan.cut_wires == ()
+        assert plan.min_lookahead == float("inf")
+
+    def test_parts_capped_at_cell_count(self):
+        plan = partition_netlist(chain(2), 10)
+        assert plan.n_partitions <= 2
+
+    def test_disconnected_components_merged_to_requested_parts(self):
+        net = Netlist("islands")
+        for i in range(6):
+            net.add(library.JTL(f"j{i}"))  # six isolated cells
+        plan = partition_netlist(net, 2)
+        assert plan.n_partitions == 2
+        assert plan.cut_wires == ()
+
+    def test_deterministic_across_calls(self):
+        a = partition_netlist(chain(9), 3)
+        b = partition_netlist(chain(9), 3)
+        assert [p.cells for p in a.partitions] == [p.cells for p in b.partitions]
+
+
+class TestZeroDelayContraction:
+    def test_zero_delay_wires_never_cut(self):
+        net = Netlist("zd")
+        cells = [net.add(library.JTL(f"z{i}")) for i in range(4)]
+        net.connect(cells[0], "dout", cells[1], "din", delay=0.0)
+        net.connect(cells[1], "dout", cells[2], "din", delay=3.0)
+        net.connect(cells[2], "dout", cells[3], "din", delay=0.0)
+        plan = partition_netlist(net, 2)
+        assert plan.owner["z0"] == plan.owner["z1"]
+        assert plan.owner["z2"] == plan.owner["z3"]
+        assert all(w.delay > 0 for w in plan.cut_wires)
+
+    def test_hints_splitting_zero_delay_cluster_rejected(self):
+        net = Netlist("zd")
+        a = net.add(library.JTL("a"))
+        b = net.add(library.JTL("b"))
+        net.connect(a, "dout", b, "din", delay=0.0)
+        with pytest.raises(ConfigurationError):
+            partition_netlist(net, 2, hints={"a": 0, "b": 1})
+
+
+class TestValidation:
+    def test_nonpositive_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_netlist(chain(2), 0)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_netlist(Netlist("empty"), 2)
+
+
+class TestHintedPartitioning:
+    def test_hinted_groups_kept_intact(self):
+        net = chain(8)
+        hints = {f"j{i}": ("left" if i < 5 else "right") for i in range(8)}
+        plan = partition_netlist(net, 2, hints=hints)
+        owners = {plan.owner[f"j{i}"] for i in range(5)}
+        assert len(owners) == 1
+        assert len(plan.cut_wires) == 1
+        assert plan.cut_wires[0].src == "j4"
+
+    def test_groups_packed_balanced_onto_fewer_parts(self):
+        net = chain(12, delay=1.5)
+        hints = {f"j{i}": i // 3 for i in range(12)}  # 4 groups of 3
+        plan = partition_netlist(net, 2, hints=hints)
+        assert plan.n_partitions == 2
+        assert sorted(len(p) for p in plan.partitions) == [6, 6]
+
+    def test_structure_builders_accumulate_hints(self):
+        net = Netlist("trees")
+        hints = {}
+        fan_in, leaves = fanout_tree(net, "fan", 4, hints=hints, group="F")
+        merge_ins, merge_out = merge_tree(net, "mrg", 4, hints=hints, group="M")
+        for src, dst in zip(leaves, merge_ins):
+            net.connect(src[0], src[1], dst[0], dst[1], delay=2.0)
+        assert set(hints.values()) == {"F", "M"}
+        assert set(hints) == set(net.cells)
+        plan = partition_netlist(net, 2, hints=hints)
+        # Cuts fall exactly on the leaf -> merge wires, never inside a tree.
+        assert len(plan.cut_wires) == 4
+        assert plan.min_lookahead == 2.0
+
+
+class TestChipHints:
+    def test_chip_hints_cover_every_cell(self):
+        chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3))
+        hints = chip.partition_hints()
+        assert set(hints) == set(chip.net.cells)
+        assert set(hints.values()) == {"row0", "row1", "col0", "col1"}
+
+    def test_chip_cuts_fall_on_mesh_wires(self):
+        chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3))
+        plan = partition_netlist(chip.net, 4, hints=chip.partition_hints())
+        assert plan.n_partitions == 4
+        # Every cut runs from a row line into a column-side crosspoint.
+        for wire in plan.cut_wires:
+            assert wire.src.startswith("rowline")
+            assert wire.delay > 0
+        assert plan.min_lookahead == pytest.approx(chip.wire_delay)
+
+    def test_weightless_chip_partitions_too(self):
+        chip = GateLevelChip(ChipConfig(n=2, sc_per_npe=3,
+                                        with_weights=False))
+        plan = partition_netlist(chip.net, 4, hints=chip.partition_hints())
+        assert plan.n_partitions == 4
+        assert all(w.delay > 0 for w in plan.cut_wires)
+
+    def test_summary_mentions_partitions_and_lookahead(self):
+        plan = partition_netlist(chain(6), 2)
+        text = plan.summary()
+        assert "2 partitions" in text
+        assert "lookahead" in text

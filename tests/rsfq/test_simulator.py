@@ -224,3 +224,52 @@ class TestSimulator:
         assert sim.violations == []
         assert sim.now == 0.0
         assert sim.delivered_pulses == 0
+
+
+class TestMaxEventsGuard:
+    """Regression tests for the max_events off-by-one (the guard used to
+    let ``max_events + 1`` events through before raising)."""
+
+    def _loop(self):
+        net = Netlist("loop")
+        a = net.add(library.JTL("a"))
+        b = net.add(library.JTL("b"))
+        net.connect(a, "dout", b, "din", delay=25.0)
+        net.connect(b, "dout", a, "din", delay=25.0)
+        return net, a
+
+    def test_exactly_max_events_processed_before_raise(self):
+        net, a = self._loop()
+        sim = Simulator(net)
+        sim.schedule_input(a, "din", 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(max_events=100)
+        assert sim.events_processed == 100  # not 101
+
+    def test_run_completing_on_last_allowed_event_does_not_raise(self):
+        # A 3-JTL chain + probe processes exactly 4 events; a budget of
+        # exactly 4 must therefore complete cleanly...
+        net, cells, probe = chain_netlist(n_jtl=3)
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        assert len(probe.times) == 1
+
+    def test_budget_one_short_raises(self):
+        # ...while a budget of 3 must raise with 3 processed.
+        net, cells, probe = chain_netlist(n_jtl=3)
+        sim = Simulator(net)
+        sim.schedule_input(cells[0], "din", 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_guard_applies_with_trace_and_until_variants(self):
+        for kwargs in ({}, {"until": 10_000.0}):
+            net, a = self._loop()
+            sim = Simulator(net, trace=PulseTrace())
+            sim.schedule_input(a, "din", 0.0)
+            with pytest.raises(ConfigurationError):
+                sim.run(max_events=50, **kwargs)
+            assert sim.events_processed == 50
