@@ -1,0 +1,69 @@
+"""The zero-fault overhead gate: attaching no fault model (or an inactive
+one) must not slow the event engine down.
+
+Two layers of defence:
+
+* **Structural** (deterministic, the real gate): ``faults=None`` and an
+  inactive :class:`~repro.rsfq.faults.FaultModel` must bind the *same*
+  specialised delivery fast path and reuse the fan-out table's own
+  cell/port views -- i.e. the fault subsystem is provably absent from the
+  hot loop, so its overhead is zero by construction.
+* **Empirical** (best-of-N wall clock): a back-to-back run of the same
+  workload must stay under the ISSUE's 3% overhead budget.  Best-of
+  timing keeps scheduler noise out; the structural gate above is what
+  actually prevents regressions.
+"""
+
+import time
+
+from repro.harness.campaign import build_reference_pipeline
+from repro.rsfq import FaultModel, Simulator
+from repro.rsfq.events import EventQueue
+
+OVERHEAD_BUDGET = 1.03  # <3% per ISSUE acceptance criteria
+REPEATS = 7
+
+
+def make_sim(faults):
+    net, probe = build_reference_pipeline(64)
+    sim = Simulator(net, faults=faults)
+    return sim, probe
+
+
+def timed_run(faults) -> float:
+    sim, _probe = make_sim(faults)
+    for k in range(256):
+        sim.schedule_input("j0", "din", 50.0 * k)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+class TestStructuralGuard:
+    def test_none_and_inactive_model_bind_identical_fast_path(self):
+        for faults in (None, FaultModel()):
+            sim, _ = make_sim(faults)
+            assert sim._fault_runtime is None
+            assert sim._cells_view is sim._fanout.cell_list
+            assert sim._ports_view is sim._fanout.input_ports
+            assert sim.deliver.__func__ is Simulator._deliver_ideal_heap
+            assert type(sim.queue) is EventQueue
+
+    def test_active_model_is_the_only_slow_binding(self):
+        sim, _ = make_sim(FaultModel.single("pulse_drop", 0.0))
+        assert sim._fault_runtime is not None
+        assert sim.deliver.__func__ is Simulator._deliver_faulty
+
+
+class TestEmpiricalGuard:
+    def test_inactive_model_within_overhead_budget(self):
+        base = min(timed_run(None) for _ in range(REPEATS))
+        inactive = min(timed_run(FaultModel()) for _ in range(REPEATS))
+        ratio = inactive / base
+        print(f"\nzero-fault overhead ratio: {ratio:.4f}x "
+              f"(budget {OVERHEAD_BUDGET}x)")
+        assert ratio < OVERHEAD_BUDGET, (
+            f"inactive fault model cost {ratio:.4f}x "
+            f"(budget {OVERHEAD_BUDGET}x) -- the fast-path specialisation "
+            "regressed; see Simulator._bind_deliver"
+        )

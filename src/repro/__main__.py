@@ -41,6 +41,7 @@ EXPERIMENTS = {
     "bringup": (experiments.run_bringup_battery, False),
     "temporal": (experiments.run_temporal_limits, False),
     "yield": (experiments.run_yield_tolerance, True),
+    "resilience": (experiments.run_resilience, False),
 }
 
 

@@ -42,3 +42,40 @@ class CapacityError(ReproError):
 
 class TrainingError(ReproError):
     """Gradient-based training could not proceed (bad shapes, NaNs, ...)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault model could not be constructed or applied.
+
+    Raised when a :class:`repro.rsfq.faults.FaultSpec` is malformed (unknown
+    kind, probability outside ``[0, 1]``, negative delay), when a spec
+    targets cells or wires that do not exist in the netlist being bound, or
+    when a fault configuration is incompatible with the engine it is
+    attached to (e.g. fault injection combined with the legacy
+    ``jitter_mode="global"`` stream, which is not reproducible under
+    partitioned execution).
+    """
+
+
+class WorkerTimeoutError(ReproError):
+    """A parallel simulation worker exceeded its per-round time budget.
+
+    Raised by :class:`repro.rsfq.parallel.ParallelSimulator` when
+    ``worker_timeout_s`` is set, a round's worker misses the deadline, and
+    the simulator was configured with ``on_worker_timeout="raise"``.  With
+    the default ``"fallback"`` policy the engine instead records the
+    timeout and degrades to the sequential executor for the remaining
+    rounds (see ``docs/FAULTS.md``).
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A simulation run exceeded its wall-clock ``deadline_s`` guard.
+
+    Raised by :meth:`repro.rsfq.simulator.Simulator.run` (and the
+    partitioned engine's round loop) when the host wall-clock budget runs
+    out with events still pending.  Complements ``max_events``: the event
+    guard bounds *logical* work, the deadline bounds *physical* time, so a
+    pathologically slow (but not runaway) simulation cannot stall a batch
+    runtime or campaign sweep.
+    """

@@ -9,6 +9,13 @@ so repeated benchmark runs do not retrain.
 
 from repro.harness.reporting import format_table, paper_vs_measured
 from repro.harness.artifacts import get_trained_bundle, TrainedBundle
+from repro.harness.campaign import (
+    CampaignConfig,
+    CampaignPoint,
+    CampaignResult,
+    build_reference_pipeline,
+    run_resilience_campaign,
+)
 from repro.harness.differential import (
     DifferentialReport,
     EngineComparison,
@@ -33,4 +40,9 @@ __all__ = [
     "random_spike_trains",
     "run_differential",
     "run_gate_level_differential",
+    "CampaignConfig",
+    "CampaignPoint",
+    "CampaignResult",
+    "build_reference_pipeline",
+    "run_resilience_campaign",
 ]

@@ -410,6 +410,7 @@ def run_parallel_gate_differential(
     parts: int = 4,
     jitter_ps: float = 0.0,
     executor: str = "serial",
+    faults=None,
 ) -> Dict:
     """Sequential vs partitioned gate-level engine on one random workload.
 
@@ -421,6 +422,12 @@ def run_parallel_gate_differential(
     weights and spike patterns), then compares the physics bit-for-bit:
     per-channel pulse times, violation counts, margin tables, per-column
     fire times and final simulation time.
+
+    ``faults`` optionally attaches a
+    :class:`~repro.rsfq.faults.FaultModel` to *both* engines: the verdict
+    then additionally requires the canonical injection logs to compare
+    equal (the fault-determinism acceptance criterion; see
+    ``docs/FAULTS.md``).
 
     Returns a dict with an ``equivalent`` flag and the per-aspect
     verdicts (the parallel acceptance artefact; see
@@ -464,13 +471,14 @@ def run_parallel_gate_differential(
     seq_sim, seq_trace, seq_fires = execute(
         lambda chip, trace: Simulator(
             chip.net, trace=trace, jitter_ps=jitter_ps, seed=seed,
-            jitter_mode="wire",
+            jitter_mode="wire", faults=faults,
         )
     )
     par_sim, par_trace, par_fires = execute(
         lambda chip, trace: ParallelSimulator(
             chip.net, parts=parts, hints=chip.partition_hints(),
             trace=trace, jitter_ps=jitter_ps, seed=seed, executor=executor,
+            faults=faults,
         )
     )
 
@@ -492,6 +500,11 @@ def run_parallel_gate_differential(
         "margins_equal": seq_sim.margins == par_sim.margins,
         "fires_equal": seq_fires == par_fires,
         "now_equal": seq_sim.now == par_sim.now,
+        "injections": sum(seq_sim.fault_counts().values()),
+        "injection_log_equal": (
+            seq_sim.injection_log() == par_sim.injection_log()
+            and seq_sim.fault_counts() == par_sim.fault_counts()
+        ),
     }
     verdict["equivalent"] = (
         channels_equal
@@ -499,6 +512,7 @@ def run_parallel_gate_differential(
         and verdict["margins_equal"]
         and verdict["fires_equal"]
         and verdict["now_equal"]
+        and verdict["injection_log_equal"]
         and seq_sim.events_processed == par_sim.events_processed
     )
     return verdict

@@ -1125,3 +1125,73 @@ def run_ablation_bucketing(test_size: int = 300) -> Dict:
             rows, title="Ablation: synapse reordering & bucketing"
         ),
     }
+
+
+# ---------------------------------------------------------------------------
+# Extension: fault-injection resilience (docs/FAULTS.md)
+# ---------------------------------------------------------------------------
+
+def run_resilience(
+    kinds: Sequence[str] = ("pulse_drop", "pulse_duplicate", "extra_delay"),
+    probabilities: Sequence[float] = (0.0, 0.02, 0.1, 0.3),
+    jitter_sigmas: Sequence[float] = (0.0, 1.0),
+    trials: int = 3,
+    drop_probability: float = 0.05,
+) -> Dict:
+    """Extension: Monte-Carlo resilience campaign plus self-healing demo.
+
+    Part 1 sweeps fault probability x jitter over the reference pulse
+    pipeline (:mod:`repro.harness.campaign`) and charts the BER
+    degradation curves.  Part 2 runs a ``SushiRuntime`` inference under a
+    pulse-drop model with the self-healing retry/fallback loop engaged and
+    reports the recorded recovery trail -- the paper's chips have no
+    retransmission, so the runtime layer is where resilience must live.
+    """
+    from repro.harness.campaign import CampaignConfig, run_resilience_campaign
+    from repro.harness.differential import (
+        random_binarized_network,
+        random_spike_trains,
+    )
+    from repro.rsfq.faults import FaultModel
+    from repro.ssnn.runtime import RetryPolicy
+
+    campaign = run_resilience_campaign(CampaignConfig(
+        kinds=tuple(kinds),
+        probabilities=tuple(probabilities),
+        jitter_sigmas=tuple(jitter_sigmas),
+        trials=trials,
+    ))
+    report = campaign.summary()
+    report += "\n\n" + campaign.chart()
+
+    rng = np.random.default_rng(7)
+    network = random_binarized_network(rng, sizes=(8, 6, 4), sc_per_npe=8)
+    trains = random_spike_trains(rng, 6, 8, 8, rate=0.5)
+    runtime = SushiRuntime(
+        chip_n=8, sc_per_npe=8,
+        faults=FaultModel.single("pulse_drop", drop_probability, seed=3),
+        retry_policy=RetryPolicy(max_retries=2),
+    )
+    healed = runtime.infer(network, trains)
+    heal_rows = [{
+        "fault": f"pulse_drop p={drop_probability}",
+        "attempts": healed.attempts,
+        "degraded": healed.degraded,
+        "injections": healed.fault_injections,
+    }]
+    report += "\n\n" + format_table(
+        heal_rows, title="Self-healing runtime (retry/fallback)"
+    )
+    if healed.recovery:
+        report += "\n" + "\n".join(
+            f"  {line}" for line in healed.recovery
+        )
+    return {
+        "campaign": campaign.to_json(),
+        "ber_monotone": campaign.ber_monotone(),
+        "zero_probability_clean": campaign.zero_probability_clean(),
+        "healed_attempts": healed.attempts,
+        "healed_degraded": healed.degraded,
+        "healed_recovery": list(healed.recovery),
+        "report": report,
+    }

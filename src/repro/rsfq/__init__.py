@@ -39,6 +39,14 @@ from repro.rsfq.events import (
     PulseEvent,
     SortedListQueue,
 )
+from repro.rsfq.faults import (
+    FAULT_KINDS,
+    FaultModel,
+    FaultSpec,
+    InjectionRecord,
+    canonical_log,
+    fault_site_rng,
+)
 from repro.rsfq.netlist import FanoutTable, Netlist, Wire
 from repro.rsfq.parallel import ParallelSimulator
 from repro.rsfq.partition import Partition, PartitionPlan, partition_netlist
@@ -77,6 +85,12 @@ __all__ = [
     "partition_netlist",
     "JITTER_MODES",
     "wire_jitter_rng",
+    "FAULT_KINDS",
+    "FaultModel",
+    "FaultSpec",
+    "InjectionRecord",
+    "canonical_log",
+    "fault_site_rng",
     "RunStats",
     "SimulationSession",
     "RunResult",

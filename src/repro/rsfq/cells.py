@@ -167,6 +167,22 @@ class Cell:
         self._last_arrival.clear()
         self.switch_count = 0
 
+    def flux_trap(self) -> bool:
+        """Corrupt the cell's stored flux state (fault injection hook).
+
+        Models a flux quantum trapping in the cell's storage loop: cells
+        that hold state (DFF/NDRO stored bit, TFF phase) flip it; cells
+        without internal flux storage (JTLs, splitters, confluence
+        buffers, probes) have nothing to trap and return False.  Called by
+        the :mod:`repro.rsfq.faults` machinery immediately before the
+        affected pulse arrival is processed, so corruption is ordered like
+        any other event and stays bit-identical between the sequential and
+        partitioned engines.
+
+        Returns True when the cell had state to corrupt.
+        """
+        return False
+
     # -- constraint checking ---------------------------------------------
 
     def _check_rules(self, rules, port: str, time: float,

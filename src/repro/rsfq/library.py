@@ -167,6 +167,11 @@ class DFF(Cell):
         super().reset_state()
         self.stored = False
 
+    def flux_trap(self):
+        """A trapped flux quantum toggles the storage loop."""
+        self.stored = not self.stored
+        return True
+
 
 class NDRO(Cell):
     """Non-destructive readout: a flux-stored configurable switch.
@@ -209,6 +214,11 @@ class NDRO(Cell):
         super().reset_state()
         self.stored = False
 
+    def flux_trap(self):
+        """A trapped flux quantum toggles the NDRO storage loop."""
+        self.stored = not self.stored
+        return True
+
 
 class _TFFBase(Cell):
     """Shared behaviour of TFFL/TFFR: toggle on every din pulse."""
@@ -237,6 +247,11 @@ class _TFFBase(Cell):
     def reset_state(self):
         super().reset_state()
         self.state = False
+
+    def flux_trap(self):
+        """A trapped flux quantum flips the TFF phase."""
+        self.state = not self.state
+        return True
 
 
 class TFFL(_TFFBase):

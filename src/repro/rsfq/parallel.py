@@ -52,10 +52,16 @@ from __future__ import annotations
 
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    WorkerTimeoutError,
+)
 from repro.rsfq.cells import Cell, Violation
+from repro.rsfq.faults import FaultModel, InjectionRecord, canonical_log
 from repro.rsfq.netlist import Netlist
 from repro.rsfq.partition import PartitionPlan, partition_netlist
 from repro.rsfq.simulator import (
@@ -74,6 +80,9 @@ _INF = float("inf")
 _LOOKAHEAD_EPSILON = 1e-9
 
 EXECUTORS = ("serial", "thread")
+
+#: Worker-timeout policies (see :class:`ParallelSimulator`).
+TIMEOUT_POLICIES = ("fallback", "raise")
 
 
 class _LocalEngine(Simulator):
@@ -157,6 +166,21 @@ class _LocalEngine(Simulator):
             "consumed in global delivery order); use jitter_mode='wire'"
         )
 
+    def _dispatch_entry(self, entry, dst_idx: int) -> None:
+        """Ownership-aware push of one fault-processed queue entry.
+
+        ``dst_idx`` is the *real* destination cell index -- ``entry[1]``
+        may address a flux-trap proxy, whose index is identical in every
+        partition's cell view (the view layout is a pure function of the
+        shared fan-out table and fault model), so proxy entries cross
+        partitions safely.
+        """
+        owner = self._owner_of[dst_idx]
+        if owner == self._part_index:
+            self.queue.push(*entry)
+        else:
+            self._send_remote(owner, entry[0], entry[1], entry[2])
+
     # -- windowed execution ------------------------------------------------
 
     def run_window(self, bound: float, until: float, budget: int) -> int:
@@ -168,8 +192,8 @@ class _LocalEngine(Simulator):
         runnable work pending, mirroring ``Simulator.run``'s guard.
         """
         queue = self.queue
-        cells = self._fanout.cell_list
-        ports = self._fanout.input_ports
+        cells = self._cells_view
+        ports = self._ports_view
         pop = queue.pop
         peek = queue.peek_time
         trace = self.trace
@@ -216,6 +240,23 @@ class ParallelSimulator:
         jitter_mode: Only ``"wire"`` is supported (see module docs).
         executor: ``"serial"`` (default) or ``"thread"`` -- both produce
             identical results; threads demonstrate the barrier protocol.
+        faults: Optional :class:`~repro.rsfq.faults.FaultModel`.  Each
+            partition binds its own runtime over the shared model; fault
+            decisions are per-wire streams consumed in pulse order, so a
+            faulty partitioned run is bit-identical to the sequential
+            engine under the same seed (see ``docs/FAULTS.md``).
+        worker_timeout_s: Optional per-round wall-clock budget for the
+            ``"thread"`` executor's workers.  When a round's workers miss
+            the budget the engine waits for them to finish (threads cannot
+            be killed safely), records the timeout in
+            :attr:`worker_timeouts`, and then applies
+            ``on_worker_timeout``.
+        on_worker_timeout: ``"fallback"`` (default) degrades to the
+            ``"serial"`` executor for the remaining rounds (recorded in
+            :attr:`fell_back_to_serial`); ``"raise"`` raises
+            :class:`~repro.errors.WorkerTimeoutError` after the round's
+            barrier completes, leaving the engine in a consistent,
+            resumable state.
 
     The public surface mirrors ``Simulator``: :meth:`schedule_input`,
     :meth:`run`, :meth:`run_batch`, :meth:`reset`, :attr:`now`,
@@ -238,6 +279,9 @@ class ParallelSimulator:
         queue_backend: Union[str, Callable] = "heap",
         jitter_mode: str = "wire",
         executor: str = "serial",
+        faults: Optional[FaultModel] = None,
+        worker_timeout_s: Optional[float] = None,
+        on_worker_timeout: str = "fallback",
     ):
         if jitter_mode != "wire":
             raise ConfigurationError(
@@ -250,11 +294,28 @@ class ParallelSimulator:
             raise ConfigurationError(
                 f"unknown executor '{executor}'; available: {list(EXECUTORS)}"
             )
+        if on_worker_timeout not in TIMEOUT_POLICIES:
+            raise ConfigurationError(
+                f"unknown on_worker_timeout '{on_worker_timeout}'; "
+                f"available: {list(TIMEOUT_POLICIES)}"
+            )
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ConfigurationError(
+                f"worker_timeout_s must be > 0, got {worker_timeout_s}"
+            )
         self.netlist = netlist
         self.strict = strict
         self.trace = trace
         self.jitter_ps = float(jitter_ps)
         self.executor = executor
+        self.faults = faults
+        self.worker_timeout_s = worker_timeout_s
+        self.on_worker_timeout = on_worker_timeout
+        #: Rounds whose thread workers missed ``worker_timeout_s``.
+        self.worker_timeouts = 0
+        #: True once a worker timeout degraded execution to the serial
+        #: executor (the self-healing path; see ``docs/FAULTS.md``).
+        self.fell_back_to_serial = False
         self.plan = plan if plan is not None else partition_netlist(
             netlist, parts=parts, hints=hints
         )
@@ -292,7 +353,19 @@ class ParallelSimulator:
                 seed=seed,
                 queue_backend=queue_backend,
                 jitter_mode="wire",
+                faults=faults,
             ))
+        # Restrict each partition's bind-time stuck marks to the cells it
+        # owns, so the merged injection log equals the sequential one
+        # (stuck *behaviour* stays global in every runtime).
+        if faults is not None and faults.active:
+            owner_map = self.plan.owner
+            for p, engine in enumerate(self._engines):
+                runtime = engine._fault_runtime
+                if runtime is not None:
+                    runtime.restrict_stuck_marks(
+                        name for name, op in owner_map.items() if op == p
+                    )
         # In-channel (src, lookahead) lists per partition, for the bounds.
         self._channels_into = [
             sorted(
@@ -373,6 +446,23 @@ class ParallelSimulator:
         """Human-readable plan summary (partition sizes, cut, lookahead)."""
         return self.plan.summary()
 
+    def injection_log(self) -> Tuple[InjectionRecord, ...]:
+        """The merged, canonically-ordered injection log across partitions
+        (compares equal to :meth:`Simulator.injection_log` for the same
+        seeded workload; empty without an active fault model)."""
+        records: List[InjectionRecord] = []
+        for engine in self._engines:
+            records.extend(engine.injection_log())
+        return canonical_log(records)
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Merged per-kind injection totals across partitions."""
+        merged: Dict[str, int] = {}
+        for engine in self._engines:
+            for kind, n in engine.fault_counts().items():
+                merged[kind] = merged.get(kind, 0) + n
+        return merged
+
     def schedule_input(self, cell: Union[Cell, str], port: str,
                        time: float) -> None:
         """Inject an external pulse, routed to the owning partition."""
@@ -397,14 +487,34 @@ class ParallelSimulator:
             )
         cell_idx, port_idx = self._fanout.resolve_endpoint(name, port)
         engine = self._engines[self._owner_of[cell_idx]]
+        runtime = engine._fault_runtime
+        if runtime is not None and runtime.swallow_external(
+            cell_idx, name, port, time
+        ):
+            return
         engine.queue.push(time, cell_idx, port_idx)
 
     # -- execution ---------------------------------------------------------
 
     def run(self, until: Optional[float] = None,
-            max_events: int = 10_000_000) -> float:
+            max_events: int = 10_000_000,
+            deadline_s: Optional[float] = None) -> float:
         """Run the conservative round protocol until all queues drain (or
-        past ``until``).  Returns the final simulation time."""
+        past ``until``).  Returns the final simulation time.
+
+        ``deadline_s`` mirrors :meth:`Simulator.run`'s wall-clock guard:
+        checked at every round boundary (rounds are short), it raises
+        :class:`~repro.errors.DeadlineExceededError` when the budget runs
+        out with events still pending.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        deadline = (
+            None if deadline_s is None
+            else _time.perf_counter() + deadline_s
+        )
         engines = self._engines
         channels_into = self._channels_into
         min_in = self._min_in_lookahead
@@ -412,6 +522,12 @@ class ParallelSimulator:
         processed_total = 0
 
         while True:
+            if deadline is not None and _time.perf_counter() > deadline:
+                raise DeadlineExceededError(
+                    f"partitioned simulation exceeded its {deadline_s} s "
+                    f"wall-clock deadline after {self.rounds} rounds "
+                    f"(events still pending)"
+                )
             heads = [
                 e.queue.peek_time() if e.queue else None for e in engines
             ]
@@ -450,6 +566,7 @@ class ParallelSimulator:
                 bounds.append(bound)
 
             budget = max_events - processed_total
+            timed_out = False
             if self.executor == "thread" and len(engines) > 1:
                 if self._pool is None:
                     self._pool = ThreadPoolExecutor(
@@ -462,7 +579,10 @@ class ParallelSimulator:
                     )
                     for p, engine in enumerate(engines)
                 ]
-                counts = [f.result() for f in futures]
+                if self.worker_timeout_s is None:
+                    counts = [f.result() for f in futures]
+                else:
+                    counts, timed_out = self._collect_with_timeout(futures)
             else:
                 counts = [
                     engine.run_window(bounds[p], horizon, budget)
@@ -473,13 +593,21 @@ class ParallelSimulator:
 
             # Barrier: deliver cross-partition pulses in deterministic
             # (source partition, emission order) -- the merge step.
-            for engine in engines:
-                if engine.outbox:
-                    for dst_part, time, dst_idx, dst_port_idx in engine.outbox:
-                        engines[dst_part].queue.push(
-                            time, dst_idx, dst_port_idx
-                        )
-                    engine.outbox.clear()
+            self._deliver_outboxes()
+
+            if timed_out:
+                self.worker_timeouts += 1
+                if self.on_worker_timeout == "raise":
+                    raise WorkerTimeoutError(
+                        f"round {self.rounds} thread workers exceeded the "
+                        f"{self.worker_timeout_s} s budget; the round's "
+                        "barrier completed, so the engine is consistent "
+                        "and resumable"
+                    )
+                # Self-heal: degrade to the serial executor for the
+                # remaining rounds (results are identical by protocol).
+                self.executor = "serial"
+                self.fell_back_to_serial = True
 
         self._now = max(self._now, *(e.now for e in engines))
         if until is not None and until > self._now:
@@ -488,14 +616,48 @@ class ParallelSimulator:
             self._merge_trace()
         return self._now
 
+    def _deliver_outboxes(self) -> None:
+        """Barrier delivery of every partition's cross-partition pulses,
+        in deterministic (source partition, emission order)."""
+        engines = self._engines
+        for engine in engines:
+            if engine.outbox:
+                for dst_part, time, dst_idx, dst_port_idx in engine.outbox:
+                    engines[dst_part].queue.push(
+                        time, dst_idx, dst_port_idx
+                    )
+                engine.outbox.clear()
+
+    def _collect_with_timeout(self, futures):
+        """Collect the round's worker results under ``worker_timeout_s``.
+
+        Python threads cannot be cancelled, so a straggler is *always*
+        waited for (abandoning it would race the barrier's shared-state
+        merge); the timeout only decides whether the round is *flagged* so
+        the configured policy can raise or degrade afterwards.
+        """
+        deadline = _time.perf_counter() + self.worker_timeout_s
+        counts = []
+        timed_out = False
+        for future in futures:
+            remaining = deadline - _time.perf_counter()
+            try:
+                counts.append(future.result(timeout=max(remaining, 0.0)))
+            except _FutureTimeoutError:
+                timed_out = True
+                counts.append(future.result())  # wait the straggler out
+        return counts, timed_out
+
     def run_batch(
         self,
         batches: Iterable[Sequence[Stimulus]],
         until: Optional[float] = None,
         max_events: int = 10_000_000,
+        deadline_s: Optional[float] = None,
     ) -> List[RunStats]:
         """Batched execution with reset between runs (see
-        :meth:`Simulator.run_batch`; jitter streams are not reseeded)."""
+        :meth:`Simulator.run_batch`: every run replays from the seed;
+        vary the seed for Monte-Carlo sampling)."""
         stats: List[RunStats] = []
         for stimuli in batches:
             self.reset()
@@ -503,7 +665,9 @@ class ParallelSimulator:
                 self.schedule_input(cell, port, time)
             events_before = self.events_processed
             start = _time.perf_counter()
-            final = self.run(until=until, max_events=max_events)
+            final = self.run(
+                until=until, max_events=max_events, deadline_s=deadline_s
+            )
             wall = _time.perf_counter() - start
             stats.append(RunStats(
                 events=self.events_processed - events_before,
@@ -531,9 +695,14 @@ class ParallelSimulator:
             record(component, port, time)
 
     def reset(self) -> None:
-        """Clear pending events, time, violations and all cell state
-        (jitter streams are not reseeded, matching ``Simulator.reset``)."""
+        """Restore construction state: clear pending events, time,
+        violations and all cell state, and reseed every jitter / fault
+        stream from the construction seed (matching ``Simulator.reset``:
+        a replay of the same stimuli is bit-identical).  The executor
+        choice and timeout counters survive a reset -- a degraded engine
+        stays degraded."""
         for engine in self._engines:
+            engine.outbox.clear()
             engine.reset()
         self._trace_marks = [0] * len(self._engines)
         self._now = 0.0

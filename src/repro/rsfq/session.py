@@ -47,6 +47,8 @@ class RunResult:
             else ``None``.
         violations: The concrete violation records of the run.
         seed: Jitter seed used for the run (``None`` = session default).
+        fault_counts: Per-kind injected-fault totals of the run (empty
+            without an active fault model).
     """
 
     index: int
@@ -54,6 +56,7 @@ class RunResult:
     trace: Optional[PulseTrace] = None
     violations: list = field(default_factory=list)
     seed: Optional[int] = None
+    fault_counts: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -105,6 +108,11 @@ class SimulationSession:
         jitter_mode: Jitter stream discipline for sequential runs
             (``None`` keeps the engine default: ``"global"`` sequential,
             ``"wire"`` parallel).
+        faults: Optional :class:`~repro.rsfq.faults.FaultModel` attached
+            to every run's simulator (the model carries its own decision
+            seed; reseed it per trial with
+            :meth:`~repro.rsfq.faults.FaultModel.reseeded` for
+            Monte-Carlo campaigns).
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class SimulationSession:
         parallel_parts: int = 0,
         partition_hints: Optional[dict] = None,
         jitter_mode: Optional[str] = None,
+        faults=None,
     ):
         self.netlist = netlist
         self.strict = strict
@@ -128,6 +137,7 @@ class SimulationSession:
         self.parallel_parts = int(parallel_parts)
         self.partition_hints = partition_hints
         self.jitter_mode = jitter_mode
+        self.faults = faults
         self.stats = SessionStats()
         start = _time.perf_counter()
         netlist.elaborate()  # warm the memoised fan-out table
@@ -151,6 +161,7 @@ class SimulationSession:
                 jitter_ps=self.jitter_ps,
                 seed=run_seed,
                 queue_backend=self.queue_backend,
+                faults=self.faults,
                 **kwargs,
             )
         kwargs = {}
@@ -163,6 +174,7 @@ class SimulationSession:
             jitter_ps=self.jitter_ps,
             seed=run_seed,
             queue_backend=self.queue_backend,
+            faults=self.faults,
             **kwargs,
         )
 
@@ -219,6 +231,7 @@ class SimulationSession:
             trace=trace,
             violations=list(sim.violations),
             seed=run_seed,
+            fault_counts=sim.fault_counts(),
         )
         self._runs += 1
         return result

@@ -29,9 +29,15 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError, ConstraintViolationError
+from repro.errors import (
+    ConfigurationError,
+    ConstraintViolationError,
+    DeadlineExceededError,
+    FaultInjectionError,
+)
 from repro.rsfq.cells import Cell, Violation
 from repro.rsfq.events import QUEUE_BACKENDS, EventQueue
+from repro.rsfq.faults import FaultModel, canonical_log
 from repro.rsfq.netlist import Netlist
 from repro.rsfq.waveform import PulseTrace
 
@@ -149,6 +155,7 @@ class Simulator:
         seed: Optional[int] = None,
         queue_backend: Union[str, Callable] = "heap",
         jitter_mode: str = "global",
+        faults: Optional[FaultModel] = None,
     ):
         if jitter_mode not in JITTER_MODES:
             raise ConfigurationError(
@@ -163,6 +170,7 @@ class Simulator:
         self._seed = seed
         self._rng = random.Random(seed)
         self._wire_rngs: dict = {}
+        self.faults = faults
         self.queue = self._make_queue(queue_backend)
         self.now = 0.0
         self.violations: List[Violation] = []
@@ -174,6 +182,7 @@ class Simulator:
         #: (cell_type, port_a, port_b) -> (required, tightest_actual).
         self.margins: dict = {}
         self._fanout = netlist.elaborate()
+        self._install_views()
         self._bind_deliver()
 
     @staticmethod
@@ -189,9 +198,32 @@ class Simulator:
             )
         return factory()
 
+    def _install_views(self) -> None:
+        """Resolve the cell/port views the run loops index through.
+
+        Without faults these are exactly the fan-out table's tuples (same
+        objects, zero overhead).  With an active fault model they come
+        from the model's bound runtime, which may append flux-trap proxies
+        past the real cells (see :mod:`repro.rsfq.faults`).
+        """
+        if self.faults is not None and self.faults.active:
+            self._fault_runtime = self.faults.bind(self._fanout)
+            self._cells_view = self._fault_runtime.cells_view
+            self._ports_view = self._fault_runtime.ports_view
+        else:
+            self._fault_runtime = None
+            self._cells_view = self._fanout.cell_list
+            self._ports_view = self._fanout.input_ports
+
     def _bind_deliver(self) -> None:
-        """Bind ``deliver`` to the jitter-specialised variant (hoists the
-        jitter branch out of the per-event hot path).
+        """Bind ``deliver`` to the jitter/fault-specialised variant (hoists
+        both branches out of the per-event hot path).
+
+        With an active fault model every delivery runs through the fault
+        decision procedure (which also handles per-wire jitter); the
+        zero-fault configurations below are untouched, so attaching
+        ``faults=None`` (or an empty model) keeps the allocation-free fast
+        path byte-for-byte.
 
         When the instance uses the stock heap backend *and* has not
         overridden ``_deliver_ideal`` (the partitioned engine's local
@@ -199,7 +231,16 @@ class Simulator:
         further specialised to push entries straight onto the underlying
         heap, skipping the queue's Python-level ``push`` wrapper.
         """
-        if self.jitter_ps <= 0.0:
+        if self._fault_runtime is not None:
+            if self.jitter_ps > 0.0 and self.jitter_mode != "wire":
+                raise FaultInjectionError(
+                    "fault injection with jitter requires "
+                    "jitter_mode='wire': the legacy global jitter stream "
+                    "is consumed in delivery order and cannot be "
+                    "reproduced under faults or partitioned execution"
+                )
+            self.deliver = self._deliver_faulty
+        elif self.jitter_ps <= 0.0:
             if (
                 type(self)._deliver_ideal is Simulator._deliver_ideal
                 and type(self.queue) is EventQueue
@@ -221,6 +262,8 @@ class Simulator:
         """
         if self._fanout.version != self.netlist.topology_version:
             self._fanout = self.netlist.elaborate()
+            self._install_views()
+            self._bind_deliver()
 
     # -- scheduling --------------------------------------------------------
 
@@ -248,6 +291,11 @@ class Simulator:
             )
         self._refresh()
         cell_idx, port_idx = self._fanout.resolve_endpoint(cell.name, port)
+        fr = self._fault_runtime
+        if fr is not None and fr.swallow_external(
+            cell_idx, cell.name, port, time
+        ):
+            return
         self.queue.push(time, cell_idx, port_idx)
 
     # -- delivery variants (bound to ``deliver`` at construction) ----------
@@ -313,13 +361,69 @@ class Simulator:
                 jittered = 0.0
             push(time + jittered, dst_idx, dst_port_idx)
 
+    def _deliver_faulty(self, cell: Cell, port: str, time: float) -> None:
+        """Delivery under an active fault model (bound when ``faults`` has
+        at least one spec).
+
+        Per route: draw the (optional) per-wire jitter, then let the bound
+        fault runtime decide the pulse's fate -- drop it, delay it, spawn
+        an echo, reroute it through a flux-trap proxy, or swallow it at a
+        stuck cell -- and push whatever survives via
+        :meth:`_dispatch_entry` (overridden by the partitioned engine's
+        local loops for ownership-aware routing).  All decision streams
+        are per-wire and consumed in pulse order, so faulty runs stay
+        bit-identical between the sequential and partitioned engines.
+        """
+        routes = self._fanout.routes_idx.get((cell.name, port))
+        if not routes:
+            return
+        fr = self._fault_runtime
+        sigma = self.jitter_ps
+        dispatch = self._dispatch_entry
+        if sigma > 0.0:
+            rngs = self._wire_rngs
+            fanout = self._fanout
+            for dst_idx, dst_port_idx, delay, wid in routes:
+                rng = rngs.get(wid)
+                if rng is None:
+                    rng = rngs[wid] = wire_jitter_rng(
+                        self._seed, fanout.wire_key(wid)
+                    )
+                jittered = delay + rng.gauss(0.0, sigma)
+                if jittered < 0.0:
+                    jittered = 0.0
+                for entry in fr.route_pulse(
+                    wid, dst_idx, dst_port_idx, time + jittered
+                ):
+                    dispatch(entry, dst_idx)
+        else:
+            for dst_idx, dst_port_idx, delay, wid in routes:
+                for entry in fr.route_pulse(
+                    wid, dst_idx, dst_port_idx, time + delay
+                ):
+                    dispatch(entry, dst_idx)
+
+    def _dispatch_entry(self, entry, dst_idx: int) -> None:
+        """Push one fault-processed ``(time, view_idx, port_idx)`` entry.
+
+        ``dst_idx`` is the *real* destination cell index (``view_idx`` may
+        address a flux-trap proxy); the partitioned engine's local loops
+        override this to route by the owner of ``dst_idx``.
+        """
+        self.queue.push(*entry)
+
     # ``deliver`` is rebound per instance; this definition keeps the
     # method documented and subclass-overridable.
     deliver = _deliver_ideal
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+        deadline_s: Optional[float] = None,
+    ) -> float:
         """Process events (optionally only up to time ``until``).
 
         Returns the final simulation time.  ``max_events`` guards against
@@ -327,11 +431,22 @@ class Simulator:
         :class:`~repro.errors.ConfigurationError` after processing exactly
         ``max_events`` events with work still pending (a run that
         *completes* on its last allowed event does not raise).
+
+        ``deadline_s`` adds a *wall-clock* guard alongside the event
+        guard: when set, the run raises
+        :class:`~repro.errors.DeadlineExceededError` once the host clock
+        exceeds the budget with events still pending (checked every 1024
+        events so the guard costs nothing on the hot path; a run that
+        drains its queue in time never pays more than the checks).  The
+        specialised zero-overhead loops below are only used when no
+        deadline is requested.
         """
+        if deadline_s is not None:
+            return self._run_with_deadline(until, max_events, deadline_s)
         self._refresh()
         queue = self.queue
-        cells = self._fanout.cell_list
-        ports = self._fanout.input_ports
+        cells = self._cells_view
+        ports = self._ports_view
         pop = queue.pop
         processed = 0
         try:
@@ -406,19 +521,79 @@ class Simulator:
             self.now = until
         return self.now
 
+    def _run_with_deadline(
+        self,
+        until: Optional[float],
+        max_events: int,
+        deadline_s: float,
+    ) -> float:
+        """The :meth:`run` loop with a periodic wall-clock check.
+
+        Kept out of :meth:`run` so the deadline-free fast paths stay
+        branchless; the clock is sampled every 1024 events (and once per
+        run for short runs), which bounds overrun to one check interval.
+        """
+        if deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
+        deadline = _time.perf_counter() + deadline_s
+        self._refresh()
+        queue = self.queue
+        cells = self._cells_view
+        ports = self._ports_view
+        pop = queue.pop
+        peek = queue.peek_time
+        trace = self.trace
+        processed = 0
+        try:
+            while queue:
+                if until is not None and peek() > until:
+                    break
+                if processed >= max_events:
+                    raise ConfigurationError(
+                        f"simulation exceeded {max_events} events; "
+                        "suspected feedback oscillation in the netlist"
+                    )
+                if not processed & 0x3FF and \
+                        _time.perf_counter() > deadline:
+                    raise DeadlineExceededError(
+                        f"simulation exceeded its {deadline_s}s wall-clock "
+                        f"deadline after {processed} events at "
+                        f"t={self.now:.2f} ps with work still pending"
+                    )
+                time, _seq, ci, pi = pop()
+                self.now = time
+                cell = cells[ci]
+                port = ports[ci][pi]
+                if trace is not None:
+                    trace.record(cell.name, port, time)
+                cell.receive(port, time, self)
+                processed += 1
+        finally:
+            self.delivered_pulses += processed
+            self.events_processed += processed
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
     def run_batch(
         self,
         batches: Iterable[Sequence[Stimulus]],
         until: Optional[float] = None,
         max_events: int = 10_000_000,
+        deadline_s: Optional[float] = None,
     ) -> List[RunStats]:
         """Execute several independent stimulus sets, resetting between runs.
 
         Each element of ``batches`` is a sequence of ``(cell, port, time)``
-        stimuli describing one run; the circuit state, clock and queue are
-        reset before each run (the jitter stream is *not* reseeded, so a
-        jittered batch models repeated trials on one physical chip).  The
-        netlist elaboration is resolved once and shared across the batch.
+        stimuli describing one run; the circuit state, clock, queue and the
+        seeded jitter/fault streams are all restored before each run (see
+        :meth:`reset` -- every sample replays from the simulator's seed, so
+        batch results can never depend on batch order or on earlier
+        samples; Monte-Carlo batches should vary the seed per trial, e.g.
+        via :class:`repro.rsfq.session.SimulationSession` ``seeds=`` or
+        :meth:`repro.rsfq.faults.FaultModel.reseeded`).  The netlist
+        elaboration is resolved once and shared across the batch.
+        ``deadline_s`` (when set) bounds each run's wall-clock time.
 
         Returns one :class:`RunStats` per stimulus set.  For richer per-run
         control (per-run traces, seeds, aggregate stats) use
@@ -431,7 +606,8 @@ class Simulator:
                 self.schedule_input(cell, port, time)
             events_before = self.events_processed
             start = _time.perf_counter()
-            final = self.run(until=until, max_events=max_events)
+            final = self.run(until=until, max_events=max_events,
+                             deadline_s=deadline_s)
             wall = _time.perf_counter() - start
             stats.append(RunStats(
                 events=self.events_processed - events_before,
@@ -443,10 +619,35 @@ class Simulator:
         return stats
 
     def report_violation(self, violation: Violation) -> None:
-        """Record (or raise, in strict mode) a timing violation."""
+        """Record (or raise, in strict mode) a timing violation.
+
+        The strict-mode message is prefixed with the simulation time and
+        the violating cell's name so a raise deep inside a batch or
+        campaign pinpoints *when* and *where* the circuit broke without
+        consulting :attr:`violations`.
+        """
         self.violations.append(violation)
         if self.strict:
-            raise ConstraintViolationError(str(violation))
+            raise ConstraintViolationError(
+                f"at t={violation.time:.2f} ps in cell "
+                f"'{violation.component}': {violation}"
+            )
+
+    # -- fault observability ----------------------------------------------
+
+    def injection_log(self):
+        """The run's injected faults in canonical (engine-independent)
+        order; empty without an active fault model.  See
+        :func:`repro.rsfq.faults.canonical_log`."""
+        if self._fault_runtime is None:
+            return ()
+        return canonical_log(self._fault_runtime.log)
+
+    def fault_counts(self) -> dict:
+        """Per-kind injected-fault totals (empty without a fault model)."""
+        if self._fault_runtime is None:
+            return {}
+        return dict(self._fault_runtime.counts)
 
     def record_margin(self, cell_type: str, port_a: str, port_b: str,
                       required: float, actual: float) -> None:
@@ -477,10 +678,16 @@ class Simulator:
         return self.netlist.cells[cell]
 
     def reset(self) -> None:
-        """Clear pending events, time, violations and all cell state.
+        """Restore the simulator to its construction state.
 
-        The jitter streams (global or per-wire) are *not* reseeded: a
-        reset models a fresh protocol run on the same physical chip.
+        Clears pending events, time, violations, margins, traces and all
+        cell state, *and* reseeds every stochastic stream (the global
+        jitter RNG, the per-wire jitter streams, and any bound fault
+        runtime) from the construction seed.  After ``reset()`` a replay
+        of the same stimuli is therefore bit-identical to the first run
+        -- the invariant :meth:`run_batch` and the Monte-Carlo campaign
+        harness rely on.  To model *fresh* physical randomness, construct
+        a new simulator (or session run) with a different ``seed``.
         """
         self.queue.clear()
         self.now = 0.0
@@ -488,6 +695,10 @@ class Simulator:
         self.delivered_pulses = 0
         self.events_processed = 0
         self.margins.clear()
+        self._rng = random.Random(self._seed)
+        self._wire_rngs.clear()
+        if self._fault_runtime is not None:
+            self._fault_runtime.reset()
         self.netlist.reset_state()
         if self.trace is not None:
             self.trace.clear()

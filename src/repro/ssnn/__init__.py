@@ -25,7 +25,12 @@ from repro.ssnn.bitslice import BitSlicePlan, SliceTask, plan_network
 from repro.ssnn.encoder import EncodedInference, InferenceTiming, encode_inference
 from repro.ssnn.profiler import LayerProfile, profile_network, profile_report
 from repro.ssnn.reload_opt import optimize_plan, reload_reduction
-from repro.ssnn.runtime import RuntimeResult, SushiRuntime
+from repro.ssnn.runtime import (
+    RetryPolicy,
+    RuntimeResult,
+    SushiRuntime,
+    perturb_spike_trains,
+)
 from repro.ssnn.verification import (
     VerificationReport,
     reconstruct_weights,
@@ -48,8 +53,10 @@ __all__ = [
     "LayerProfile",
     "profile_network",
     "profile_report",
+    "RetryPolicy",
     "RuntimeResult",
     "SushiRuntime",
+    "perturb_spike_trains",
     "VerificationReport",
     "reconstruct_weights",
     "verify_plan",

@@ -23,17 +23,108 @@ ordering, and both are bit-identical to the per-sample reference loop
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjectionError
 from repro.neuro.chip import BehavioralChip, ChipConfig
+from repro.rsfq.faults import FaultModel
 from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
 from repro.ssnn.bitslice import BitSlicePlan, plan_network
 from repro.ssnn.bucketing import hardware_layer_outputs
+
+
+def _stable_seed(*parts) -> int:
+    """Deterministic 64-bit seed from arbitrary parts (hash-randomisation
+    proof, unlike :func:`hash`)."""
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def perturb_spike_trains(
+    spike_trains: np.ndarray, faults: FaultModel, attempt: int
+) -> Tuple[np.ndarray, int]:
+    """Apply a :class:`~repro.rsfq.faults.FaultModel` at spike-train level.
+
+    The runtime engines are functional models -- they do not move
+    individual SFQ pulses -- so physical faults surface to them as
+    corrupted spike trains: drops clear spikes, duplicates/escapes raise
+    spurious ones, extra delay shifts a spike one step later, flux traps
+    flip bits, and stuck cells silence whole input features.  Decisions
+    draw from a deterministic stream derived from ``(model seed,
+    attempt)``, so each retry attempt replays a *different but
+    reproducible* transient-fault realisation -- the property the
+    self-healing retry loop needs.
+
+    Returns ``(perturbed trains, injected fault count)``.
+    """
+    rng = np.random.default_rng(
+        _stable_seed("sushi-runtime-faults", repr(faults.seed), attempt)
+    )
+    trains = np.array(spike_trains, dtype=np.float64, copy=True)
+    injected = 0
+    for spec in faults.specs:
+        p = spec.probability
+        if p <= 0.0:
+            continue
+        if spec.kind == "pulse_drop":
+            mask = (trains > 0) & (rng.random(trains.shape) < p)
+            injected += int(mask.sum())
+            trains[mask] = 0.0
+        elif spec.kind == "pulse_duplicate":
+            mask = (trains == 0) & (rng.random(trains.shape) < p)
+            injected += int(mask.sum())
+            trains[mask] = 1.0
+        elif spec.kind == "extra_delay":
+            mask = (trains > 0) & (rng.random(trains.shape) < p)
+            injected += int(mask.sum())
+            trains[mask] = 0.0
+            if trains.shape[0] > 1:
+                shifted = np.zeros_like(trains)
+                shifted[1:][mask[:-1]] = 1.0
+                trains = np.maximum(trains, shifted)
+        elif spec.kind == "flux_trap":
+            mask = rng.random(trains.shape) < p
+            injected += int(mask.sum())
+            trains[mask] = 1.0 - trains[mask]
+        elif spec.kind == "stuck_cell":
+            cols = rng.random(trains.shape[2]) < p
+            injected += int(cols.sum())
+            trains[:, :, cols] = 0.0
+    return trains, injected
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Self-healing policy for fault-afflicted inference.
+
+    Attributes:
+        max_retries: Re-run attempts (each with a fresh derived fault
+            seed) after the first corrupted attempt, before falling back.
+        fallback: When True (default), a run that stays corrupted through
+            every retry degrades gracefully to fault-free semantics (and
+            optionally another engine) instead of raising.
+        fallback_engine: Engine for the degraded run (``None`` keeps the
+            runtime's engine; ``"behavioral"`` selects the protocol-exact
+            chip model -- the most conservative path).
+    """
+
+    max_retries: int = 3
+    fallback: bool = True
+    fallback_engine: Optional[str] = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.fallback_engine not in (None, "fast", "behavioral"):
+            raise ConfigurationError(
+                f"unknown fallback_engine '{self.fallback_engine}'; "
+                "use None, 'fast' or 'behavioral'"
+            )
 
 
 def layer_activity(plan: BitSlicePlan, spike_trains: np.ndarray) -> List[np.ndarray]:
@@ -112,6 +203,15 @@ class RuntimeResult:
         synaptic_ops: Total synaptic operations executed.
         reload_events: Crosspoint reloads (behavioural engine) or the
             plan's static estimate (fast engine).
+        attempts: Inference attempts executed (1 without faults; includes
+            the fallback run when degradation engaged).
+        degraded: True when the self-healing loop exhausted its retries
+            and fell back to fault-free semantics.
+        fault_injections: Spike-train faults injected across all
+            attempts (0 without an attached fault model).
+        recovery: Human-readable recovery trail -- one line per corrupted
+            attempt plus the fallback decision (empty when the first
+            attempt was clean).
     """
 
     rates: np.ndarray
@@ -120,6 +220,10 @@ class RuntimeResult:
     spurious_decisions: int
     synaptic_ops: int
     reload_events: int
+    attempts: int = 1
+    degraded: bool = False
+    fault_injections: int = 0
+    recovery: Tuple[str, ...] = ()
 
 
 class SushiRuntime:
@@ -136,6 +240,17 @@ class SushiRuntime:
             process pool of this size.  ``None``/``0``/``1`` run serially
             (the default; identical results either way, the pool only
             changes wall-clock time).
+        faults: Optional :class:`~repro.rsfq.faults.FaultModel`.  When
+            active, every :meth:`infer` runs the self-healing loop: the
+            input spike trains are corrupted per the model
+            (:func:`perturb_spike_trains`), the corrupted outcome is
+            detected by behavioural disagreement against the clean
+            software reference, and the runtime retries with fresh
+            derived fault seeds before degrading gracefully (see
+            ``retry_policy`` and ``docs/FAULTS.md``).
+        retry_policy: :class:`RetryPolicy` governing the self-healing
+            loop (defaults to ``RetryPolicy()``); ignored without an
+            active fault model.
 
     Bit-slice plans are memoised per network object, so repeated
     ``infer`` calls against the same network skip re-planning.
@@ -148,6 +263,8 @@ class SushiRuntime:
         engine: str = "fast",
         reorder: bool = True,
         max_workers: Optional[int] = None,
+        faults: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if engine not in ("fast", "behavioral"):
             raise ConfigurationError(
@@ -160,6 +277,8 @@ class SushiRuntime:
         self.engine = engine
         self.reorder = reorder
         self.max_workers = max_workers
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
         self._plan_cache: dict = {}
 
     # -- public API ---------------------------------------------------------
@@ -174,9 +293,84 @@ class SushiRuntime:
         engines -- the differential tests assert it).
         """
         spike_trains = self._validated(network, spike_trains)
-        if self.engine == "fast":
+        if self.faults is not None and self.faults.active:
+            return self._infer_self_healing(network, spike_trains)
+        return self._infer_engine(network, spike_trains)
+
+    def _infer_engine(
+        self, network, spike_trains, engine: Optional[str] = None
+    ) -> RuntimeResult:
+        """Dispatch one clean inference to the selected engine."""
+        engine = engine or self.engine
+        if engine == "fast":
             return self._infer_fast(network, spike_trains)
         return self._infer_behavioral(network, spike_trains)
+
+    def _software_reference(self, network, spike_trains) -> np.ndarray:
+        """Clean software raster (the corruption-detection oracle)."""
+        steps, batch, _ = spike_trains.shape
+        current = spike_trains.reshape(steps * batch, -1)
+        for layer in network.layers:
+            current = layer.forward(current)
+        return current.reshape(steps, batch, network.out_features)
+
+    def _infer_self_healing(self, network, spike_trains) -> RuntimeResult:
+        """The retry/fallback state machine (see ``docs/FAULTS.md``).
+
+        Each attempt corrupts the inputs per the fault model under a
+        fresh derived seed (a new transient-fault realisation of the same
+        physical hypothesis), runs the engine, and compares the output
+        raster against the clean software reference.  A clean attempt is
+        returned as-is; after ``max_retries`` corrupted attempts the
+        policy either degrades gracefully to fault-free semantics
+        (``degraded=True``, optionally on ``fallback_engine``) or raises
+        :class:`~repro.errors.FaultInjectionError`.
+        """
+        policy = self.retry_policy
+        reference = self._software_reference(network, spike_trains)
+        recovery: List[str] = []
+        total_injected = 0
+        attempts = 0
+        for attempt in range(1 + policy.max_retries):
+            trains, injected = perturb_spike_trains(
+                spike_trains, self.faults, attempt
+            )
+            result = self._infer_engine(network, trains)
+            attempts += 1
+            total_injected += injected
+            mismatches = int((result.output_raster != reference).sum())
+            if mismatches == 0:
+                result.attempts = attempts
+                result.fault_injections = total_injected
+                result.recovery = tuple(recovery)
+                return result
+            recovery.append(
+                f"attempt {attempts}: {injected} injected faults "
+                f"corrupted {mismatches} output bits; "
+                + ("retrying with a fresh fault seed"
+                   if attempt < policy.max_retries
+                   else "retry budget exhausted")
+            )
+        if not policy.fallback:
+            raise FaultInjectionError(
+                f"inference stayed corrupted after {attempts} attempts "
+                f"({total_injected} faults injected) and the retry policy "
+                "forbids fallback"
+            )
+        fallback_engine = policy.fallback_engine or self.engine
+        result = self._infer_engine(
+            network, spike_trains, engine=fallback_engine
+        )
+        attempts += 1
+        recovery.append(
+            f"fallback: degraded to fault-free '{fallback_engine}' "
+            "semantics"
+        )
+        result.attempts = attempts
+        result.degraded = True
+        result.fault_injections = total_injected
+        result.recovery = tuple(recovery)
+        return result
 
     def infer_per_sample(
         self, network: BinarizedNetwork, spike_trains: np.ndarray

@@ -86,3 +86,20 @@ class TestArtifactCache:
             test_size=20, time_steps=2, downsample=4,
         )
         assert bundle.model.linear_layers()[0].in_features == 49
+
+
+class TestResilienceExperiment:
+    def test_resilience_runner_structure(self):
+        from repro.harness.experiments import run_resilience
+
+        result = run_resilience(
+            kinds=("pulse_drop",), probabilities=(0.0, 0.2),
+            jitter_sigmas=(0.0,), trials=1,
+        )
+        assert result["ber_monotone"] is True
+        assert result["zero_probability_clean"] is True
+        assert result["campaign"]["schema"] == "repro.campaign/v1"
+        assert result["healed_attempts"] >= 1
+        report = result["report"]
+        assert "resilience campaign" in report
+        assert "Self-healing runtime" in report

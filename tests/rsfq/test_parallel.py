@@ -8,13 +8,21 @@ exactly, for any partition count, queue backend, executor, and (in
 ``jitter_mode="wire"``) under jitter.
 """
 
+import time
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    WorkerTimeoutError,
+)
 from repro.harness.differential import run_parallel_gate_differential
 from repro.neuro.chip import ChipConfig, ChipDriver, GateLevelChip
 from repro.neuro.state_controller import Polarity
 from repro.rsfq import (
+    FaultModel,
+    FaultSpec,
     Netlist,
     ParallelSimulator,
     PulseTrace,
@@ -305,3 +313,179 @@ class TestValidation:
             sim.schedule_input(cells[0], "din", 0.0)
             sim.run()
         assert sim._pool is None
+
+
+class TestFaultEquivalence:
+    """The fault-determinism acceptance criterion: the partitioned engine
+    is bit-identical to the sequential engine under every fault kind (and
+    jitter), including the canonical injection logs."""
+
+    MIXED = FaultModel(
+        [
+            FaultSpec("pulse_drop", 0.15),
+            FaultSpec("pulse_duplicate", 0.15, delay_ps=12.0),
+            FaultSpec("extra_delay", 0.2, delay_ps=3.0),
+        ],
+        seed="par-faults",
+    )
+
+    @pytest.mark.parametrize("parts", [2, 3, 5])
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_mixed_wire_faults_bit_identical(self, parts, executor):
+        (s, ps), (p, pp) = run_both(
+            lambda: chain(20),
+            lambda sim, cells: [
+                sim.schedule_input(cells[0], "din", t * 90.0)
+                for t in range(24)
+            ],
+            parts=parts,
+            faults=self.MIXED,
+        )
+        if executor == "thread":
+            net, cells, probe = chain(20)
+            with ParallelSimulator(
+                net, parts=parts, executor="thread",
+                trace=PulseTrace(), faults=self.MIXED,
+            ) as tp:
+                for t in range(24):
+                    tp.schedule_input(cells[0], "din", t * 90.0)
+                tp.run()
+                assert probe.times == ps.times
+                assert tp.injection_log() == s.injection_log()
+            return
+        assert pp.times == ps.times
+        assert p.trace.events() == s.trace.events()
+        assert p.injection_log() == s.injection_log()
+        assert p.fault_counts() == s.fault_counts()
+        assert sum(s.fault_counts().values()) > 0  # faults actually fired
+
+    @pytest.mark.parametrize("parts", [2, 3, 4])
+    def test_stuck_and_trap_logs_merge_to_sequential(self, parts):
+        model = FaultModel(
+            [
+                FaultSpec("stuck_cell", 0.25),
+                FaultSpec("flux_trap", 0.3),
+            ],
+            seed="stuck-trap",
+        )
+        (s, ps), (p, pp) = run_both(
+            lambda: chain(16),
+            lambda sim, cells: [
+                sim.schedule_input(cells[0], "din", t * 70.0)
+                for t in range(12)
+            ],
+            parts=parts,
+            faults=model,
+        )
+        assert pp.times == ps.times
+        assert p.injection_log() == s.injection_log()
+        assert p.fault_counts() == s.fault_counts()
+        assert s.fault_counts().get("stuck_cell", 0) > 0
+
+    @pytest.mark.parametrize("parts", [2, 3, 4])
+    def test_gate_level_differential_with_faults_and_jitter(self, parts):
+        verdict = run_parallel_gate_differential(
+            seed=5, n=2, parts=parts, jitter_ps=0.4,
+            faults=FaultModel(
+                [
+                    FaultSpec("pulse_drop", 0.02),
+                    FaultSpec("extra_delay", 0.05, delay_ps=1.0),
+                    FaultSpec("flux_trap", 0.02),
+                ],
+                seed="diff",
+            ),
+        )
+        assert verdict["equivalent"], verdict
+        assert verdict["injection_log_equal"]
+        assert verdict["injections"] > 0
+
+    def test_faulty_batch_reset_replays(self):
+        net, cells, probe = chain(10)
+        sim = ParallelSimulator(
+            net, parts=3,
+            faults=FaultModel.single("pulse_drop", 0.3, seed="replay"),
+        )
+        stimuli = [("j0", "din", t * 80.0) for t in range(10)]
+        sim.run_batch([stimuli])
+        first = (list(probe.times), sim.injection_log())
+        sim.run_batch([stimuli])
+        second = (list(probe.times), sim.injection_log())
+        assert second == first
+
+
+class TestSelfHealingGuards:
+    """Worker-timeout and wall-clock deadline behaviour of the
+    partitioned engine's self-healing paths."""
+
+    @staticmethod
+    def slow_engines(sim, delay_s=0.05):
+        """Make every local engine's window sluggish (monkey-level)."""
+        for engine in sim._engines:
+            original = engine.run_window
+
+            def slow(bound, until, budget, _orig=original):
+                time.sleep(delay_s)
+                return _orig(bound, until, budget)
+
+            engine.run_window = slow
+
+    def test_worker_timeout_falls_back_to_serial(self):
+        net, cells, probe = chain(8)
+        with ParallelSimulator(
+            net, parts=2, executor="thread", worker_timeout_s=0.01,
+        ) as sim:
+            self.slow_engines(sim)
+            for t in range(3):
+                sim.schedule_input(cells[0], "din", t * 100.0)
+            sim.run()
+            assert sim.fell_back_to_serial is True
+            assert sim.worker_timeouts >= 1
+            assert sim.executor == "serial"
+        # Results stay correct: every pulse still reached the probe.
+        assert len(probe.times) == 3
+
+    def test_worker_timeout_raise_policy(self):
+        net, cells, _ = chain(8)
+        with ParallelSimulator(
+            net, parts=2, executor="thread", worker_timeout_s=0.01,
+            on_worker_timeout="raise",
+        ) as sim:
+            self.slow_engines(sim)
+            sim.schedule_input(cells[0], "din", 0.0)
+            with pytest.raises(WorkerTimeoutError, match="exceeded"):
+                sim.run()
+            assert sim.worker_timeouts == 1
+
+    def test_generous_timeout_never_trips(self):
+        net, cells, probe = chain(8)
+        with ParallelSimulator(
+            net, parts=2, executor="thread", worker_timeout_s=30.0,
+        ) as sim:
+            sim.schedule_input(cells[0], "din", 0.0)
+            sim.run()
+            assert sim.worker_timeouts == 0
+            assert sim.fell_back_to_serial is False
+        assert len(probe.times) == 1
+
+    def test_timeout_validation(self):
+        net, _, _ = chain(3)
+        with pytest.raises(ConfigurationError, match="on_worker_timeout"):
+            ParallelSimulator(net, parts=2, on_worker_timeout="retry")
+        with pytest.raises(ConfigurationError, match="worker_timeout_s"):
+            ParallelSimulator(net, parts=2, worker_timeout_s=0.0)
+
+    def test_parallel_deadline_exceeded(self):
+        net, cells, _ = chain(30)
+        sim = ParallelSimulator(net, parts=3)
+        self.slow_engines(sim, delay_s=0.02)
+        for t in range(10):
+            sim.schedule_input(cells[0], "din", t * 50.0)
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            sim.run(deadline_s=0.01)
+
+    def test_parallel_generous_deadline_completes(self):
+        net, cells, probe = chain(6)
+        sim = ParallelSimulator(net, parts=2)
+        sim.schedule_input(cells[0], "din", 0.0)
+        sim.run(deadline_s=60.0)
+        assert len(probe.times) == 1

@@ -225,6 +225,25 @@ class TestSimulator:
         assert sim.now == 0.0
         assert sim.delivered_pulses == 0
 
+    @pytest.mark.parametrize("jitter_mode", ["global", "wire"])
+    def test_reset_reseeds_jitter_streams(self, jitter_mode):
+        """Regression: ``reset`` must rewind the jitter RNGs to the
+        construction seed so a replay on the *same* simulator instance is
+        bit-identical to the first run (streams used to leak across
+        resets in global mode)."""
+        net, cells, probe = chain_netlist(n_jtl=4, delay=5.0)
+        sim = Simulator(net, jitter_ps=0.6, seed=13,
+                        jitter_mode=jitter_mode)
+        runs = []
+        for _ in range(3):
+            for k in range(5):
+                sim.schedule_input(cells[0], "din", 100.0 * k)
+            sim.run()
+            runs.append(tuple(probe.times))
+            sim.reset()
+        assert runs[0] == runs[1] == runs[2]
+        assert sim._wire_rngs == {}
+
 
 class TestMaxEventsGuard:
     """Regression tests for the max_events off-by-one (the guard used to
