@@ -14,7 +14,11 @@ Neuromorphic Chip Using Superconducting Single-Flux-Quantum Circuits*
   stack (reverse-mode autodiff, IF neurons, surrogate gradients, Poisson
   coding, Adam, XNOR binarization);
 * :mod:`repro.ssnn` -- the SSNN methodology: synapse reordering/bucketing,
-  the bit-slice method, pulse-stream encoding, and the chip runtime;
+  the bit-slice method, pulse-stream encoding, the chip runtime, and the
+  compile-once serving pipeline (compiled plans, plan cache, persistent
+  shared-memory inference pool);
+* :mod:`repro.serve` -- the adaptive micro-batching inference server
+  (see docs/SERVING.md);
 * :mod:`repro.resources` / :mod:`repro.baselines` -- calibrated resource,
   power and throughput models plus TrueNorth/Tianjic baselines;
 * :mod:`repro.data` -- synthetic MNIST/Fashion stand-in datasets;
@@ -56,9 +60,18 @@ from repro.snn import (
     consistency,
     quantize_network,
 )
-from repro.ssnn import SushiRuntime, encode_inference, plan_network
+from repro.serve import InferenceServer
+from repro.ssnn import (
+    CompiledNetwork,
+    InferencePool,
+    PlanCache,
+    SushiRuntime,
+    compile_network,
+    encode_inference,
+    plan_network,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Dataset",
@@ -83,5 +96,10 @@ __all__ = [
     "SushiRuntime",
     "encode_inference",
     "plan_network",
+    "CompiledNetwork",
+    "PlanCache",
+    "compile_network",
+    "InferencePool",
+    "InferenceServer",
     "__version__",
 ]

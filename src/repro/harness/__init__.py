@@ -17,11 +17,14 @@ from repro.harness.campaign import (
     run_resilience_campaign,
 )
 from repro.harness.differential import (
+    ENGINES,
+    EXTENDED_ENGINES,
     DifferentialReport,
     EngineComparison,
     differential_snapshot,
     random_binarized_network,
     random_spike_trains,
+    run_compiled_differential,
     run_differential,
     run_gate_level_differential,
 )
@@ -38,6 +41,9 @@ __all__ = [
     "differential_snapshot",
     "random_binarized_network",
     "random_spike_trains",
+    "ENGINES",
+    "EXTENDED_ENGINES",
+    "run_compiled_differential",
     "run_differential",
     "run_gate_level_differential",
     "CampaignConfig",

@@ -34,6 +34,12 @@ from repro.ssnn.runtime import RuntimeResult, SushiRuntime
 #: Engines understood by :func:`run_differential`.
 ENGINES = ("fast", "per-sample", "behavioral")
 
+#: :data:`ENGINES` plus ``"legacy-fast"``: the pre-compile batched kernel
+#: (``SushiRuntime(use_compiled=False)``, i.e. the ``_plan_for`` path the
+#: compiled artifacts are gated against).  Kept as a separate constant so
+#: snapshots and tests pinned to :data:`ENGINES` stay byte-stable.
+EXTENDED_ENGINES = ENGINES + ("legacy-fast",)
+
 
 # ---------------------------------------------------------------------------
 # Workload generators
@@ -229,22 +235,35 @@ def run_differential(
     engines: Sequence[str] = ENGINES,
     reorder: bool = True,
     check_software: bool = True,
+    faults=None,
+    plan_cache=None,
 ) -> DifferentialReport:
     """Run one workload through every requested engine and diff the bits.
 
-    ``engines`` may contain ``"fast"`` (batched), ``"per-sample"`` (the
-    fast engine sample by sample) and ``"behavioral"`` (protocol-exact
-    chip).  The first entry is the baseline the others are compared to.
-    With ``check_software=True`` (and ``reorder=True``) the baseline's
-    raster is also checked against the software final-sum reference
+    ``engines`` may contain ``"fast"`` (batched, compiled-plan path),
+    ``"legacy-fast"`` (the batched pre-compile kernel,
+    ``use_compiled=False``), ``"per-sample"`` (the fast engine sample by
+    sample) and ``"behavioral"`` (protocol-exact chip).  The first entry
+    is the baseline the others are compared to.  With
+    ``check_software=True`` (and ``reorder=True``) the baseline's raster
+    is also checked against the software final-sum reference
     (:meth:`BinarizedNetwork.forward_step` per step).
+
+    ``faults`` optionally attaches a
+    :class:`~repro.rsfq.faults.FaultModel` to every runtime: the
+    self-healing loop then guarantees each engine still converges to the
+    clean raster (or degrades to fault-free semantics), so cross-engine
+    bit-identity -- and the software check -- remain meaningful under
+    injection.  ``plan_cache`` is forwarded to
+    :class:`~repro.ssnn.runtime.SushiRuntime` (default ``None``: compile
+    in-memory, no disk traffic from the harness).
     """
     if not engines:
         raise ConfigurationError("need at least one engine")
-    unknown = [e for e in engines if e not in ENGINES]
+    unknown = [e for e in engines if e not in EXTENDED_ENGINES]
     if unknown:
         raise ConfigurationError(
-            f"unknown engines {unknown}; available: {list(ENGINES)}"
+            f"unknown engines {unknown}; available: {list(EXTENDED_ENGINES)}"
         )
     if "behavioral" in engines and not reorder:
         raise ConfigurationError(
@@ -257,13 +276,22 @@ def run_differential(
         if engine == "per-sample":
             runtime = SushiRuntime(
                 chip_n=chip_n, sc_per_npe=sc_per_npe,
-                engine="fast", reorder=reorder,
+                engine="fast", reorder=reorder, faults=faults,
+                plan_cache=plan_cache,
             )
             results[engine] = runtime.infer_per_sample(network, spike_trains)
+        elif engine == "legacy-fast":
+            runtime = SushiRuntime(
+                chip_n=chip_n, sc_per_npe=sc_per_npe,
+                engine="fast", reorder=reorder, faults=faults,
+                use_compiled=False, plan_cache=plan_cache,
+            )
+            results[engine] = runtime.infer(network, spike_trains)
         else:
             runtime = SushiRuntime(
                 chip_n=chip_n, sc_per_npe=sc_per_npe,
-                engine=engine, reorder=reorder,
+                engine=engine, reorder=reorder, faults=faults,
+                plan_cache=plan_cache,
             )
             results[engine] = runtime.infer(network, spike_trains)
     baseline = engines[0]
@@ -288,6 +316,86 @@ def run_differential(
         samples=int(spike_trains.shape[1]),
         steps=int(spike_trains.shape[0]),
     )
+
+
+def run_compiled_differential(
+    seed: int = 0,
+    sizes: Sequence[int] = (10, 8, 6),
+    steps: int = 3,
+    batch: int = 8,
+    chip_n: int = 4,
+    sc_per_npe: int = 8,
+    fault_probability: float = 0.05,
+) -> Dict:
+    """Compiled-path acceptance sweep: engines x reorder flags x faults.
+
+    One seeded workload is pushed through three differential
+    configurations:
+
+    * ``"reorder"`` -- all of :data:`EXTENDED_ENGINES` under reordered
+      bucketing (compiled ``fast`` vs the legacy ``_plan_for`` kernel vs
+      per-sample vs the behavioural chip, plus the software reference);
+    * ``"naive-order"`` -- compiled vs legacy vs per-sample with
+      ``reorder=False`` (the behavioural engine is reorder-only);
+    * ``"faulted"`` -- all engines again with a ``pulse_drop``
+      :class:`~repro.rsfq.faults.FaultModel` attached, exercising the
+      self-healing loop on top of the compiled kernel.
+
+    Beyond raster equality the sweep also pins the *counters*: the
+    compiled ``fast`` engine must report the same spurious-decision,
+    synaptic-operation and crosspoint-reload totals as ``legacy-fast``
+    in every configuration (they are the same computation, so the
+    bookkeeping must agree bit-for-bit too).
+
+    Returns a dict with the per-sweep :class:`DifferentialReport`\\ s, the
+    counter verdicts and an overall ``passed`` flag (the compiled-path
+    acceptance artefact; see ``tests/harness/test_differential.py``).
+    """
+    from repro.rsfq.faults import FaultModel
+
+    rng = np.random.default_rng(seed)
+    network = random_binarized_network(
+        rng, sizes=sizes, sc_per_npe=sc_per_npe
+    )
+    trains = random_spike_trains(rng, steps, batch, sizes[0])
+    sweeps = {
+        "reorder": dict(engines=EXTENDED_ENGINES, reorder=True,
+                        faults=None),
+        "naive-order": dict(
+            engines=("fast", "legacy-fast", "per-sample"),
+            reorder=False, faults=None,
+        ),
+        "faulted": dict(
+            engines=EXTENDED_ENGINES, reorder=True,
+            faults=FaultModel.single(
+                "pulse_drop", fault_probability, seed=seed + 1
+            ),
+        ),
+    }
+    reports: Dict[str, DifferentialReport] = {}
+    counters_equal: Dict[str, bool] = {}
+    for name, cfg in sweeps.items():
+        report = run_differential(
+            network, trains, chip_n=chip_n, sc_per_npe=sc_per_npe,
+            **cfg,
+        )
+        reports[name] = report
+        fast = report.results["fast"]
+        legacy = report.results["legacy-fast"]
+        counters_equal[name] = (
+            fast.spurious_decisions == legacy.spurious_decisions
+            and fast.synaptic_ops == legacy.synaptic_ops
+            and fast.reload_events == legacy.reload_events
+        )
+    passed = (
+        all(r.passed for r in reports.values())
+        and all(counters_equal.values())
+    )
+    return {
+        "reports": reports,
+        "counters_equal": counters_equal,
+        "passed": passed,
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,24 @@
+"""Serving layer: adaptive micro-batching on top of compiled plans.
+
+The first serving-layer brick of the production north star
+(ROADMAP.md): an in-process :class:`InferenceServer` that accepts
+single-sample requests, coalesces them into hardware-sized batches
+(up to ``batch_max`` samples or ``deadline_ms`` of queueing, whichever
+comes first), executes them through a compile-once
+:class:`~repro.ssnn.compile.CompiledNetwork` -- optionally sharded
+across a persistent shared-memory
+:class:`~repro.ssnn.pool.InferencePool` -- and reports per-request
+latency plus aggregate FPS/SOPS counters.
+
+See ``docs/SERVING.md`` for the compile -> pool -> server architecture
+and ``benchmarks/bench_serve.py`` for the committed throughput gates.
+"""
+
+from repro.serve.metrics import ServerStats
+from repro.serve.server import InferenceServer, ServeResult
+
+__all__ = [
+    "InferenceServer",
+    "ServeResult",
+    "ServerStats",
+]

@@ -1,0 +1,135 @@
+"""Serving metrics: per-request latency plus aggregate FPS/SOPS.
+
+Counters are updated by the server's dispatcher thread under a lock and
+snapshotted into an immutable :class:`ServerStats` by
+:meth:`MetricsRecorder.snapshot` -- cheap enough to poll from a
+monitoring loop.  Latencies are kept in a bounded ring so a long-lived
+server's memory stays O(1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Aggregate serving statistics at one point in time.
+
+    Attributes:
+        requests: Requests accepted so far.
+        completed: Requests answered (successfully).
+        failed: Requests answered with an error.
+        samples: Samples inferred (== completed for 1-sample requests).
+        batches: Coalesced hardware batches executed.
+        mean_batch: Mean coalesced batch size.
+        latency_ms_p50 / latency_ms_p95 / latency_ms_max: Request
+            latency percentiles over the retained window (submit ->
+            result, queueing included).
+        fps: Aggregate samples/second since the server started.
+        sops: Aggregate synaptic operations/second since start (the
+            paper's SOPS throughput axis).
+        synaptic_ops: Total synaptic operations executed.
+        uptime_s: Seconds since the server started.
+    """
+
+    requests: int
+    completed: int
+    failed: int
+    samples: int
+    batches: int
+    mean_batch: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_max: float
+    fps: float
+    sops: float
+    synaptic_ops: int
+    uptime_s: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "samples": self.samples,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 3),
+            "latency_ms_p50": round(self.latency_ms_p50, 3),
+            "latency_ms_p95": round(self.latency_ms_p95, 3),
+            "latency_ms_max": round(self.latency_ms_max, 3),
+            "fps": round(self.fps, 1),
+            "sops": round(self.sops, 1),
+            "synaptic_ops": self.synaptic_ops,
+            "uptime_s": round(self.uptime_s, 3),
+        }
+
+
+class MetricsRecorder:
+    """Thread-safe accumulator behind :meth:`InferenceServer.stats`."""
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=latency_window)
+        self._started = time.monotonic()
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.samples = 0
+        self.batches = 0
+        self.synaptic_ops = 0
+
+    def record_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.requests += n
+
+    def record_batch(
+        self,
+        batch_size: int,
+        synops: int,
+        latencies_ms: Sequence[float],
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self.samples += batch_size
+            self.completed += len(latencies_ms)
+            self.synaptic_ops += synops
+            self._latencies.extend(latencies_ms)
+
+    def record_failure(self, n: int = 1) -> None:
+        with self._lock:
+            self.failed += n
+
+    def snapshot(self) -> ServerStats:
+        with self._lock:
+            uptime = max(time.monotonic() - self._started, 1e-9)
+            ordered = sorted(self._latencies)
+            return ServerStats(
+                requests=self.requests,
+                completed=self.completed,
+                failed=self.failed,
+                samples=self.samples,
+                batches=self.batches,
+                mean_batch=(self.samples / self.batches
+                            if self.batches else 0.0),
+                latency_ms_p50=_percentile(ordered, 0.50),
+                latency_ms_p95=_percentile(ordered, 0.95),
+                latency_ms_max=(ordered[-1] if ordered else 0.0),
+                fps=self.samples / uptime,
+                sops=self.synaptic_ops / uptime,
+                synaptic_ops=self.synaptic_ops,
+                uptime_s=uptime,
+            )

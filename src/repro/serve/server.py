@@ -1,0 +1,330 @@
+"""The adaptive micro-batching inference server.
+
+One dispatcher thread drains a request queue: the first request of a
+batch opens a coalescing window; further requests join until the batch
+holds ``batch_max`` samples or ``deadline_ms`` has elapsed since the
+window opened, then the whole batch runs as a single row block through
+the compiled plan (serially or on the persistent shared-memory pool).
+Every request therefore trades at most ``deadline_ms`` of queueing
+latency for hardware-sized batches -- the same latency/throughput knob
+real serving stacks expose.
+
+Requests whose spike trains disagree in shape are never mixed into one
+batch; a shape change simply closes the current window (the mismatched
+request opens the next one).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.snn.binarize import BinarizedNetwork
+from repro.serve.metrics import MetricsRecorder, ServerStats
+from repro.ssnn.compile import (
+    CompiledNetwork,
+    compile_network,
+    resolve_plan_cache,
+)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Answer to one serving request (one sample).
+
+    Attributes:
+        rates: (classes,) mean output spike rates.
+        prediction: argmax class label.
+        output_raster: (T, classes) per-step output spikes.
+        latency_ms: Submit-to-answer wall-clock latency (queueing and
+            coalescing included).
+        batch_size: Samples in the coalesced batch this request rode in.
+        steps: Time steps of the request's spike train.
+    """
+
+    rates: np.ndarray
+    prediction: int
+    output_raster: np.ndarray
+    latency_ms: float
+    batch_size: int
+    steps: int
+
+
+@dataclass
+class _Request:
+    train: np.ndarray  # (T, in_features)
+    future: Future
+    enqueued: float
+
+
+class InferenceServer:
+    """Micro-batching server over one compiled network.
+
+    Args:
+        network: The :class:`~repro.snn.binarize.BinarizedNetwork` to
+            serve, compiled on construction (through the plan cache), OR
+            pass an already-compiled artifact via ``compiled=``.
+        chip_n / sc_per_npe / reorder: Chip configuration (ignored when
+            ``compiled`` is given).
+        batch_max: Coalescing ceiling in samples.
+        deadline_ms: Coalescing window: maximum time a request waits for
+            companions before its batch is dispatched.
+        workers: ``> 1`` shards batches across a persistent
+            :class:`~repro.ssnn.pool.InferencePool`; ``0``/``1`` run
+            in the dispatcher thread.  Pool failures degrade the server
+            to serial execution (served results are identical).
+        plan_cache: See :func:`repro.ssnn.compile.resolve_plan_cache`.
+        queue_max: Backpressure bound; :meth:`submit` raises
+            ``queue.Full`` beyond it.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        network: Optional[BinarizedNetwork] = None,
+        *,
+        compiled: Optional[CompiledNetwork] = None,
+        chip_n: int = 16,
+        sc_per_npe: int = 10,
+        reorder: bool = True,
+        batch_max: int = 512,
+        deadline_ms: float = 2.0,
+        workers: int = 0,
+        plan_cache="default",
+        queue_max: int = 65536,
+    ):
+        if (network is None) == (compiled is None):
+            raise ConfigurationError(
+                "pass exactly one of `network` or `compiled`"
+            )
+        if batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
+        if deadline_ms < 0:
+            raise ConfigurationError("deadline_ms must be >= 0")
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if compiled is None:
+            cache = resolve_plan_cache(plan_cache)
+            if cache is not None:
+                compiled = cache.get_or_compile(
+                    network, chip_n, sc_per_npe, reorder
+                )
+            else:
+                compiled = compile_network(
+                    network, chip_n, sc_per_npe, reorder
+                )
+        self.compiled = compiled
+        self.batch_max = batch_max
+        self.deadline_ms = deadline_ms
+        self.workers = workers
+        self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=queue_max)
+        self._holdback: Optional[_Request] = None
+        self._metrics = MetricsRecorder()
+        self._pool = None
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        if self._running:
+            return self
+        if self.workers > 1 and self._pool is None:
+            from repro.ssnn.pool import InferencePool
+
+            try:
+                self._pool = InferencePool(
+                    self.compiled, workers=self.workers
+                )
+            except self._DEGRADE_ERRORS:
+                self._pool = None  # serve serially
+        self._stopping.clear()
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="sushi-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the dispatcher.  With ``drain=True`` (default) queued
+        requests are answered first; otherwise they fail fast with a
+        :class:`ConfigurationError`."""
+        if not self._running:
+            self._release_pool()
+            return
+        if not drain:
+            self._fail_pending("server stopped before this request ran")
+        self._stopping.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._running = False
+        self._thread = None
+        self._fail_pending("server stopped before this request ran")
+        self._release_pool()
+
+    def _release_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def _fail_pending(self, reason: str) -> None:
+        pending: List[_Request] = []
+        if self._holdback is not None:
+            pending.append(self._holdback)
+            self._holdback = None
+        while True:
+            try:
+                pending.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for request in pending:
+            request.future.set_exception(ConfigurationError(reason))
+        if pending:
+            self._metrics.record_failure(len(pending))
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+
+    def submit(
+        self, spike_train: np.ndarray, timeout: Optional[float] = None
+    ) -> Future:
+        """Enqueue one sample; returns a future of :class:`ServeResult`.
+
+        ``spike_train`` is ``(T, in_features)`` (or ``(T, 1,
+        in_features)``, squeezed).  Raises immediately on shape errors
+        and ``queue.Full`` under backpressure.
+        """
+        if not self._running:
+            raise ConfigurationError("server is not running; call start()")
+        train = np.asarray(spike_train, dtype=np.float64)
+        if train.ndim == 3 and train.shape[1] == 1:
+            train = train[:, 0, :]
+        if train.ndim != 2:
+            raise ConfigurationError(
+                "spike_train must be (T, in_features) for one sample"
+            )
+        if train.shape[1] != self.compiled.in_features:
+            raise ConfigurationError(
+                f"spike width {train.shape[1]} != compiled input "
+                f"{self.compiled.in_features}"
+            )
+        future: Future = Future()
+        request = _Request(
+            train=train, future=future, enqueued=time.monotonic()
+        )
+        self._queue.put(request, timeout=timeout)
+        self._metrics.record_submit()
+        return future
+
+    def infer(
+        self, spike_train: np.ndarray, timeout: float = 30.0
+    ) -> ServeResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(spike_train).result(timeout=timeout)
+
+    def stats(self) -> ServerStats:
+        return self._metrics.snapshot()
+
+    # -- dispatcher ----------------------------------------------------------
+
+    _DEGRADE_ERRORS = (ImportError, OSError, PermissionError, RuntimeError)
+
+    def _next_request(self, timeout: float) -> Optional[_Request]:
+        if self._holdback is not None:
+            request, self._holdback = self._holdback, None
+            return request
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def _serve_loop(self) -> None:
+        while True:
+            first = self._next_request(timeout=0.05)
+            if first is None:
+                if self._stopping.is_set() and self._queue.empty() \
+                        and self._holdback is None:
+                    return
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.deadline_ms / 1000.0
+            while len(batch) < self.batch_max:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt.train.shape != first.train.shape:
+                    # Never mix shapes: the straggler opens the next
+                    # coalescing window.
+                    self._holdback = nxt
+                    break
+                batch.append(nxt)
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        try:
+            steps, n_in = batch[0].train.shape
+            n_out = self.compiled.out_features
+            stacked = np.stack([r.train for r in batch], axis=1)
+            rows = stacked.reshape(steps * len(batch), n_in)
+            decisions, _spurious, synops = self._forward(rows)
+            raster = decisions.reshape(steps, len(batch), n_out)
+            rates = (raster.mean(axis=0) if steps
+                     else raster.sum(axis=0))  # (batch, out)
+            now = time.monotonic()
+            latencies = []
+            for i, request in enumerate(batch):
+                latency_ms = (now - request.enqueued) * 1000.0
+                latencies.append(latency_ms)
+                request.future.set_result(ServeResult(
+                    rates=rates[i],
+                    prediction=int(rates[i].argmax()),
+                    output_raster=raster[:, i, :],
+                    latency_ms=latency_ms,
+                    batch_size=len(batch),
+                    steps=steps,
+                ))
+            self._metrics.record_batch(len(batch), synops, latencies)
+        except Exception as exc:  # pragma: no cover - defensive
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            self._metrics.record_failure(len(batch))
+
+    def _forward(self, rows: np.ndarray):
+        if self._pool is not None:
+            try:
+                return self._pool.infer_rows(rows)
+            except self._DEGRADE_ERRORS:
+                # Pool died: degrade to serial for the rest of the
+                # server's life (results are identical).
+                self._release_pool()
+        return self.compiled.forward_rows(rows)
+
+    def __repr__(self) -> str:
+        mode = (f"pool[{self.workers}]" if self._pool is not None
+                else "serial")
+        state = "running" if self._running else "stopped"
+        return (f"<InferenceServer {state} {mode} "
+                f"batch_max={self.batch_max} "
+                f"deadline_ms={self.deadline_ms} "
+                f"plan={self.compiled.fingerprint[:12]}>")

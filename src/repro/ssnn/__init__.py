@@ -13,6 +13,13 @@ Implements the paper's section 5 methods:
 * :mod:`repro.ssnn.runtime` -- end-to-end inference against the behavioural
   chip (exact protocol) or a vectorised fast engine with identical
   semantics, plus the statistics the performance models consume.
+* :mod:`repro.ssnn.compile` -- compile-once lowering to an immutable
+  :class:`CompiledNetwork` (packed bucket matrices, reorder permutations,
+  preload vectors, slice schedule, reload statistics) with a
+  content-addressed on-disk :class:`PlanCache`.
+* :mod:`repro.ssnn.pool` -- a persistent shared-memory
+  :class:`InferencePool` executing one compiled plan across worker
+  processes with zero per-call weight pickling (see docs/SERVING.md).
 """
 
 from repro.ssnn.bucketing import (
@@ -22,6 +29,17 @@ from repro.ssnn.bucketing import (
     required_capacity,
 )
 from repro.ssnn.bitslice import BitSlicePlan, SliceTask, plan_network
+from repro.ssnn.compile import (
+    CacheStats,
+    CompiledLayer,
+    CompiledNetwork,
+    PlanCache,
+    compile_network,
+    default_cache,
+    network_fingerprint,
+    resolve_plan_cache,
+)
+from repro.ssnn.pool import InferencePool, InferencePoolError
 from repro.ssnn.encoder import EncodedInference, InferenceTiming, encode_inference
 from repro.ssnn.profiler import LayerProfile, profile_network, profile_report
 from repro.ssnn.reload_opt import optimize_plan, reload_reduction
@@ -45,6 +63,16 @@ __all__ = [
     "BitSlicePlan",
     "SliceTask",
     "plan_network",
+    "CacheStats",
+    "CompiledLayer",
+    "CompiledNetwork",
+    "PlanCache",
+    "compile_network",
+    "default_cache",
+    "network_fingerprint",
+    "resolve_plan_cache",
+    "InferencePool",
+    "InferencePoolError",
     "EncodedInference",
     "InferenceTiming",
     "encode_inference",

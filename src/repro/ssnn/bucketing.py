@@ -174,28 +174,32 @@ def hardware_layer_outputs(
     # Exact pulse-by-pulse semantics for the interleaved ablation order.
     # Process in cache-sized chunks: the (chunk, 2 * in, out) contribution
     # cube is the memory bottleneck, and large cubes fall off the cache
-    # cliff, so target a modest working set per chunk.
+    # cliff, so target a modest working set per chunk.  The cube is
+    # allocated once at the chunk size and reused across chunks (the
+    # cumsum runs in place), and because the chain starts at quotient 0
+    # the crossing count telescopes as ``|q_0| + sum |diff(q)|`` with no
+    # concatenated copy of the cube.
     chunk = max(1, int(300_000 // max(1, 2 * weights.size)))
+    n_in, n_out = weights.shape
+    neg_w = np.minimum(weights, 0).astype(np.float64)  # (in, out)
+    pos_w = np.maximum(weights, 0).astype(np.float64)
+    ordered = np.empty(
+        (min(chunk, batch), 2 * n_in, n_out), dtype=np.float64
+    )
+    spikes_f = spikes.astype(np.float64, copy=False)
     for start in range(0, batch, chunk):
-        sub = spikes[start:start + chunk]  # (c, in)
-        contrib = sub[:, :, None] * weights[None, :, :]  # (c, in, out)
+        sub = spikes_f[start:start + chunk]  # (c, in)
+        cube = ordered[:sub.shape[0]]
         # Per axon: negative part then positive part, axon order.
-        neg = np.minimum(contrib, 0)
-        pos = np.maximum(contrib, 0)
-        ordered = np.empty(
-            (contrib.shape[0], 2 * contrib.shape[1], contrib.shape[2]),
-            dtype=contrib.dtype,
-        )
-        ordered[:, 0::2, :] = neg
-        ordered[:, 1::2, :] = pos
-        running = np.cumsum(ordered, axis=1) + preload[None, None, :]
-        quotient = np.floor_divide(running, capacity)
-        initial = np.zeros_like(quotient[:, :1, :])
-        crossings = np.abs(np.diff(
-            np.concatenate([initial, quotient], axis=1), axis=1
-        )).sum(axis=1)
+        np.multiply(sub[:, :, None], neg_w[None, :, :], out=cube[:, 0::2, :])
+        np.multiply(sub[:, :, None], pos_w[None, :, :], out=cube[:, 1::2, :])
+        running = np.cumsum(cube, axis=1, out=cube)
+        running += preload[None, None, :]
+        quotient = np.floor_divide(running, capacity, out=running)
+        crossings = np.abs(quotient[:, 0, :])
+        crossings += np.abs(np.diff(quotient, axis=1)).sum(axis=1)
         pulse_counts[start:start + chunk] = crossings
-        decisions[start:start + chunk] = (crossings > 0).astype(np.float64)
+        decisions[start:start + chunk] = crossings > 0
     return decisions, pulse_counts
 
 

@@ -1,0 +1,631 @@
+"""Compile-once / run-many lowering of binarized networks (serving tier 1).
+
+The paper's whole pitch is throughput (2.61e5 FPS on the MNIST net,
+section 6.3), yet planning work -- bit-slice scheduling, bucketing,
+reorder permutations, reload accounting -- was historically re-derived
+per :class:`~repro.ssnn.runtime.SushiRuntime` instance.  This module
+lowers a :class:`~repro.snn.binarize.BinarizedNetwork` plus chip
+configuration into an immutable :class:`CompiledNetwork` once:
+
+* **Packed integer weight matrices per polarity bucket** -- the
+  inhibitory (`set0`) and excitatory (`set1`) column sums of every layer
+  are pre-split and stored in the tightest dtype whose integer range
+  provably covers the counter trajectory, so the fast engine runs two
+  BLAS matmuls per layer (float32 where exactness allows) instead of
+  four float64 ones.
+* **Precomputed reorder permutations** -- the axon stream order and
+  polarity sequence of :func:`repro.ssnn.bucketing.build_schedule`.
+* **Preload vectors and slice schedule** -- ``capacity - threshold``
+  per neuron, the (input-slice, output-slice) counts, pass count and
+  static reload-event statistics of :func:`repro.ssnn.bitslice.
+  plan_network` -- evaluated once at compile time instead of per run.
+* **A content-addressed on-disk cache** (:class:`PlanCache`) keyed by
+  the SHA-256 of the network's integer weights, thresholds and the chip
+  configuration, so harness and benchmark re-runs (and fresh serving
+  processes) skip planning entirely.
+
+Everything in the artifact is a pure function of the network and the
+chip config; :meth:`CompiledNetwork.forward_rows` is bit-identical to
+the historical ``hardware_layer_outputs``-based row loop (the
+differential harness asserts exactly that, see
+:func:`repro.harness.differential.run_compiled_differential`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
+from repro.ssnn.bitslice import BitSlicePlan, plan_network
+from repro.ssnn.bucketing import build_schedule, hardware_layer_outputs
+
+#: Bump to invalidate every cached artifact (schema / semantics changes).
+SCHEMA_VERSION = 1
+
+#: Largest integer magnitude exactly representable in IEEE float32.
+_FLOAT32_EXACT = 1 << 24
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting (the cache key scheme; see docs/SERVING.md)
+# ---------------------------------------------------------------------------
+
+def network_fingerprint(
+    network: BinarizedNetwork,
+    chip_n: int,
+    sc_per_npe: int,
+    reorder: bool = True,
+) -> str:
+    """Content-addressed cache key: SHA-256 over the schema version, the
+    chip configuration and every layer's integer weights + thresholds.
+
+    Two *equal-valued* networks share a fingerprint regardless of object
+    identity; any change to a weight, threshold, layer shape, mesh size,
+    SC count or the reorder flag produces a new key (and therefore a
+    cache miss) -- the invalidation rule, in full.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"repro.ssnn.compile/v{SCHEMA_VERSION}|n={int(chip_n)}"
+        f"|sc={int(sc_per_npe)}|reorder={int(bool(reorder))}"
+        f"|layers={len(network.layers)}".encode()
+    )
+    for layer in network.layers:
+        digest.update(repr(layer.signed_weights.shape).encode())
+        digest.update(
+            np.ascontiguousarray(layer.signed_weights, dtype=np.int64)
+            .tobytes()
+        )
+        digest.update(
+            np.ascontiguousarray(layer.thresholds, dtype=np.int64).tobytes()
+        )
+    return digest.hexdigest()
+
+
+def _smallest_signed_dtype(max_abs: int) -> np.dtype:
+    """Tightest signed integer dtype holding ``[-max_abs, max_abs]``."""
+    for dtype in (np.int8, np.int16, np.int32):
+        if max_abs <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Compiled layers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """One layer lowered to its packed streaming form.
+
+    Serialized state (content-addressed, survives the disk round trip):
+    ``signed_weights`` (tightest signed dtype), ``thresholds`` (int32),
+    ``stream_order``/``stream_polarity`` (the reorder permutation).  The
+    remaining arrays are materialised deterministically from those at
+    load time (see :func:`_materialize_layer`).
+
+    Attributes:
+        signed_weights: (in, out) packed signed weights.
+        thresholds: (out,) int32 NPE thresholds.
+        stream_order: (2 * in,) axon stream order over both polarity
+            passes -- under reordering all axons stream in the SET0 pass
+            then again in the SET1 pass; naively they interleave.
+        stream_polarity: (2 * in,) int8; 0 = SET0 pass, 1 = SET1 pass.
+        neg: (in, out) inhibitory bucket matrix ``min(w, 0)`` in the
+            compute dtype.
+        pos: (in, out) excitatory bucket matrix ``max(w, 0)``.
+        preload: (out,) ``capacity - threshold`` counter preloads.
+        thresholds_c: (out,) thresholds in the compute dtype.
+        nnz_per_input: (in,) float64 fan-out counts (synops matvec).
+        compute_dtype: float32 when the whole counter trajectory is
+            exactly representable there, float64 otherwise (decisions
+            are bit-identical either way; this is pure speed).
+        reference_layer: int64 :class:`BinarizedLayer` view used by the
+            naive-order (``reorder=False``) exact pulse-by-pulse path.
+    """
+
+    signed_weights: np.ndarray
+    thresholds: np.ndarray
+    stream_order: np.ndarray
+    stream_polarity: np.ndarray
+    neg: np.ndarray
+    pos: np.ndarray
+    preload: np.ndarray
+    thresholds_c: np.ndarray
+    nnz_per_input: np.ndarray
+    compute_dtype: np.dtype
+    reference_layer: BinarizedLayer
+
+    @property
+    def in_features(self) -> int:
+        return self.signed_weights.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.signed_weights.shape[1]
+
+
+def _materialize_layer(
+    signed_weights: np.ndarray,
+    thresholds: np.ndarray,
+    stream_order: np.ndarray,
+    stream_polarity: np.ndarray,
+    capacity: int,
+) -> CompiledLayer:
+    """Derive the runtime arrays (bucket matrices, preloads, compute
+    dtype) from the serialized state.  Deterministic, so a cache load
+    reproduces exactly what :func:`compile_network` built."""
+    weights64 = np.asarray(signed_weights, dtype=np.int64)
+    thresholds64 = np.asarray(thresholds, dtype=np.int64)
+    # Exactness bound: the counter trajectory stays within
+    # [preload - total_inhibition, preload + total_excitation]; float32
+    # is exact for |value| <= 2**24 and division by the power-of-two
+    # capacity is always exact in binary floating point.
+    total_neg = int(-np.minimum(weights64, 0).sum(axis=0).min(initial=0))
+    total_pos = int(np.maximum(weights64, 0).sum(axis=0).max(initial=0))
+    bound = max(int(capacity), int(thresholds64.max(initial=1))) \
+        + total_neg + total_pos
+    compute = np.dtype(
+        np.float32 if bound < _FLOAT32_EXACT else np.float64
+    )
+    packed = weights64.astype(
+        _smallest_signed_dtype(int(np.abs(weights64).max(initial=0)))
+    )
+    return CompiledLayer(
+        signed_weights=packed,
+        thresholds=thresholds64.astype(np.int32),
+        stream_order=np.asarray(stream_order, dtype=np.int32),
+        stream_polarity=np.asarray(stream_polarity, dtype=np.int8),
+        neg=np.ascontiguousarray(np.minimum(weights64, 0), dtype=compute),
+        pos=np.ascontiguousarray(np.maximum(weights64, 0), dtype=compute),
+        preload=(capacity - thresholds64).astype(compute),
+        thresholds_c=thresholds64.astype(compute),
+        nnz_per_input=(weights64 != 0).sum(axis=1).astype(np.float64),
+        compute_dtype=compute,
+        reference_layer=BinarizedLayer(weights64, thresholds64),
+    )
+
+
+def _schedule_arrays(
+    layer: BinarizedLayer, reorder: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten :func:`build_schedule` into (stream_order, polarity)."""
+    from repro.neuro.state_controller import Polarity
+
+    schedule = build_schedule(layer, reorder=reorder)
+    order: List[int] = []
+    polarity: List[int] = []
+    for bucket in schedule.buckets:
+        order.extend(bucket.axons)
+        flag = int(bucket.polarity is Polarity.SET1)
+        polarity.extend([flag] * len(bucket.axons))
+    return (np.asarray(order, dtype=np.int32),
+            np.asarray(polarity, dtype=np.int8))
+
+
+# ---------------------------------------------------------------------------
+# The compiled artifact
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledNetwork:
+    """An immutable, executable lowering of one network onto one chip.
+
+    Attributes:
+        fingerprint: Content-addressed identity (cache key).
+        chip_n / sc_per_npe / reorder: The chip configuration compiled
+            against.
+        capacity: ``2 ** sc_per_npe`` membrane states.
+        max_strength: Largest crosspoint gain the plan configures.
+        pass_count: Polarity passes in the full bit-slice program.
+        reload_events: Static crosspoint reloads of one program
+            execution (one time step of one sample) -- the fast engine
+            multiplies by ``steps * batch``.
+        reload_passes: Passes requiring at least one reload.
+        slice_counts: Per-layer (input slices, output slices).
+        layers: The packed :class:`CompiledLayer` stack.
+    """
+
+    fingerprint: str
+    chip_n: int
+    sc_per_npe: int
+    reorder: bool
+    capacity: int
+    max_strength: int
+    pass_count: int
+    reload_events: int
+    reload_passes: int
+    slice_counts: Tuple[Tuple[int, int], ...]
+    layers: Tuple[CompiledLayer, ...]
+
+    # -- shape helpers -------------------------------------------------------
+
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    @property
+    def layer_shapes(self) -> List[Tuple[int, int]]:
+        return [(l.in_features, l.out_features) for l in self.layers]
+
+    # -- execution -----------------------------------------------------------
+
+    def forward_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        """Push independent spike rows through the compiled layer stack.
+
+        Returns ``(decisions, spurious, synops)`` with semantics (and
+        bits) identical to the historical per-layer
+        ``hardware_layer_outputs`` + ``layer.forward`` loop, but fused:
+        the final-sum reference, spurious count and synops all fall out
+        of the two bucket matmuls -- no extra matmul per layer, and
+        float32 arithmetic wherever the integer trajectory is exactly
+        representable there.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"expected (batch, {self.in_features}) rows, got "
+                f"{rows.shape}"
+            )
+        if not self.reorder:
+            return self._forward_rows_naive(rows)
+        spurious = 0
+        synops = 0.0
+        current = rows
+        for layer in self.layers:
+            if current.dtype != layer.compute_dtype:
+                current = np.ascontiguousarray(
+                    current, dtype=layer.compute_dtype
+                )
+            # Fan-out matvec replaces the historical full (batch, in) @
+            # (in, out) boolean matmul for the synops statistic.
+            synops += float((current @ layer.nnz_per_input).sum())
+            neg = current @ layer.neg  # (batch, out), <= 0
+            pos = current @ layer.pos  # (batch, out), >= 0
+            # Counter trajectory: preload -> +neg (monotone down) ->
+            # +pos (monotone up); crossing counts telescope per bucket.
+            acc = neg
+            acc += layer.preload
+            floor_q = np.floor_divide(acc, self.capacity)
+            acc += pos
+            final_q = np.floor_divide(acc, self.capacity)
+            np.subtract(final_q, floor_q, out=final_q)
+            np.abs(floor_q, out=floor_q)
+            np.abs(final_q, out=final_q)
+            floor_q += final_q
+            decisions = floor_q > 0  # bool (batch, out)
+            # Final-sum reference is free: sums = preload + neg + pos
+            # minus preload, already held in `acc`.
+            acc -= layer.preload
+            reference = acc >= layer.thresholds_c
+            spurious += int((decisions != reference).sum())
+            current = decisions
+        return (
+            np.ascontiguousarray(current, dtype=np.float64),
+            spurious,
+            int(round(synops)),
+        )
+
+    def _forward_rows_naive(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, int, int]:
+        """The interleaved-order ablation path: exact pulse-by-pulse
+        semantics via :func:`hardware_layer_outputs` (genuinely
+        non-monotone, cannot be fused), with the fan-out matvec for
+        synops."""
+        current = np.ascontiguousarray(rows, dtype=np.float64)
+        spurious = 0
+        synops = 0.0
+        for layer in self.layers:
+            synops += float((current @ layer.nnz_per_input).sum())
+            decisions, _ = hardware_layer_outputs(
+                layer.reference_layer, current, self.capacity, reorder=False
+            )
+            reference = layer.reference_layer.forward(current)
+            spurious += int((decisions != reference).sum())
+            current = decisions
+        return current, spurious, int(round(synops))
+
+    # -- interop -------------------------------------------------------------
+
+    def to_network(self) -> BinarizedNetwork:
+        """Reconstruct an equal-valued :class:`BinarizedNetwork` (same
+        fingerprint as the network this artifact was compiled from)."""
+        return BinarizedNetwork([
+            BinarizedLayer(
+                np.asarray(l.signed_weights, dtype=np.int64),
+                np.asarray(l.thresholds, dtype=np.int64),
+            )
+            for l in self.layers
+        ])
+
+    def to_plan(
+        self, network: Optional[BinarizedNetwork] = None
+    ) -> BitSlicePlan:
+        """Materialise the full :class:`BitSlicePlan` (pass program) for
+        protocol-exact consumers (behavioural engine, verification).
+
+        ``network`` optionally supplies the original network object so
+        the plan's back-reference points at it; otherwise an equal-valued
+        reconstruction is used.
+        """
+        return plan_network(
+            network if network is not None else self.to_network(),
+            self.chip_n,
+            self.sc_per_npe,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def _meta(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "chip_n": self.chip_n,
+            "sc_per_npe": self.sc_per_npe,
+            "reorder": bool(self.reorder),
+            "capacity": self.capacity,
+            "max_strength": self.max_strength,
+            "pass_count": self.pass_count,
+            "reload_events": self.reload_events,
+            "reload_passes": self.reload_passes,
+            "slice_counts": [list(sc) for sc in self.slice_counts],
+            "n_layers": len(self.layers),
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the artifact atomically (tmp file + rename) so a
+        concurrent reader never observes a torn cache entry."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {"meta": np.array(json.dumps(self._meta()))}
+        for i, layer in enumerate(self.layers):
+            arrays[f"w{i}"] = layer.signed_weights
+            arrays[f"t{i}"] = layer.thresholds
+            arrays[f"so{i}"] = layer.stream_order
+            arrays[f"sp{i}"] = layer.stream_polarity
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(buffer.getvalue())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CompiledNetwork":
+        """Load an artifact written by :meth:`save`.
+
+        Raises :class:`ConfigurationError` on schema mismatch or a
+        malformed file (the cache treats both as a miss)."""
+        try:
+            with np.load(Path(path), allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"]))
+                if meta.get("schema") != SCHEMA_VERSION:
+                    raise ConfigurationError(
+                        f"compiled-plan schema {meta.get('schema')} != "
+                        f"{SCHEMA_VERSION}"
+                    )
+                capacity = int(meta["capacity"])
+                layers = tuple(
+                    _materialize_layer(
+                        data[f"w{i}"], data[f"t{i}"],
+                        data[f"so{i}"], data[f"sp{i}"], capacity,
+                    )
+                    for i in range(int(meta["n_layers"]))
+                )
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # corrupt zip / missing keys / bad JSON
+            raise ConfigurationError(
+                f"unreadable compiled-plan artifact {path}: {exc}"
+            ) from exc
+        return cls(
+            fingerprint=str(meta["fingerprint"]),
+            chip_n=int(meta["chip_n"]),
+            sc_per_npe=int(meta["sc_per_npe"]),
+            reorder=bool(meta["reorder"]),
+            capacity=capacity,
+            max_strength=int(meta["max_strength"]),
+            pass_count=int(meta["pass_count"]),
+            reload_events=int(meta["reload_events"]),
+            reload_passes=int(meta["reload_passes"]),
+            slice_counts=tuple(
+                (int(a), int(b)) for a, b in meta["slice_counts"]
+            ),
+            layers=layers,
+        )
+
+
+def compile_network(
+    network: BinarizedNetwork,
+    chip_n: int,
+    sc_per_npe: int = 10,
+    reorder: bool = True,
+) -> CompiledNetwork:
+    """Lower ``network`` for an ``chip_n x chip_n`` mesh with
+    ``sc_per_npe``-SC NPEs.
+
+    Runs the full planner once (validating capacity and crosspoint
+    strength exactly like the legacy per-run path -- the same
+    :class:`~repro.errors.CapacityError` surfaces at compile time) and
+    folds its static statistics into the artifact.
+    """
+    plan = plan_network(network, chip_n, sc_per_npe)
+    capacity = 1 << sc_per_npe
+    layers = []
+    for layer in network.layers:
+        order, polarity = _schedule_arrays(layer, reorder)
+        layers.append(_materialize_layer(
+            layer.signed_weights, layer.thresholds, order, polarity,
+            capacity,
+        ))
+    return CompiledNetwork(
+        fingerprint=network_fingerprint(
+            network, chip_n, sc_per_npe, reorder
+        ),
+        chip_n=chip_n,
+        sc_per_npe=sc_per_npe,
+        reorder=bool(reorder),
+        capacity=capacity,
+        max_strength=plan.max_strength,
+        pass_count=plan.pass_count,
+        reload_events=plan.reload_events(),
+        reload_passes=plan.reload_passes(),
+        slice_counts=tuple(tuple(sc) for sc in plan.slice_counts()),
+        layers=tuple(layers),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The on-disk plan cache
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters plus on-disk footprint of a :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+    bytes: int
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_PLAN_CACHE_DIR`` when set, else ``<artifact cache>/plans``
+    (shared with the trained-model cache tree)."""
+    env = os.environ.get("REPRO_PLAN_CACHE_DIR")
+    if env:
+        return Path(env)
+    from repro.harness.artifacts import CACHE_DIR
+
+    return Path(CACHE_DIR) / "plans"
+
+
+class PlanCache:
+    """Content-addressed on-disk cache of :class:`CompiledNetwork`.
+
+    Keys are :func:`network_fingerprint` hexdigests; entries are the
+    ``.npz`` artifacts of :meth:`CompiledNetwork.save`.  Lookups verify
+    the stored fingerprint and silently recompile over corrupt or
+    stale-schema entries, so the cache can never poison an inference.
+    Writes are atomic (tmp + rename) and failures to persist (read-only
+    cache dir, full disk) degrade to in-memory compilation.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.npz"
+
+    def get_or_compile(
+        self,
+        network: BinarizedNetwork,
+        chip_n: int,
+        sc_per_npe: int = 10,
+        reorder: bool = True,
+    ) -> CompiledNetwork:
+        """Return the compiled artifact, loading from disk on a hit."""
+        fingerprint = network_fingerprint(
+            network, chip_n, sc_per_npe, reorder
+        )
+        path = self.path_for(fingerprint)
+        if path.exists():
+            try:
+                compiled = CompiledNetwork.load(path)
+                if compiled.fingerprint == fingerprint:
+                    with self._lock:
+                        self.hits += 1
+                    return compiled
+            except ConfigurationError:
+                pass  # corrupt or stale entry: fall through and recompile
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.misses += 1
+        compiled = compile_network(network, chip_n, sc_per_npe, reorder)
+        try:
+            compiled.save(path)
+        except OSError:
+            pass  # unwritable cache: the in-memory artifact still serves
+        return compiled
+
+    def clear(self) -> int:
+        """Remove every cached artifact; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*.npz"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for entry in self.root.glob("*.npz"):
+                try:
+                    size += entry.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return CacheStats(
+            hits=self.hits, misses=self.misses, entries=entries, bytes=size
+        )
+
+
+_DEFAULT_CACHE: Optional[PlanCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
+
+
+def default_cache() -> PlanCache:
+    """The process-wide shared :class:`PlanCache` (lazily built)."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None \
+                or _DEFAULT_CACHE.root != default_cache_dir():
+            _DEFAULT_CACHE = PlanCache()
+        return _DEFAULT_CACHE
+
+
+def resolve_plan_cache(
+    plan_cache: Union[str, PlanCache, None]
+) -> Optional[PlanCache]:
+    """Normalise the ``plan_cache`` argument accepted across the serving
+    stack: ``"default"`` -> the shared process cache, ``None`` -> no disk
+    cache (in-memory compilation only), a :class:`PlanCache` -> itself."""
+    if plan_cache is None:
+        return None
+    if isinstance(plan_cache, PlanCache):
+        return plan_cache
+    if plan_cache == "default":
+        return default_cache()
+    raise ConfigurationError(
+        f"plan_cache must be None, 'default' or a PlanCache instance, "
+        f"got {plan_cache!r}"
+    )

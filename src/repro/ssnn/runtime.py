@@ -36,6 +36,12 @@ from repro.rsfq.faults import FaultModel
 from repro.snn.binarize import BinarizedLayer, BinarizedNetwork
 from repro.ssnn.bitslice import BitSlicePlan, plan_network
 from repro.ssnn.bucketing import hardware_layer_outputs
+from repro.ssnn.compile import (
+    CompiledNetwork,
+    PlanCache,
+    compile_network,
+    resolve_plan_cache,
+)
 
 
 def _stable_seed(*parts) -> int:
@@ -60,17 +66,22 @@ def perturb_spike_trains(
     reproducible* transient-fault realisation -- the property the
     self-healing retry loop needs.
 
-    Returns ``(perturbed trains, injected fault count)``.
+    Returns ``(perturbed trains, injected fault count)``.  When no spec
+    has a positive probability the input is returned as-is (no copy, no
+    RNG construction, ``injected=0``) -- the zero-probability
+    configuration used by overhead benchmarks and campaign baselines
+    must not pay for a full-array copy per attempt.
     """
+    active_specs = [spec for spec in faults.specs if spec.probability > 0.0]
+    if not active_specs:
+        return np.asarray(spike_trains, dtype=np.float64), 0
     rng = np.random.default_rng(
         _stable_seed("sushi-runtime-faults", repr(faults.seed), attempt)
     )
     trains = np.array(spike_trains, dtype=np.float64, copy=True)
     injected = 0
-    for spec in faults.specs:
+    for spec in active_specs:
         p = spec.probability
-        if p <= 0.0:
-            continue
         if spec.kind == "pulse_drop":
             mask = (trains > 0) & (rng.random(trains.shape) < p)
             injected += int(mask.sum())
@@ -172,7 +183,12 @@ def _fast_forward_rows(
     ripple-counter semantics.
 
     Returns ``(decisions, spurious, synops)``.  Module-level (not a
-    method) so process-pool workers can pickle it.
+    method) so process-pool workers can pickle it.  This is the
+    *legacy* (pre-compile) kernel kept as the differential baseline;
+    the serving path runs the fused
+    :meth:`repro.ssnn.compile.CompiledNetwork.forward_rows` instead,
+    which is bit-identical but folds the final-sum reference and the
+    synops statistic into the two bucket matmuls.
     """
     current = rows
     spurious = 0
@@ -186,6 +202,32 @@ def _fast_forward_rows(
         synops += int((current @ (layer.signed_weights != 0)).sum())
         current = decisions
     return current, spurious, synops
+
+
+# -- process-pool worker state (one-shot executor path) ----------------------
+#
+# The layer stack (or compiled plan) crosses the process boundary exactly
+# once, through the executor's initializer, instead of being re-pickled
+# with every mapped chunk as the interim implementation did.
+
+_WORKER_STATE: dict = {}
+
+
+def _init_fast_worker(layers, capacity, reorder) -> None:
+    _WORKER_STATE["fast"] = (list(layers), capacity, reorder)
+
+
+def _run_fast_chunk(chunk: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    layers, capacity, reorder = _WORKER_STATE["fast"]
+    return _fast_forward_rows(layers, chunk, capacity, reorder)
+
+
+def _init_compiled_worker(compiled: CompiledNetwork) -> None:
+    _WORKER_STATE["compiled"] = compiled
+
+
+def _run_compiled_chunk(chunk: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    return _WORKER_STATE["compiled"].forward_rows(chunk)
 
 
 @dataclass
@@ -237,9 +279,23 @@ class SushiRuntime:
         reorder: Stream inhibitory synapses first (the paper's bucketing);
             ``False`` selects the naive-order ablation (fast engine only).
         max_workers: Fast engine only -- shard the row block across a
-            process pool of this size.  ``None``/``0``/``1`` run serially
+            worker pool of this size.  ``None``/``0``/``1`` run serially
             (the default; identical results either way, the pool only
-            changes wall-clock time).
+            changes wall-clock time).  With ``persistent_workers=True``
+            (default) the workers are a long-lived
+            :class:`~repro.ssnn.pool.InferencePool`: spawned on first
+            use, fed through shared memory, reused across ``infer``
+            calls, released by :meth:`close` (or GC).
+        persistent_workers: When False, fall back to a throwaway
+            per-call ``ProcessPoolExecutor`` (the plan still crosses
+            the process boundary only once, via the initializer).
+        use_compiled: Execute the fast engine through the compile-once
+            :class:`~repro.ssnn.compile.CompiledNetwork` artifact
+            (default).  ``False`` selects the legacy per-layer kernel --
+            bit-identical, kept as the differential baseline.
+        plan_cache: ``"default"`` (share the process-wide on-disk
+            :class:`~repro.ssnn.compile.PlanCache`), ``None`` (compile
+            in memory only) or an explicit :class:`PlanCache`.
         faults: Optional :class:`~repro.rsfq.faults.FaultModel`.  When
             active, every :meth:`infer` runs the self-healing loop: the
             input spike trains are corrupted per the model
@@ -265,6 +321,9 @@ class SushiRuntime:
         max_workers: Optional[int] = None,
         faults: Optional[FaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        use_compiled: bool = True,
+        plan_cache="default",
+        persistent_workers: bool = True,
     ):
         if engine not in ("fast", "behavioral"):
             raise ConfigurationError(
@@ -279,7 +338,28 @@ class SushiRuntime:
         self.max_workers = max_workers
         self.faults = faults
         self.retry_policy = retry_policy or RetryPolicy()
+        self.use_compiled = use_compiled
+        self.persistent_workers = persistent_workers
+        self.plan_cache: Optional[PlanCache] = resolve_plan_cache(plan_cache)
         self._plan_cache: dict = {}
+        self._compiled_memo: dict = {}
+        self._pool = None  # lazily-built InferencePool (persistent workers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent worker pool (if one was spawned).
+        Safe to call repeatedly; the runtime stays usable (a fresh pool
+        is spawned on the next parallel dispatch)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "SushiRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- public API ---------------------------------------------------------
 
@@ -434,57 +514,138 @@ class SushiRuntime:
         self._plan_cache[key] = (weakref.ref(network), plan)
         return plan
 
+    def _compiled_for(self, network: BinarizedNetwork) -> CompiledNetwork:
+        """Memoised compiled artifact per network object; on a memo miss
+        the content-addressed on-disk :class:`PlanCache` (when enabled)
+        is consulted before compiling from scratch, so fresh runtimes --
+        and fresh *processes* -- skip planning for known networks."""
+        key = id(network)
+        cached = self._compiled_memo.get(key)
+        if cached is not None and cached[0]() is network:
+            return cached[1]
+        if self.plan_cache is not None:
+            compiled = self.plan_cache.get_or_compile(
+                network, self.chip_n, self.sc_per_npe, self.reorder
+            )
+        else:
+            compiled = compile_network(
+                network, self.chip_n, self.sc_per_npe, self.reorder
+            )
+        dead = [k for k, (ref, _) in self._compiled_memo.items()
+                if ref() is None]
+        for k in dead:
+            del self._compiled_memo[k]
+        self._compiled_memo[key] = (weakref.ref(network), compiled)
+        return compiled
+
     # -- fast engine ----------------------------------------------------------
 
     def _infer_fast(self, network, spike_trains) -> RuntimeResult:
         capacity = 1 << self.sc_per_npe
         steps, batch, _ = spike_trains.shape
         rows = spike_trains.reshape(steps * batch, network.in_features)
-        decisions, spurious, synops = self._dispatch_rows(
-            network.layers, rows, capacity
-        )
+        if self.use_compiled:
+            compiled = self._compiled_for(network)
+            decisions, spurious, synops = self._dispatch_rows_compiled(
+                compiled, rows
+            )
+            reloads = compiled.reload_events * steps * batch
+        else:
+            decisions, spurious, synops = self._dispatch_rows(
+                network.layers, rows, capacity
+            )
+            reloads = self._plan_for(network).reload_events() * steps * batch
         raster = decisions.reshape(steps, batch, network.out_features)
         rates = raster.mean(axis=0) if steps else raster.sum(axis=0)
-        plan = self._plan_for(network)
         return RuntimeResult(
             rates=rates,
             predictions=rates.argmax(axis=1),
             output_raster=raster,
             spurious_decisions=spurious,
             synaptic_ops=synops,
-            reload_events=plan.reload_events() * steps * batch,
+            reload_events=reloads,
         )
+
+    # Degrade-to-serial exception set: a missing/forbidden multiprocessing
+    # stack (ImportError/OSError/PermissionError) and mid-run pool
+    # failures -- concurrent.futures' BrokenProcessPool and the
+    # RuntimeErrors raised by bad spawn contexts both derive from
+    # RuntimeError, as does InferencePoolError.  Sharding is by rows, so
+    # the serial fallback is bit-identical, only slower.
+    _POOL_FALLBACK_ERRORS = (
+        ImportError, OSError, PermissionError, RuntimeError,
+    )
+
+    def _want_parallel(self, n_rows: int) -> int:
+        """Worker count to use for an ``n_rows`` block (0 = serial)."""
+        workers = self.max_workers or 0
+        if workers > 1 and n_rows >= 2 * workers:
+            return workers
+        return 0
+
+    def _dispatch_rows_compiled(self, compiled, rows):
+        """Serial, persistent-pool or one-shot-executor execution of the
+        row block through the compiled artifact."""
+        workers = self._want_parallel(rows.shape[0])
+        if workers:
+            try:
+                if self.persistent_workers:
+                    return self._pool_for(compiled).infer_rows(rows)
+                return self._dispatch_rows_executor(
+                    _init_compiled_worker, (compiled,),
+                    _run_compiled_chunk, rows, workers,
+                )
+            except self._POOL_FALLBACK_ERRORS:
+                self.close()  # drop a broken pool; respawn on next call
+        return compiled.forward_rows(rows)
+
+    def _pool_for(self, compiled):
+        """The lazily-spawned persistent pool, rebuilt when the compiled
+        plan (or worker count) it serves has changed."""
+        from repro.ssnn.pool import InferencePool
+
+        pool = self._pool
+        if (
+            pool is None
+            or pool.closed
+            or pool.compiled.fingerprint != compiled.fingerprint
+            or pool.workers != self.max_workers
+        ):
+            self.close()
+            pool = InferencePool(compiled, workers=self.max_workers)
+            self._pool = pool
+        return pool
 
     def _dispatch_rows(self, layers, rows, capacity):
-        """Serial or process-pool execution of the row block.  Sharding is
-        by rows, which are independent, so worker count never changes the
-        results -- only the wall-clock time."""
-        workers = self.max_workers or 0
-        if workers > 1 and rows.shape[0] >= 2 * workers:
+        """Legacy-path execution of the row block (serial or one-shot
+        executor).  Sharding is by rows, which are independent, so worker
+        count never changes the results -- only the wall-clock time."""
+        workers = self._want_parallel(rows.shape[0])
+        if workers:
             try:
-                return self._dispatch_rows_parallel(
-                    layers, rows, capacity, workers
+                return self._dispatch_rows_executor(
+                    _init_fast_worker,
+                    (list(layers), capacity, self.reorder),
+                    _run_fast_chunk, rows, workers,
                 )
-            except (ImportError, OSError, PermissionError):
+            except self._POOL_FALLBACK_ERRORS:
                 pass  # no usable process pool here; fall through to serial
-        decisions, spurious, synops = _fast_forward_rows(
-            layers, rows, capacity, self.reorder
-        )
-        return decisions, spurious, synops
+        return _fast_forward_rows(layers, rows, capacity, self.reorder)
 
-    def _dispatch_rows_parallel(self, layers, rows, capacity, workers):
+    @staticmethod
+    def _dispatch_rows_executor(initializer, initargs, fn, rows, workers):
+        """One-shot ``ProcessPoolExecutor`` dispatch.  The weights cross
+        the process boundary exactly once per worker (initializer), not
+        once per chunk as the interim implementation pickled them."""
         from concurrent.futures import ProcessPoolExecutor
 
-        layers = list(layers)
         chunks = np.array_split(rows, workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(
-                _fast_forward_rows,
-                [layers] * len(chunks),
-                chunks,
-                [capacity] * len(chunks),
-                [self.reorder] * len(chunks),
-            ))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            parts = list(pool.map(fn, chunks))
         decisions = np.concatenate([p[0] for p in parts], axis=0)
         spurious = sum(p[1] for p in parts)
         synops = sum(p[2] for p in parts)

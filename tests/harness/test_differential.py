@@ -175,3 +175,37 @@ class TestGateLevelDifferential:
             for s in range(3)
         )
         assert fired > 0
+
+
+class TestCompiledDifferential:
+    """The compiled-path acceptance sweep (engines x reorder x faults)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sweep_passes(self, seed):
+        from repro.harness import run_compiled_differential
+
+        outcome = run_compiled_differential(seed=seed)
+        assert outcome["passed"]
+        assert set(outcome["reports"]) == {
+            "reorder", "naive-order", "faulted"
+        }
+        assert all(outcome["counters_equal"].values())
+        for report in outcome["reports"].values():
+            assert report.passed
+            assert "legacy-fast" in report.results
+
+    def test_legacy_fast_engine_in_run_differential(self):
+        from repro.harness.differential import EXTENDED_ENGINES
+
+        assert set(ENGINES) < set(EXTENDED_ENGINES)
+        network, trains = make_workload(seed=11)
+        report = run_differential(
+            network, trains, engines=("legacy-fast", "fast")
+        )
+        assert report.passed
+        assert report.baseline == "legacy-fast"
+
+    def test_unknown_engine_message_lists_extended_set(self):
+        network, trains = make_workload(seed=12)
+        with pytest.raises(ConfigurationError, match="legacy-fast"):
+            run_differential(network, trains, engines=("warp",))

@@ -1,0 +1,252 @@
+"""Tests for the micro-batching inference server (:mod:`repro.serve`).
+
+Serving is a latency/throughput transform only: every request's answer
+must be bit-identical to running its spike train alone through
+:class:`~repro.ssnn.runtime.SushiRuntime`.  The tests pin that, plus the
+coalescing behaviour (batch_max, shape isolation), the lifecycle
+(start/stop/drain), validation, metrics and the pool-backed path.
+"""
+
+import queue
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import random_binarized_network, random_spike_trains
+from repro.serve import InferenceServer, ServerStats
+from repro.ssnn import SushiRuntime, compile_network
+
+CHIP_N = 4
+SC = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(41)
+    network = random_binarized_network(rng, sizes=(11, 8, 5), sc_per_npe=SC)
+    trains = random_spike_trains(rng, 4, 24, 11)
+    return network, trains
+
+
+def expected_results(network, trains):
+    runtime = SushiRuntime(chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None)
+    return runtime.infer(network, trains)
+
+
+class TestServingEquivalence:
+    def test_answers_match_the_runtime(self, workload):
+        network, trains = workload
+        want = expected_results(network, trains)
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=5.0,
+        ) as server:
+            futures = [
+                server.submit(trains[:, b, :])
+                for b in range(trains.shape[1])
+            ]
+            results = [f.result(timeout=30.0) for f in futures]
+        for b, res in enumerate(results):
+            assert np.array_equal(
+                res.output_raster, want.output_raster[:, b, :]
+            )
+            assert np.array_equal(res.rates, want.rates[b])
+            assert res.prediction == int(want.predictions[b])
+            assert res.steps == trains.shape[0]
+            assert res.latency_ms >= 0.0
+            assert 1 <= res.batch_size <= trains.shape[1]
+
+    def test_accepts_precompiled_artifact(self, workload):
+        network, trains = workload
+        compiled = compile_network(network, CHIP_N, SC)
+        with InferenceServer(compiled=compiled, deadline_ms=0.0) as server:
+            res = server.infer(trains[:, 0, :])
+        want = expected_results(network, trains[:, :1, :])
+        assert np.array_equal(res.output_raster, want.output_raster[:, 0, :])
+
+    def test_three_dim_single_sample_train_is_squeezed(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        ) as server:
+            a = server.infer(trains[:, 0, :])
+            b = server.infer(trains[:, 0:1, :])
+        assert np.array_equal(a.output_raster, b.output_raster)
+
+    def test_pool_backed_serving_matches(self, workload):
+        network, trains = workload
+        want = expected_results(network, trains)
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            workers=2, deadline_ms=20.0, batch_max=trains.shape[1],
+        ) as server:
+            futures = [
+                server.submit(trains[:, b, :])
+                for b in range(trains.shape[1])
+            ]
+            results = [f.result(timeout=30.0) for f in futures]
+        for b, res in enumerate(results):
+            assert np.array_equal(
+                res.output_raster, want.output_raster[:, b, :]
+            )
+
+
+class TestCoalescing:
+    def test_batch_max_bounds_coalescing(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            batch_max=4, deadline_ms=50.0,
+        ) as server:
+            futures = [
+                server.submit(trains[:, b % trains.shape[1], :])
+                for b in range(12)
+            ]
+            results = [f.result(timeout=30.0) for f in futures]
+            stats = server.stats()
+        assert all(r.batch_size <= 4 for r in results)
+        assert stats.samples == 12
+        assert stats.batches >= 3
+
+    def test_mixed_shapes_never_share_a_batch(self, workload):
+        network, trains = workload
+        short = trains[:2, 0, :]
+        long = trains[:, 1, :]
+        want_short = expected_results(network, trains[:2, 1:2, :])
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            batch_max=64, deadline_ms=30.0,
+        ) as server:
+            futures = [
+                server.submit(short), server.submit(long),
+                server.submit(short), server.submit(long),
+            ]
+            results = [f.result(timeout=30.0) for f in futures]
+        assert results[0].steps == 2 and results[1].steps == trains.shape[0]
+        # A short and a long request can never ride together.
+        for res in results:
+            assert res.batch_size <= 2
+        check = expected_results(network, short[:, None, :])
+        assert np.array_equal(
+            results[2].output_raster, check.output_raster[:, 0, :]
+        )
+        del want_short
+
+
+class TestLifecycleAndValidation:
+    def test_constructor_validation(self, workload):
+        network, _ = workload
+        compiled = compile_network(network, CHIP_N, SC)
+        with pytest.raises(ConfigurationError):
+            InferenceServer()
+        with pytest.raises(ConfigurationError):
+            InferenceServer(network, compiled=compiled)
+        with pytest.raises(ConfigurationError):
+            InferenceServer(network, batch_max=0, plan_cache=None)
+        with pytest.raises(ConfigurationError):
+            InferenceServer(network, deadline_ms=-1.0, plan_cache=None)
+        with pytest.raises(ConfigurationError):
+            InferenceServer(network, workers=-1, plan_cache=None)
+
+    def test_submit_requires_running_server(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None
+        )
+        with pytest.raises(ConfigurationError):
+            server.submit(trains[:, 0, :])
+
+    def test_rejects_wrong_width(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None
+        ) as server:
+            with pytest.raises(ConfigurationError):
+                server.submit(np.zeros((3, network.in_features + 1)))
+            with pytest.raises(ConfigurationError):
+                server.submit(np.zeros(network.in_features))
+
+    def test_stop_drains_queued_requests(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=1.0,
+        ).start()
+        futures = [server.submit(trains[:, b, :]) for b in range(6)]
+        server.stop(drain=True)
+        for future in futures:
+            assert future.result(timeout=5.0).steps == trains.shape[0]
+
+    def test_stop_without_drain_fails_pending(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=200.0, batch_max=4096,
+        ).start()
+        futures = [server.submit(trains[:, b, :]) for b in range(8)]
+        server.stop(drain=False)
+        outcomes = []
+        for future in futures:
+            try:
+                future.result(timeout=10.0)
+                outcomes.append("ok")
+            except ConfigurationError:
+                outcomes.append("failed")
+        # Every request resolved one way or the other; none hang.
+        assert len(outcomes) == 8
+
+    def test_restart_after_stop(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        )
+        server.start()
+        server.stop()
+        server.start()
+        try:
+            res = server.infer(trains[:, 0, :])
+            assert res.steps == trains.shape[0]
+        finally:
+            server.stop()
+
+
+class TestMetrics:
+    def test_stats_accumulate(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=2.0,
+        ) as server:
+            for b in range(5):
+                server.infer(trains[:, b, :])
+            stats = server.stats()
+        assert isinstance(stats, ServerStats)
+        assert stats.requests == 5
+        assert stats.completed == 5
+        assert stats.samples == 5
+        assert stats.failed == 0
+        assert stats.batches >= 1
+        assert stats.mean_batch > 0
+        assert stats.latency_ms_p50 >= 0.0
+        assert stats.latency_ms_max >= stats.latency_ms_p95 >= 0.0
+        assert stats.fps > 0
+        assert stats.synaptic_ops > 0
+        assert stats.sops > 0
+        payload = stats.to_dict()
+        assert payload["requests"] == 5
+        assert set(payload) >= {
+            "fps", "sops", "latency_ms_p50", "mean_batch",
+        }
+
+    def test_repr_shows_mode(self, workload):
+        network, _ = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None
+        )
+        assert "stopped" in repr(server)
+        with server:
+            assert "running" in repr(server)

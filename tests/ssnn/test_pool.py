@@ -1,0 +1,167 @@
+"""Tests for the persistent shared-memory pool (:mod:`repro.ssnn.pool`).
+
+The pool is a pure performance transform: every test here pins
+``InferencePool.infer_rows`` bit-for-bit against the serial
+``CompiledNetwork.forward_rows``, across shard counts, row-block sizes
+and buffer growth, and exercises the failure paths (closed pool, dead
+worker) the serving layer degrades on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import random_binarized_network, random_spike_trains
+from repro.ssnn import (
+    InferencePool,
+    InferencePoolError,
+    SushiRuntime,
+    compile_network,
+)
+
+CHIP_N = 4
+SC = 8
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(21)
+    network = random_binarized_network(rng, sizes=(12, 9, 5), sc_per_npe=SC)
+    return compile_network(network, CHIP_N, SC)
+
+
+def rows_for(compiled, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, compiled.in_features)) < 0.4).astype(np.float64)
+
+
+class TestShards:
+    def test_shards_cover_and_balance(self):
+        for n_rows in (0, 1, 2, 7, 16):
+            for parts in (1, 2, 5):
+                shards = InferencePool._shards(n_rows, parts)
+                flat = [i for s, e in shards for i in range(s, e)]
+                assert flat == list(range(n_rows))
+                sizes = [e - s for s, e in shards]
+                if sizes:
+                    assert max(sizes) - min(sizes) <= 1
+
+
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_bit_identical_to_serial(self, compiled, workers):
+        rows = rows_for(compiled, 17, seed=workers)
+        want_dec, want_spur, want_syn = compiled.forward_rows(rows)
+        with InferencePool(compiled, workers=workers) as pool:
+            got_dec, got_spur, got_syn = pool.infer_rows(rows)
+        assert np.array_equal(got_dec, want_dec)
+        assert got_spur == want_spur
+        assert got_syn == want_syn
+
+    def test_empty_and_single_row_blocks(self, compiled):
+        with InferencePool(compiled, workers=2) as pool:
+            dec, spur, syn = pool.infer_rows(rows_for(compiled, 0))
+            assert dec.shape == (0, compiled.out_features)
+            assert (spur, syn) == (0, 0)
+            rows = rows_for(compiled, 1, seed=5)
+            want = compiled.forward_rows(rows)
+            got = pool.infer_rows(rows)
+            assert np.array_equal(got[0], want[0])
+            assert got[1:] == want[1:]
+
+    def test_buffers_grow_and_results_stay_exact(self, compiled):
+        with InferencePool(compiled, workers=2) as pool:
+            for n in (2, 8, 64, 3, 128):
+                rows = rows_for(compiled, n, seed=n)
+                want = compiled.forward_rows(rows)
+                got = pool.infer_rows(rows)
+                assert np.array_equal(got[0], want[0])
+                assert got[1:] == want[1:]
+
+    def test_rejects_bad_row_shapes(self, compiled):
+        with InferencePool(compiled, workers=1) as pool:
+            with pytest.raises(ConfigurationError):
+                pool.infer_rows(
+                    np.zeros((3, compiled.in_features + 2))
+                )
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent_and_rejects_work(self, compiled):
+        pool = InferencePool(compiled, workers=1)
+        pool.close()
+        pool.close()
+        assert pool.closed
+        assert pool.alive_workers() == 0
+        with pytest.raises(InferencePoolError):
+            pool.infer_rows(rows_for(compiled, 2))
+
+    def test_dead_worker_raises_pool_error(self, compiled):
+        pool = InferencePool(
+            compiled, workers=1, result_timeout_s=30.0
+        )
+        try:
+            pool._procs[0].terminate()
+            pool._procs[0].join(timeout=5.0)
+            with pytest.raises(InferencePoolError):
+                pool.infer_rows(rows_for(compiled, 4))
+        finally:
+            pool.close()
+
+    def test_validates_construction(self, compiled):
+        with pytest.raises(ConfigurationError):
+            InferencePool(compiled, workers=0)
+        with pytest.raises(ConfigurationError):
+            InferencePool(compiled, workers=1, result_timeout_s=0)
+
+    def test_repr_mentions_plan(self, compiled):
+        with InferencePool(compiled, workers=1) as pool:
+            assert compiled.fingerprint[:12] in repr(pool)
+        assert "closed" in repr(pool)
+
+
+class TestRuntimeIntegration:
+    def test_persistent_pool_runtime_matches_serial(self):
+        rng = np.random.default_rng(31)
+        network = random_binarized_network(
+            rng, sizes=(10, 7, 4), sc_per_npe=SC
+        )
+        trains = random_spike_trains(rng, 3, 8, 10)
+        serial = SushiRuntime(
+            chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None
+        ).infer(network, trains)
+        with SushiRuntime(
+            chip_n=CHIP_N, sc_per_npe=SC, max_workers=2,
+            persistent_workers=True, plan_cache=None,
+        ) as runtime:
+            pooled = runtime.infer(network, trains)
+            # The pool persists across calls on the same runtime.
+            again = runtime.infer(network, trains)
+        assert np.array_equal(pooled.output_raster, serial.output_raster)
+        assert pooled.spurious_decisions == serial.spurious_decisions
+        assert pooled.synaptic_ops == serial.synaptic_ops
+        assert pooled.reload_events == serial.reload_events
+        assert np.array_equal(again.output_raster, serial.output_raster)
+
+    def test_runtime_degrades_to_serial_when_pool_dies(self):
+        rng = np.random.default_rng(32)
+        network = random_binarized_network(
+            rng, sizes=(10, 7, 4), sc_per_npe=SC
+        )
+        trains = random_spike_trains(rng, 3, 8, 10)
+        serial = SushiRuntime(
+            chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None
+        ).infer(network, trains)
+        with SushiRuntime(
+            chip_n=CHIP_N, sc_per_npe=SC, max_workers=2,
+            persistent_workers=True, plan_cache=None,
+        ) as runtime:
+            first = runtime.infer(network, trains)
+            # Kill the pool workers behind the runtime's back.
+            for proc in runtime._pool._procs:
+                proc.terminate()
+                proc.join(timeout=5.0)
+            healed = runtime.infer(network, trains)
+        assert np.array_equal(first.output_raster, serial.output_raster)
+        assert np.array_equal(healed.output_raster, serial.output_raster)
+        assert healed.synaptic_ops == serial.synaptic_ops
