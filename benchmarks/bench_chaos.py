@@ -1,0 +1,182 @@
+"""Chaos benchmark report: ``BENCH_chaos.json`` writer/checker.
+
+Runs the deterministic chaos campaign (:mod:`repro.harness.chaos`) and
+a zero-failure overhead measurement against the pre-supervision pool
+replica (``legacy_pool.LegacyInferencePool``), and pins the
+deterministic outcomes the way ``bench_faults.py`` pins campaign
+counters:
+
+* **Pinned** (checked by ``--check`` and the CI chaos-smoke step): the
+  pass/fail verdict of every scenario (each scenario internally asserts
+  bit-identical-to-serial predictions and full worker restoration), the
+  exact chaos-injection counts of the single-shot scenarios, and the
+  breaker-cycle transition counters (opens / closes / probes /
+  pool_failures).  Any drift means the supervision *semantics* changed
+  and must be acknowledged by regenerating the baseline.
+* **Informational** (recorded, never asserted): per-scenario recovery
+  wall time and the measured zero-failure supervision overhead ratio
+  (the structural <5% guard lives in
+  ``benchmarks/test_supervision_overhead.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --write   # new baseline
+    PYTHONPATH=src python benchmarks/bench_chaos.py --check   # CI drift gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from legacy_pool import LegacyInferencePool  # noqa: E402
+from legacy_runtime import make_serving_workload  # noqa: E402
+from repro.harness.chaos import run_chaos  # noqa: E402
+from repro.ssnn import InferencePool, compile_network  # noqa: E402
+
+REPORT_PATH = Path(__file__).resolve().parent / "BENCH_chaos.json"
+SCHEMA_VERSION = 1
+
+#: Deterministic per-scenario detail fields pinned alongside ``passed``.
+PINNED_DETAILS = {
+    "worker-kill": ("fired",),
+    "shm-unlink": ("fired",),
+    "shm-corrupt": ("fired",),
+    "breaker-cycle": ("opens", "closes", "probes", "pool_failures"),
+}
+
+
+def run_campaign() -> dict:
+    report = run_chaos(quick=True)
+    if not report["passed"]:
+        failing = [s["name"] for s in report["scenarios"]
+                   if not s["passed"]]
+        raise AssertionError(
+            f"chaos scenarios failed their recovery invariants: {failing}"
+        )
+    return report
+
+
+def measure_zero_failure_overhead(repeats: int = 3, calls: int = 4) -> dict:
+    """Steady-state supervised-vs-legacy pool timing (informational; the
+    asserted <5% gate is ``test_supervision_overhead.py``)."""
+    network, rows, _steps, _batch = make_serving_workload(
+        sizes=(196, 64, 10), batch=96,
+    )
+    compiled = compile_network(network, 16, 10)
+
+    def sweep(pool) -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            pool.infer_rows(rows)
+        return time.perf_counter() - start
+
+    with LegacyInferencePool(compiled, workers=2) as legacy:
+        legacy.infer_rows(rows)  # warm-up
+        t_legacy = min(sweep(legacy) for _ in range(repeats))
+    with InferencePool(compiled, workers=2) as pool:
+        pool.infer_rows(rows)  # warm-up
+        t_supervised = min(sweep(pool) for _ in range(repeats))
+    return {
+        "legacy_pool_s": round(t_legacy, 6),
+        "supervised_pool_s": round(t_supervised, 6),
+        "overhead_ratio": round(t_supervised / t_legacy, 4),
+    }
+
+
+def measure() -> dict:
+    campaign = run_campaign()
+    recovery = {
+        entry["name"]: entry["elapsed_s"]
+        for entry in campaign["scenarios"]
+    }
+    return {
+        "version": SCHEMA_VERSION,
+        "note": ("scenario verdicts, injection counts and breaker "
+                 "counters are pinned by --check; recovery latencies "
+                 "and the overhead ratio are informational"),
+        "campaign": campaign,
+        "recovery_latency_s": recovery,
+        "zero_failure_overhead": measure_zero_failure_overhead(),
+    }
+
+
+def _pinned_view(report: dict) -> dict:
+    view = {}
+    scenarios = {
+        entry["name"]: entry
+        for entry in report.get("campaign", {}).get("scenarios", [])
+    }
+    for name, entry in scenarios.items():
+        view[f"chaos.{name}.passed"] = entry.get("passed")
+        for field in PINNED_DETAILS.get(name, ()):
+            view[f"chaos.{name}.{field}"] = (
+                entry.get("details", {}).get(field)
+            )
+    view["chaos.schema"] = report.get("campaign", {}).get("schema")
+    view["chaos.all_passed"] = report.get("campaign", {}).get("passed")
+    return view
+
+
+def write(path: Path = REPORT_PATH) -> dict:
+    report = measure()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return report
+
+
+def check(path: Path = REPORT_PATH) -> int:
+    if not path.exists():
+        print(f"missing baseline {path}; run with --write first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(path.read_text())
+    if baseline.get("version") != SCHEMA_VERSION:
+        print(f"baseline schema {baseline.get('version')} != "
+              f"{SCHEMA_VERSION}; regenerate with --write", file=sys.stderr)
+        return 2
+    expected = _pinned_view(baseline)
+    actual = _pinned_view(measure())
+    drift = {
+        key: (expected.get(key), actual.get(key))
+        for key in sorted(set(expected) | set(actual))
+        if expected.get(key) != actual.get(key)
+    }
+    if drift:
+        print("chaos drift against BENCH_chaos.json:", file=sys.stderr)
+        for key, (want, got) in drift.items():
+            print(f"  {key}: baseline={want} measured={got}",
+                  file=sys.stderr)
+        print("(if the change is intentional, regenerate the baseline "
+              "with --write)", file=sys.stderr)
+        return 1
+    print(f"chaos smoke OK: {len(expected)} pinned fields match "
+          f"{path.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and (re)write the baseline JSON")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on pinned-field drift")
+    args = parser.parse_args(argv)
+    if args.write:
+        report = write()
+        ratio = report["zero_failure_overhead"]["overhead_ratio"]
+        print(f"  zero-failure overhead ratio = {ratio}x")
+        for name, elapsed in report["recovery_latency_s"].items():
+            print(f"  {name}: recovered in {elapsed}s")
+        return 0
+    return check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Usage::
     python -m repro table2 fig13        # run selected experiments
     python -m repro all                 # everything (trains models; slow)
     python -m repro all --fast          # model-only experiments (seconds)
+    python -m repro chaos --quick       # serving chaos campaign (JSON via --out)
 """
 
 from __future__ import annotations
@@ -46,6 +47,13 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["chaos"]:
+        # The chaos campaign has its own flags (--quick/--scenario/--out);
+        # hand the rest of the command line straight to its parser.
+        from repro.harness.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SUSHI paper's tables and figures.",
@@ -64,6 +72,8 @@ def main(argv=None) -> int:
         for name, (_, trains) in EXPERIMENTS.items():
             tag = " (trains a model)" if trains else ""
             print(f"  {name}{tag}")
+        print("  chaos (serving chaos campaign; "
+              "python -m repro chaos --help)")
         return 0
 
     names = (list(EXPERIMENTS) if args.names in (["all"], [])

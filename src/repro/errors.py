@@ -70,12 +70,19 @@ class WorkerTimeoutError(ReproError):
 
 
 class DeadlineExceededError(ReproError):
-    """A simulation run exceeded its wall-clock ``deadline_s`` guard.
+    """A wall-clock deadline lapsed before the work could run.
 
-    Raised by :meth:`repro.rsfq.simulator.Simulator.run` (and the
-    partitioned engine's round loop) when the host wall-clock budget runs
-    out with events still pending.  Complements ``max_events``: the event
-    guard bounds *logical* work, the deadline bounds *physical* time, so a
-    pathologically slow (but not runaway) simulation cannot stall a batch
-    runtime or campaign sweep.
+    Two layers raise it:
+
+    * :meth:`repro.rsfq.simulator.Simulator.run` (and the partitioned
+      engine's round loop) when the ``deadline_s`` guard runs out with
+      events still pending.  Complements ``max_events``: the event guard
+      bounds *logical* work, the deadline bounds *physical* time, so a
+      pathologically slow (but not runaway) simulation cannot stall a
+      batch runtime or campaign sweep.
+    * The serving dispatcher, for requests submitted with a per-request
+      ``deadline_ms`` that were still queued when the deadline lapsed:
+      the request fails at dispatch time instead of burning a batch slot
+      (counted as ``expired`` in
+      :class:`repro.serve.metrics.ServerStats`).
     """

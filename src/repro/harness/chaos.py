@@ -1,0 +1,503 @@
+"""Deterministic chaos harness for the supervised serving pipeline.
+
+Every scenario injects one process-level failure mode into a live
+:class:`~repro.ssnn.pool.InferencePool` (or a full
+:class:`~repro.serve.server.InferenceServer`) and asserts the two
+invariants the robustness layer promises (docs/SERVING.md, "Failure
+semantics"):
+
+1. **Bit-identical answers** -- every recovered call returns exactly
+   the serial ``CompiledNetwork.forward_rows`` result (decisions,
+   spurious count and synaptic-op count all equal).
+2. **Full restoration** -- after the dust settles,
+   ``alive_workers()`` equals the configured worker count again.
+
+Faults are injected *inside the worker process* through the pool's
+picklable ``chaos_hook`` (called before every task), so scenarios do
+not depend on racing the parent from the outside.  Each hook draws
+fire permits from a shared on-disk budget (``O_CREAT | O_EXCL`` marker
+files), which makes the injection count exact across worker
+generations: a respawned worker inherits the same hook and the same
+budget, so "kill exactly one worker" means exactly one -- even though
+the killer is resurrected with the hook still armed.
+
+Scenarios (``python -m repro chaos``; ``--quick`` shrinks workloads):
+
+* ``worker-kill``    -- SIGKILL a worker mid-batch; shard retry.
+* ``worker-freeze``  -- a worker stalls past ``result_timeout_s``;
+  force-kill + respawn on the progress deadline.
+* ``shm-unlink``     -- an input segment vanishes mid-batch; republish
+  under fresh names with a bumped epoch.
+* ``shm-corrupt``    -- an input epoch guard is scribbled over; stale
+  detection + republish.
+* ``poison-batch``   -- a row block that kills workers on every
+  delivery is quarantined (:class:`PoisonBatchError`) twice, served
+  serially, and the pool survives to serve the next block.
+* ``breaker-cycle``  -- consecutive pool failures open the server's
+  :class:`~repro.serve.breaker.CircuitBreaker`; the half-open probe
+  closes it; answers are identical throughout.
+
+The runner emits a ``repro.chaos/v1`` JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.harness.differential import random_binarized_network
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.server import InferenceServer
+from repro.ssnn.compile import CompiledNetwork, compile_network
+from repro.ssnn.pool import InferencePool, PoisonBatchError
+
+CHAOS_SCHEMA = "repro.chaos/v1"
+
+#: Chip configuration every scenario compiles against (small enough to
+#: spawn in milliseconds, big enough to shard).
+CHIP_N = 4
+SC_PER_NPE = 8
+WORKERS = 2
+
+
+class ChaosAssertionError(AssertionError):
+    """A chaos scenario's recovery invariant did not hold."""
+
+
+# -- fault-injection hooks (picklable; executed inside workers) --------------
+
+
+class ChaosHook:
+    """Base hook: fires at most ``budget`` times across *all* worker
+    generations, using ``O_CREAT | O_EXCL`` marker files in
+    ``marker_dir`` as an atomic cross-process permit pool."""
+
+    def __init__(self, marker_dir: str, budget: int = 1):
+        self.marker_dir = marker_dir
+        self.budget = budget
+
+    def _claim(self) -> bool:
+        """Atomically claim one fire permit; False once exhausted."""
+        for i in range(self.budget):
+            path = os.path.join(self.marker_dir, f"fired-{i}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def fired(self) -> int:
+        """Permits consumed so far (parent-side observability)."""
+        return sum(
+            1 for name in os.listdir(self.marker_dir)
+            if name.startswith("fired-")
+        )
+
+    def __call__(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        if self._claim():
+            self.fire(slot, job, epoch, shard, in_name, out_name)
+
+    def fire(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        raise NotImplementedError
+
+
+class KillHook(ChaosHook):
+    """SIGKILL the worker before it touches the task (a crashed or
+    OOM-killed process; the harshest exit -- no cleanup, no result)."""
+
+    def fire(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class FreezeHook(ChaosHook):
+    """Stall the worker well past the pool's ``result_timeout_s`` (a
+    livelocked or SIGSTOPped process that is alive but makes no
+    progress)."""
+
+    def __init__(self, marker_dir: str, budget: int = 1,
+                 sleep_s: float = 30.0):
+        super().__init__(marker_dir, budget)
+        self.sleep_s = sleep_s
+
+    def fire(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        time.sleep(self.sleep_s)
+
+
+class UnlinkShmHook(ChaosHook):
+    """Unlink the input segment before the task attaches it (a purged
+    ``/dev/shm`` -- the segment name dangles)."""
+
+    def fire(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=in_name)
+        except FileNotFoundError:
+            return
+        try:
+            segment.unlink()
+        finally:
+            segment.close()
+
+
+class CorruptHeaderHook(ChaosHook):
+    """Zero the input segment's ``(job, epoch)`` guard (bit corruption
+    in the header); the worker's validation must reject the task as
+    stale instead of computing on suspect rows."""
+
+    def fire(self, slot, job, epoch, shard, in_name, out_name) -> None:
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(name=in_name)
+        except FileNotFoundError:
+            return
+        try:
+            segment.buf[:16] = b"\x00" * 16
+        finally:
+            segment.close()
+
+
+class _FlakyPool:
+    """Wrap a real pool: the first ``failures`` calls raise, the rest
+    delegate -- a deterministic stand-in for a pool whose host keeps
+    failing (what the circuit breaker exists for)."""
+
+    def __init__(self, inner: InferencePool, failures: int):
+        self._inner = inner
+        self.remaining_failures = failures
+
+    def infer_rows(self, rows):
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise RuntimeError("chaos: injected pool failure")
+        return self._inner.infer_rows(rows)
+
+    @property
+    def closed(self):
+        return self._inner.closed
+
+    @property
+    def compiled(self):
+        return self._inner.compiled
+
+    @property
+    def workers(self):
+        return self._inner.workers
+
+    @property
+    def restarts(self):
+        return self._inner.restarts
+
+    def alive_workers(self):
+        return self._inner.alive_workers()
+
+    def close(self):
+        self._inner.close()
+
+
+# -- workload ----------------------------------------------------------------
+
+
+def _workload(quick: bool):
+    """Deterministic compiled network + row block for the scenarios."""
+    rng = np.random.default_rng(7)
+    network = random_binarized_network(
+        rng, sizes=(12, 9, 5), sc_per_npe=SC_PER_NPE
+    )
+    compiled = compile_network(network, CHIP_N, SC_PER_NPE)
+    n_rows = 12 if quick else 48
+    rows_rng = np.random.default_rng(11)
+    rows = (rows_rng.random((n_rows, compiled.in_features)) < 0.4)
+    return compiled, rows.astype(np.float64)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosAssertionError(message)
+
+
+def _check_equal(got, want, label: str) -> None:
+    _check(np.array_equal(got[0], want[0]),
+           f"{label}: decisions diverged from serial forward_rows")
+    _check(got[1] == want[1],
+           f"{label}: spurious count {got[1]} != serial {want[1]}")
+    _check(got[2] == want[2],
+           f"{label}: synops {got[2]} != serial {want[2]}")
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _scenario_worker_kill(quick: bool, marker_dir: str) -> Dict:
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    hook = KillHook(marker_dir, budget=1)
+    with InferencePool(
+        compiled, workers=WORKERS, chaos_hook=hook, result_timeout_s=30.0
+    ) as pool:
+        got = pool.infer_rows(rows)
+        _check_equal(got, want, "worker-kill")
+        _check(hook.fired() == 1, "worker-kill: hook did not fire")
+        _check(pool.restarts >= 1,
+               "worker-kill: no worker was respawned")
+        _check(pool.alive_workers() == WORKERS,
+               "worker-kill: pool not restored to full worker count")
+        # The pool keeps serving after recovery.
+        _check_equal(pool.infer_rows(rows), want, "worker-kill follow-up")
+        return {"restarts": pool.restarts, "fired": hook.fired()}
+
+
+def _scenario_worker_freeze(quick: bool, marker_dir: str) -> Dict:
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    hook = FreezeHook(marker_dir, budget=1, sleep_s=30.0)
+    with InferencePool(
+        compiled, workers=WORKERS, chaos_hook=hook, result_timeout_s=0.75
+    ) as pool:
+        start = time.monotonic()
+        got = pool.infer_rows(rows)
+        elapsed = time.monotonic() - start
+        _check_equal(got, want, "worker-freeze")
+        _check(hook.fired() == 1, "worker-freeze: hook did not fire")
+        _check(pool.restarts >= 1,
+               "worker-freeze: frozen worker was not force-killed")
+        _check(pool.alive_workers() == WORKERS,
+               "worker-freeze: pool not restored to full worker count")
+        _check(elapsed < 10.0,
+               "worker-freeze: recovery waited for the full freeze")
+        _check_equal(pool.infer_rows(rows), want, "worker-freeze follow-up")
+        return {"restarts": pool.restarts, "recovery_s": round(elapsed, 3)}
+
+
+def _scenario_shm_unlink(quick: bool, marker_dir: str) -> Dict:
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    hook = UnlinkShmHook(marker_dir, budget=1)
+    with InferencePool(
+        compiled, workers=WORKERS, chaos_hook=hook, result_timeout_s=30.0
+    ) as pool:
+        got = pool.infer_rows(rows)
+        _check_equal(got, want, "shm-unlink")
+        _check(hook.fired() == 1, "shm-unlink: hook did not fire")
+        _check(pool.alive_workers() == WORKERS,
+               "shm-unlink: pool not restored to full worker count")
+        _check_equal(pool.infer_rows(rows), want, "shm-unlink follow-up")
+        return {"restarts": pool.restarts, "fired": hook.fired()}
+
+
+def _scenario_shm_corrupt(quick: bool, marker_dir: str) -> Dict:
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    hook = CorruptHeaderHook(marker_dir, budget=1)
+    with InferencePool(
+        compiled, workers=WORKERS, chaos_hook=hook, result_timeout_s=30.0
+    ) as pool:
+        got = pool.infer_rows(rows)
+        _check_equal(got, want, "shm-corrupt")
+        _check(hook.fired() == 1, "shm-corrupt: hook did not fire")
+        _check(pool.alive_workers() == WORKERS,
+               "shm-corrupt: pool not restored to full worker count")
+        _check_equal(pool.infer_rows(rows), want, "shm-corrupt follow-up")
+        return {"restarts": pool.restarts, "fired": hook.fired()}
+
+
+def _scenario_poison_batch(quick: bool, marker_dir: str) -> Dict:
+    """A block that kills its worker on *every* delivery: the pool must
+    quarantine it (twice), the caller serves it serially, and the pool
+    survives to serve clean blocks once the chaos budget is spent."""
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    hook = KillHook(marker_dir, budget=8)
+    poisons = 0
+    calls = 0
+    with InferencePool(
+        compiled, workers=WORKERS, chaos_hook=hook, result_timeout_s=30.0
+    ) as pool:
+        final = None
+        while calls < 12:
+            calls += 1
+            try:
+                final = pool.infer_rows(rows)
+            except PoisonBatchError:
+                poisons += 1
+                _check(pool.alive_workers() == WORKERS,
+                       "poison-batch: pool not restored after quarantine")
+                # The caller's contract: quarantined blocks run serially.
+                _check_equal(compiled.forward_rows(rows), want,
+                             "poison-batch serial fallback")
+                continue
+            break
+        _check(final is not None,
+               "poison-batch: pool never recovered after chaos budget")
+        _check(poisons >= 2,
+               f"poison-batch: expected repeated quarantine, got {poisons}")
+        _check_equal(final, want, "poison-batch recovery")
+        _check(pool.alive_workers() == WORKERS,
+               "poison-batch: pool not restored to full worker count")
+        return {"poisons": poisons, "calls": calls,
+                "restarts": pool.restarts, "fired": hook.fired()}
+
+
+def _scenario_breaker_cycle(quick: bool, marker_dir: str) -> Dict:
+    """Two consecutive pool failures open the server's breaker; while
+    open the pool is skipped; the half-open probe closes it again.
+    Every answer along the way equals the serial forward."""
+    compiled, rows = _workload(quick)
+    steps = 6
+    train = rows[:steps]  # one request: (steps, in_features)
+    decisions, _, _ = compiled.forward_rows(train)
+    rates = decisions.reshape(steps, 1, compiled.out_features).mean(axis=0)
+    want_prediction = int(rates[0].argmax())
+
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=0.3)
+    server = InferenceServer(
+        compiled=compiled, workers=WORKERS, batch_max=4,
+        deadline_ms=0.5, breaker=breaker,
+    )
+    server.start()
+    try:
+        _check(server._pool is not None,
+               "breaker-cycle: server failed to spawn its pool")
+        flaky = _FlakyPool(server._pool, failures=2)
+        server._pool = flaky
+        states: List[str] = [breaker.state]
+        predictions: List[int] = []
+        for _ in range(3):  # 2 failures trip the breaker open
+            predictions.append(server.infer(train, timeout=30.0).prediction)
+            states.append(breaker.state)
+        _check("open" in states,
+               f"breaker-cycle: breaker never opened (states={states})")
+        _check(flaky.remaining_failures == 0,
+               "breaker-cycle: injected failures were not consumed")
+        time.sleep(0.35)  # past reset_timeout_s: open -> half-open
+        _check(breaker.state == "half-open",
+               f"breaker-cycle: expected half-open, got {breaker.state}")
+        predictions.append(server.infer(train, timeout=30.0).prediction)
+        states.append(breaker.state)
+        _check(breaker.state == "closed",
+               f"breaker-cycle: probe did not close (states={states})")
+        for i, prediction in enumerate(predictions):
+            _check(prediction == want_prediction,
+                   f"breaker-cycle: request {i} prediction {prediction} "
+                   f"!= serial {want_prediction}")
+        stats = server.stats()
+        _check(stats.pool_failures == 2,
+               f"breaker-cycle: pool_failures={stats.pool_failures} != 2")
+        _check(stats.workers_alive == WORKERS,
+               "breaker-cycle: pool not restored to full worker count")
+        snapshot = breaker.snapshot()
+        return {
+            "states": states,
+            "opens": snapshot.opens,
+            "closes": snapshot.closes,
+            "probes": snapshot.probes,
+            "pool_failures": stats.pool_failures,
+        }
+    finally:
+        server.stop()
+
+
+SCENARIOS: Dict[str, Callable[[bool, str], Dict]] = {
+    "worker-kill": _scenario_worker_kill,
+    "worker-freeze": _scenario_worker_freeze,
+    "shm-unlink": _scenario_shm_unlink,
+    "shm-corrupt": _scenario_shm_corrupt,
+    "poison-batch": _scenario_poison_batch,
+    "breaker-cycle": _scenario_breaker_cycle,
+}
+
+
+# -- runner ------------------------------------------------------------------
+
+
+def run_scenario(name: str, quick: bool = False) -> Dict:
+    """Run one scenario; returns its report entry (never raises for
+    scenario failures -- ``passed`` carries the verdict)."""
+    runner = SCENARIOS[name]
+    marker_dir = tempfile.mkdtemp(prefix=f"sushi-chaos-{name}-")
+    start = time.monotonic()
+    try:
+        details = runner(quick, marker_dir)
+        entry = {"name": name, "passed": True, "error": None,
+                 "details": details}
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the run
+        entry = {"name": name, "passed": False,
+                 "error": f"{type(exc).__name__}: {exc}", "details": {}}
+    finally:
+        shutil.rmtree(marker_dir, ignore_errors=True)
+    entry["elapsed_s"] = round(time.monotonic() - start, 3)
+    return entry
+
+
+def run_chaos(quick: bool = False,
+              names: Optional[List[str]] = None) -> Dict:
+    """Run the chaos campaign; returns the ``repro.chaos/v1`` report."""
+    selected = list(SCENARIOS) if names is None else names
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown chaos scenarios: {unknown}")
+    scenarios = [run_scenario(name, quick=quick) for name in selected]
+    return {
+        "schema": CHAOS_SCHEMA,
+        "quick": quick,
+        "workers": WORKERS,
+        "scenarios": scenarios,
+        "passed": all(s["passed"] for s in scenarios),
+    }
+
+
+def format_report(report: Dict) -> str:
+    lines = [f"chaos campaign ({'quick' if report['quick'] else 'full'}, "
+             f"{report['workers']} workers)"]
+    for entry in report["scenarios"]:
+        verdict = "ok" if entry["passed"] else "FAIL"
+        detail = ""
+        if entry["error"]:
+            detail = f"  {entry['error']}"
+        elif entry["details"]:
+            pairs = ", ".join(f"{k}={v}" for k, v in entry["details"].items())
+            detail = f"  ({pairs})"
+        lines.append(f"  {entry['name']:<14} {verdict:>4} "
+                     f"[{entry['elapsed_s']:6.2f}s]{detail}")
+    lines.append("all scenarios bit-identical to serial and fully restored"
+                 if report["passed"] else "CHAOS CAMPAIGN FAILED")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Inject process-level chaos into the serving pipeline "
+                    "and assert bit-identical recovery.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=sorted(SCENARIOS),
+                        help="run only the named scenario (repeatable)")
+    parser.add_argument("--out", default=None,
+                        help="write the repro.chaos/v1 JSON report here")
+    args = parser.parse_args(argv)
+    report = run_chaos(quick=args.quick, names=args.scenarios)
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,14 +10,23 @@ across a persistent shared-memory
 :class:`~repro.ssnn.pool.InferencePool` -- and reports per-request
 latency plus aggregate FPS/SOPS counters.
 
+The robustness layer (the supervision story of ``docs/SERVING.md``):
+pool calls are guarded by a :class:`CircuitBreaker` (closed -> open ->
+half-open), per-request ``deadline_ms`` bounds expire queued requests
+at dispatch time, and :meth:`InferenceServer.health` /
+:meth:`InferenceServer.readiness` expose the supervision gauges.
+
 See ``docs/SERVING.md`` for the compile -> pool -> server architecture
 and ``benchmarks/bench_serve.py`` for the committed throughput gates.
 """
 
+from repro.serve.breaker import BreakerSnapshot, CircuitBreaker
 from repro.serve.metrics import ServerStats
 from repro.serve.server import InferenceServer, ServeResult
 
 __all__ = [
+    "BreakerSnapshot",
+    "CircuitBreaker",
     "InferenceServer",
     "ServeResult",
     "ServerStats",

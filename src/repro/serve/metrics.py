@@ -5,6 +5,14 @@ snapshotted into an immutable :class:`ServerStats` by
 :meth:`MetricsRecorder.snapshot` -- cheap enough to poll from a
 monitoring loop.  Latencies are kept in a bounded ring so a long-lived
 server's memory stays O(1).
+
+Robustness counters (this layer's contribution to the supervision story
+in ``docs/SERVING.md``): ``expired`` (requests whose per-request
+deadline lapsed while queued), ``cancelled`` (futures cancelled by the
+caller before dispatch), ``pool_failures`` (batches that fell back to
+serial after a pool error), ``poison_batches`` (batches quarantined by
+:class:`~repro.ssnn.pool.PoisonBatchError`), plus the point-in-time
+breaker / worker / queue fields the server injects at snapshot time.
 """
 
 from __future__ import annotations
@@ -44,6 +52,21 @@ class ServerStats:
             paper's SOPS throughput axis).
         synaptic_ops: Total synaptic operations executed.
         uptime_s: Seconds since the server started.
+        expired: Requests failed at dispatch because their per-request
+            ``deadline_ms`` had lapsed while queued.
+        cancelled: Requests skipped at dispatch because the caller
+            cancelled their future (e.g. :meth:`InferenceServer.infer`
+            timing out).
+        pool_failures: Batches that fell back to serial execution after
+            a pool error (counted toward the circuit breaker).
+        poison_batches: Batches quarantined as poison by the pool and
+            executed serially.
+        pending: Requests accepted but not yet resolved (queue +
+            in-flight); 0 when fully drained.
+        breaker_state: Circuit-breaker state at snapshot time.
+        workers_configured / workers_alive / worker_restarts: Pool
+            supervision gauges (0 when serving serially).
+        queue_depth: Requests waiting in the coalescing queue.
     """
 
     requests: int
@@ -59,6 +82,16 @@ class ServerStats:
     sops: float
     synaptic_ops: int
     uptime_s: float
+    expired: int = 0
+    cancelled: int = 0
+    pool_failures: int = 0
+    poison_batches: int = 0
+    pending: int = 0
+    breaker_state: str = "closed"
+    workers_configured: int = 0
+    workers_alive: int = 0
+    worker_restarts: int = 0
+    queue_depth: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         return {
@@ -75,6 +108,16 @@ class ServerStats:
             "sops": round(self.sops, 1),
             "synaptic_ops": self.synaptic_ops,
             "uptime_s": round(self.uptime_s, 3),
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "pool_failures": self.pool_failures,
+            "poison_batches": self.poison_batches,
+            "pending": self.pending,
+            "breaker_state": self.breaker_state,
+            "workers_configured": self.workers_configured,
+            "workers_alive": self.workers_alive,
+            "worker_restarts": self.worker_restarts,
+            "queue_depth": self.queue_depth,
         }
 
 
@@ -91,6 +134,10 @@ class MetricsRecorder:
         self.samples = 0
         self.batches = 0
         self.synaptic_ops = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.pool_failures = 0
+        self.poison_batches = 0
 
     def record_submit(self, n: int = 1) -> None:
         with self._lock:
@@ -113,10 +160,36 @@ class MetricsRecorder:
         with self._lock:
             self.failed += n
 
-    def snapshot(self) -> ServerStats:
+    def record_expired(self, n: int = 1) -> None:
+        with self._lock:
+            self.expired += n
+
+    def record_cancelled(self, n: int = 1) -> None:
+        with self._lock:
+            self.cancelled += n
+
+    def record_pool_failure(self) -> None:
+        with self._lock:
+            self.pool_failures += 1
+
+    def record_poison(self) -> None:
+        with self._lock:
+            self.poison_batches += 1
+
+    def snapshot(
+        self,
+        *,
+        breaker_state: str = "closed",
+        workers_configured: int = 0,
+        workers_alive: int = 0,
+        worker_restarts: int = 0,
+        queue_depth: int = 0,
+    ) -> ServerStats:
         with self._lock:
             uptime = max(time.monotonic() - self._started, 1e-9)
             ordered = sorted(self._latencies)
+            resolved = (self.completed + self.failed + self.expired
+                        + self.cancelled)
             return ServerStats(
                 requests=self.requests,
                 completed=self.completed,
@@ -132,4 +205,14 @@ class MetricsRecorder:
                 sops=self.synaptic_ops / uptime,
                 synaptic_ops=self.synaptic_ops,
                 uptime_s=uptime,
+                expired=self.expired,
+                cancelled=self.cancelled,
+                pool_failures=self.pool_failures,
+                poison_batches=self.poison_batches,
+                pending=max(0, self.requests - resolved),
+                breaker_state=breaker_state,
+                workers_configured=workers_configured,
+                workers_alive=workers_alive,
+                worker_restarts=worker_restarts,
+                queue_depth=queue_depth,
             )

@@ -12,6 +12,22 @@ real serving stacks expose.
 Requests whose spike trains disagree in shape are never mixed into one
 batch; a shape change simply closes the current window (the mismatched
 request opens the next one).
+
+Failure semantics (see ``docs/SERVING.md``): the pool resurrects its
+own workers, so transient chaos heals *inside* a call; a pool call that
+still fails counts against a :class:`~repro.serve.breaker.CircuitBreaker`
+and the batch re-runs serially (identical answers).  The breaker opens
+after ``K`` consecutive pool failures, skips the pool while open, and
+probes it half-open after a cool-down -- the server never permanently
+discards a pool that might heal.  A
+:class:`~repro.ssnn.pool.PoisonBatchError` is *not* a pool failure: the
+pool already restored itself and fingered the row block, so the batch
+runs serially and the breaker records a success.  Per-request
+``deadline_ms`` bounds let callers cap queueing delay: requests whose
+deadline lapsed while queued fail with
+:class:`~repro.errors.DeadlineExceededError` at dispatch time, and
+futures cancelled by the caller (e.g. an :meth:`InferenceServer.infer`
+timeout) are skipped instead of burning a batch slot.
 """
 
 from __future__ import annotations
@@ -20,19 +36,22 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.snn.binarize import BinarizedNetwork
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import MetricsRecorder, ServerStats
 from repro.ssnn.compile import (
     CompiledNetwork,
     compile_network,
     resolve_plan_cache,
 )
+from repro.ssnn.pool import PoisonBatchError
 
 
 @dataclass(frozen=True)
@@ -62,6 +81,7 @@ class _Request:
     train: np.ndarray  # (T, in_features)
     future: Future
     enqueued: float
+    deadline: Optional[float] = None  # monotonic instant, None = no bound
 
 
 class InferenceServer:
@@ -76,13 +96,18 @@ class InferenceServer:
         batch_max: Coalescing ceiling in samples.
         deadline_ms: Coalescing window: maximum time a request waits for
             companions before its batch is dispatched.
-        workers: ``> 1`` shards batches across a persistent
+        workers: ``> 1`` shards batches across a persistent supervised
             :class:`~repro.ssnn.pool.InferencePool`; ``0``/``1`` run
-            in the dispatcher thread.  Pool failures degrade the server
-            to serial execution (served results are identical).
+            in the dispatcher thread.  Pool failures fall back to serial
+            for that batch (served results are identical) and count
+            against the circuit breaker.
         plan_cache: See :func:`repro.ssnn.compile.resolve_plan_cache`.
         queue_max: Backpressure bound; :meth:`submit` raises
             ``queue.Full`` beyond it.
+        breaker: Circuit breaker guarding the pool path; a default
+            :class:`~repro.serve.breaker.CircuitBreaker` is constructed
+            when omitted.  Inject one with custom thresholds (or a fake
+            clock) for tests and chaos scenarios.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -100,6 +125,7 @@ class InferenceServer:
         workers: int = 0,
         plan_cache="default",
         queue_max: int = 65536,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if (network is None) == (compiled is None):
             raise ConfigurationError(
@@ -125,12 +151,14 @@ class InferenceServer:
         self.batch_max = batch_max
         self.deadline_ms = deadline_ms
         self.workers = workers
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=queue_max)
         self._holdback: Optional[_Request] = None
         self._metrics = MetricsRecorder()
         self._pool = None
         self._thread: Optional[threading.Thread] = None
         self._running = False
+        self._accepting = False
         self._stopping = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
@@ -149,6 +177,7 @@ class InferenceServer:
                 self._pool = None  # serve serially
         self._stopping.clear()
         self._running = True
+        self._accepting = True
         self._thread = threading.Thread(
             target=self._serve_loop, name="sushi-serve", daemon=True
         )
@@ -162,6 +191,7 @@ class InferenceServer:
         if not self._running:
             self._release_pool()
             return
+        self._accepting = False
         if not drain:
             self._fail_pending("server stopped before this request ran")
         self._stopping.set()
@@ -172,6 +202,23 @@ class InferenceServer:
         self._thread = None
         self._fail_pending("server stopped before this request ran")
         self._release_pool()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop accepting new requests and wait until every accepted
+        request has been resolved (answered, failed, expired or
+        cancelled).  The dispatcher keeps running -- call :meth:`stop`
+        afterwards to shut down, or flip :meth:`start` semantics back by
+        restarting.  Returns ``True`` once fully drained, ``False`` on
+        timeout (remaining work keeps draining in the background)."""
+        self._accepting = False
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if (self._queue.empty() and self._holdback is None
+                    and self.stats().pending == 0):
+                return True
+            time.sleep(0.005)
+        return (self._queue.empty() and self._holdback is None
+                and self.stats().pending == 0)
 
     def _release_pool(self) -> None:
         pool, self._pool = self._pool, None
@@ -188,10 +235,15 @@ class InferenceServer:
                 pending.append(self._queue.get_nowait())
             except queue.Empty:
                 break
+        failed = 0
         for request in pending:
-            request.future.set_exception(ConfigurationError(reason))
-        if pending:
-            self._metrics.record_failure(len(pending))
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(ConfigurationError(reason))
+                failed += 1
+            else:
+                self._metrics.record_cancelled()
+        if failed:
+            self._metrics.record_failure(failed)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -202,16 +254,25 @@ class InferenceServer:
     # -- request path --------------------------------------------------------
 
     def submit(
-        self, spike_train: np.ndarray, timeout: Optional[float] = None
+        self,
+        spike_train: np.ndarray,
+        timeout: Optional[float] = None,
+        *,
+        deadline_ms: Optional[float] = None,
     ) -> Future:
         """Enqueue one sample; returns a future of :class:`ServeResult`.
 
         ``spike_train`` is ``(T, in_features)`` (or ``(T, 1,
         in_features)``, squeezed).  Raises immediately on shape errors
-        and ``queue.Full`` under backpressure.
+        and ``queue.Full`` under backpressure.  With ``deadline_ms`` the
+        request fails with :class:`DeadlineExceededError` instead of
+        executing if it is still queued when the deadline lapses.
         """
-        if not self._running:
-            raise ConfigurationError("server is not running; call start()")
+        if not self._running or not self._accepting:
+            raise ConfigurationError("server is not accepting requests; "
+                                     "call start()")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError("deadline_ms must be > 0")
         train = np.asarray(spike_train, dtype=np.float64)
         if train.ndim == 3 and train.shape[1] == 1:
             train = train[:, 0, :]
@@ -224,26 +285,92 @@ class InferenceServer:
                 f"spike width {train.shape[1]} != compiled input "
                 f"{self.compiled.in_features}"
             )
+        now = time.monotonic()
         future: Future = Future()
         request = _Request(
-            train=train, future=future, enqueued=time.monotonic()
+            train=train,
+            future=future,
+            enqueued=now,
+            deadline=(now + deadline_ms / 1000.0
+                      if deadline_ms is not None else None),
         )
         self._queue.put(request, timeout=timeout)
         self._metrics.record_submit()
         return future
 
     def infer(
-        self, spike_train: np.ndarray, timeout: float = 30.0
+        self,
+        spike_train: np.ndarray,
+        timeout: float = 30.0,
+        *,
+        deadline_ms: Optional[float] = None,
     ) -> ServeResult:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(spike_train).result(timeout=timeout)
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        On timeout the underlying future is *cancelled* so the orphaned
+        request never burns a batch slot (it is skipped at dispatch and
+        counted as ``cancelled`` in :meth:`stats`).
+        """
+        future = self.submit(spike_train, deadline_ms=deadline_ms)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise
 
     def stats(self) -> ServerStats:
-        return self._metrics.snapshot()
+        pool = self._pool
+        queue_depth = self._queue.qsize() + (
+            1 if self._holdback is not None else 0
+        )
+        return self._metrics.snapshot(
+            breaker_state=self.breaker.state,
+            workers_configured=(self.workers if pool is not None else 0),
+            workers_alive=(pool.alive_workers() if pool is not None else 0),
+            worker_restarts=(pool.restarts if pool is not None else 0),
+            queue_depth=queue_depth,
+        )
+
+    def health(self) -> Dict:
+        """Point-in-time health snapshot (schema ``repro.serve.health/v1``)."""
+        stats = self.stats()
+        return {
+            "schema": "repro.serve.health/v1",
+            "running": self._running,
+            "accepting": self._accepting,
+            "ready": self.readiness(),
+            "mode": "pool" if self._pool is not None else "serial",
+            "breaker": self.breaker.snapshot().to_dict(),
+            "stats": stats.to_dict(),
+        }
+
+    def readiness(self) -> bool:
+        """``True`` when the server is running, accepting requests, and
+        not shutting down -- the load-balancer admission check."""
+        return (self._running and self._accepting
+                and not self._stopping.is_set())
 
     # -- dispatcher ----------------------------------------------------------
 
     _DEGRADE_ERRORS = (ImportError, OSError, PermissionError, RuntimeError)
+
+    def _admit(self, request: _Request) -> bool:
+        """Dispatch-time admission: skip cancelled futures and expire
+        requests whose per-request deadline lapsed while queued."""
+        if request.deadline is not None \
+                and time.monotonic() >= request.deadline:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(DeadlineExceededError(
+                    "request deadline_ms lapsed while queued"
+                ))
+                self._metrics.record_expired()
+            else:
+                self._metrics.record_cancelled()
+            return False
+        if not request.future.set_running_or_notify_cancel():
+            self._metrics.record_cancelled()
+            return False
+        return True
 
     def _next_request(self, timeout: float) -> Optional[_Request]:
         if self._holdback is not None:
@@ -262,6 +389,8 @@ class InferenceServer:
                         and self._holdback is None:
                     return
                 continue
+            if not self._admit(first):
+                continue
             batch = [first]
             deadline = time.monotonic() + self.deadline_ms / 1000.0
             while len(batch) < self.batch_max:
@@ -277,7 +406,8 @@ class InferenceServer:
                     # coalescing window.
                     self._holdback = nxt
                     break
-                batch.append(nxt)
+                if self._admit(nxt):
+                    batch.append(nxt)
             self._run_batch(batch)
 
     def _run_batch(self, batch: List[_Request]) -> None:
@@ -311,13 +441,26 @@ class InferenceServer:
             self._metrics.record_failure(len(batch))
 
     def _forward(self, rows: np.ndarray):
-        if self._pool is not None:
+        pool = self._pool
+        if pool is not None and not pool.closed and self.breaker.allow():
             try:
-                return self._pool.infer_rows(rows)
+                result = pool.infer_rows(rows)
+            except PoisonBatchError:
+                # The pool healed itself and quarantined this row block;
+                # that is a pool *success* (the block is the suspect).
+                # Run this batch serially and keep the pool.
+                self.breaker.record_success()
+                self._metrics.record_poison()
             except self._DEGRADE_ERRORS:
-                # Pool died: degrade to serial for the rest of the
-                # server's life (results are identical).
-                self._release_pool()
+                # Pool call failed even after supervision: count it
+                # toward the breaker and serve this batch serially.
+                # The pool is kept -- the breaker decides when (and
+                # whether) to try it again.
+                self.breaker.record_failure()
+                self._metrics.record_pool_failure()
+            else:
+                self.breaker.record_success()
+                return result
         return self.compiled.forward_rows(rows)
 
     def __repr__(self) -> str:
@@ -325,6 +468,7 @@ class InferenceServer:
                 else "serial")
         state = "running" if self._running else "stopped"
         return (f"<InferenceServer {state} {mode} "
+                f"breaker={self.breaker.state} "
                 f"batch_max={self.batch_max} "
                 f"deadline_ms={self.deadline_ms} "
                 f"plan={self.compiled.fingerprint[:12]}>")

@@ -39,7 +39,11 @@ from repro.ssnn.compile import (
     network_fingerprint,
     resolve_plan_cache,
 )
-from repro.ssnn.pool import InferencePool, InferencePoolError
+from repro.ssnn.pool import (
+    InferencePool,
+    InferencePoolError,
+    PoisonBatchError,
+)
 from repro.ssnn.encoder import EncodedInference, InferenceTiming, encode_inference
 from repro.ssnn.profiler import LayerProfile, profile_network, profile_report
 from repro.ssnn.reload_opt import optimize_plan, reload_reduction
@@ -73,6 +77,7 @@ __all__ = [
     "resolve_plan_cache",
     "InferencePool",
     "InferencePoolError",
+    "PoisonBatchError",
     "EncodedInference",
     "InferenceTiming",
     "encode_inference",

@@ -1,4 +1,4 @@
-"""Persistent shared-memory inference pool (serving tier 2).
+"""Supervised persistent shared-memory inference pool (serving tier 2).
 
 The interim multi-core path spawned a ``ProcessPoolExecutor`` *per
 ``infer()`` call* and pickled the full layer list once per row chunk --
@@ -21,9 +21,50 @@ for a serving workload that is pure overhead on the hot path.
 Row shards are independent, so worker count never changes results --
 :meth:`InferencePool.infer_rows` is bit-identical to
 :meth:`CompiledNetwork.forward_rows` (asserted by
-``tests/ssnn/test_pool.py``).  A dead worker raises
-:class:`InferencePoolError`, which callers (the runtime and the serving
-layer) catch to degrade gracefully to serial execution.
+``tests/ssnn/test_pool.py``).
+
+Supervision (see ``docs/SERVING.md`` -- "Failure semantics")
+------------------------------------------------------------
+
+SUSHI's own evaluation leans on surviving physical failure modes (JJ
+yield, flux trapping); the serving layer extends that discipline to
+*process-level* chaos.  Each worker owns a private task queue, so the
+parent always knows which shards a worker holds:
+
+* **Resurrection.**  A dead worker (crash, OOM-kill, SIGKILL) is
+  detected by liveness polling during the result wait; the parent
+  respawns it into the same slot (fresh queue, same pickled plan) and
+  re-dispatches *only the missing shards* to the surviving/respawned
+  workers.  Shard accounting is exactly-once per row block per epoch
+  (a ``completed`` map keyed by shard index), so recovered results --
+  and their spurious/synops counters -- are provably bit-identical to
+  a serial :meth:`CompiledNetwork.forward_rows` run.
+* **Frozen workers.**  ``result_timeout_s`` is a *progress* deadline:
+  if no shard lands within it, the workers still holding shards are
+  force-killed (``SIGKILL`` -- a frozen/SIGSTOPped process ignores
+  SIGTERM), respawned and their shards re-dispatched.
+* **Poison quarantine.**  A row block whose execution kills workers in
+  two separate recovery rounds is quarantined: the pool (already
+  restored to full worker count) raises :class:`PoisonBatchError` and
+  the caller routes that block to serial execution, keeping the pool
+  for subsequent blocks.
+* **Segment epoch guard.**  The input segment carries a 16-byte
+  ``(job, epoch)`` header; workers validate it before computing and
+  re-validate immediately before the only externally visible write.  A
+  task surviving from an aborted job (a *zombie*) therefore cannot
+  scribble into a successor's buffers.  Vanished/corrupted segments
+  surface as retryable shard failures: the parent retires both
+  segments, republishes the rows under a bumped epoch, and re-runs the
+  whole block.
+* **Stale-task drain.**  When a call aborts mid-flight, its
+  unaccounted tasks are drained from the worker queues (and the result
+  queue) before the next call reuses the segments; anything still
+  unaccounted after a short grace forces fresh segment names, so a
+  recycled name can never be written by a zombie.
+
+Zero-failure overhead of all of the above is a 16-byte header write per
+call plus per-shard dict bookkeeping -- gated below 5% against the
+pre-supervision pool replica by ``benchmarks/test_supervision_overhead.py``.
 """
 
 from __future__ import annotations
@@ -31,15 +72,29 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import queue as queue_module
+import struct
 import threading
 import time
 import weakref
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.ssnn.compile import CompiledNetwork
+
+#: Bytes reserved at the head of the input segment for the packed
+#: ``(job, epoch)`` guard workers validate before computing/writing.
+_HEADER = 16
+
+#: Worker-death recovery rounds tolerated per row block before the block
+#: is quarantined as poison ("kills workers twice" -> quarantine).
+_MAX_KILL_ROUNDS = 2
+
+#: Segment republish rounds tolerated per row block (vanished/corrupted
+#: shared memory) before the call fails.
+_MAX_SEGMENT_ROUNDS = 3
 
 
 class InferencePoolError(RuntimeError):
@@ -47,6 +102,17 @@ class InferencePoolError(RuntimeError):
 
     Derives from :class:`RuntimeError` so existing degrade-to-serial
     ``except`` clauses catch it alongside ``BrokenProcessPool``.
+    """
+
+
+class PoisonBatchError(InferencePoolError):
+    """A row block killed pool workers in two recovery rounds.
+
+    The pool has already been restored to its full worker count when
+    this is raised; the *block* is the suspect, not the pool.  Callers
+    (the runtime and the serving layer) run the quarantined block
+    serially -- bit-identical, only slower -- and keep using the pool
+    for subsequent blocks.
     """
 
 
@@ -74,65 +140,109 @@ def _attach_shm(name: str):
             resource_tracker.register = original
 
 
-def _worker_main(payload: bytes, tasks, results) -> None:
+def _pack_guard(job: int, epoch: int) -> bytes:
+    return struct.pack("<QQ", job & 0xFFFFFFFFFFFFFFFF, epoch)
+
+
+def _worker_main(slot, payload, tasks, results, chaos_hook=None) -> None:
     """Worker loop: deserialize the compiled plan once, then serve row
-    shards until the ``None`` sentinel arrives."""
+    shards from this slot's private queue until the ``None`` sentinel.
+
+    Results are ``(job, epoch, shard, spurious, synops, status, msg)``
+    with ``status`` one of ``"ok"`` (shard done), ``"shm"`` (segment
+    vanished -- retryable), ``"stale"`` (epoch guard mismatch -- the
+    task outlived its job) or ``"error"`` (execution failed).
+    """
     compiled: CompiledNetwork = pickle.loads(payload)
     while True:
         task = tasks.get()
         if task is None:
             return
-        (job, shard, in_name, shape, out_name, start, end) = task
+        (job, epoch, shard, in_name, shape, out_name, start, end) = task
+        guard = _pack_guard(job, epoch)
         try:
-            shm_in = _attach_shm(in_name)
-            shm_out = _attach_shm(out_name)
+            if chaos_hook is not None:
+                chaos_hook(slot, job, epoch, shard, in_name, out_name)
             try:
+                shm_in = _attach_shm(in_name)
+            except FileNotFoundError:
+                results.put((job, epoch, shard, 0, 0, "shm",
+                             f"input segment {in_name} vanished"))
+                continue
+            try:
+                if bytes(shm_in.buf[:_HEADER]) != guard:
+                    results.put((job, epoch, shard, 0, 0, "stale",
+                                 "input epoch guard mismatch"))
+                    continue
                 rows = np.ndarray(
-                    tuple(shape), dtype=np.float64, buffer=shm_in.buf
+                    tuple(shape), dtype=np.float64,
+                    buffer=shm_in.buf, offset=_HEADER,
                 )
                 decisions, spurious, synops = compiled.forward_rows(
                     rows[start:end]
                 )
-                out = np.ndarray(
-                    (shape[0], compiled.out_features),
-                    dtype=np.float64,
-                    buffer=shm_out.buf,
-                )
-                out[start:end] = decisions
+                del rows
+                try:
+                    shm_out = _attach_shm(out_name)
+                except FileNotFoundError:
+                    results.put((job, epoch, shard, 0, 0, "shm",
+                                 f"output segment {out_name} vanished"))
+                    continue
+                try:
+                    # Re-validate immediately before the only externally
+                    # visible write: a zombie task of an aborted job must
+                    # never scribble into a successor's buffers.
+                    if bytes(shm_in.buf[:_HEADER]) != guard:
+                        results.put((job, epoch, shard, 0, 0, "stale",
+                                     "input epoch guard changed mid-task"))
+                        continue
+                    out = np.ndarray(
+                        (shape[0], compiled.out_features),
+                        dtype=np.float64,
+                        buffer=shm_out.buf,
+                    )
+                    out[start:end] = decisions
+                    del out
+                finally:
+                    shm_out.close()
             finally:
                 shm_in.close()
-                shm_out.close()
-            results.put((job, shard, spurious, synops, None))
+            results.put((job, epoch, shard, spurious, synops, "ok", None))
         except Exception as exc:  # surface the traceback to the parent
             import traceback
 
-            results.put((job, shard, 0, 0,
+            results.put((job, epoch, shard, 0, 0, "error",
                          f"{exc}\n{traceback.format_exc()}"))
 
 
-def _shutdown(procs, tasks, segments) -> None:
+def _shutdown(procs, task_queues, segments) -> None:
     """Finalizer-safe teardown: sentinel the workers, reap them, unlink
-    any surviving shared-memory segments."""
-    for _ in procs:
+    any surviving shared-memory segments.  ``procs`` / ``task_queues``
+    are mutated in place by respawns, so the finalizer always sees the
+    current generation."""
+    for tasks in list(task_queues):
         try:
             tasks.put_nowait(None)
         except Exception:
             pass
     deadline = time.monotonic() + 2.0
-    for proc in procs:
+    for proc in list(procs):
         try:
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():
-                proc.terminate()
+                proc.kill()  # SIGKILL: reaps frozen (SIGSTOPped) workers too
                 proc.join(timeout=1.0)
         except Exception:
             pass
-    try:
-        tasks.close()
-        tasks.cancel_join_thread()
-    except Exception:
-        pass
+    for tasks in list(task_queues):
+        try:
+            tasks.close()
+            tasks.cancel_join_thread()
+        except Exception:
+            pass
     for shm in list(segments):
+        if shm is None:
+            continue
         try:
             shm.close()
             shm.unlink()
@@ -142,7 +252,7 @@ def _shutdown(procs, tasks, segments) -> None:
 
 
 class InferencePool:
-    """A persistent worker pool executing one compiled plan.
+    """A supervised, persistent worker pool executing one compiled plan.
 
     Args:
         compiled: The :class:`~repro.ssnn.compile.CompiledNetwork` every
@@ -150,12 +260,22 @@ class InferencePool:
         workers: Worker process count (>= 1).
         start_method: ``multiprocessing`` start method (``None`` = the
             platform default; ``fork`` on Linux).
-        result_timeout_s: Per-shard wait budget before the pool checks
-            worker liveness (a dead worker fails the call immediately).
+        result_timeout_s: Progress deadline: maximum wait without any
+            shard landing before the workers still holding shards are
+            presumed frozen, force-killed and respawned.
+        chaos_hook: Optional picklable callable
+            ``(slot, job, epoch, shard, in_name, out_name)`` executed in
+            the worker before each task -- fault-injection
+            instrumentation for the chaos harness
+            (:mod:`repro.harness.chaos`); leave ``None`` in production.
 
     Thread safety: one in-flight :meth:`infer_rows` at a time (guarded
     by an internal lock) -- the serving layer funnels batches through a
     single dispatcher thread anyway.
+
+    Supervision surface: :meth:`alive_workers`, :attr:`restarts`,
+    :meth:`ensure_workers` (respawn any dead workers between calls) and
+    :class:`PoisonBatchError` for quarantined row blocks.
     """
 
     def __init__(
@@ -164,6 +284,7 @@ class InferencePool:
         workers: int = 2,
         start_method: Optional[str] = None,
         result_timeout_s: float = 60.0,
+        chaos_hook: Optional[Callable] = None,
     ):
         import multiprocessing as mp
 
@@ -175,35 +296,98 @@ class InferencePool:
         self.workers = workers
         self.result_timeout_s = result_timeout_s
         self._ctx = mp.get_context(start_method)
-        self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
         self._lock = threading.Lock()
         self._jobs = itertools.count()
         self._segments: List = []  # [input shm, output shm] when allocated
         self._segment_gen = itertools.count()
         self._closed = False
-        payload = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(payload, self._tasks, self._results),
-                daemon=True,
-                name=f"sushi-infer-{i}",
-            )
-            for i in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+        self._restarts = 0
+        self._stale_tasks = 0
+        self._rr = 0  # round-robin dispatch cursor
+        self._chaos_hook = chaos_hook
+        self._payload = pickle.dumps(
+            compiled, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._procs: List = []
+        self._task_queues: List = []
+        for slot in range(workers):
+            proc, tasks = self._spawn(slot)
+            self._procs.append(proc)
+            self._task_queues.append(tasks)
         # GC / interpreter-exit safety net; explicit close() is preferred.
         self._finalizer = weakref.finalize(
-            self, _shutdown, self._procs, self._tasks, self._segments
+            self, _shutdown, self._procs, self._task_queues, self._segments
         )
+
+    # -- workers -------------------------------------------------------------
+
+    def _spawn(self, slot: int):
+        """Start one worker into ``slot`` with a fresh private queue."""
+        tasks = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, self._payload, tasks, self._results,
+                  self._chaos_hook),
+            daemon=True,
+            name=f"sushi-infer-{slot}",
+        )
+        proc.start()
+        return proc, tasks
+
+    def _respawn_locked(self, slot: int, force_kill: bool = False) -> List:
+        """Replace the worker in ``slot`` (dead or presumed frozen) with
+        a fresh process + queue.  Returns the tasks drained out of the
+        old queue so the caller can account/re-dispatch them."""
+        old_proc = self._procs[slot]
+        try:
+            if force_kill and old_proc.is_alive():
+                old_proc.kill()  # SIGKILL beats SIGSTOP; terminate() doesn't
+            old_proc.join(timeout=1.0)
+        except Exception:
+            pass
+        old_queue = self._task_queues[slot]
+        drained = []
+        while True:
+            try:
+                task = old_queue.get_nowait()
+            except Exception:
+                break
+            if task is not None:
+                drained.append(task)
+        try:
+            old_queue.close()
+            old_queue.cancel_join_thread()
+        except Exception:
+            pass
+        proc, tasks = self._spawn(slot)
+        self._procs[slot] = proc
+        self._task_queues[slot] = tasks
+        self._restarts += 1
+        return drained
+
+    def _supervise_locked(self) -> None:
+        """Between calls: resurrect any worker that died while idle."""
+        for slot, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                for _task in self._respawn_locked(slot):
+                    self._stale_tasks = max(0, self._stale_tasks - 1)
+
+    def ensure_workers(self) -> int:
+        """Respawn any dead workers and return the alive count (the
+        serving layer's health probe)."""
+        with self._lock:
+            if self._closed:
+                return 0
+            self._supervise_locked()
+            return self.alive_workers()
 
     # -- buffers -------------------------------------------------------------
 
     def _segment(self, index: int, nbytes: int):
         """Reusable shared segment ``index`` (0 = input, 1 = output),
-        grown geometrically when too small."""
+        grown geometrically when too small.  Names embed a generation
+        counter, so a retired name is never reissued."""
         from multiprocessing import shared_memory
 
         while len(self._segments) <= index:
@@ -224,6 +408,55 @@ class InferencePool:
         )
         return self._segments[index]
 
+    def _retire_segments_locked(self) -> None:
+        """Unlink both segments so the next call publishes under fresh
+        names.  The input header is zeroed first, so any zombie task
+        still attached fails its pre-write guard re-validation instead
+        of scribbling."""
+        for index, shm in enumerate(self._segments):
+            if shm is None:
+                continue
+            try:
+                if index == 0 and shm.size >= _HEADER:
+                    shm.buf[:_HEADER] = b"\x00" * _HEADER
+            except Exception:
+                pass
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+            self._segments[index] = None
+
+    def _drain_stale_locked(self) -> None:
+        """Resolve tasks left over from an aborted call before the
+        segments are reused (see module docstring)."""
+        if self._stale_tasks <= 0:
+            return
+        # 1. Pull never-started tasks straight back out of the queues.
+        for tasks in self._task_queues:
+            while self._stale_tasks > 0:
+                try:
+                    task = tasks.get_nowait()
+                except Exception:
+                    break
+                if task is not None:
+                    self._stale_tasks -= 1
+        # 2. Give in-flight zombies a short grace to report.
+        deadline = time.monotonic() + 0.25
+        while self._stale_tasks > 0 and time.monotonic() < deadline:
+            try:
+                self._results.get(timeout=0.05)
+                self._stale_tasks -= 1
+            except queue_module.Empty:
+                continue
+        # 3. Anything still unaccounted for may be executing against the
+        # current segments: retire them, so a zombie write can only land
+        # in memory nothing will ever read again.
+        if self._stale_tasks > 0:
+            self._retire_segments_locked()
+            self._stale_tasks = 0
+
     @staticmethod
     def _shards(n_rows: int, parts: int) -> List[Tuple[int, int]]:
         """Balanced contiguous row ranges (like ``np.array_split``)."""
@@ -237,13 +470,22 @@ class InferencePool:
             start = end
         return ranges
 
+    def _next_slot(self) -> int:
+        slot = self._rr
+        self._rr = (self._rr + 1) % self.workers
+        return slot
+
     # -- execution -----------------------------------------------------------
 
     def infer_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, int, int]:
         """Run a row block through the pool.
 
         Returns ``(decisions, spurious, synops)`` bit-identical to
-        ``self.compiled.forward_rows(rows)``.
+        ``self.compiled.forward_rows(rows)`` -- including across worker
+        deaths, freezes and segment loss, which are recovered
+        transparently.  Raises :class:`PoisonBatchError` when the block
+        itself keeps killing workers (run it serially) and
+        :class:`InferencePoolError` for unrecoverable failures.
         """
         rows = np.ascontiguousarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self.compiled.in_features:
@@ -258,51 +500,142 @@ class InferencePool:
         with self._lock:
             if self._closed:
                 raise InferencePoolError("inference pool is closed")
-            n_rows = rows.shape[0]
-            out_shape = (n_rows, self.compiled.out_features)
-            shm_in = self._segment(0, rows.nbytes)
+            self._supervise_locked()
+            self._drain_stale_locked()
+            return self._run_block_locked(rows)
+
+    def _run_block_locked(self, rows: np.ndarray):
+        n_rows = rows.shape[0]
+        out_shape = (n_rows, self.compiled.out_features)
+        job = next(self._jobs)
+        epoch = 0
+        shards = self._shards(n_rows, self.workers)
+        state: Dict[str, object] = {"in": None, "out": None}
+        assignment: Dict[int, int] = {}  # shard -> worker slot
+        completed: Dict[int, Tuple[int, int]] = {}  # exactly-once ledger
+        kill_rounds = 0
+        segment_rounds = 0
+
+        def publish() -> None:
+            """(Re)write rows + ``(job, epoch)`` guard into the current
+            segments (allocating/regrowing as needed)."""
+            shm_in = self._segment(0, _HEADER + rows.nbytes)
             shm_out = self._segment(1, int(np.prod(out_shape)) * 8)
-            np.ndarray(rows.shape, np.float64, buffer=shm_in.buf)[...] = rows
-            job = next(self._jobs)
-            shards = self._shards(n_rows, self.workers)
-            for idx, (start, end) in enumerate(shards):
-                self._tasks.put((
-                    job, idx, shm_in.name, tuple(rows.shape),
-                    shm_out.name, start, end,
+            np.ndarray(
+                rows.shape, np.float64, buffer=shm_in.buf, offset=_HEADER
+            )[...] = rows
+            shm_in.buf[:_HEADER] = _pack_guard(job, epoch)
+            state["in"], state["out"] = shm_in, shm_out
+
+        def dispatch(indices: Sequence[int]) -> None:
+            for shard in indices:
+                slot = self._next_slot()
+                assignment[shard] = slot
+                start, end = shards[shard]
+                self._task_queues[slot].put((
+                    job, epoch, shard, state["in"].name, tuple(rows.shape),
+                    state["out"].name, start, end,
                 ))
-            spurious = 0
-            synops = 0
-            pending = len(shards)
-            deadline = time.monotonic() + self.result_timeout_s
-            while pending:
+
+        def recover_workers(slots: Sequence[int], force_kill: bool) -> None:
+            """Respawn the given slots, re-dispatching only the missing
+            shards they held.  Second recovery round -> poison."""
+            nonlocal kill_rounds
+            kill_rounds += 1
+            suspects = set(slots)
+            for slot in sorted(suspects):
+                for task in self._respawn_locked(slot, force_kill=force_kill):
+                    if task[0] != job:
+                        self._stale_tasks = max(0, self._stale_tasks - 1)
+            if kill_rounds >= _MAX_KILL_ROUNDS:
+                # The pool is whole again; the block is the suspect.
+                raise PoisonBatchError(
+                    f"row block ({n_rows} rows) killed pool workers in "
+                    f"{kill_rounds} recovery rounds; quarantined -- run "
+                    "this block serially"
+                )
+            missing = [
+                shard for shard in range(len(shards))
+                if shard not in completed and assignment[shard] in suspects
+            ]
+            dispatch(missing)
+
+        def republish(reason: str) -> None:
+            """Segment vanished/corrupted: fresh names, bumped epoch,
+            rerun the whole block (the ledger restarts with it)."""
+            nonlocal epoch, segment_rounds
+            segment_rounds += 1
+            if segment_rounds >= _MAX_SEGMENT_ROUNDS:
+                raise InferencePoolError(
+                    f"shared-memory segments failed {segment_rounds} "
+                    f"times for one row block:\n{reason}"
+                )
+            epoch += 1
+            completed.clear()
+            assignment.clear()
+            self._retire_segments_locked()
+            publish()
+            dispatch(range(len(shards)))
+
+        publish()
+        dispatch(range(len(shards)))
+        progress_deadline = time.monotonic() + self.result_timeout_s
+        try:
+            while len(completed) < len(shards):
                 try:
-                    (rjob, _shard, shard_spurious, shard_synops,
-                     error) = self._results.get(timeout=0.1)
-                except Exception:
-                    if time.monotonic() > deadline:
-                        raise InferencePoolError(
-                            f"inference pool timed out after "
-                            f"{self.result_timeout_s}s"
-                        ) from None
-                    if not all(p.is_alive() for p in self._procs):
-                        raise InferencePoolError(
-                            "an inference pool worker died"
-                        ) from None
+                    (rjob, repoch, shard, spurious, synops, status,
+                     message) = self._results.get(timeout=0.05)
+                except queue_module.Empty:
+                    dead = [slot for slot, proc in enumerate(self._procs)
+                            if not proc.is_alive()]
+                    if dead:
+                        recover_workers(dead, force_kill=False)
+                    elif time.monotonic() > progress_deadline:
+                        frozen = {
+                            assignment[shard]
+                            for shard in range(len(shards))
+                            if shard not in completed
+                        }
+                        recover_workers(sorted(frozen), force_kill=True)
+                    else:
+                        continue
+                    progress_deadline = (
+                        time.monotonic() + self.result_timeout_s
+                    )
                     continue
                 if rjob != job:
-                    continue  # stale result of an aborted earlier call
-                if error is not None:
-                    raise InferencePoolError(
-                        f"inference pool worker failed:\n{error}"
+                    # Leftover of an aborted earlier call.
+                    self._stale_tasks = max(0, self._stale_tasks - 1)
+                    continue
+                if repoch != epoch or shard in completed:
+                    continue  # superseded epoch / duplicate delivery
+                if status == "ok":
+                    completed[shard] = (spurious, synops)
+                    progress_deadline = (
+                        time.monotonic() + self.result_timeout_s
                     )
-                spurious += shard_spurious
-                synops += shard_synops
-                pending -= 1
-            decisions = np.array(
-                np.ndarray(out_shape, np.float64, buffer=shm_out.buf),
-                copy=True,
-            )
-            return decisions, spurious, synops
+                elif status in ("shm", "stale"):
+                    republish(str(message))
+                    progress_deadline = (
+                        time.monotonic() + self.result_timeout_s
+                    )
+                else:
+                    raise InferencePoolError(
+                        f"inference pool worker failed:\n{message}"
+                    )
+        except BaseException:
+            # Whatever was dispatched in the current epoch and never
+            # resolved is now stale; the next call drains it before the
+            # segments are reused.
+            self._stale_tasks += len(shards) - len(completed)
+            raise
+        decisions = np.array(
+            np.ndarray(out_shape, np.float64, buffer=state["out"].buf),
+            copy=True,
+        )
+        total_spurious = sum(entry[0] for entry in completed.values())
+        total_synops = sum(entry[1] for entry in completed.values())
+        return decisions, total_spurious, total_synops
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -310,12 +643,18 @@ class InferencePool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def restarts(self) -> int:
+        """Workers respawned over the pool's lifetime (0 = no failures)."""
+        return self._restarts
+
     def alive_workers(self) -> int:
         return sum(1 for p in self._procs if p.is_alive())
 
     def close(self) -> None:
         """Shut the workers down and release the shared segments.
-        Idempotent and safe to call from ``finally`` blocks."""
+        Idempotent, safe to call from ``finally`` blocks, and safe to
+        race an in-flight :meth:`infer_rows` (it finishes first)."""
         with self._lock:
             if self._closed:
                 return
@@ -331,4 +670,5 @@ class InferencePool:
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{self.alive_workers()} alive"
         return (f"<InferencePool workers={self.workers} ({state}) "
+                f"restarts={self._restarts} "
                 f"plan={self.compiled.fingerprint[:12]}>")

@@ -586,6 +586,8 @@ class SushiRuntime:
     def _dispatch_rows_compiled(self, compiled, rows):
         """Serial, persistent-pool or one-shot-executor execution of the
         row block through the compiled artifact."""
+        from repro.ssnn.pool import PoisonBatchError
+
         workers = self._want_parallel(rows.shape[0])
         if workers:
             try:
@@ -595,6 +597,11 @@ class SushiRuntime:
                     _init_compiled_worker, (compiled,),
                     _run_compiled_chunk, rows, workers,
                 )
+            except PoisonBatchError:
+                # The pool quarantined this row block after it killed
+                # workers twice; the pool itself already healed, so
+                # keep it and run only this block serially.
+                pass
             except self._POOL_FALLBACK_ERRORS:
                 self.close()  # drop a broken pool; respawn on next call
         return compiled.forward_rows(rows)

@@ -1,0 +1,147 @@
+"""Unit tests for the serving circuit breaker (:mod:`repro.serve.breaker`).
+
+A fake injectable clock makes every transition deterministic: no
+sleeps, no timing slack.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import BreakerSnapshot, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        failure_threshold=3, reset_timeout_s=5.0, clock=clock
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak never reached 3
+
+    def test_consecutive_failures_trip_open(self, breaker):
+        for _ in range(3):
+            assert breaker.state == "closed"
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+
+class TestOpenAndHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_open_blocks_until_timeout(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(4.999)
+        assert not breaker.allow()
+        clock.advance(0.002)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+
+    def test_probe_budget_is_enforced(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0,
+            half_open_probes=2, clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # budget of 2 spent, results pending
+
+    def test_half_open_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(
+        self, breaker, clock
+    ):
+        self._trip(breaker)
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(4.0)  # cool-down restarted: still open
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestSnapshotAndValidation:
+    def test_snapshot_counts_transitions(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.0)
+        snap = breaker.snapshot()
+        assert isinstance(snap, BreakerSnapshot)
+        assert snap.state == "open"
+        assert snap.opens == 1
+        assert snap.closes == 0
+        assert snap.open_for_s == pytest.approx(2.0)
+        assert ("closed", "open") in snap.transitions
+        clock.advance(4.0)
+        assert breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap.closes == 1
+        assert snap.probes == 1
+        assert snap.to_dict()["state"] == "closed"
+
+    def test_full_cycle_transition_log(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(6.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.snapshot().transitions == (
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        )
+
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_repr_mentions_state(self, breaker):
+        assert "closed" in repr(breaker)

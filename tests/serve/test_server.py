@@ -9,14 +9,15 @@ coalescing behaviour (batch_max, shape isolation), the lifecycle
 
 import queue
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.harness import random_binarized_network, random_spike_trains
-from repro.serve import InferenceServer, ServerStats
-from repro.ssnn import SushiRuntime, compile_network
+from repro.serve import CircuitBreaker, InferenceServer, ServerStats
+from repro.ssnn import PoisonBatchError, SushiRuntime, compile_network
 
 CHIP_N = 4
 SC = 8
@@ -250,3 +251,232 @@ class TestMetrics:
         assert "stopped" in repr(server)
         with server:
             assert "running" in repr(server)
+
+
+class _StubPool:
+    """Pool-shaped stand-in: a scripted sequence of behaviours per call
+    (``"fail"`` raises RuntimeError, ``"poison"`` raises
+    PoisonBatchError, ``"ok"`` computes serially)."""
+
+    def __init__(self, compiled, script):
+        self.compiled = compiled
+        self.script = list(script)
+        self.calls = 0
+        self.closed = False
+        self.workers = 2
+        self.restarts = 0
+
+    def infer_rows(self, rows):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else "ok"
+        if action == "fail":
+            raise RuntimeError("stub: injected pool failure")
+        if action == "poison":
+            raise PoisonBatchError("stub: quarantined row block")
+        return self.compiled.forward_rows(rows)
+
+    def alive_workers(self):
+        return self.workers
+
+    def close(self):
+        self.closed = True
+
+
+class _StepClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRobustness:
+    def test_deadline_expired_request_fails_at_dispatch(self, workload):
+        network, trains = workload
+        train = trains[:, 0, :]
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        ) as server:
+            original = server._forward
+
+            def slow_forward(rows):
+                time.sleep(0.15)
+                return original(rows)
+
+            server._forward = slow_forward
+            blocker = server.submit(train)
+            doomed = server.submit(train, deadline_ms=1.0)
+            assert blocker.result(timeout=30.0).steps == trains.shape[0]
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30.0)
+            stats = server.stats()
+        assert stats.expired == 1
+        assert stats.completed == 1
+        assert stats.pending == 0
+
+    def test_rejects_nonpositive_deadline(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+        ) as server:
+            with pytest.raises(ConfigurationError):
+                server.submit(trains[:, 0, :], deadline_ms=0.0)
+
+    def test_infer_timeout_cancels_the_orphan(self, workload):
+        """A timed-out infer() must not leave its request executing
+        later: the future is cancelled and skipped at dispatch."""
+        network, trains = workload
+        train = trains[:, 0, :]
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        ) as server:
+            original = server._forward
+
+            def slow_forward(rows):
+                time.sleep(0.15)
+                return original(rows)
+
+            server._forward = slow_forward
+            blocker = server.submit(train)
+            with pytest.raises(FutureTimeoutError):
+                server.infer(train, timeout=0.02)
+            blocker.result(timeout=30.0)
+            server._forward = original
+            # Give the dispatcher a beat to skip the cancelled orphan.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                stats = server.stats()
+                if stats.cancelled == 1:
+                    break
+                time.sleep(0.01)
+        assert stats.cancelled == 1
+        assert stats.completed == 1  # only the blocker ever executed
+        assert stats.pending == 0
+
+    def test_pool_failure_counts_toward_breaker_then_opens(self, workload):
+        """Consecutive pool failures open the breaker; answers stay
+        correct (serial fallback) and the pool is kept, not released."""
+        network, trains = workload
+        train = trains[:, 0, :]
+        want = expected_results(network, trains[:, :1, :])
+        clock = _StepClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout_s=5.0, clock=clock
+        )
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0, breaker=breaker,
+        )
+        server.start()
+        try:
+            stub = _StubPool(
+                server.compiled, ["fail", "fail", "ok"]
+            )
+            server._pool = stub
+            for _ in range(2):
+                res = server.infer(train, timeout=30.0)
+                assert np.array_equal(
+                    res.output_raster, want.output_raster[:, 0, :]
+                )
+            assert breaker.state == "open"
+            assert server._pool is stub  # kept, not released
+            # While open the pool is skipped entirely.
+            server.infer(train, timeout=30.0)
+            assert stub.calls == 2
+            stats = server.stats()
+            assert stats.pool_failures == 2
+            assert stats.breaker_state == "open"
+            # Cool-down: the half-open probe closes the breaker.
+            clock.now += 6.0
+            res = server.infer(train, timeout=30.0)
+            assert np.array_equal(
+                res.output_raster, want.output_raster[:, 0, :]
+            )
+            assert breaker.state == "closed"
+            assert stub.calls == 3
+        finally:
+            server.stop()
+
+    def test_poison_batch_is_breaker_success(self, workload):
+        network, trains = workload
+        train = trains[:, 0, :]
+        want = expected_results(network, trains[:, :1, :])
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+            breaker=CircuitBreaker(failure_threshold=1),
+        )
+        server.start()
+        try:
+            stub = _StubPool(server.compiled, ["poison", "ok"])
+            server._pool = stub
+            res = server.infer(train, timeout=30.0)
+            assert np.array_equal(
+                res.output_raster, want.output_raster[:, 0, :]
+            )
+            # threshold=1: a single *failure* would have opened it.
+            assert server.breaker.state == "closed"
+            stats = server.stats()
+            assert stats.poison_batches == 1
+            assert stats.pool_failures == 0
+            server.infer(train, timeout=30.0)
+            assert stub.calls == 2  # the pool is still in rotation
+        finally:
+            server.stop()
+
+    def test_health_readiness_and_stats_gauges(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        )
+        assert not server.readiness()
+        server.start()
+        try:
+            assert server.readiness()
+            server.infer(trains[:, 0, :], timeout=30.0)
+            health = server.health()
+            assert health["schema"] == "repro.serve.health/v1"
+            assert health["running"] and health["ready"]
+            assert health["mode"] == "serial"
+            assert health["breaker"]["state"] == "closed"
+            assert health["stats"]["completed"] == 1
+            stats = server.stats()
+            assert stats.breaker_state == "closed"
+            assert stats.workers_alive == 0  # serial mode
+            assert stats.queue_depth == 0
+        finally:
+            server.stop()
+        assert not server.readiness()
+
+    def test_pool_backed_health_reports_workers(self, workload):
+        network, trains = workload
+        with InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            workers=2, deadline_ms=0.0,
+        ) as server:
+            if server._pool is None:
+                pytest.skip("pool unavailable on this platform")
+            server.infer(trains[:, 0, :], timeout=30.0)
+            stats = server.stats()
+            assert stats.workers_configured == 2
+            assert stats.workers_alive == 2
+            assert stats.worker_restarts == 0
+
+    def test_drain_stops_intake_and_settles(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=1.0,
+        ).start()
+        futures = [server.submit(trains[:, b, :]) for b in range(6)]
+        assert server.drain(timeout=30.0)
+        for future in futures:
+            assert future.result(timeout=5.0).steps == trains.shape[0]
+        assert server.stats().pending == 0
+        with pytest.raises(ConfigurationError):
+            server.submit(trains[:, 0, :])
+        assert not server.readiness()
+        server.stop()
