@@ -1,17 +1,24 @@
-"""Command-line entry point: regenerate the paper's experiments.
+"""Command-line entry point: experiments, chaos, serving, load tests.
 
 Usage::
 
-    python -m repro list                # show available experiments
+    python -m repro list                # experiments + subcommands
     python -m repro table2 fig13        # run selected experiments
     python -m repro all                 # everything (trains models; slow)
     python -m repro all --fast          # model-only experiments (seconds)
-    python -m repro chaos --quick       # serving chaos campaign (JSON via --out)
+    python -m repro chaos --quick       # serving chaos campaign
+    python -m repro serve --port 8787   # HTTP/JSON gateway (docs/GATEWAY.md)
+    python -m repro loadtest --quick    # closed-loop gateway load campaign
+
+Each subcommand owns its flags -- ``python -m repro <name> --help``
+shows them.  Anything that is neither a subcommand nor a known
+experiment prints the usage summary and exits 2 (``main`` returns the
+exit code; it never lets ``SystemExit`` escape, so it is safe to call
+programmatically).
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 
@@ -46,14 +53,58 @@ EXPERIMENTS = {
 }
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else list(argv)
-    if argv[:1] == ["chaos"]:
-        # The chaos campaign has its own flags (--quick/--scenario/--out);
-        # hand the rest of the command line straight to its parser.
-        from repro.harness.chaos import main as chaos_main
+def _chaos_main(argv):
+    from repro.harness.chaos import main as chaos_main
+    return chaos_main(argv)
 
-        return chaos_main(argv[1:])
+
+def _serve_main(argv):
+    from repro.gateway.server import main as serve_main
+    return serve_main(argv)
+
+
+def _loadtest_main(argv):
+    from repro.gateway.loadgen import main as loadtest_main
+    return loadtest_main(argv)
+
+
+#: Subcommand name -> (dispatcher, one-line help).  Each dispatcher
+#: owns its own argparse parser (and therefore its own ``--help``).
+SUBCOMMANDS = {
+    "chaos": (_chaos_main,
+              "serving chaos campaign (--quick/--scenario/--out)"),
+    "serve": (_serve_main,
+              "HTTP/JSON gateway over the serving stack"),
+    "loadtest": (_loadtest_main,
+                 "open/closed-loop gateway load campaign"),
+}
+
+
+def usage(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    print("usage: python -m repro <subcommand|experiments...> [options]",
+          file=stream)
+    print("\nsubcommands:", file=stream)
+    for name, (_, help_text) in SUBCOMMANDS.items():
+        print(f"  {name:<10} {help_text}", file=stream)
+    print("  list       show every experiment and subcommand",
+          file=stream)
+    print("\nexperiments: run by name ('all' for everything, --fast "
+          "skips training);\nsee 'python -m repro list'", file=stream)
+
+
+def _list_everything() -> int:
+    for name, (_, trains) in EXPERIMENTS.items():
+        tag = " (trains a model)" if trains else ""
+        print(f"  {name}{tag}")
+    for name, (_, help_text) in SUBCOMMANDS.items():
+        print(f"  {name} ({help_text}; python -m repro {name} --help)")
+    return 0
+
+
+def _run_experiments(argv) -> int:
+    import argparse
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SUSHI paper's tables and figures.",
@@ -68,20 +119,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.names == ["list"]:
-        for name, (_, trains) in EXPERIMENTS.items():
-            tag = " (trains a model)" if trains else ""
-            print(f"  {name}{tag}")
-        print("  chaos (serving chaos campaign; "
-              "python -m repro chaos --help)")
-        return 0
-
     names = (list(EXPERIMENTS) if args.names in (["all"], [])
              else args.names)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}; "
-              "run 'python -m repro list'", file=sys.stderr)
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        usage(sys.stderr)
         return 2
 
     for name in names:
@@ -96,6 +140,27 @@ def main(argv=None) -> int:
         print(result["report"])
         print()
     return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    try:
+        if argv[:1] == ["list"]:
+            return _list_everything()
+        if argv[:1] in (["--help"], ["-h"]):
+            usage()
+            return 0
+        if argv and argv[0] in SUBCOMMANDS:
+            dispatcher, _ = SUBCOMMANDS[argv[0]]
+            return dispatcher(argv[1:])
+        # Anything else is a list of experiment names; unknown names
+        # (i.e. typo'd subcommands) print usage and exit 2 there.
+        return _run_experiments(argv)
+    except SystemExit as exc:  # argparse --help / usage errors
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
 
 
 if __name__ == "__main__":

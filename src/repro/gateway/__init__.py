@@ -1,0 +1,60 @@
+"""The network edge: an asyncio HTTP/JSON gateway over the serving
+stack, plus the closed-loop load harness that measures it.
+
+This package turns the in-process :class:`~repro.serve.InferenceServer`
+into a deployable service using only the standard library: no web
+framework, no HTTP client dependency, no metrics client -- asyncio
+streams, hand-rolled HTTP/1.1, and Prometheus text exposition written
+by :mod:`repro.serve.metrics`.
+
+Layers (each its own module, composable and individually testable):
+
+* :mod:`repro.gateway.protocol` -- HTTP framing + the JSON request/
+  response/typed-error schemas (``repro.gateway.infer/v1``,
+  ``repro.gateway.error/v1``).
+* :mod:`repro.gateway.auth` -- per-tenant API keys
+  (:class:`Tenant`, :class:`ApiKeyAuthenticator`).
+* :mod:`repro.gateway.ratelimit` -- per-tenant token buckets
+  (:class:`TokenBucket`, :class:`RateLimiter`) and backend
+  :class:`AdmissionController` (queue depth, breaker, readiness).
+* :mod:`repro.gateway.server` -- the :class:`Gateway` event loop:
+  ``/infer`` ``/healthz`` ``/readyz`` ``/metrics`` ``/drain``.
+* :mod:`repro.gateway.loadgen` -- ``python -m repro loadtest``: the
+  open/closed-loop campaign pinned by
+  ``benchmarks/bench_gateway.py``.
+
+See ``docs/GATEWAY.md`` for the endpoint contract and the load-harness
+methodology.
+"""
+
+from repro.gateway.auth import ApiKeyAuthenticator, Tenant, demo_tenants
+from repro.gateway.loadgen import SCENARIOS, run_loadtest
+from repro.gateway.protocol import (
+    ERROR_CODES,
+    InferRequest,
+    ProtocolError,
+    parse_infer_request,
+)
+from repro.gateway.ratelimit import (
+    AdmissionController,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.gateway.server import Gateway, GatewayMetrics
+
+__all__ = [
+    "AdmissionController",
+    "ApiKeyAuthenticator",
+    "ERROR_CODES",
+    "Gateway",
+    "GatewayMetrics",
+    "InferRequest",
+    "ProtocolError",
+    "RateLimiter",
+    "SCENARIOS",
+    "Tenant",
+    "TokenBucket",
+    "demo_tenants",
+    "parse_infer_request",
+    "run_loadtest",
+]

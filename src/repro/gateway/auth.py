@@ -1,0 +1,126 @@
+"""Per-tenant API-key authentication for the gateway.
+
+A :class:`Tenant` is a name plus an API key and the rate-limit contract
+the tenant bought (``rate_per_s`` steady-state tokens, ``burst`` bucket
+depth -- consumed by :mod:`repro.gateway.ratelimit`).  The
+:class:`ApiKeyAuthenticator` maps the ``X-API-Key`` request header to a
+tenant with constant-time key comparison; both missing and unknown keys
+are 401s (the gateway never discloses whether a key exists).
+
+Tenant sets load from a JSON file (``tenants.json``)::
+
+    [
+      {"name": "tenant-a", "api_key": "ka-...", "rate_per_s": 200,
+       "burst": 50},
+      ...
+    ]
+
+or programmatically via :meth:`ApiKeyAuthenticator.from_tenants`.
+:func:`demo_tenants` supplies the fixed keys used by the CLI ``serve``
+default, the load harness, and the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.gateway.protocol import ProtocolError
+
+#: The request header carrying the tenant credential.
+API_KEY_HEADER = "x-api-key"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One paying tenant: identity plus rate-limit contract.
+
+    Attributes:
+        name: Stable tenant identifier (used as the metrics label).
+        api_key: Shared-secret credential for ``X-API-Key``.
+        rate_per_s: Steady-state token refill rate; ``0`` means the
+            bucket never refills (burst-only contract).
+        burst: Token-bucket depth (maximum requests in one burst).
+    """
+
+    name: str
+    api_key: str
+    rate_per_s: float = 100.0
+    burst: int = 100
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if not self.api_key:
+            raise ConfigurationError("tenant api_key must be non-empty")
+        if self.rate_per_s < 0:
+            raise ConfigurationError("rate_per_s must be >= 0")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+class ApiKeyAuthenticator:
+    """``X-API-Key`` header -> :class:`Tenant` lookup."""
+
+    def __init__(self, tenants: Iterable[Tenant]):
+        self._by_key: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            if tenant.api_key in self._by_key:
+                raise ConfigurationError(
+                    f"duplicate api_key across tenants "
+                    f"({self._by_key[tenant.api_key].name!r} and "
+                    f"{tenant.name!r})"
+                )
+            self._by_key[tenant.api_key] = tenant
+        if not self._by_key:
+            raise ConfigurationError("need at least one tenant")
+
+    @classmethod
+    def from_tenants(cls, *tenants: Tenant) -> "ApiKeyAuthenticator":
+        return cls(tenants)
+
+    @classmethod
+    def from_json_file(cls, path) -> "ApiKeyAuthenticator":
+        entries = json.loads(Path(path).read_text())
+        if not isinstance(entries, list):
+            raise ConfigurationError(
+                "tenants file must hold a JSON list of tenant objects"
+            )
+        return cls(Tenant(**entry) for entry in entries)
+
+    @property
+    def tenants(self) -> Sequence[Tenant]:
+        return tuple(self._by_key.values())
+
+    def authenticate(self, headers: Dict[str, str]) -> Tenant:
+        """Resolve the tenant or raise a 401 :class:`ProtocolError`."""
+        presented = headers.get(API_KEY_HEADER)
+        if not presented:
+            raise ProtocolError(401, "missing_api_key",
+                                "X-API-Key header is required")
+        for key, tenant in self._by_key.items():
+            if hmac.compare_digest(presented, key):
+                return tenant
+        raise ProtocolError(401, "invalid_api_key", "unknown API key")
+
+    def lookup(self, api_key: str) -> Optional[Tenant]:
+        return self._by_key.get(api_key)
+
+
+def demo_tenants() -> Sequence[Tenant]:
+    """The fixed tenant set used by ``python -m repro serve`` when no
+    tenants file is given, by the load harness, and by the CI smoke
+    step.  Keys are deliberately well-known -- this is a benchmark
+    fixture, not a production credential store."""
+    return (
+        Tenant(name="tenant-a", api_key="demo-key-a",
+               rate_per_s=500.0, burst=200),
+        Tenant(name="tenant-b", api_key="demo-key-b",
+               rate_per_s=500.0, burst=200),
+        Tenant(name="tenant-burst", api_key="demo-key-burst",
+               rate_per_s=0.0, burst=10),
+    )

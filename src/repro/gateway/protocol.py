@@ -1,0 +1,287 @@
+"""Gateway wire protocol: minimal HTTP/1.1 framing + the JSON schema.
+
+The gateway speaks plain HTTP/1.1 over asyncio streams -- no web
+framework, no third-party dependency, just enough of RFC 9112 to serve
+JSON to load balancers and load generators: request-line + headers +
+``Content-Length`` bodies, keep-alive by default, explicit
+``Connection: close`` honoured.  Chunked transfer encoding is *not*
+implemented (requests carrying it are rejected with ``411``).
+
+Every error the gateway can produce is **typed**: a JSON body of schema
+``repro.gateway.error/v1`` carrying a stable machine-readable ``code``
+(see :data:`ERROR_CODES`) next to the human-readable message, so load
+generators and clients can assert on semantics rather than prose.
+
+The inference request schema (``POST /infer``)::
+
+    {
+      "spike_train": [[0, 1, ...], ...],   # (T, in_features) 0/1 rows
+      "deadline_ms": 50.0                   # optional queueing bound
+    }
+
+and the response schema ``repro.gateway.infer/v1``::
+
+    {
+      "schema": "repro.gateway.infer/v1",
+      "prediction": 3,
+      "rates": [...],                       # (classes,) mean spike rates
+      "latency_ms": 1.92,                   # server-side submit->answer
+      "batch_size": 4,
+      "steps": 24,
+      "tenant": "tenant-a"
+    }
+
+Parsing raises :class:`ProtocolError` with the matching HTTP status --
+the server layer turns it into a typed error response mechanically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+ERROR_SCHEMA = "repro.gateway.error/v1"
+INFER_SCHEMA = "repro.gateway.infer/v1"
+
+#: Stable machine-readable error codes (asserted by tests and loadgen).
+ERROR_CODES = (
+    "bad_request",        # malformed HTTP or JSON
+    "invalid_train",      # spike_train missing / wrong shape / not 0-1
+    "invalid_deadline",   # deadline_ms not a positive number
+    "missing_api_key",    # no X-API-Key header
+    "invalid_api_key",    # unknown X-API-Key
+    "not_found",          # unknown path
+    "method_not_allowed",  # known path, wrong verb
+    "length_required",    # no Content-Length (or chunked) on POST
+    "payload_too_large",  # body over the gateway bound
+    "rate_limited",       # tenant token bucket empty
+    "queue_full",         # admission control: backend queue over limit
+    "breaker_open",       # admission control: pool breaker is open
+    "not_ready",          # backend draining / not accepting
+    "deadline_exceeded",  # request expired while queued (504)
+    "internal",           # unexpected backend failure
+)
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 401: "Unauthorized",
+    404: "Not Found", 405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard bounds on the HTTP frame (pre-auth, so deliberately tight).
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8192
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request the gateway refuses, as (status, code, message)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one HTTP request off the stream.
+
+    Returns ``None`` on a clean EOF (client closed a keep-alive
+    connection between requests); raises :class:`ProtocolError` on a
+    malformed or over-limit frame.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise ProtocolError(400, "bad_request", "request line too long")
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(400, "bad_request", "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, "bad_request", "malformed request line")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        try:
+            raw = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise ProtocolError(400, "bad_request", "header line too long")
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise ProtocolError(400, "bad_request",
+                                "connection closed mid-headers")
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError(400, "bad_request", "header line too long")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, "bad_request",
+                                f"malformed header {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError(400, "bad_request", "too many headers")
+
+    body = b""
+    if "transfer-encoding" in headers:
+        raise ProtocolError(411, "length_required",
+                            "chunked transfer encoding is not supported")
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "bad_request",
+                                "malformed Content-Length")
+        if length < 0:
+            raise ProtocolError(400, "bad_request",
+                                "malformed Content-Length")
+        if length > max_body_bytes:
+            raise ProtocolError(
+                413, "payload_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte gateway bound",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "bad_request",
+                                "connection closed mid-body")
+    elif method == "POST":
+        raise ProtocolError(411, "length_required",
+                            "POST requires Content-Length")
+    return HttpRequest(method=method, path=path, query=query,
+                       headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialise one HTTP/1.1 response frame."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_body(payload: Dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def error_body(code: str, message: str, **details) -> bytes:
+    """The typed error payload every non-2xx response carries."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    payload: Dict = {
+        "schema": ERROR_SCHEMA,
+        "error": {"code": code, "message": message},
+    }
+    if details:
+        payload["error"]["details"] = details
+    return json_body(payload)
+
+
+@dataclass(frozen=True)
+class InferRequest:
+    """A validated ``POST /infer`` payload."""
+
+    spike_train: np.ndarray  # (T, in_features) float64 of {0, 1}
+    deadline_ms: Optional[float]
+
+
+def parse_infer_request(body: bytes, in_features: int) -> InferRequest:
+    """Validate the JSON body of ``POST /infer``.
+
+    Raises :class:`ProtocolError` (always a 400) with code
+    ``bad_request`` / ``invalid_train`` / ``invalid_deadline``.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(400, "bad_request", f"body is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "bad_request",
+                            "body must be a JSON object")
+    if "spike_train" not in payload:
+        raise ProtocolError(400, "invalid_train",
+                            "missing required field 'spike_train'")
+    try:
+        train = np.asarray(payload["spike_train"], dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ProtocolError(400, "invalid_train",
+                            "spike_train must be a numeric 2-D array")
+    if train.ndim != 2 or train.shape[0] < 1:
+        raise ProtocolError(
+            400, "invalid_train",
+            f"spike_train must be (T, in_features); got shape "
+            f"{train.shape}",
+        )
+    if train.shape[1] != in_features:
+        raise ProtocolError(
+            400, "invalid_train",
+            f"spike width {train.shape[1]} != served input {in_features}",
+        )
+    if not np.isin(train, (0.0, 1.0)).all():
+        raise ProtocolError(400, "invalid_train",
+                            "spike_train entries must be 0 or 1")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) \
+                or isinstance(deadline_ms, bool) or deadline_ms <= 0:
+            raise ProtocolError(400, "invalid_deadline",
+                                "deadline_ms must be a positive number")
+        deadline_ms = float(deadline_ms)
+    return InferRequest(spike_train=train, deadline_ms=deadline_ms)
+
+
+def infer_response_body(result, tenant: str) -> bytes:
+    """Serialise a :class:`~repro.serve.server.ServeResult`."""
+    return json_body({
+        "schema": INFER_SCHEMA,
+        "prediction": int(result.prediction),
+        "rates": [float(r) for r in result.rates],
+        "latency_ms": round(float(result.latency_ms), 3),
+        "batch_size": int(result.batch_size),
+        "steps": int(result.steps),
+        "tenant": tenant,
+    })

@@ -1,0 +1,143 @@
+"""Rate limiting and admission control for the gateway.
+
+Two distinct load-shedding layers, matching the response codes the
+acceptance tests pin:
+
+* **Per-tenant token buckets** (:class:`TokenBucket`,
+  :class:`RateLimiter`) -- the *contract* layer.  Each tenant's bucket
+  holds ``burst`` tokens and refills at ``rate_per_s``; an empty bucket
+  is a **429** with code ``rate_limited``.  A ``rate_per_s`` of 0 never
+  refills (burst-only contracts -- used by the deterministic bench
+  scenarios).  The clock is injectable for tests.
+
+* **Backend admission control** (:class:`AdmissionController`) -- the
+  *capacity* layer, riding the serving stack's existing machinery.
+  Requests are shed with a **503** when the backend is not ready
+  (``not_ready``: draining or stopped), when the pool circuit breaker
+  is open (``breaker_open``: the backend is in degraded serial mode, so
+  the gateway stops piling load on it), or when the coalescing queue is
+  deeper than ``queue_limit`` (``queue_full``).  Expired per-request
+  deadlines remain the server's job and surface as **504** at the
+  gateway (see :mod:`repro.gateway.server`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.gateway.auth import Tenant
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` depth, ``rate_per_s`` refill.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_s < 0:
+            raise ConfigurationError("rate_per_s must be >= 0")
+        if burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: int = 1) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._updated)
+            self._updated = now
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate_per_s
+            )
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current (refill-adjusted) token count."""
+        with self._lock:
+            elapsed = max(0.0, self._clock() - self._updated)
+            return min(float(self.burst),
+                       self._tokens + elapsed * self.rate_per_s)
+
+
+class RateLimiter:
+    """One lazily-created :class:`TokenBucket` per tenant."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, tenant: Tenant) -> bool:
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+            if bucket is None:
+                bucket = TokenBucket(
+                    tenant.rate_per_s, tenant.burst, clock=self._clock
+                )
+                self._buckets[tenant.name] = bucket
+        return bucket.try_acquire()
+
+    def bucket(self, tenant_name: str) -> Optional[TokenBucket]:
+        with self._lock:
+            return self._buckets.get(tenant_name)
+
+
+class AdmissionController:
+    """Queue-depth + breaker + readiness admission in front of submit.
+
+    Args:
+        server: The :class:`~repro.serve.server.InferenceServer` being
+            fronted.
+        queue_limit: Maximum coalescing-queue depth admitted; beyond it
+            requests are shed (``queue_full``).  Must stay below the
+            server's own ``queue_max`` backpressure bound so shedding
+            happens with a typed 503 rather than a blocked submit.
+        shed_on_breaker_open: When ``True`` (default) an open pool
+            breaker sheds load at the edge: the backend is already in
+            degraded serial mode, and piling more work on it only grows
+            the queue it is trying to drain.
+    """
+
+    def __init__(
+        self,
+        server,
+        queue_limit: int = 1024,
+        shed_on_breaker_open: bool = True,
+    ):
+        if queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        self.server = server
+        self.queue_limit = queue_limit
+        self.shed_on_breaker_open = shed_on_breaker_open
+
+    def check(self) -> Optional[str]:
+        """Return the rejection reason, or ``None`` to admit.
+
+        Reasons are the typed error codes ``not_ready`` /
+        ``breaker_open`` / ``queue_full`` (all 503s at the edge).
+        """
+        if not self.server.readiness():
+            return "not_ready"
+        if self.shed_on_breaker_open and self.server.breaker.state == "open":
+            return "breaker_open"
+        if self.server.queue_depth() >= self.queue_limit:
+            return "queue_full"
+        return None

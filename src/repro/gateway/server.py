@@ -1,0 +1,561 @@
+"""The asyncio HTTP/JSON gateway in front of :class:`InferenceServer`.
+
+This is the repo's network edge: a stdlib-only (``asyncio`` streams +
+hand-rolled HTTP/1.1, see :mod:`repro.gateway.protocol`) service that
+turns the in-process micro-batching server into something a load
+balancer can front.  One event loop accepts connections; ``/infer``
+requests flow auth -> rate limit -> admission -> validate -> submit,
+and the resulting :class:`concurrent.futures.Future` is awaited via
+``asyncio.wrap_future`` so thousands of in-flight requests cost one
+coroutine each, never a thread.
+
+Endpoints:
+
+========  ======  ====================================================
+path      method  behaviour
+========  ======  ====================================================
+/infer    POST    authenticated inference; 200 / 400 / 401 / 413 /
+                  429 (rate limit) / 503 (admission) / 504 (deadline)
+/healthz  GET     full :meth:`InferenceServer.health` JSON (always
+                  200 while the gateway is up -- liveness)
+/readyz   GET     200 when ready, 503 (``not_ready``) otherwise --
+                  the load-balancer admission check
+/metrics  GET     Prometheus text exposition: backend ``ServerStats``
+                  families + gateway HTTP counters
+/drain    POST    authenticated: stop intake, wait for queued work
+                  (runs in an executor; the loop stays responsive)
+========  ======  ====================================================
+
+Error mapping (the contract the acceptance tests pin): over-limit
+tenants get **429** ``rate_limited``; an open pool breaker or an
+over-deep queue gets **503** ``breaker_open`` / ``queue_full``; a
+request whose ``deadline_ms`` lapses while queued gets **504**
+``deadline_exceeded``.  Every rejection increments a labelled
+``sushi_gateway_rejections_total`` counter, so ``/metrics`` tells the
+same story the status codes do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import queue as queue_module
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, DeadlineExceededError
+from repro.gateway.auth import ApiKeyAuthenticator, demo_tenants
+from repro.gateway.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpRequest,
+    ProtocolError,
+    error_body,
+    infer_response_body,
+    json_body,
+    parse_infer_request,
+    read_request,
+    render_response,
+)
+from repro.gateway.ratelimit import AdmissionController, RateLimiter
+from repro.serve.metrics import (
+    MetricFamily,
+    render_prometheus,
+    server_stats_families,
+)
+
+GATEWAY_SCHEMA = "repro.gateway/v1"
+
+#: Paths the router knows, with their allowed methods.
+ROUTES = {
+    "/infer": ("POST",),
+    "/healthz": ("GET",),
+    "/readyz": ("GET",),
+    "/metrics": ("GET",),
+    "/drain": ("POST",),
+}
+
+
+class GatewayMetrics:
+    """Thread-safe HTTP-layer counters behind ``/metrics``.
+
+    ``requests`` counts by ``(path, status)``; ``rejections`` counts by
+    typed error code (the load-shedding story); ``tenant_requests``
+    counts authenticated ``/infer`` calls by ``(tenant, status)`` so
+    per-tenant skew is observable.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests: Dict[Tuple[str, int], int] = {}
+        self.rejections: Dict[str, int] = {}
+        self.tenant_requests: Dict[Tuple[str, int], int] = {}
+        self.connections = 0
+        self.in_flight = 0
+
+    def record(self, path: str, status: int,
+               code: Optional[str] = None,
+               tenant: Optional[str] = None) -> None:
+        key = (path if path in ROUTES else "other", status)
+        with self._lock:
+            self.requests[key] = self.requests.get(key, 0) + 1
+            if code is not None and status >= 400:
+                self.rejections[code] = self.rejections.get(code, 0) + 1
+            if tenant is not None:
+                tkey = (tenant, status)
+                self.tenant_requests[tkey] = (
+                    self.tenant_requests.get(tkey, 0) + 1
+                )
+
+    def record_connection(self) -> None:
+        with self._lock:
+            self.connections += 1
+
+    def adjust_in_flight(self, delta: int) -> None:
+        with self._lock:
+            self.in_flight += delta
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "requests": dict(self.requests),
+                "rejections": dict(self.rejections),
+                "tenant_requests": dict(self.tenant_requests),
+                "connections": self.connections,
+                "in_flight": self.in_flight,
+            }
+
+    def families(self, namespace: str = "sushi") -> List[MetricFamily]:
+        snap = self.snapshot()
+        n = namespace
+        return [
+            (f"{n}_gateway_requests_total", "counter",
+             "HTTP requests served, by path and status",
+             [({"path": path, "status": str(status)}, count)
+              for (path, status), count in sorted(snap["requests"].items())]
+             or [(None, 0)]),
+            (f"{n}_gateway_rejections_total", "counter",
+             "Requests rejected, by typed error code",
+             [({"code": code}, count)
+              for code, count in sorted(snap["rejections"].items())]
+             or [(None, 0)]),
+            (f"{n}_gateway_tenant_requests_total", "counter",
+             "Authenticated /infer requests, by tenant and status",
+             [({"tenant": tenant, "status": str(status)}, count)
+              for (tenant, status), count
+              in sorted(snap["tenant_requests"].items())]
+             or [(None, 0)]),
+            (f"{n}_gateway_connections_total", "counter",
+             "TCP connections accepted", [(None, snap["connections"])]),
+            (f"{n}_gateway_in_flight", "gauge",
+             "Requests currently being handled",
+             [(None, snap["in_flight"])]),
+        ]
+
+
+class Gateway:
+    """The HTTP edge over one :class:`InferenceServer`.
+
+    Args:
+        server: A *started* :class:`~repro.serve.server.InferenceServer`
+            (the gateway never starts or stops the backend except via
+            ``/drain``).
+        authenticator: Tenant credential store; defaults to the
+            :func:`~repro.gateway.auth.demo_tenants` roster (CI smoke,
+            quickstarts) -- production callers pass their own.
+        rate_limiter: Per-tenant token buckets; a default
+            :class:`RateLimiter` is built when omitted (inject one with
+            a fake clock for tests).
+        admission: Queue-depth/breaker admission; a default
+            :class:`AdmissionController` over ``server`` when omitted.
+        host / port: Bind address; port 0 picks an ephemeral port
+            (read :attr:`port` after start).
+        max_body_bytes: ``413`` bound on request bodies.
+        submit_timeout_s: Bound on the (normally instant) backend
+            enqueue; hitting it means the queue raced past admission
+            control and is shed as ``queue_full``.
+
+    Use :meth:`run_in_thread` / :meth:`close` (or the context manager)
+    to drive the gateway from synchronous code -- tests, the load
+    harness, the CI smoke; ``asyncio.run(gateway.serve_forever())``
+    for the CLI.
+    """
+
+    def __init__(
+        self,
+        server,
+        *,
+        authenticator: Optional[ApiKeyAuthenticator] = None,
+        rate_limiter: Optional[RateLimiter] = None,
+        admission: Optional[AdmissionController] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        submit_timeout_s: float = 1.0,
+    ):
+        self.server = server
+        self.authenticator = (
+            authenticator if authenticator is not None
+            else ApiKeyAuthenticator(demo_tenants())
+        )
+        self.rate_limiter = (rate_limiter if rate_limiter is not None
+                             else RateLimiter())
+        self.admission = (admission if admission is not None
+                          else AdmissionController(server))
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.submit_timeout_s = submit_timeout_s
+        self.metrics = GatewayMetrics()
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self._started = threading.Event()
+
+    # -- asyncio lifecycle ---------------------------------------------------
+
+    async def start(self) -> "Gateway":
+        """Bind the listener on the current event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        server, self._asyncio_server = self._asyncio_server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled -- the CLI path."""
+        if self._asyncio_server is None:
+            await self.start()
+        try:
+            await self._asyncio_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- thread-hosted lifecycle (tests, loadgen, CI smoke) ------------------
+
+    def run_in_thread(self) -> "Gateway":
+        """Boot the gateway on a dedicated event-loop thread and block
+        until the listener is bound (or startup failed)."""
+        if self._thread is not None:
+            return self
+
+        def _runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # startup failed: surface it
+                self._startup_error = exc
+                self._started.set()
+                loop.close()
+                return
+            self._started.set()
+            try:
+                loop.run_forever()
+                loop.run_until_complete(self.stop())
+                # Let in-flight handler tasks unwind before closing.
+                pending = asyncio.all_tasks(loop)
+                if pending:
+                    loop.run_until_complete(asyncio.wait(pending, timeout=5))
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_runner, name="sushi-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise error
+        if not self._started.is_set():
+            raise ConfigurationError("gateway failed to start within 30s")
+        return self
+
+    def close(self) -> None:
+        """Stop the thread-hosted gateway (idempotent)."""
+        thread, self._thread = self._thread, None
+        loop = self._loop
+        if thread is None or loop is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        self._started.clear()
+
+    def __enter__(self) -> "Gateway":
+        return self.run_in_thread()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.record_connection()
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.max_body_bytes
+                    )
+                except ProtocolError as exc:
+                    # Framing is broken: answer once and hang up.
+                    self.metrics.record("other", exc.status, code=exc.code)
+                    writer.write(render_response(
+                        exc.status, error_body(exc.code, exc.message),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                status, body, content_type = await self._dispatch(request)
+                writer.write(render_response(
+                    status, body,
+                    content_type=content_type,
+                    keep_alive=request.keep_alive,
+                ))
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, str]:
+        """Route one request; returns (status, body, content-type)."""
+        self.metrics.adjust_in_flight(+1)
+        try:
+            path, method = request.path, request.method
+            if path not in ROUTES:
+                return self._reject(path, ProtocolError(
+                    404, "not_found", f"no such endpoint {path!r}"
+                ))
+            if method not in ROUTES[path]:
+                return self._reject(path, ProtocolError(
+                    405, "method_not_allowed",
+                    f"{path} accepts {'/'.join(ROUTES[path])}, not {method}",
+                ))
+            try:
+                if path == "/healthz":
+                    return self._handle_healthz()
+                if path == "/readyz":
+                    return self._handle_readyz()
+                if path == "/metrics":
+                    return self._handle_metrics()
+                if path == "/drain":
+                    return await self._handle_drain(request)
+                return await self._handle_infer(request)
+            except ProtocolError as exc:
+                tenant = getattr(exc, "tenant_name", None)
+                return self._reject(path, exc, tenant=tenant)
+        finally:
+            self.metrics.adjust_in_flight(-1)
+
+    def _reject(
+        self,
+        path: str,
+        exc: ProtocolError,
+        tenant: Optional[str] = None,
+    ) -> Tuple[int, bytes, str]:
+        self.metrics.record(path, exc.status, code=exc.code, tenant=tenant)
+        return (exc.status, error_body(exc.code, exc.message),
+                "application/json")
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _handle_healthz(self) -> Tuple[int, bytes, str]:
+        payload = {
+            "schema": GATEWAY_SCHEMA,
+            "gateway": {
+                "host": self.host,
+                "port": self.port,
+                "in_flight": self.metrics.snapshot()["in_flight"],
+            },
+            "backend": self.server.health(),
+        }
+        self.metrics.record("/healthz", 200)
+        return 200, json_body(payload), "application/json"
+
+    def _handle_readyz(self) -> Tuple[int, bytes, str]:
+        if self.server.readiness():
+            self.metrics.record("/readyz", 200)
+            return 200, json_body({"ready": True}), "application/json"
+        self.metrics.record("/readyz", 503, code="not_ready")
+        return (503, error_body("not_ready", "backend is not accepting "
+                                "requests"), "application/json")
+
+    def _handle_metrics(self) -> Tuple[int, bytes, str]:
+        families = server_stats_families(self.server.stats())
+        families.extend(self.metrics.families())
+        text = render_prometheus(families)
+        self.metrics.record("/metrics", 200)
+        return (200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8")
+
+    async def _handle_drain(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, str]:
+        tenant = self.authenticator.authenticate(request.headers)
+        loop = asyncio.get_running_loop()
+        drained = await loop.run_in_executor(
+            None, lambda: self.server.drain(timeout=30.0)
+        )
+        self.metrics.record("/drain", 200, tenant=tenant.name)
+        return (200, json_body({"drained": bool(drained)}),
+                "application/json")
+
+    async def _handle_infer(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, str]:
+        tenant = self.authenticator.authenticate(request.headers)
+        try:
+            if not self.rate_limiter.allow(tenant):
+                raise ProtocolError(
+                    429, "rate_limited",
+                    f"tenant {tenant.name!r} is over its rate limit "
+                    f"({tenant.rate_per_s}/s, burst {tenant.burst})",
+                )
+            reason = self.admission.check()
+            if reason is not None:
+                raise ProtocolError(
+                    503, reason,
+                    f"request shed by admission control ({reason})",
+                )
+            parsed = parse_infer_request(
+                request.body, self.server.compiled.in_features
+            )
+            try:
+                future = self.server.submit(
+                    parsed.spike_train,
+                    timeout=self.submit_timeout_s,
+                    deadline_ms=parsed.deadline_ms,
+                )
+            except queue_module.Full:
+                raise ProtocolError(
+                    503, "queue_full",
+                    "backend queue filled while admitting this request",
+                )
+            except ConfigurationError as exc:
+                # Post-admission validation inside submit() (e.g. the
+                # backend stopped accepting between check and submit).
+                if not self.server.readiness():
+                    raise ProtocolError(503, "not_ready", str(exc))
+                raise ProtocolError(400, "bad_request", str(exc))
+            try:
+                result = await asyncio.wrap_future(future)
+            except DeadlineExceededError as exc:
+                raise ProtocolError(504, "deadline_exceeded", str(exc))
+            except concurrent.futures.CancelledError:
+                raise ProtocolError(503, "not_ready",
+                                    "request cancelled during shutdown")
+            except Exception as exc:
+                raise ProtocolError(500, "internal",
+                                    f"backend failure: {exc}")
+            self.metrics.record("/infer", 200, tenant=tenant.name)
+            return (200, infer_response_body(result, tenant.name),
+                    "application/json")
+        except ProtocolError as exc:
+            # Tag the rejection with the (authenticated) tenant so the
+            # per-tenant counters tell the skew story.
+            exc.tenant_name = tenant.name
+            raise
+
+    def __repr__(self) -> str:
+        state = "bound" if self._asyncio_server is not None else "stopped"
+        return (f"<Gateway {state} {self.host}:{self.port} "
+                f"tenants={len(self.authenticator.tenants)}>")
+
+
+def main(argv=None) -> int:
+    """``python -m repro serve``: boot a gateway over the demo workload
+    (or a tenants file of your own) and serve until interrupted."""
+    import argparse
+
+    from repro.gateway.ratelimit import AdmissionController
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve the compiled demo network over HTTP/JSON "
+                    "(see docs/GATEWAY.md for the endpoint contract).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shared-memory pool workers (0 = serial)")
+    parser.add_argument("--batch-max", type=int, default=64)
+    parser.add_argument("--deadline-ms", type=float, default=2.0,
+                        help="micro-batch coalescing window")
+    parser.add_argument("--queue-limit", type=int, default=1024,
+                        help="admission-control queue-depth bound")
+    parser.add_argument("--tenants", default=None,
+                        help="JSON tenants file (default: the demo "
+                             "tenant set with well-known keys)")
+    args = parser.parse_args(argv)
+
+    import sys
+
+    from repro.gateway.loadgen import _compile_workload
+    from repro.serve import InferenceServer
+
+    authenticator = (
+        ApiKeyAuthenticator.from_json_file(args.tenants)
+        if args.tenants else ApiKeyAuthenticator(demo_tenants())
+    )
+    server = InferenceServer(
+        compiled=_compile_workload(),
+        batch_max=args.batch_max,
+        deadline_ms=args.deadline_ms,
+        workers=args.workers,
+    )
+    server.start()
+    gateway = Gateway(
+        server,
+        authenticator=authenticator,
+        admission=AdmissionController(server, queue_limit=args.queue_limit),
+        host=args.host,
+        port=args.port,
+    )
+
+    async def _serve() -> None:
+        await gateway.start()
+        print(f"gateway listening on http://{gateway.host}:{gateway.port} "
+              f"(plan {server.compiled.fingerprint[:12]}, "
+              f"{len(authenticator.tenants)} tenants)")
+        sys.stdout.flush()
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0

@@ -21,13 +21,21 @@ and ``benchmarks/bench_serve.py`` for the committed throughput gates.
 """
 
 from repro.serve.breaker import BreakerSnapshot, CircuitBreaker
-from repro.serve.metrics import ServerStats
+from repro.serve.metrics import (
+    MetricsRecorder,
+    ServerStats,
+    render_prometheus,
+    server_stats_families,
+)
 from repro.serve.server import InferenceServer, ServeResult
 
 __all__ = [
     "BreakerSnapshot",
     "CircuitBreaker",
     "InferenceServer",
+    "MetricsRecorder",
     "ServeResult",
     "ServerStats",
+    "render_prometheus",
+    "server_stats_families",
 ]

@@ -21,7 +21,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -119,6 +119,119 @@ class ServerStats:
             "worker_restarts": self.worker_restarts,
             "queue_depth": self.queue_depth,
         }
+
+
+# -- Prometheus text exposition ---------------------------------------------
+#
+# A metric *family* is ``(name, type, help, samples)`` where ``samples``
+# is a list of ``(labels-or-None, value)``.  The renderer emits the
+# Prometheus text exposition format (version 0.0.4): one ``# HELP`` and
+# ``# TYPE`` comment per family followed by its sample lines.  Only the
+# subset the gateway needs is implemented -- counters and gauges, label
+# escaping, no timestamps -- but the output parses with any Prometheus
+# scraper (and with the little parser in ``tests/gateway``).
+
+MetricFamily = Tuple[str, str, str, Sequence[Tuple[Optional[Dict], float]]]
+
+#: The breaker states exported as a one-hot ``breaker_state`` gauge.
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(families: Iterable[MetricFamily]) -> str:
+    """Render metric families as Prometheus text exposition."""
+    lines: List[str] = []
+    for name, mtype, help_text, samples in families:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(str(val))}"'
+                    for key, val in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def server_stats_families(
+    stats: "ServerStats", namespace: str = "sushi"
+) -> List[MetricFamily]:
+    """The backend :class:`ServerStats` as Prometheus metric families.
+
+    Counters keep their cumulative-total semantics (``_total`` suffix);
+    point-in-time fields export as gauges; the breaker state is a
+    one-hot gauge over :data:`BREAKER_STATES`.
+    """
+    n = namespace
+    counters = (
+        ("requests", stats.requests, "Requests accepted by the server"),
+        ("completed", stats.completed, "Requests answered successfully"),
+        ("failed", stats.failed, "Requests answered with an error"),
+        ("samples", stats.samples, "Samples inferred"),
+        ("batches", stats.batches, "Coalesced hardware batches executed"),
+        ("expired", stats.expired,
+         "Requests expired at dispatch (deadline_ms lapsed)"),
+        ("cancelled", stats.cancelled,
+         "Requests cancelled by the caller before dispatch"),
+        ("pool_failures", stats.pool_failures,
+         "Batches that fell back to serial after a pool error"),
+        ("poison_batches", stats.poison_batches,
+         "Batches quarantined as poison and run serially"),
+        ("synaptic_ops", stats.synaptic_ops,
+         "Synaptic operations executed"),
+    )
+    gauges = (
+        ("pending", stats.pending, "Accepted but unresolved requests"),
+        ("queue_depth", stats.queue_depth,
+         "Requests waiting in the coalescing queue"),
+        ("mean_batch", stats.mean_batch, "Mean coalesced batch size"),
+        ("latency_ms_p50", stats.latency_ms_p50,
+         "p50 request latency over the retained window (ms)"),
+        ("latency_ms_p95", stats.latency_ms_p95,
+         "p95 request latency over the retained window (ms)"),
+        ("latency_ms_max", stats.latency_ms_max,
+         "Max request latency over the retained window (ms)"),
+        ("fps", stats.fps, "Aggregate samples per second since start"),
+        ("sops", stats.sops,
+         "Aggregate synaptic operations per second since start"),
+        ("uptime_seconds", stats.uptime_s, "Seconds since server start"),
+        ("workers_configured", stats.workers_configured,
+         "Pool workers configured (0 when serial)"),
+        ("workers_alive", stats.workers_alive, "Pool workers alive"),
+        ("worker_restarts", stats.worker_restarts,
+         "Pool worker resurrections"),
+    )
+    families: List[MetricFamily] = [
+        (f"{n}_server_{name}_total", "counter", help_text,
+         [(None, value)])
+        for name, value, help_text in counters
+    ]
+    families.extend(
+        (f"{n}_server_{name}", "gauge", help_text, [(None, value)])
+        for name, value, help_text in gauges
+    )
+    families.append((
+        f"{n}_server_breaker_state", "gauge",
+        "Circuit breaker state (one-hot over closed/open/half-open)",
+        [({"state": state}, 1.0 if stats.breaker_state == state else 0.0)
+         for state in BREAKER_STATES],
+    ))
+    return families
 
 
 class MetricsRecorder:

@@ -318,11 +318,15 @@ class InferenceServer:
             future.cancel()
             raise
 
+    def queue_depth(self) -> int:
+        """Requests waiting in the coalescing queue right now.  Cheap
+        (no lock, no percentile sort) -- the per-request admission
+        probe for gateways, unlike the full :meth:`stats` snapshot."""
+        return self._queue.qsize() + (1 if self._holdback is not None else 0)
+
     def stats(self) -> ServerStats:
         pool = self._pool
-        queue_depth = self._queue.qsize() + (
-            1 if self._holdback is not None else 0
-        )
+        queue_depth = self.queue_depth()
         return self._metrics.snapshot(
             breaker_state=self.breaker.state,
             workers_configured=(self.workers if pool is not None else 0),

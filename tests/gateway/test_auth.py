@@ -1,0 +1,102 @@
+"""Unit tests for per-tenant API-key authentication."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.auth import (
+    API_KEY_HEADER,
+    ApiKeyAuthenticator,
+    Tenant,
+    demo_tenants,
+)
+from repro.gateway.protocol import ProtocolError
+
+
+class TestTenant:
+    def test_defaults(self):
+        tenant = Tenant(name="t", api_key="k")
+        assert tenant.rate_per_s == 100.0
+        assert tenant.burst == 100
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": "", "api_key": "k"},
+        {"name": "t", "api_key": ""},
+        {"name": "t", "api_key": "k", "rate_per_s": -1},
+        {"name": "t", "api_key": "k", "burst": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Tenant(**kwargs)
+
+    def test_zero_rate_is_a_valid_burst_only_contract(self):
+        assert Tenant(name="t", api_key="k", rate_per_s=0.0).rate_per_s == 0
+
+
+class TestAuthenticator:
+    def test_authenticates_by_header(self):
+        auth = ApiKeyAuthenticator.from_tenants(
+            Tenant(name="a", api_key="ka"), Tenant(name="b", api_key="kb")
+        )
+        assert auth.authenticate({API_KEY_HEADER: "kb"}).name == "b"
+
+    def test_missing_key_is_401(self):
+        auth = ApiKeyAuthenticator.from_tenants(
+            Tenant(name="a", api_key="ka")
+        )
+        with pytest.raises(ProtocolError) as exc:
+            auth.authenticate({})
+        assert exc.value.status == 401
+        assert exc.value.code == "missing_api_key"
+
+    def test_unknown_key_is_401(self):
+        auth = ApiKeyAuthenticator.from_tenants(
+            Tenant(name="a", api_key="ka")
+        )
+        with pytest.raises(ProtocolError) as exc:
+            auth.authenticate({API_KEY_HEADER: "wrong"})
+        assert exc.value.status == 401
+        assert exc.value.code == "invalid_api_key"
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApiKeyAuthenticator.from_tenants(
+                Tenant(name="a", api_key="same"),
+                Tenant(name="b", api_key="same"),
+            )
+
+    def test_empty_tenant_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApiKeyAuthenticator([])
+
+    def test_lookup(self):
+        auth = ApiKeyAuthenticator.from_tenants(
+            Tenant(name="a", api_key="ka")
+        )
+        assert auth.lookup("ka").name == "a"
+        assert auth.lookup("nope") is None
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps([
+            {"name": "x", "api_key": "kx", "rate_per_s": 5, "burst": 2},
+            {"name": "y", "api_key": "ky"},
+        ]))
+        auth = ApiKeyAuthenticator.from_json_file(path)
+        assert {t.name for t in auth.tenants} == {"x", "y"}
+        assert auth.lookup("kx").burst == 2
+
+    def test_from_json_file_rejects_non_list(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(ConfigurationError):
+            ApiKeyAuthenticator.from_json_file(path)
+
+    def test_demo_tenants_cover_the_loadgen_contract(self):
+        auth = ApiKeyAuthenticator(demo_tenants())
+        burst_tenant = auth.lookup("demo-key-burst")
+        # The deterministic tenant-skew scenario depends on this
+        # burst-only contract; changing it invalidates BENCH_gateway.
+        assert burst_tenant.rate_per_s == 0.0
+        assert burst_tenant.burst == 10

@@ -1,0 +1,355 @@
+"""Integration tests for the HTTP gateway over a live ephemeral port.
+
+Every test drives a real gateway (asyncio listener on 127.0.0.1:0)
+fronting a real :class:`InferenceServer`, over real sockets via
+``http.client``.  The acceptance contract pinned here: over-limit
+tenants get **429**, the breaker-open path gets **503**, expired
+deadlines get **504** -- each with the matching typed
+``sushi_gateway_rejections_total`` counter in ``/metrics``.
+"""
+
+import json
+import re
+import time
+from contextlib import contextmanager
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    AdmissionController,
+    ApiKeyAuthenticator,
+    Gateway,
+    Tenant,
+)
+from repro.harness import random_binarized_network
+from repro.serve import CircuitBreaker, InferenceServer
+from repro.ssnn import compile_network
+
+CHIP_N = 4
+SC = 8
+
+TENANTS = (
+    Tenant(name="alpha", api_key="key-alpha", rate_per_s=1000, burst=500),
+    Tenant(name="tiny", api_key="key-tiny", rate_per_s=0.0, burst=2),
+)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(41)
+    network = random_binarized_network(rng, sizes=(11, 8, 5), sc_per_npe=SC)
+    return compile_network(network, CHIP_N, SC)
+
+
+@pytest.fixture(scope="module")
+def train():
+    rng = np.random.default_rng(7)
+    return (rng.random((12, 11)) < 0.3).astype(float)
+
+
+@contextmanager
+def live_gateway(compiled, *, deadline_ms=0.0, breaker=None,
+                 queue_limit=1024, max_body_bytes=1 << 20):
+    server = InferenceServer(
+        compiled=compiled, deadline_ms=deadline_ms, breaker=breaker
+    ).start()
+    gateway = Gateway(
+        server,
+        authenticator=ApiKeyAuthenticator(TENANTS),
+        admission=AdmissionController(server, queue_limit=queue_limit),
+        max_body_bytes=max_body_bytes,
+    )
+    try:
+        with gateway:
+            yield gateway
+    finally:
+        server.stop()
+
+
+def call(gateway, method, path, *, key=None, body=None, timeout=15.0):
+    """One HTTP round trip; returns (status, parsed-or-raw body)."""
+    conn = HTTPConnection("127.0.0.1", gateway.port, timeout=timeout)
+    try:
+        headers = {}
+        if key is not None:
+            headers["X-API-Key"] = key
+        payload = (json.dumps(body).encode() if isinstance(body, dict)
+                   else body)
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        if response.headers.get_content_type() == "application/json":
+            return response.status, json.loads(raw)
+        return response.status, raw.decode()
+    finally:
+        conn.close()
+
+
+def infer(gateway, train, *, key="key-alpha", deadline_ms=None):
+    body = {"spike_train": train.astype(int).tolist()}
+    if deadline_ms is not None:
+        body["deadline_ms"] = deadline_ms
+    return call(gateway, "POST", "/infer", key=key, body=body)
+
+
+_PROM_LINE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(-?[0-9.e+E-]+)$"
+)
+
+
+def scrape(gateway):
+    """GET /metrics and parse the exposition into {(name, labels): value}."""
+    status, text = call(gateway, "GET", "/metrics")
+    assert status == 200
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+            continue
+        match = _PROM_LINE.match(line)
+        assert match, f"unparsable exposition line: {line!r}"
+        name, labels, value = match.groups()
+        samples[(name, labels or "")] = float(value)
+    return samples
+
+
+def rejection_count(samples, code):
+    return samples.get(
+        ("sushi_gateway_rejections_total", f'code="{code}"'), 0.0
+    )
+
+
+class TestHappyPath:
+    def test_authenticated_infer_round_trip(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            status, payload = infer(gateway, train)
+        assert status == 200
+        assert payload["schema"] == "repro.gateway.infer/v1"
+        assert payload["tenant"] == "alpha"
+        assert payload["steps"] == 12
+        # The served answer is the backend's answer -- the gateway is a
+        # transport, never a transform.
+        rates = np.asarray(payload["rates"])
+        assert rates.shape == (5,)
+        assert payload["prediction"] == int(rates.argmax())
+
+    def test_healthz_readyz_and_metrics(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            status, health = call(gateway, "GET", "/healthz")
+            assert status == 200
+            assert health["schema"] == "repro.gateway/v1"
+            assert health["backend"]["schema"] == "repro.serve.health/v1"
+            assert call(gateway, "GET", "/readyz")[0] == 200
+            infer(gateway, train)
+            samples = scrape(gateway)
+        assert samples[("sushi_server_completed_total", "")] == 1.0
+        assert samples[
+            ("sushi_gateway_requests_total",
+             'path="/infer",status="200"')
+        ] == 1.0
+        assert samples[
+            ("sushi_server_breaker_state", 'state="closed"')
+        ] == 1.0
+
+    def test_keep_alive_serves_multiple_requests(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            conn = HTTPConnection("127.0.0.1", gateway.port, timeout=15)
+            try:
+                body = json.dumps(
+                    {"spike_train": train.astype(int).tolist()}
+                ).encode()
+                for _ in range(3):
+                    conn.request("POST", "/infer", body=body,
+                                 headers={"X-API-Key": "key-alpha"})
+                    assert conn.getresponse().read() is not None
+            finally:
+                conn.close()
+            samples = scrape(gateway)
+        assert samples[("sushi_gateway_connections_total", "")] >= 1.0
+        assert samples[
+            ("sushi_gateway_requests_total",
+             'path="/infer",status="200"')
+        ] == 3.0
+
+
+class TestValidationAndRouting:
+    def test_missing_key_401(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            status, payload = infer(gateway, train, key=None)
+            samples = scrape(gateway)
+        assert status == 401
+        assert payload["error"]["code"] == "missing_api_key"
+        assert rejection_count(samples, "missing_api_key") == 1.0
+
+    def test_unknown_key_401(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            status, payload = infer(gateway, train, key="wrong")
+        assert status == 401
+        assert payload["error"]["code"] == "invalid_api_key"
+
+    def test_unknown_path_404(self, compiled):
+        with live_gateway(compiled) as gateway:
+            status, payload = call(gateway, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, compiled):
+        with live_gateway(compiled) as gateway:
+            status, payload = call(gateway, "GET", "/infer",
+                                   key="key-alpha")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_bad_json_400(self, compiled):
+        with live_gateway(compiled) as gateway:
+            status, payload = call(gateway, "POST", "/infer",
+                                   key="key-alpha", body=b"not json")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_wrong_width_400(self, compiled):
+        with live_gateway(compiled) as gateway:
+            status, payload = call(
+                gateway, "POST", "/infer", key="key-alpha",
+                body={"spike_train": [[1, 0]]},
+            )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_train"
+
+    def test_oversized_body_413(self, compiled, train):
+        with live_gateway(compiled, max_body_bytes=64) as gateway:
+            status, payload = infer(gateway, train)
+        assert status == 413
+        assert payload["error"]["code"] == "payload_too_large"
+
+
+class TestLoadShedding:
+    def test_over_limit_tenant_429_with_counter(self, compiled, train):
+        """Acceptance: over-limit tenants get 429 + rate_limited
+        counter; the polite tenant is unaffected."""
+        with live_gateway(compiled) as gateway:
+            outcomes = [infer(gateway, train, key="key-tiny")[0]
+                        for _ in range(5)]
+            polite_status, _ = infer(gateway, train, key="key-alpha")
+            _, last_body = infer(gateway, train, key="key-tiny")
+            samples = scrape(gateway)
+        assert outcomes == [200, 200, 429, 429, 429]
+        assert polite_status == 200
+        assert last_body["error"]["code"] == "rate_limited"
+        assert rejection_count(samples, "rate_limited") == 4.0
+        assert samples[
+            ("sushi_gateway_tenant_requests_total",
+             'status="429",tenant="tiny"')
+        ] == 4.0
+
+    def test_breaker_open_503_with_counter(self, compiled, train):
+        """Acceptance: while the pool breaker is open the gateway sheds
+        at the edge with a typed 503."""
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 reset_timeout_s=300.0)
+        with live_gateway(compiled, breaker=breaker) as gateway:
+            assert infer(gateway, train)[0] == 200  # healthy first
+            breaker.record_failure()
+            assert breaker.state == "open"
+            statuses = [infer(gateway, train)[0] for _ in range(3)]
+            _, body = infer(gateway, train)
+            samples = scrape(gateway)
+        assert statuses == [503, 503, 503]
+        assert body["error"]["code"] == "breaker_open"
+        assert rejection_count(samples, "breaker_open") == 4.0
+        assert samples[
+            ("sushi_server_breaker_state", 'state="open"')
+        ] == 1.0
+
+    def test_expired_deadline_504_with_counter(self, compiled, train):
+        """Acceptance: a request whose deadline_ms lapses while queued
+        gets 504 + deadline_exceeded counter (and the backend counts it
+        as expired, not failed)."""
+        with live_gateway(compiled) as gateway:
+            server = gateway.server
+            original = server._forward
+
+            def held_forward(rows):
+                time.sleep(0.6)
+                return original(rows)
+
+            server._forward = held_forward
+            try:
+                import threading
+
+                results = {}
+
+                def blocker():
+                    results["blocker"] = infer(gateway, train)
+
+                thread = threading.Thread(target=blocker)
+                thread.start()
+                time.sleep(0.2)  # dispatcher is now inside held_forward
+                status, payload = infer(gateway, train, deadline_ms=1.0)
+                thread.join(timeout=30)
+            finally:
+                server._forward = original
+            samples = scrape(gateway)
+        assert results["blocker"][0] == 200
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+        assert rejection_count(samples, "deadline_exceeded") == 1.0
+        assert samples[("sushi_server_expired_total", "")] == 1.0
+        assert samples[("sushi_server_failed_total", "")] == 0.0
+
+    def test_queue_full_503(self, compiled, train):
+        with live_gateway(compiled, queue_limit=1) as gateway:
+            server = gateway.server
+            original = server._forward
+
+            def held_forward(rows):
+                time.sleep(0.6)
+                return original(rows)
+
+            server._forward = held_forward
+            try:
+                import threading
+
+                thread = threading.Thread(
+                    target=lambda: infer(gateway, train)
+                )
+                thread.start()
+                time.sleep(0.2)
+                # Fill the coalescing queue past the admission bound
+                # behind the blocked dispatcher.
+                queued = server.submit(train)
+                status, payload = infer(gateway, train)
+                thread.join(timeout=30)
+                queued.result(timeout=30)
+            finally:
+                server._forward = original
+            samples = scrape(gateway)
+        assert status == 503
+        assert payload["error"]["code"] == "queue_full"
+        assert rejection_count(samples, "queue_full") == 1.0
+
+
+class TestDrainLifecycle:
+    def test_drain_endpoint_settles_and_flips_readiness(
+        self, compiled, train
+    ):
+        with live_gateway(compiled) as gateway:
+            assert infer(gateway, train)[0] == 200
+            status, payload = call(gateway, "POST", "/drain",
+                                   key="key-alpha", body=b"")
+            assert status == 200
+            assert payload["drained"] is True
+            assert call(gateway, "GET", "/readyz")[0] == 503
+            status, payload = infer(gateway, train)
+            assert status == 503
+            assert payload["error"]["code"] == "not_ready"
+            # Liveness stays green: /healthz answers while not ready.
+            assert call(gateway, "GET", "/healthz")[0] == 200
+
+    def test_drain_requires_auth(self, compiled):
+        with live_gateway(compiled) as gateway:
+            status, payload = call(gateway, "POST", "/drain", body=b"")
+        assert status == 401
+        assert payload["error"]["code"] == "missing_api_key"

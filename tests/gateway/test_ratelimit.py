@@ -1,0 +1,153 @@
+"""Unit tests for token buckets and backend admission control.
+
+An injectable step clock makes every refill deterministic; the
+admission controller is exercised against a stub server so each
+rejection reason is pinned in isolation.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.auth import Tenant
+from repro.gateway.ratelimit import (
+    AdmissionController,
+    RateLimiter,
+    TokenBucket,
+)
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return StepClock()
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self, clock):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refill_at_rate(self, clock):
+        bucket = TokenBucket(rate_per_s=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # +1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 2.0
+
+    def test_zero_rate_never_refills(self, clock):
+        bucket = TokenBucket(rate_per_s=0.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(3600.0)
+        assert not bucket.try_acquire()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=-1, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=1, burst=0)
+
+
+class TestRateLimiter:
+    def test_buckets_are_per_tenant(self, clock):
+        limiter = RateLimiter(clock=clock)
+        greedy = Tenant(name="g", api_key="kg", rate_per_s=0, burst=1)
+        polite = Tenant(name="p", api_key="kp", rate_per_s=0, burst=2)
+        assert limiter.allow(greedy)
+        assert not limiter.allow(greedy)
+        assert limiter.allow(polite)  # unaffected by g's bucket
+        assert limiter.allow(polite)
+        assert not limiter.allow(polite)
+
+    def test_bucket_inspection(self, clock):
+        limiter = RateLimiter(clock=clock)
+        tenant = Tenant(name="t", api_key="k", rate_per_s=5, burst=7)
+        assert limiter.bucket("t") is None
+        limiter.allow(tenant)
+        assert limiter.bucket("t").burst == 7
+
+
+class _StubBreaker:
+    def __init__(self, state="closed"):
+        self.state = state
+
+
+class _StubServer:
+    def __init__(self, ready=True, breaker_state="closed", depth=0):
+        self._ready = ready
+        self.breaker = _StubBreaker(breaker_state)
+        self._depth = depth
+
+    def readiness(self):
+        return self._ready
+
+    def queue_depth(self):
+        return self._depth
+
+
+class TestAdmissionController:
+    def test_admits_healthy_backend(self):
+        assert AdmissionController(_StubServer()).check() is None
+
+    def test_not_ready(self):
+        controller = AdmissionController(_StubServer(ready=False))
+        assert controller.check() == "not_ready"
+
+    def test_breaker_open_sheds(self):
+        controller = AdmissionController(
+            _StubServer(breaker_state="open")
+        )
+        assert controller.check() == "breaker_open"
+
+    def test_breaker_shedding_can_be_disabled(self):
+        controller = AdmissionController(
+            _StubServer(breaker_state="open"), shed_on_breaker_open=False
+        )
+        assert controller.check() is None
+
+    def test_half_open_is_admitted(self):
+        controller = AdmissionController(
+            _StubServer(breaker_state="half-open")
+        )
+        assert controller.check() is None
+
+    def test_queue_depth_bound(self):
+        controller = AdmissionController(
+            _StubServer(depth=5), queue_limit=5
+        )
+        assert controller.check() == "queue_full"
+        controller = AdmissionController(
+            _StubServer(depth=4), queue_limit=5
+        )
+        assert controller.check() is None
+
+    def test_reason_precedence_ready_first(self):
+        # A draining backend reads as not_ready even when its queue is
+        # also over the bound -- the more actionable signal wins.
+        controller = AdmissionController(
+            _StubServer(ready=False, breaker_state="open", depth=10**6),
+            queue_limit=1,
+        )
+        assert controller.check() == "not_ready"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(_StubServer(), queue_limit=0)

@@ -1,0 +1,129 @@
+"""Golden-schema tests for every committed ``benchmarks/BENCH_*.json``.
+
+The BENCH files are the drift baselines the ``--check`` scripts diff
+against; a hand edit that drops a key would silently weaken every
+future check.  This registry pins the shape of each file -- and the
+registry itself is pinned: a new BENCH file on disk without an entry
+here fails the suite.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+# name -> {top-level key -> required subkeys (or None for scalars)}
+REGISTRY = {
+    "BENCH_simulator.json": {
+        "note": None,
+        "version": None,
+        "workloads": {"chain_300x150", "chip_n2_sc4_r6"},
+    },
+    "BENCH_faults.json": {
+        "note": None,
+        "version": None,
+        "campaign": {"description", "points", "wall_time_s"},
+        "self_healing": {"attempts", "degraded", "description",
+                         "fault_injections", "recovery_lines"},
+        "zero_fault_overhead": {"baseline_s", "inactive_model_s",
+                                "overhead_ratio"},
+    },
+    "BENCH_serve.json": {
+        "note": None,
+        "version": None,
+        "equivalence": {"compiled_equals_legacy", "decisions_sha256_16",
+                        "pool_equals_serial", "reload_events",
+                        "spurious", "synops"},
+        "plan_cache": {"cold_hit", "cold_ms", "warm_hit", "warm_ms",
+                       "warm_speedup"},
+        "throughput": {"compiled_pool_ms", "compiled_serial_ms",
+                       "legacy_parallel_ms", "legacy_serial_ms"},
+        "workload": {"batch", "chip_n", "fingerprint", "rows",
+                     "sc_per_npe", "sizes", "steps", "workers"},
+    },
+    "BENCH_chaos.json": {
+        "note": None,
+        "version": None,
+        "recovery_latency_s": None,
+        "zero_failure_overhead": None,
+        "campaign": {"passed", "quick", "scenarios", "schema",
+                     "workers"},
+    },
+    "BENCH_gateway.json": {
+        "note": None,
+        "version": None,
+        "campaign": {"passed", "quick", "scenarios", "schema",
+                     "totals", "workload"},
+    },
+}
+
+SCENARIO_FIELDS = {
+    "name", "mode", "sent", "statuses", "expected_statuses", "passed",
+    "rejections", "latency_ms_p50", "latency_ms_p99", "latency_ms_max",
+    "throughput_rps", "elapsed_s",
+}
+
+
+def load(name):
+    return json.loads((BENCH_DIR / name).read_text())
+
+
+def test_every_bench_file_on_disk_is_registered():
+    on_disk = {p.name for p in BENCH_DIR.glob("BENCH_*.json")}
+    assert on_disk == set(REGISTRY), (
+        "BENCH files and the schema registry diverged; register new "
+        "baselines here so their shape is pinned"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_bench_schema(name):
+    payload = load(name)
+    spec = REGISTRY[name]
+    missing = set(spec) - set(payload)
+    assert not missing, f"{name} lost top-level keys: {missing}"
+    for key, subkeys in spec.items():
+        if subkeys is None:
+            continue
+        lost = subkeys - set(payload[key])
+        assert not lost, f"{name}[{key}] lost keys: {lost}"
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_bench_version_is_one(name):
+    assert load(name)["version"] == 1
+
+
+def test_gateway_baseline_internal_consistency():
+    campaign = load("BENCH_gateway.json")["campaign"]
+    assert campaign["schema"] == "repro.gateway.loadtest/v1"
+    assert campaign["passed"] is True
+    assert campaign["quick"] is True
+    scenarios = campaign["scenarios"]
+    assert [s["name"] for s in scenarios] == [
+        "steady-closed", "poisson-open", "flash-crowd", "tenant-skew",
+        "deadline-storm", "breaker-open",
+    ]
+    for entry in scenarios:
+        missing = SCENARIO_FIELDS - set(entry)
+        assert not missing, f"{entry['name']} missing {missing}"
+        assert entry["statuses"] == entry["expected_statuses"]
+        assert entry["passed"] is True
+    # Totals really are the sum of the scenario counts.
+    want_sent = sum(s["sent"] for s in scenarios)
+    assert campaign["totals"]["sent"] == want_sent
+    rejected = {}
+    for entry in scenarios:
+        for code, count in entry["rejections"].items():
+            rejected[code] = rejected.get(code, 0) + count
+    assert campaign["totals"]["rejections"] == rejected
+
+
+def test_chaos_baseline_scenarios_all_passed():
+    campaign = load("BENCH_chaos.json")["campaign"]
+    assert campaign["passed"] is True
+    for entry in campaign["scenarios"]:
+        assert entry["passed"] is True, entry["name"]
+        assert entry["error"] is None

@@ -145,3 +145,152 @@ class TestSnapshotAndValidation:
 
     def test_repr_mentions_state(self, breaker):
         assert "closed" in repr(breaker)
+
+
+# -- property-based model check ----------------------------------------------
+#
+# Drive the breaker with arbitrary allow/success/failure/advance
+# sequences on a step clock and check it against a tiny reference model
+# of the documented three-state machine.  Whatever hypothesis throws at
+# it, the breaker must never record an undocumented transition and the
+# snapshot must reflect the last event.
+
+from hypothesis import given, settings, strategies as st
+
+VALID_TRANSITIONS = {
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "closed"),
+    ("half-open", "open"),
+}
+
+OPS = st.lists(
+    st.one_of(
+        st.just(("allow",)),
+        st.just(("success",)),
+        st.just(("failure",)),
+        st.tuples(st.just("advance"),
+                  st.sampled_from([0.1, 1.0, 4.9, 5.0, 7.5])),
+    ),
+    max_size=60,
+)
+
+
+class _ModelBreaker:
+    """Reference implementation of the documented semantics."""
+
+    def __init__(self, threshold, timeout, probes, clock):
+        self.threshold = threshold
+        self.timeout = timeout
+        self.probe_budget = probes
+        self.clock = clock
+        self.state = "closed"
+        self.consec = 0
+        self.opened_at = None
+        self.probes_in_flight = 0
+
+    def allow(self):
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self.opened_at < self.timeout:
+                return False
+            self.state = "half-open"
+            self.probes_in_flight = 0
+        if self.probes_in_flight < self.probe_budget:
+            self.probes_in_flight += 1
+            return True
+        return False
+
+    def success(self):
+        self.consec = 0
+        if self.state == "half-open":
+            self.state = "closed"
+            self.probes_in_flight = 0
+            self.opened_at = None
+
+    def failure(self):
+        self.consec += 1
+        if self.state == "half-open":
+            self.state = "open"
+            self.opened_at = self.clock()
+            self.probes_in_flight = 0
+        elif self.state == "closed" and self.consec >= self.threshold:
+            self.state = "open"
+            self.opened_at = self.clock()
+
+    def effective_state(self):
+        if (self.state == "open"
+                and self.clock() - self.opened_at >= self.timeout):
+            return "half-open"
+        return self.state
+
+
+class TestBreakerProperties:
+    @settings(deadline=None, max_examples=200)
+    @given(
+        ops=OPS,
+        threshold=st.integers(min_value=1, max_value=4),
+        probes=st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_reference_model(self, ops, threshold, probes):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout_s=5.0,
+            half_open_probes=probes, clock=clock,
+        )
+        model = _ModelBreaker(threshold, 5.0, probes, clock)
+        for op in ops:
+            if op[0] == "allow":
+                assert breaker.allow() == model.allow()
+            elif op[0] == "success":
+                breaker.record_success()
+                model.success()
+                assert breaker.snapshot().consecutive_failures == 0
+            elif op[0] == "failure":
+                breaker.record_failure()
+                model.failure()
+                assert breaker.snapshot().consecutive_failures >= 1
+            else:
+                clock.advance(op[1])
+            snap = breaker.snapshot()
+            # Raw state agrees with the model; the state property
+            # additionally applies the open -> half-open clock.
+            assert snap.state == model.state
+            assert breaker.state == model.effective_state()
+            assert snap.consecutive_failures == model.consec
+
+    @settings(deadline=None, max_examples=200)
+    @given(ops=OPS, threshold=st.integers(min_value=1, max_value=4))
+    def test_never_records_an_invalid_transition(self, ops, threshold):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout_s=5.0,
+            clock=clock,
+        )
+        for op in ops:
+            if op[0] == "allow":
+                breaker.allow()
+            elif op[0] == "success":
+                breaker.record_success()
+            elif op[0] == "failure":
+                breaker.record_failure()
+            else:
+                clock.advance(op[1])
+        snap = breaker.snapshot()
+        for transition in snap.transitions:
+            assert transition in VALID_TRANSITIONS, transition
+        # The retained window is contiguous: each hop starts where the
+        # previous one ended.
+        for prev, nxt in zip(snap.transitions, snap.transitions[1:]):
+            assert prev[1] == nxt[0]
+        # While the ring has not overflowed, the lifetime counters
+        # agree with the retained log exactly.
+        if len(snap.transitions) < 32:
+            assert snap.opens == sum(
+                1 for t in snap.transitions if t[1] == "open"
+            )
+            assert snap.closes == sum(
+                1 for t in snap.transitions if t[1] == "closed"
+            )
+        assert snap.state in ("closed", "open", "half-open")

@@ -1,0 +1,60 @@
+"""Tests for the subcommand layer of ``python -m repro``.
+
+Companion to ``tests/harness/test_cli.py`` (which covers the
+experiment-runner path): this file pins the dispatcher contract --
+every registered subcommand answers ``--help`` with exit code 0,
+unknown input prints usage and exits 2, and ``main`` never lets
+``SystemExit`` escape.
+"""
+
+import pytest
+
+from repro.__main__ import SUBCOMMANDS, main, usage
+
+
+class TestSubcommandDispatch:
+    @pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+    def test_every_subcommand_answers_help(self, name, capsys):
+        # argparse raises SystemExit(0) on --help; main must swallow it
+        # and return the code instead.
+        assert main([name, "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "usage" in out.lower()
+
+    def test_top_level_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out
+
+    def test_list_includes_subcommands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out
+
+    def test_unknown_subcommand_prints_usage_and_exits_2(self, capsys):
+        code = main(["definitely-not-a-command"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "usage: python -m repro" in captured.err
+        assert "unknown experiments" in captured.err
+
+    def test_never_raises_system_exit(self, capsys):
+        # Bad flags on a subcommand: argparse exits 2; main returns it.
+        code = main(["loadtest", "--no-such-flag"])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_usage_lists_every_subcommand(self, capsys):
+        usage()
+        out = capsys.readouterr().out
+        for name, (_, help_text) in SUBCOMMANDS.items():
+            assert name in out
+            assert help_text in out
+
+    def test_registry_contract(self):
+        assert set(SUBCOMMANDS) >= {"chaos", "serve", "loadtest"}
+        for name, (dispatcher, help_text) in SUBCOMMANDS.items():
+            assert callable(dispatcher), name
+            assert help_text
