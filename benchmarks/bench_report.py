@@ -33,13 +33,18 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from legacy_engine import run_chain_workload, run_chip_workload  # noqa: E402
+from legacy_engine import (  # noqa: E402
+    run_chain_workload,
+    run_chip_workload,
+    run_trace_replay_workload,
+)
 
 REPORT_PATH = Path(__file__).resolve().parent / "BENCH_simulator.json"
 SCHEMA_VERSION = 1
 
 #: Fields that must not drift between runs (deterministic engine outputs).
-PINNED_FIELDS = ("events", "violations", "partitions")
+PINNED_FIELDS = ("events", "violations", "partitions", "replays",
+                 "fallbacks", "replay_equal")
 
 
 def measure() -> dict:
@@ -101,6 +106,12 @@ def measure() -> dict:
                 "speedup_fast_over_legacy": round(
                     chip_fast.events_per_sec
                     / chip_legacy.events_per_sec, 3),
+            },
+            "trace_replay": {
+                "description": ("chip_n2_sc4_r6 schedule recorded once, "
+                                "20 warm vectorized replays vs fast-path "
+                                "re-execution of the same segments"),
+                "traced": run_trace_replay_workload(),
             },
         },
     }

@@ -211,6 +211,77 @@ def _drive_protocol(chip, sim, engine, n, repeats) -> WorkloadResult:
     )
 
 
+def run_trace_replay_workload(
+    n: int = 2,
+    sc_per_npe: int = 4,
+    repeats: int = 6,
+    replays: int = 20,
+) -> dict:
+    """Record-once / replay-many measurement on the chip workload.
+
+    Captures the exact ``chip_n2_sc4_r6`` stimulus schedule with a
+    :class:`~repro.rsfq.trace.ScheduleRecorder`, records it into a
+    :class:`~repro.rsfq.trace.CompiledTrace` (cold cost), then times
+    ``replays`` warm vectorized replays against the same number of
+    fast-path re-executions of the identical segments on a fresh
+    :class:`~repro.rsfq.simulator.Simulator`.  The deterministic fields
+    (events, violations, replay/fallback counts, bit-equality verdict)
+    are pinned by ``bench_report.py --check``; wall-clock numbers are
+    informational.  The enforced ">= 5x" gate lives in
+    ``test_trace_speedup.py``.
+    """
+    from repro.rsfq.trace import ScheduleRecorder, TraceEngine
+
+    chip = GateLevelChip(ChipConfig(n=n, sc_per_npe=sc_per_npe))
+    recorder = ScheduleRecorder(chip.net)
+    _drive_protocol(chip, recorder, "capture", n, repeats)
+    segments = recorder.captured_segments()
+    baseline_fires = [list(chip.fire_times(j)) for j in range(n)]
+
+    chip_t = GateLevelChip(ChipConfig(n=n, sc_per_npe=sc_per_npe))
+    engine = TraceEngine(chip_t.net)
+    start = _time.perf_counter()
+    episode = engine.run_episode(segments)
+    record_s = _time.perf_counter() - start
+
+    start = _time.perf_counter()
+    for _ in range(replays):
+        episode = engine.run_episode(segments)
+    warm_s = _time.perf_counter() - start
+    traced_fires = [list(chip_t.fire_times(j)) for j in range(n)]
+
+    chip_f = GateLevelChip(ChipConfig(n=n, sc_per_npe=sc_per_npe))
+    sim = chip_f.simulator()
+    start = _time.perf_counter()
+    for _ in range(replays):
+        sim.reset()
+        for segment in segments:
+            for name, port, time in segment:
+                sim.schedule_input(name, port, time)
+            sim.run()
+    fast_s = _time.perf_counter() - start
+    fast_fires = [list(chip_f.fire_times(j)) for j in range(n)]
+
+    warm_per_replay = warm_s / replays
+    fast_per_run = fast_s / replays
+    return {
+        "events": episode.events,
+        "violations": len(episode.violations),
+        "replays": engine.stats["replays"],
+        "fallbacks": engine.stats["fallbacks"],
+        "replay_equal": (
+            traced_fires == baseline_fires == fast_fires
+            and episode.mode == "replay"
+        ),
+        "record_wall_s": round(record_s, 6),
+        "warm_replay_wall_s": round(warm_per_replay, 6),
+        "fast_wall_s": round(fast_per_run, 6),
+        "speedup_warm_replay_over_fast": round(
+            fast_per_run / warm_per_replay, 3
+        ) if warm_per_replay > 0 else 0.0,
+    }
+
+
 def run_chain_workload(
     engine: str = "fast", n: int = 300, pulses: int = 150
 ) -> WorkloadResult:

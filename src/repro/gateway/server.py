@@ -412,8 +412,11 @@ class Gateway:
                                 "requests"), "application/json")
 
     def _handle_metrics(self) -> Tuple[int, bytes, str]:
+        from repro.rsfq.trace import trace_counter_families
+
         families = server_stats_families(self.server.stats())
         families.extend(self.metrics.families())
+        families.extend(trace_counter_families())
         text = render_prometheus(families)
         self.metrics.record("/metrics", 200)
         return (200, text.encode("utf-8"),

@@ -53,7 +53,7 @@ from repro.rsfq.faults import FAULT_KINDS, FaultModel
 from repro.rsfq.library import JTL, Probe
 from repro.rsfq.netlist import Netlist
 from repro.rsfq.parallel import ParallelSimulator
-from repro.rsfq.simulator import Simulator
+from repro.rsfq.simulator import Simulator, margin_report_rows
 
 __all__ = [
     "CampaignConfig",
@@ -83,6 +83,13 @@ class CampaignConfig:
         parallel_parts: When >= 2, trials run on the partitioned engine
             (results are bit-identical to sequential -- a cheap cross
             check for campaign infrastructure).
+        engine: ``"event"`` (default) runs every trial on the
+            discrete-event engine; ``"traced"`` records the stimulus
+            schedule once and serves repeat trials from the vectorized
+            :class:`~repro.rsfq.trace.TraceEngine` replayer (p=0 /
+            zero-injection trials replay, injecting trials transparently
+            fall back -- results are bit-identical either way; see
+            docs/ENGINE.md).  Mutually exclusive with ``parallel_parts``.
         queue_backend: Event-queue backend for the trial simulators.
         max_events: Runaway guard per trial.
         deadline_s: Optional wall-clock guard per trial (see
@@ -99,6 +106,7 @@ class CampaignConfig:
     pulse_interval_ps: float = 200.0
     fault_delay_ps: float = 5.0
     parallel_parts: int = 0
+    engine: str = "event"
     queue_backend: str = "heap"
     max_events: int = 10_000_000
     deadline_s: Optional[float] = None
@@ -110,6 +118,17 @@ class CampaignConfig:
                     f"unknown fault kind '{kind}'; "
                     f"available: {list(FAULT_KINDS)}"
                 )
+        if self.engine not in ("event", "traced"):
+            raise ConfigurationError(
+                f"unknown engine '{self.engine}'; "
+                "available: ('event', 'traced')"
+            )
+        if self.engine == "traced" and self.parallel_parts >= 2:
+            raise ConfigurationError(
+                "engine='traced' and parallel_parts >= 2 are mutually "
+                "exclusive; the trace replayer is a sequential-engine "
+                "surrogate"
+            )
         if self.trials < 1:
             raise ConfigurationError("trials must be >= 1")
         if self.chain_length < 1:
@@ -312,6 +331,15 @@ def run_resilience_campaign(
     interval = config.pulse_interval_ps
     result = CampaignResult(config=config)
 
+    trace_engine = None
+    if config.engine == "traced":
+        from repro.rsfq.trace import TraceEngine
+
+        # One engine for the whole campaign: the stimulus schedule is
+        # identical across trials/grid points, so a single recording
+        # serves every zero-injection trial as a vectorized replay.
+        trace_engine = TraceEngine(factory()[0])
+
     # Chain latency: probe arrival time of an unfaulted pulse, measured
     # once on a clean run (robust to custom factories).
     net, probe = factory()
@@ -338,6 +366,32 @@ def run_resilience_campaign(
                     # both the global RNG and the per-wire streams, so
                     # trial jitter is reproducible across hosts/processes.
                     jitter_seed = f"campaign-jitter|{config.seed!r}|{trial}"
+                    first = next(iter(net.cells))
+                    stimuli = [
+                        (first, "din", k * interval)
+                        for k in range(config.n_pulses)
+                    ]
+                    if trace_engine is not None:
+                        episode = trace_engine.run_episode(
+                            (stimuli,), jitter_ps=sigma, seed=jitter_seed,
+                            jitter_mode="wire", faults=model,
+                            max_events=config.max_events,
+                            deadline_s=config.deadline_s,
+                            queue_backend=config.queue_backend,
+                            netlist=net,
+                        )
+                        bits += config.n_pulses
+                        bit_errors += _window_errors(
+                            probe.times, config.n_pulses, interval, latency
+                        )
+                        injections += sum(episode.fault_counts.values())
+                        violations += len(episode.violations)
+                        events += episode.events
+                        for row in margin_report_rows(episode.margins):
+                            slack = row["slack_ps"]
+                            if worst_slack is None or slack < worst_slack:
+                                worst_slack = slack
+                        continue
                     if config.parallel_parts >= 2:
                         trial_sim = ParallelSimulator(
                             net, parts=config.parallel_parts,
@@ -352,11 +406,6 @@ def run_resilience_campaign(
                             queue_backend=config.queue_backend,
                             faults=model,
                         )
-                    first = next(iter(net.cells))
-                    stimuli = [
-                        (first, "din", k * interval)
-                        for k in range(config.n_pulses)
-                    ]
                     stats = trial_sim.run_batch(
                         [stimuli],
                         max_events=config.max_events,

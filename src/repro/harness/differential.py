@@ -510,6 +510,10 @@ def run_gate_level_differential(
     }
 
 
+#: Engines understood by :func:`run_parallel_gate_differential`.
+GATE_ENGINES = ("sequential", "parallel", "traced")
+
+
 def run_parallel_gate_differential(
     seed: int = 0,
     n: int = 2,
@@ -519,6 +523,7 @@ def run_parallel_gate_differential(
     jitter_ps: float = 0.0,
     executor: str = "serial",
     faults=None,
+    engines: Sequence[str] = ("sequential", "parallel"),
 ) -> Dict:
     """Sequential vs partitioned gate-level engine on one random workload.
 
@@ -537,6 +542,14 @@ def run_parallel_gate_differential(
     equal (the fault-determinism acceptance criterion; see
     ``docs/FAULTS.md``).
 
+    ``engines`` selects which candidates run against the sequential
+    baseline.  ``"sequential"`` is mandatory; add ``"traced"`` to replay
+    the captured stimulus schedule through
+    :class:`~repro.rsfq.trace.TraceEngine` on a third fresh chip and fold
+    ``traced_*`` verdicts into ``equivalent`` (faulted or divergent runs
+    may legitimately report ``traced_mode == "fallback"``, but the
+    physics must still match bit-for-bit; see ``docs/ENGINE.md``).
+
     Returns a dict with an ``equivalent`` flag and the per-aspect
     verdicts (the parallel acceptance artefact; see
     ``tests/rsfq/test_parallel.py``).
@@ -545,7 +558,18 @@ def run_parallel_gate_differential(
     from repro.neuro.state_controller import Polarity
     from repro.rsfq.parallel import ParallelSimulator
     from repro.rsfq.simulator import Simulator
+    from repro.rsfq.trace import ScheduleRecorder, TraceEngine
     from repro.rsfq.waveform import PulseTrace
+
+    unknown = [e for e in engines if e not in GATE_ENGINES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engines {unknown}; available: {list(GATE_ENGINES)}"
+        )
+    if "sequential" not in engines:
+        raise ConfigurationError(
+            "the sequential engine is the baseline and cannot be dropped"
+        )
 
     rng = np.random.default_rng(seed)
     capacity = 1 << sc_per_npe
@@ -576,53 +600,112 @@ def run_parallel_gate_differential(
         fires = [list(chip.fire_times(j)) for j in range(n)]
         return sim, trace, fires
 
+    # The sequential baseline runs as a ScheduleRecorder when the traced
+    # candidate is requested: the recorder is a plain Simulator that also
+    # logs every scheduled stimulus, so the traced leg can re-execute the
+    # exact closed-loop schedule open-loop.
+    seq_cls = ScheduleRecorder if "traced" in engines else Simulator
     seq_sim, seq_trace, seq_fires = execute(
-        lambda chip, trace: Simulator(
+        lambda chip, trace: seq_cls(
             chip.net, trace=trace, jitter_ps=jitter_ps, seed=seed,
             jitter_mode="wire", faults=faults,
         )
     )
-    par_sim, par_trace, par_fires = execute(
-        lambda chip, trace: ParallelSimulator(
-            chip.net, parts=parts, hints=chip.partition_hints(),
-            trace=trace, jitter_ps=jitter_ps, seed=seed, executor=executor,
-            faults=faults,
-        )
-    )
 
-    channels = set(seq_trace.channels()) | set(par_trace.channels())
-    channels_equal = all(
-        seq_trace.times(*channel) == par_trace.times(*channel)
-        for channel in channels
-    )
     verdict = {
-        "partitions": par_sim.plan.n_partitions,
-        "rounds": par_sim.rounds,
-        "cut_wires": len(par_sim.plan.cut_wires),
-        "events": (seq_sim.events_processed, par_sim.events_processed),
-        "channels_equal": channels_equal,
-        "log_equal": seq_trace.events() == par_trace.events(),
-        "violations_equal": (
-            len(seq_sim.violations) == len(par_sim.violations)
-        ),
-        "margins_equal": seq_sim.margins == par_sim.margins,
-        "fires_equal": seq_fires == par_fires,
-        "now_equal": seq_sim.now == par_sim.now,
+        "events": (seq_sim.events_processed,),
         "injections": sum(seq_sim.fault_counts().values()),
-        "injection_log_equal": (
-            seq_sim.injection_log() == par_sim.injection_log()
-            and seq_sim.fault_counts() == par_sim.fault_counts()
-        ),
+        "equivalent": True,
     }
-    verdict["equivalent"] = (
-        channels_equal
-        and verdict["violations_equal"]
-        and verdict["margins_equal"]
-        and verdict["fires_equal"]
-        and verdict["now_equal"]
-        and verdict["injection_log_equal"]
-        and seq_sim.events_processed == par_sim.events_processed
-    )
+
+    if "parallel" in engines:
+        par_sim, par_trace, par_fires = execute(
+            lambda chip, trace: ParallelSimulator(
+                chip.net, parts=parts, hints=chip.partition_hints(),
+                trace=trace, jitter_ps=jitter_ps, seed=seed,
+                executor=executor, faults=faults,
+            )
+        )
+        channels = set(seq_trace.channels()) | set(par_trace.channels())
+        channels_equal = all(
+            seq_trace.times(*channel) == par_trace.times(*channel)
+            for channel in channels
+        )
+        verdict.update({
+            "partitions": par_sim.plan.n_partitions,
+            "rounds": par_sim.rounds,
+            "cut_wires": len(par_sim.plan.cut_wires),
+            "events": (seq_sim.events_processed, par_sim.events_processed),
+            "channels_equal": channels_equal,
+            "log_equal": seq_trace.events() == par_trace.events(),
+            "violations_equal": (
+                len(seq_sim.violations) == len(par_sim.violations)
+            ),
+            "margins_equal": seq_sim.margins == par_sim.margins,
+            "fires_equal": seq_fires == par_fires,
+            "now_equal": seq_sim.now == par_sim.now,
+            "injection_log_equal": (
+                seq_sim.injection_log() == par_sim.injection_log()
+                and seq_sim.fault_counts() == par_sim.fault_counts()
+            ),
+        })
+        verdict["equivalent"] = (
+            channels_equal
+            and verdict["violations_equal"]
+            and verdict["margins_equal"]
+            and verdict["fires_equal"]
+            and verdict["now_equal"]
+            and verdict["injection_log_equal"]
+            and seq_sim.events_processed == par_sim.events_processed
+        )
+
+    if "traced" in engines:
+        chip_t = GateLevelChip(ChipConfig(n=n, sc_per_npe=sc_per_npe))
+        engine = TraceEngine(chip_t.net)
+        episode = engine.run_episode(
+            seq_sim.captured_segments(),
+            jitter_ps=jitter_ps, seed=seed, jitter_mode="wire",
+            faults=faults, want_trace=True,
+        )
+        traced_fires = [list(chip_t.fire_times(j)) for j in range(n)]
+        t_trace = episode.trace
+        t_channels = set(seq_trace.channels()) | set(t_trace.channels())
+        t_channels_equal = all(
+            seq_trace.times(*channel) == t_trace.times(*channel)
+            for channel in t_channels
+        )
+        verdict.update({
+            "traced_mode": episode.mode,
+            "traced_events": episode.events,
+            "traced_channels_equal": t_channels_equal,
+            "traced_violations_equal": (
+                len(seq_sim.violations) == len(episode.violations)
+            ),
+            "traced_margins_equal": (
+                dict(seq_sim.margins) == episode.margins
+            ),
+            "traced_fires_equal": seq_fires == traced_fires,
+            "traced_now_equal": seq_sim.now == episode.final_time_ps,
+            "traced_events_equal": (
+                seq_sim.events_processed == episode.events
+            ),
+            "traced_injection_log_equal": (
+                seq_sim.injection_log() == episode.injection_log
+                and seq_sim.fault_counts() == episode.fault_counts
+            ),
+        })
+        verdict["traced_equal"] = (
+            t_channels_equal
+            and verdict["traced_violations_equal"]
+            and verdict["traced_margins_equal"]
+            and verdict["traced_fires_equal"]
+            and verdict["traced_now_equal"]
+            and verdict["traced_events_equal"]
+            and verdict["traced_injection_log_equal"]
+        )
+        verdict["equivalent"] = (
+            verdict["equivalent"] and verdict["traced_equal"]
+        )
     return verdict
 
 

@@ -57,6 +57,19 @@ from repro.rsfq.simulator import (
     Simulator,
     wire_jitter_rng,
 )
+from repro.rsfq.trace import (
+    GLOBAL_TRACE_COUNTERS,
+    TRACE_KIND,
+    CompiledTrace,
+    EpisodeResult,
+    ScheduleRecorder,
+    TraceCounters,
+    TraceEngine,
+    netlist_fingerprint,
+    record_trace,
+    schedule_fingerprint,
+    trace_counter_families,
+)
 from repro.rsfq.waveform import (
     PulseTrace,
     levels_to_pulses,
@@ -95,6 +108,17 @@ __all__ = [
     "SimulationSession",
     "RunResult",
     "SessionStats",
+    "CompiledTrace",
+    "TraceEngine",
+    "EpisodeResult",
+    "ScheduleRecorder",
+    "TraceCounters",
+    "GLOBAL_TRACE_COUNTERS",
+    "TRACE_KIND",
+    "record_trace",
+    "netlist_fingerprint",
+    "schedule_fingerprint",
+    "trace_counter_families",
     "PulseTrace",
     "levels_to_pulses",
     "pulses_to_levels",

@@ -113,6 +113,19 @@ class SimulationSession:
             seed; reseed it per trial with
             :meth:`~repro.rsfq.faults.FaultModel.reseeded` for
             Monte-Carlo campaigns).
+        engine: ``"event"`` (default) runs every stimulus set through
+            the discrete-event loop; ``"traced"`` serves repeated
+            schedules from the record-once / replay-vectorized trace
+            layer (:mod:`repro.rsfq.trace`) with transparent, counted
+            fallback to the event engine whenever replay cannot
+            reproduce the run bit-for-bit (``until=`` horizons,
+            parallel sessions, fault triggers, ordering divergence).
+        trace_cache: Optional on-disk cache for compiled traces when
+            ``engine="traced"`` -- ``None`` (in-memory only),
+            ``"default"`` (the shared plan-cache root), or a
+            :class:`~repro.ssnn.compile.PlanCache` instance (traces are
+            namespaced under their own artifact kind, so plans and
+            traces share a root safely).
     """
 
     def __init__(
@@ -127,7 +140,19 @@ class SimulationSession:
         partition_hints: Optional[dict] = None,
         jitter_mode: Optional[str] = None,
         faults=None,
+        engine: Optional[str] = None,
+        trace_cache=None,
     ):
+        if engine not in (None, "event", "traced"):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown engine '{engine}'; "
+                "available: ('event', 'traced')"
+            )
+        self.engine = engine or "event"
+        self._trace_cache = trace_cache
+        self._trace_engine = None
         self.netlist = netlist
         self.strict = strict
         self.jitter_ps = float(jitter_ps)
@@ -178,6 +203,74 @@ class SimulationSession:
             **kwargs,
         )
 
+    def _traced_engine(self):
+        """The lazily-built :class:`~repro.rsfq.trace.TraceEngine`."""
+        if self._trace_engine is None:
+            from repro.rsfq.trace import TraceEngine
+
+            cache = self._trace_cache
+            if cache is not None:
+                from repro.ssnn.compile import resolve_plan_cache
+
+                cache = resolve_plan_cache(cache)
+            self._trace_engine = TraceEngine(self.netlist, cache=cache)
+        return self._trace_engine
+
+    def trace_stats(self) -> dict:
+        """Record/replay/fallback/cache counters of the traced engine
+        (all zeros when ``engine="event"`` or nothing ran yet)."""
+        if self._trace_engine is None:
+            return {"records": 0, "replays": 0, "fallbacks": 0,
+                    "cache_hits": 0, "cache_misses": 0}
+        return dict(self._trace_engine.stats)
+
+    def _run_traced(
+        self,
+        stimuli: Sequence[Stimulus],
+        until: Optional[float],
+        max_events: int,
+        run_seed,
+    ) -> Optional[RunResult]:
+        """Serve one run from the trace layer, or None for fallback."""
+        if until is not None or self.parallel_parts >= 2:
+            from repro.rsfq.trace import GLOBAL_TRACE_COUNTERS
+
+            GLOBAL_TRACE_COUNTERS.bump("fallbacks")
+            return None
+        engine = self._traced_engine()
+        start = _time.perf_counter()
+        episode = engine.replay_episode(
+            (tuple(stimuli),),
+            jitter_ps=self.jitter_ps,
+            seed=run_seed,
+            jitter_mode=self.jitter_mode or "global",
+            faults=self.faults,
+            strict=self.strict,
+            max_events=max_events,
+            want_trace=self.record_traces,
+        )
+        wall = _time.perf_counter() - start
+        if episode is None:
+            return None
+        stats = RunStats(
+            events=episode.events,
+            final_time_ps=episode.final_time_ps,
+            delivered_pulses=episode.events,
+            violations=len(episode.violations),
+            wall_time_s=wall,
+        )
+        self.stats.record(stats)
+        result = RunResult(
+            index=self._runs,
+            stats=stats,
+            trace=episode.trace,
+            violations=list(episode.violations),
+            seed=run_seed,
+            fault_counts=dict(episode.fault_counts),
+        )
+        self._runs += 1
+        return result
+
     # -- execution ---------------------------------------------------------
 
     def run(
@@ -194,6 +287,11 @@ class SimulationSession:
         determinism contract the golden-trace tests rely on).
         """
         run_seed = self.seed if seed is None else seed
+        if self.engine == "traced":
+            result = self._run_traced(stimuli, until, max_events,
+                                      run_seed)
+            if result is not None:
+                return result
         trace = PulseTrace() if self.record_traces else None
         # Jittered runs get a fresh simulator so each run's jitter stream
         # starts from its seed (per-run determinism); ideal runs reuse one

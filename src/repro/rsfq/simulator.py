@@ -181,6 +181,11 @@ class Simulator:
         #: Minimum observed interval per constraint family:
         #: (cell_type, port_a, port_b) -> (required, tightest_actual).
         self.margins: dict = {}
+        #: Set after a ``run(engine="traced")`` replay: the results were
+        #: materialised from a compiled trace, so incremental stepping
+        #: is refused until :meth:`reset` (see repro.rsfq.trace).
+        self._trace_replayed = False
+        self._trace_engine = None
         self._fanout = netlist.elaborate()
         self._install_views()
         self._bind_deliver()
@@ -278,6 +283,11 @@ class Simulator:
         queued for the same instant), while scheduling in the past raises
         :class:`~repro.errors.ConfigurationError`.
         """
+        if self._trace_replayed:
+            raise ConfigurationError(
+                "this simulator's state was materialised from a trace "
+                "replay; call reset() before scheduling further inputs"
+            )
         cell = self._resolve(cell)
         if port not in cell.INPUTS:
             raise ConfigurationError(
@@ -423,6 +433,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: int = 10_000_000,
         deadline_s: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> float:
         """Process events (optionally only up to time ``until``).
 
@@ -440,7 +451,28 @@ class Simulator:
         drains its queue in time never pays more than the checks).  The
         specialised zero-overhead loops below are only used when no
         deadline is requested.
+
+        ``engine="traced"`` serves the run from the record-once /
+        replay-vectorized trace layer when possible (see
+        :mod:`repro.rsfq.trace`): the scheduled stimuli are fingerprinted,
+        recorded once on a strict ideal pass, and this run's variation
+        (jitter seed, silent fault model) is materialised as flat array
+        passes -- falling back transparently to this event loop whenever
+        replay cannot reproduce the run bit-for-bit.  After a replay the
+        simulator refuses further stepping until :meth:`reset` (replay
+        restores observations, not mid-episode scratch state).
         """
+        if self._trace_replayed:
+            raise ConfigurationError(
+                "this simulator's state was materialised from a trace "
+                "replay; call reset() before running again"
+            )
+        if engine is not None:
+            if engine != "traced":
+                raise ConfigurationError(
+                    f"unknown engine '{engine}'; available: ('traced',)"
+                )
+            return self._run_traced(until, max_events, deadline_s)
         if deadline_s is not None:
             return self._run_with_deadline(until, max_events, deadline_s)
         self._refresh()
@@ -575,6 +607,71 @@ class Simulator:
             self.now = until
         return self.now
 
+    def _run_traced(
+        self,
+        until: Optional[float],
+        max_events: int,
+        deadline_s: Optional[float],
+    ) -> float:
+        """Serve :meth:`run` from the trace layer (``engine="traced"``).
+
+        Eligible only for a whole episode from the power-on state on the
+        stock heap backend with un-overridden delivery; anything else --
+        and any replay-side divergence -- re-enters the normal event
+        loop on the already-populated queue, which is bit-identical by
+        construction.
+        """
+        from repro.rsfq import trace as trace_mod
+
+        eligible = (
+            until is None
+            and deadline_s is None
+            and self.now == 0.0
+            and self.events_processed == 0
+            and type(self.queue) is EventQueue
+            and type(self)._deliver_ideal is Simulator._deliver_ideal
+        )
+        if not eligible:
+            trace_mod.GLOBAL_TRACE_COUNTERS.bump("fallbacks")
+            return self.run(until=until, max_events=max_events,
+                            deadline_s=deadline_s)
+        engine = self._trace_engine
+        if engine is None or engine.netlist is not self.netlist:
+            engine = self._trace_engine = trace_mod.TraceEngine(
+                self.netlist
+            )
+        self._refresh()
+        fanout = self._fanout
+        entries = sorted(self.queue._heap, key=lambda e: e[1])
+        segment = tuple(
+            (fanout.cell_list[ci].name, fanout.input_ports[ci][pi], time)
+            for time, _seq, ci, pi in entries
+        )
+        episode = engine.replay_episode(
+            (segment,),
+            jitter_ps=self.jitter_ps,
+            seed=self._seed,
+            jitter_mode=self.jitter_mode,
+            faults=self.faults,
+            strict=self.strict,
+            max_events=max_events,
+            want_trace=self.trace is not None,
+        )
+        if episode is None:
+            return self.run(max_events=max_events)
+        self.queue.clear()
+        self.now = episode.final_time_ps
+        self.violations.extend(episode.violations)
+        merge_margins(self.margins, episode.margins)
+        self.delivered_pulses += episode.events
+        self.events_processed += episode.events
+        if self.trace is not None and episode.trace is not None:
+            record = self.trace.record
+            for component, port, time in episode.trace.events():
+                record(component, port, time)
+        self._trace_replayed = True
+        return self.now
+
     def run_batch(
         self,
         batches: Iterable[Sequence[Stimulus]],
@@ -695,6 +792,7 @@ class Simulator:
         self.delivered_pulses = 0
         self.events_processed = 0
         self.margins.clear()
+        self._trace_replayed = False
         self._rng = random.Random(self._seed)
         self._wire_rngs.clear()
         if self._fault_runtime is not None:

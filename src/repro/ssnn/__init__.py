@@ -30,6 +30,7 @@ from repro.ssnn.bucketing import (
 )
 from repro.ssnn.bitslice import BitSlicePlan, SliceTask, plan_network
 from repro.ssnn.compile import (
+    PLAN_KIND,
     CacheStats,
     CompiledLayer,
     CompiledNetwork,
@@ -67,6 +68,7 @@ __all__ = [
     "BitSlicePlan",
     "SliceTask",
     "plan_network",
+    "PLAN_KIND",
     "CacheStats",
     "CompiledLayer",
     "CompiledNetwork",

@@ -518,15 +518,32 @@ def default_cache_dir() -> Path:
     return Path(CACHE_DIR) / "plans"
 
 
-class PlanCache:
-    """Content-addressed on-disk cache of :class:`CompiledNetwork`.
+#: Artifact-kind namespace of SSNN inference plans within a
+#: :class:`PlanCache` root (RSFQ traces use
+#: ``repro.rsfq.trace.TRACE_KIND``); each kind gets its own
+#: subdirectory, so fingerprints of different artifact types can never
+#: collide.
+PLAN_KIND = "ssnn-plan"
 
-    Keys are :func:`network_fingerprint` hexdigests; entries are the
-    ``.npz`` artifacts of :meth:`CompiledNetwork.save`.  Lookups verify
-    the stored fingerprint and silently recompile over corrupt or
-    stale-schema entries, so the cache can never poison an inference.
-    Writes are atomic (tmp + rename) and failures to persist (read-only
-    cache dir, full disk) degrade to in-memory compilation.
+
+class PlanCache:
+    """Content-addressed on-disk cache of compiled artifacts.
+
+    One cache root is shared by multiple *artifact kinds* -- SSNN
+    inference plans (:data:`PLAN_KIND`, the default) and RSFQ compiled
+    traces (``repro.rsfq.trace.TRACE_KIND``) -- each namespaced into its
+    own subdirectory so equal fingerprints of different kinds cannot
+    collide.  Keys are content hexdigests (plans:
+    :func:`network_fingerprint`); entries are atomic-write ``.npz``
+    artifacts.  Lookups verify the stored fingerprint and silently
+    recompile over corrupt or stale-schema entries, so the cache can
+    never poison an inference.  Failures to persist (read-only cache
+    dir, full disk) degrade to in-memory compilation.
+
+    Roots populated before kind-namespacing hold plan files directly
+    under the root; :meth:`lookup` still reads those legacy entries (and
+    rewrites happen under the new layout), so restored pre-existing
+    caches keep serving hits.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
@@ -535,8 +552,26 @@ class PlanCache:
         self.misses = 0
         self._lock = threading.Lock()
 
-    def path_for(self, fingerprint: str) -> Path:
-        return self.root / f"{fingerprint}.npz"
+    def path_for(self, fingerprint: str, kind: str = PLAN_KIND) -> Path:
+        """Where an artifact of ``kind`` is (or would be) stored."""
+        return self.root / kind / f"{fingerprint}.npz"
+
+    def lookup(self, fingerprint: str,
+               kind: str = PLAN_KIND) -> Optional[Path]:
+        """The existing entry path for ``fingerprint``, else None.
+
+        Prefers the kind-namespaced layout; for plans, falls back to the
+        legacy un-namespaced location (caches populated before artifact
+        kinds existed).
+        """
+        path = self.path_for(fingerprint, kind)
+        if path.exists():
+            return path
+        if kind == PLAN_KIND:
+            legacy = self.root / f"{fingerprint}.npz"
+            if legacy.exists():
+                return legacy
+        return None
 
     def get_or_compile(
         self,
@@ -549,8 +584,8 @@ class PlanCache:
         fingerprint = network_fingerprint(
             network, chip_n, sc_per_npe, reorder
         )
-        path = self.path_for(fingerprint)
-        if path.exists():
+        path = self.lookup(fingerprint)
+        if path is not None:
             try:
                 compiled = CompiledNetwork.load(path)
                 if compiled.fingerprint == fingerprint:
@@ -567,33 +602,37 @@ class PlanCache:
             self.misses += 1
         compiled = compile_network(network, chip_n, sc_per_npe, reorder)
         try:
-            compiled.save(path)
+            compiled.save(self.path_for(fingerprint))
         except OSError:
             pass  # unwritable cache: the in-memory artifact still serves
         return compiled
 
-    def clear(self) -> int:
-        """Remove every cached artifact; returns the number removed."""
-        removed = 0
+    def _entries(self):
+        """Every cached artifact across all kinds (legacy files too)."""
         if self.root.exists():
-            for entry in self.root.glob("*.npz"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            yield from self.root.rglob("*.npz")
+
+    def clear(self) -> int:
+        """Remove every cached artifact (all kinds); returns the number
+        removed."""
+        removed = 0
+        for entry in self._entries():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def stats(self) -> CacheStats:
         entries = 0
         size = 0
-        if self.root.exists():
-            for entry in self.root.glob("*.npz"):
-                try:
-                    size += entry.stat().st_size
-                    entries += 1
-                except OSError:
-                    pass
+        for entry in self._entries():
+            try:
+                size += entry.stat().st_size
+                entries += 1
+            except OSError:
+                pass
         return CacheStats(
             hits=self.hits, misses=self.misses, entries=entries, bytes=size
         )
@@ -627,5 +666,5 @@ def resolve_plan_cache(
         return default_cache()
     raise ConfigurationError(
         f"plan_cache must be None, 'default' or a PlanCache instance, "
-        f"got {plan_cache!r}"
+        f"got {type(plan_cache).__name__}: {plan_cache!r}"
     )

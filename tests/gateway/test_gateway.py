@@ -152,6 +152,14 @@ class TestHappyPath:
         assert samples[
             ("sushi_server_breaker_state", 'state="closed"')
         ] == 1.0
+        # The RSFQ trace-replay counters ride along on the same scrape
+        # (process-wide totals; see docs/ENGINE.md "Trace compilation").
+        for counter in ("sushi_trace_replays_total",
+                        "sushi_trace_fallbacks_total",
+                        "sushi_trace_cache_hits_total",
+                        "sushi_trace_cache_misses_total",
+                        "sushi_trace_records_total"):
+            assert (counter, "") in samples
 
     def test_keep_alive_serves_multiple_requests(self, compiled, train):
         with live_gateway(compiled) as gateway:

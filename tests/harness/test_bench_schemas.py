@@ -19,7 +19,7 @@ REGISTRY = {
     "BENCH_simulator.json": {
         "note": None,
         "version": None,
-        "workloads": {"chain_300x150", "chip_n2_sc4_r6"},
+        "workloads": {"chain_300x150", "chip_n2_sc4_r6", "trace_replay"},
     },
     "BENCH_faults.json": {
         "note": None,

@@ -154,3 +154,28 @@ class TestRenderingAndSerialisation:
         empty = CampaignResult(config=SMALL)
         assert empty.ber_monotone()
         assert empty.zero_probability_clean()
+
+
+class TestTracedCampaignEngine:
+    """engine='traced' campaigns are bit-identical to the event engine."""
+
+    def test_traced_campaign_matches_event_campaign(self):
+        from dataclasses import asdict
+
+        base = dict(
+            kinds=("pulse_drop",), probabilities=(0.0, 0.1),
+            jitter_sigmas=(0.0, 0.3), trials=2,
+            chain_length=8, n_pulses=8,
+        )
+        event = run_resilience_campaign(CampaignConfig(**base))
+        traced = run_resilience_campaign(
+            CampaignConfig(**base, engine="traced")
+        )
+        assert [asdict(p) for p in event.points] == \
+            [asdict(p) for p in traced.points]
+
+    def test_engine_field_validated(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            CampaignConfig(engine="warp")
+        with pytest.raises(ConfigurationError, match="mutually"):
+            CampaignConfig(engine="traced", parallel_parts=2)

@@ -209,3 +209,62 @@ class TestCompiledDifferential:
         network, trains = make_workload(seed=12)
         with pytest.raises(ConfigurationError, match="legacy-fast"):
             run_differential(network, trains, engines=("warp",))
+
+
+class TestTracedGateDifferential:
+    """The traced replay engine folded into the gate-level differential
+    (issue 7 acceptance: bit-identical, fallback allowed, wrong answers
+    not)."""
+
+    def test_ideal_workload_replays_bit_identical(self):
+        from repro.harness.differential import run_parallel_gate_differential
+
+        verdict = run_parallel_gate_differential(
+            seed=0, engines=("sequential", "parallel", "traced")
+        )
+        assert verdict["equivalent"], verdict
+        assert verdict["traced_equal"]
+        assert verdict["traced_mode"] == "replay"
+        assert verdict["traced_channels_equal"]
+        assert verdict["traced_events_equal"]
+
+    def test_wire_jitter_replays_bit_identical(self):
+        from repro.harness.differential import run_parallel_gate_differential
+
+        verdict = run_parallel_gate_differential(
+            seed=1, jitter_ps=0.3,
+            engines=("sequential", "parallel", "traced"),
+        )
+        assert verdict["equivalent"], verdict
+        assert verdict["traced_mode"] == "replay"
+
+    def test_faulted_workload_falls_back_bit_identical(self):
+        from repro.harness.differential import run_parallel_gate_differential
+        from repro.rsfq import FaultModel
+
+        model = FaultModel.single("pulse_drop", probability=1.0, seed=9)
+        verdict = run_parallel_gate_differential(
+            seed=3, faults=model,
+            engines=("sequential", "parallel", "traced"),
+        )
+        assert verdict["equivalent"], verdict
+        assert verdict["traced_mode"] == "fallback"
+        assert verdict["injections"] > 0
+        assert verdict["traced_injection_log_equal"]
+
+    def test_traced_without_parallel_leg(self):
+        from repro.harness.differential import run_parallel_gate_differential
+
+        verdict = run_parallel_gate_differential(
+            seed=0, engines=("sequential", "traced")
+        )
+        assert verdict["equivalent"]
+        assert "partitions" not in verdict
+
+    def test_sequential_baseline_is_mandatory(self):
+        from repro.harness.differential import run_parallel_gate_differential
+
+        with pytest.raises(ConfigurationError, match="baseline"):
+            run_parallel_gate_differential(engines=("traced",))
+        with pytest.raises(ConfigurationError, match="unknown engines"):
+            run_parallel_gate_differential(engines=("sequential", "warp"))

@@ -268,3 +268,45 @@ class TestRuntimeCacheIntegration:
         assert cache.hits == 1
         assert np.array_equal(cold.output_raster, warm.output_raster)
         assert cold.synaptic_ops == warm.synaptic_ops
+
+
+class TestKindNamespacing:
+    """Artifact-kind subdirectories plus legacy un-namespaced migration
+    (issue 7 satellite)."""
+
+    def test_plans_live_under_the_kind_subdirectory(self, tmp_path):
+        from repro.ssnn import PLAN_KIND
+
+        network, _ = make_workload(seed=30)
+        cache = PlanCache(root=tmp_path)
+        plan = cache.get_or_compile(network, CHIP_N, SC)
+        expected = tmp_path / PLAN_KIND / f"{plan.fingerprint}.npz"
+        assert expected.exists()
+        assert cache.stats().entries == 1
+
+    def test_legacy_unnamespaced_plan_still_readable(self, tmp_path):
+        from repro.ssnn import PLAN_KIND
+
+        network, _ = make_workload(seed=31)
+        cache = PlanCache(root=tmp_path)
+        plan = cache.get_or_compile(network, CHIP_N, SC)
+        namespaced = tmp_path / PLAN_KIND / f"{plan.fingerprint}.npz"
+        legacy = tmp_path / f"{plan.fingerprint}.npz"
+        namespaced.rename(legacy)  # simulate a pre-namespacing cache dir
+
+        warm = PlanCache(root=tmp_path)
+        again = warm.get_or_compile(network, CHIP_N, SC)
+        assert warm.hits == 1 and warm.misses == 0
+        assert again.fingerprint == plan.fingerprint
+
+    def test_trace_kind_ignores_legacy_plan_files(self, tmp_path):
+        from repro.rsfq.trace import TRACE_KIND
+
+        cache = PlanCache(root=tmp_path)
+        (tmp_path / "deadbeef.npz").write_bytes(b"legacy plan bytes")
+        assert cache.lookup("deadbeef") is not None  # plans migrate
+        assert cache.lookup("deadbeef", kind=TRACE_KIND) is None
+
+    def test_resolve_plan_cache_error_names_the_type(self):
+        with pytest.raises(ConfigurationError, match="int: 17"):
+            resolve_plan_cache(17)
