@@ -1,0 +1,237 @@
+"""Cluster benchmark report: ``BENCH_cluster.json`` writer/checker.
+
+Runs the node-level chaos scenarios (:mod:`repro.harness.chaos`:
+``node-kill``, ``node-partition``, ``scale-storm``) plus a
+deterministic routing measurement, and pins the outcomes the way
+``bench_chaos.py`` pins the worker-level campaign:
+
+* **Pinned** (checked by ``--check`` and the CI cluster-smoke step):
+  every scenario's pass/fail verdict (each internally asserts answers
+  bit-identical to serial ``forward_rows`` and full cluster recovery),
+  the exact retry/eviction/quarantine/rejoin counters of the failure
+  scenarios, the full 1 -> 8 -> 1 autoscaler size trajectory and action
+  sequence, and the consistent-hash routing distribution of a seeded
+  request population (router counters + per-node shares + ring balance
+  bounds -- all pure functions of the seeds).
+* **Informational** (recorded, never asserted): per-scenario recovery
+  wall time and dispatch throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --write  # baseline
+    PYTHONPATH=src python benchmarks/bench_cluster.py --check  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.cluster import ClusterRouter, ConsistentHashRing, PoolNode  # noqa: E402
+from repro.harness.chaos import run_chaos  # noqa: E402
+from repro.harness.differential import random_binarized_network  # noqa: E402
+from repro.ssnn import compile_network  # noqa: E402
+
+REPORT_PATH = Path(__file__).resolve().parent / "BENCH_cluster.json"
+SCHEMA_VERSION = 1
+
+NODE_SCENARIOS = ("node-kill", "node-partition", "scale-storm")
+
+#: Deterministic per-scenario detail fields pinned alongside ``passed``.
+PINNED_DETAILS = {
+    "node-kill": ("retries", "evictions", "rebalances",
+                  "nodes_routable"),
+    "node-partition": ("fallbacks", "quarantines", "rejoins",
+                       "rebalances"),
+    "scale-storm": ("sizes", "scale_ups", "scale_downs", "actions"),
+}
+
+#: Routing measurement shape (seeded, fully deterministic).
+ROUTING_NODES = 4
+ROUTING_BLOCKS = 64
+
+
+def run_campaign() -> dict:
+    report = run_chaos(quick=True, names=list(NODE_SCENARIOS))
+    if not report["passed"]:
+        failing = [s["name"] for s in report["scenarios"]
+                   if not s["passed"]]
+        raise AssertionError(
+            f"node chaos scenarios failed their invariants: {failing}"
+        )
+    return report
+
+
+def measure_routing() -> dict:
+    """Dispatch a seeded request population through a healthy cluster
+    and record the (deterministic) affinity distribution and counters;
+    wall-clock throughput rides along as informational."""
+    rng = np.random.default_rng(7)
+    network = random_binarized_network(rng, sizes=(12, 9, 5), sc_per_npe=8)
+    compiled = compile_network(network, 4, 8)
+    blocks_rng = np.random.default_rng(11)
+    blocks = [
+        (blocks_rng.random((6, compiled.in_features)) < 0.4)
+        .astype(np.float64)
+        for _ in range(ROUTING_BLOCKS)
+    ]
+    router = ClusterRouter(compiled)
+    for i in range(ROUTING_NODES):
+        router.join(PoolNode(f"node-{i}", compiled, workers=0))
+    try:
+        start = time.perf_counter()
+        for block in blocks:
+            router.dispatch(block)
+        elapsed = time.perf_counter() - start
+        snap = router.stats()
+        shares = {
+            node_id: entry["dispatches"]
+            for node_id, entry in snap["per_node"].items()
+        }
+        return {
+            "nodes": ROUTING_NODES,
+            "blocks": ROUTING_BLOCKS,
+            "plan": compiled.fingerprint,
+            "counters": snap["counters"],
+            "per_node_dispatches": shares,
+            "dispatch_throughput_rps": round(
+                ROUTING_BLOCKS / elapsed, 1
+            ) if elapsed else 0.0,
+        }
+    finally:
+        router.shutdown()
+
+
+def measure_ring_balance() -> dict:
+    """Key-share spread of an 8-node/2000-key population (the balance
+    property the hypothesis suite checks in bounds; here the exact
+    deterministic shares are pinned)."""
+    ring = ConsistentHashRing(
+        replicas=64, nodes=[f"node-{i}" for i in range(8)]
+    )
+    counts = {node: 0 for node in ring.node_ids}
+    keys = 2000
+    for i in range(keys):
+        counts[ring.route(f"key-{i}")] += 1
+    fair = keys / len(counts)
+    return {
+        "nodes": len(counts),
+        "keys": keys,
+        "replicas": 64,
+        "min_share": min(counts.values()),
+        "max_share": max(counts.values()),
+        "max_over_fair": round(max(counts.values()) / fair, 4),
+    }
+
+
+def measure() -> dict:
+    campaign = run_campaign()
+    recovery = {
+        entry["name"]: entry["elapsed_s"]
+        for entry in campaign["scenarios"]
+    }
+    return {
+        "version": SCHEMA_VERSION,
+        "note": ("scenario verdicts, router counters, the autoscaler "
+                 "trajectory and the routing/ring distributions are "
+                 "pinned by --check; recovery latencies and throughput "
+                 "are informational"),
+        "campaign": campaign,
+        "recovery_latency_s": recovery,
+        "routing": measure_routing(),
+        "ring_balance": measure_ring_balance(),
+    }
+
+
+def _pinned_view(report: dict) -> dict:
+    view = {}
+    scenarios = {
+        entry["name"]: entry
+        for entry in report.get("campaign", {}).get("scenarios", [])
+    }
+    for name, entry in scenarios.items():
+        view[f"cluster.{name}.passed"] = entry.get("passed")
+        for field in PINNED_DETAILS.get(name, ()):
+            view[f"cluster.{name}.{field}"] = (
+                entry.get("details", {}).get(field)
+            )
+    view["cluster.schema"] = report.get("campaign", {}).get("schema")
+    view["cluster.all_passed"] = report.get("campaign", {}).get("passed")
+    routing = report.get("routing", {})
+    for field in ("nodes", "blocks", "plan", "counters",
+                  "per_node_dispatches"):
+        view[f"routing.{field}"] = routing.get(field)
+    balance = report.get("ring_balance", {})
+    for field in ("nodes", "keys", "replicas", "min_share",
+                  "max_share", "max_over_fair"):
+        view[f"ring.{field}"] = balance.get(field)
+    return view
+
+
+def write(path: Path = REPORT_PATH) -> dict:
+    report = measure()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return report
+
+
+def check(path: Path = REPORT_PATH) -> int:
+    if not path.exists():
+        print(f"missing baseline {path}; run with --write first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(path.read_text())
+    if baseline.get("version") != SCHEMA_VERSION:
+        print(f"baseline schema {baseline.get('version')} != "
+              f"{SCHEMA_VERSION}; regenerate with --write", file=sys.stderr)
+        return 2
+    expected = _pinned_view(baseline)
+    actual = _pinned_view(measure())
+    drift = {
+        key: (expected.get(key), actual.get(key))
+        for key in sorted(set(expected) | set(actual))
+        if expected.get(key) != actual.get(key)
+    }
+    if drift:
+        print("cluster drift against BENCH_cluster.json:", file=sys.stderr)
+        for key, (want, got) in drift.items():
+            print(f"  {key}: baseline={want} measured={got}",
+                  file=sys.stderr)
+        print("(if the change is intentional, regenerate the baseline "
+              "with --write)", file=sys.stderr)
+        return 1
+    print(f"cluster smoke OK: {len(expected)} pinned fields match "
+          f"{path.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and (re)write the baseline JSON")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on pinned-field drift")
+    args = parser.parse_args(argv)
+    if args.write:
+        report = write()
+        storm = next(
+            s for s in report["campaign"]["scenarios"]
+            if s["name"] == "scale-storm"
+        )
+        print(f"  scale trajectory: {storm['details']['sizes']}")
+        for name, elapsed in report["recovery_latency_s"].items():
+            print(f"  {name}: recovered in {elapsed}s")
+        return 0
+    return check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Consistent-hash ring for plan-affine request routing.
+
+The cluster routes requests by *affinity key* -- the compiled plan's
+:func:`~repro.ssnn.compile.network_fingerprint` combined with a
+per-request discriminator (see
+:meth:`repro.cluster.router.ClusterRouter.affinity_key`) -- so repeated
+requests for the same plan/content land on the same node while the key
+population spreads evenly across the cluster.  Classic construction:
+every node owns ``replicas`` virtual points on a 2^64 ring (SHA-256 of
+``"{node_id}#{i}"``); a key hashes to a point and is owned by the first
+node point clockwise from it.
+
+The two properties the hypothesis suite
+(``tests/cluster/test_ring_property.py``) pins:
+
+* **Balance** -- with enough virtual replicas, every node's share of a
+  large key population stays within a constant factor of the fair
+  share ``1/len(nodes)``.
+* **Minimal remapping** -- adding a node only moves keys *onto* the new
+  node (every other key keeps its owner); removing a node only moves
+  the keys it owned.  This is what makes node join/leave/drain cheap:
+  a scale event invalidates affinity for ``~1/N`` of the key space
+  instead of reshuffling everything.
+
+Thread safety: mutation (:meth:`add` / :meth:`remove`) and lookup
+(:meth:`route` / :meth:`preference`) are guarded by one lock; lookups
+are a bisect over a sorted point list (O(log(nodes * replicas))).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _point(value: str) -> int:
+    """Stable 64-bit ring coordinate of an arbitrary string."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Virtual-replica consistent-hash ring over string node ids.
+
+    Args:
+        replicas: Virtual points per node.  More replicas means better
+            balance at a small lookup/memory cost; 64 keeps the max
+            node share within ~2x fair share for realistic cluster
+            sizes (pinned by the property tests).
+        nodes: Optional initial node ids.
+    """
+
+    def __init__(self, replicas: int = 64,
+                 nodes: Optional[Iterable[str]] = None):
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._lock = threading.Lock()
+        self._points: List[int] = []         # sorted ring coordinates
+        self._owners: List[str] = []         # node id per coordinate
+        self._nodes: set = set()
+        for node_id in nodes or ():
+            self.add(node_id)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, node_id: str) -> None:
+        """Insert ``node_id``'s virtual points (idempotent)."""
+        with self._lock:
+            if node_id in self._nodes:
+                return
+            self._nodes.add(node_id)
+            for i in range(self.replicas):
+                point = _point(f"{node_id}#{i}")
+                index = bisect.bisect_left(self._points, point)
+                # Ties are astronomically unlikely (64-bit SHA prefix)
+                # but must stay deterministic: order by node id.
+                while (index < len(self._points)
+                       and self._points[index] == point
+                       and self._owners[index] < node_id):
+                    index += 1
+                self._points.insert(index, point)
+                self._owners.insert(index, node_id)
+
+    def remove(self, node_id: str) -> None:
+        """Remove ``node_id``'s virtual points (idempotent)."""
+        with self._lock:
+            if node_id not in self._nodes:
+                return
+            self._nodes.discard(node_id)
+            keep = [
+                (point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != node_id
+            ]
+            self._points = [point for point, _ in keep]
+            self._owners = [owner for _, owner in keep]
+
+    def __contains__(self, node_id: str) -> bool:
+        with self._lock:
+            return node_id in self._nodes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    @property
+    def node_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._nodes))
+
+    # -- lookup --------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise).  Raises
+        :class:`ConfigurationError` on an empty ring."""
+        with self._lock:
+            if not self._points:
+                raise ConfigurationError("consistent-hash ring is empty")
+            index = bisect.bisect_right(self._points, _point(key))
+            if index == len(self._points):
+                index = 0  # wrap around
+            return self._owners[index]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct node ids in ring order starting at ``key``'s owner.
+
+        The first entry is the affinity owner; the rest are the natural
+        fallback order (the nodes that would inherit the key if earlier
+        entries left the ring).  ``count`` bounds the list (default:
+        every node).
+        """
+        with self._lock:
+            if not self._points:
+                return []
+            want = len(self._nodes) if count is None else min(
+                count, len(self._nodes)
+            )
+            ordered: List[str] = []
+            seen = set()
+            start = bisect.bisect_right(self._points, _point(key))
+            for offset in range(len(self._points)):
+                owner = self._owners[(start + offset) % len(self._points)]
+                if owner not in seen:
+                    seen.add(owner)
+                    ordered.append(owner)
+                    if len(ordered) >= want:
+                        break
+            return ordered
+
+    def __repr__(self) -> str:
+        return (f"<ConsistentHashRing nodes={len(self._nodes)} "
+                f"replicas={self.replicas}>")

@@ -19,6 +19,11 @@ NIC:
   queue behind it: pins the **504** contract.
 * **breaker-open** -- the backend's pool breaker is tripped before
   traffic arrives: pins the **503** admission contract.
+* **node-failure** -- the backend is a two-node
+  :class:`~repro.cluster.ClusterServer`; one node dies mid-run
+  (workers SIGKILLed while serving) and the router's exactly-once
+  re-dispatch keeps every client answer a **200** -- node death is
+  invisible at the HTTP edge.
 
 Every scenario runs against a **fresh** server+gateway (per-scenario
 counters start at zero) built from one shared compiled plan, and each
@@ -198,11 +203,22 @@ class _ScenarioContext:
 
     def __init__(self, compiled, *, deadline_ms: float = 2.0,
                  breaker: Optional[CircuitBreaker] = None,
-                 queue_limit: int = 4096):
-        self.server = InferenceServer(
-            compiled=compiled, deadline_ms=deadline_ms, batch_max=64,
-            breaker=breaker,
-        )
+                 queue_limit: int = 4096, cluster_nodes: int = 0):
+        if cluster_nodes > 0:
+            from repro.cluster import ClusterServer
+
+            # supervise_interval_s=0: scenarios drive failure handling
+            # through the router's dispatch path deterministically.
+            self.server = ClusterServer(
+                compiled=compiled, deadline_ms=deadline_ms, batch_max=64,
+                breaker=breaker, nodes=cluster_nodes, node_workers=2,
+                supervise_interval_s=0,
+            )
+        else:
+            self.server = InferenceServer(
+                compiled=compiled, deadline_ms=deadline_ms, batch_max=64,
+                breaker=breaker,
+            )
         self.gateway = Gateway(
             self.server,
             authenticator=ApiKeyAuthenticator(demo_tenants()),
@@ -438,6 +454,65 @@ def _scenario_breaker_open(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
+def _scenario_node_failure(compiled, quick: bool, seed: int) -> Dict:
+    # Two-node cluster backend; after the first wave a node dies
+    # *mid-batch* (its workers are SIGKILLed while it serves, the
+    # chaos-harness idiom from `node-kill`).  The router re-dispatches
+    # the in-flight request exactly once and routes the rest around the
+    # corpse, so the client-visible contract is every request -> 200.
+    shots_before = 6 if quick else 20
+    shots_after = 6 if quick else 20
+    rng = np.random.default_rng(seed + 6)
+    with _ScenarioContext(compiled, cluster_nodes=2) as ctx:
+        trains = _make_trains(rng, shots_before + shots_after, 12,
+                              compiled.in_features)
+        collector = _Collector()
+        router = ctx.server.router
+        assert router.alive_count() == 2
+
+        async def drive() -> None:
+            conn = HttpConnection(*ctx.gateway.address)
+            try:
+                for i in range(shots_before):
+                    await _timed_request(conn, collector, KEY_A,
+                                         _infer_body(trains[i]))
+                # Arm mid-batch death on the node that owns the next
+                # request's affinity key: it dies while serving that
+                # request, losing the answer with the "host".
+                rows = np.ascontiguousarray(trains[shots_before],
+                                            dtype=np.float64)
+                victim = router.node(
+                    router._ring.route(router.affinity_key(rows))
+                )
+                original_forward = victim._forward
+
+                def dying_forward(batch_rows):
+                    victim.kill()
+                    return original_forward(batch_rows)
+
+                victim._forward = dying_forward
+                for i in range(shots_before,
+                               shots_before + shots_after):
+                    await _timed_request(conn, collector, KEY_A,
+                                         _infer_body(trains[i]))
+                assert victim.state == "dead"
+            finally:
+                await conn.close()
+
+        start = time.perf_counter()
+        asyncio.run(drive())
+        elapsed = time.perf_counter() - start
+        # The failure was real and the recovery exact: one node left,
+        # exactly one re-dispatch, the corpse out of the hash ring.
+        assert router.alive_count() == 1
+        assert router.retries == 1
+        assert router.evictions == 1
+    return collector.summary(
+        "node-failure", "closed-loop", elapsed,
+        expected={"200": shots_before + shots_after},
+    )
+
+
 SCENARIOS: Dict[str, Callable] = {
     "steady-closed": _scenario_steady_closed,
     "poisson-open": _scenario_poisson_open,
@@ -445,6 +520,7 @@ SCENARIOS: Dict[str, Callable] = {
     "tenant-skew": _scenario_tenant_skew,
     "deadline-storm": _scenario_deadline_storm,
     "breaker-open": _scenario_breaker_open,
+    "node-failure": _scenario_node_failure,
 }
 
 

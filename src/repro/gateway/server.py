@@ -416,6 +416,12 @@ class Gateway:
 
         families = server_stats_families(self.server.stats())
         families.extend(self.metrics.families())
+        # Cluster backends (ClusterServer) expose cluster-wide gauges
+        # (nodes alive, per-node breaker state, rebalance count) via a
+        # duck-typed hook; single-node backends simply lack it.
+        cluster_families = getattr(self.server, "cluster_families", None)
+        if callable(cluster_families):
+            families.extend(cluster_families())
         families.extend(trace_counter_families())
         text = render_prometheus(families)
         self.metrics.record("/metrics", 200)
@@ -513,6 +519,16 @@ def main(argv=None) -> int:
                         help="0 picks an ephemeral port")
     parser.add_argument("--workers", type=int, default=0,
                         help="shared-memory pool workers (0 = serial)")
+    parser.add_argument("--nodes", type=int, default=0,
+                        help="cluster pool nodes; > 0 serves through a "
+                             "ClusterServer with --workers pool workers "
+                             "per node (see docs/CLUSTER.md)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="with --nodes: let the autoscaler resize "
+                             "the cluster between --nodes and "
+                             "--max-nodes from the serving gauges")
+    parser.add_argument("--max-nodes", type=int, default=8,
+                        help="autoscaler ceiling (default 8)")
     parser.add_argument("--batch-max", type=int, default=64)
     parser.add_argument("--deadline-ms", type=float, default=2.0,
                         help="micro-batch coalescing window")
@@ -532,12 +548,29 @@ def main(argv=None) -> int:
         ApiKeyAuthenticator.from_json_file(args.tenants)
         if args.tenants else ApiKeyAuthenticator(demo_tenants())
     )
-    server = InferenceServer(
-        compiled=_compile_workload(),
-        batch_max=args.batch_max,
-        deadline_ms=args.deadline_ms,
-        workers=args.workers,
-    )
+    if args.nodes > 0:
+        from repro.cluster import AutoscalerConfig, ClusterServer
+
+        autoscaler_config = None
+        if args.autoscale:
+            autoscaler_config = AutoscalerConfig(
+                min_nodes=args.nodes, max_nodes=args.max_nodes
+            )
+        server = ClusterServer(
+            compiled=_compile_workload(),
+            batch_max=args.batch_max,
+            deadline_ms=args.deadline_ms,
+            nodes=args.nodes,
+            node_workers=args.workers,
+            autoscaler_config=autoscaler_config,
+        )
+    else:
+        server = InferenceServer(
+            compiled=_compile_workload(),
+            batch_max=args.batch_max,
+            deadline_ms=args.deadline_ms,
+            workers=args.workers,
+        )
     server.start()
     gateway = Gateway(
         server,

@@ -37,6 +37,24 @@ Scenarios (``python -m repro chaos``; ``--quick`` shrinks workloads):
   :class:`~repro.serve.breaker.CircuitBreaker`; the half-open probe
   closes it; answers are identical throughout.
 
+Node-level scenarios (PR 8) raise the blast radius from one worker
+process to a whole :class:`~repro.cluster.node.PoolNode` behind the
+:class:`~repro.cluster.router.ClusterRouter`:
+
+* ``node-kill``      -- a whole node dies mid-batch (workers SIGKILLed,
+  host gone); the router re-dispatches the request exactly once to a
+  healthy node, evicts the corpse, and a replacement restores capacity.
+* ``node-partition`` -- a node is cut off from the router; probes
+  quarantine it out of the hash ring, traffic re-routes, and the healed
+  node rejoins with its original affinity.
+* ``scale-storm``    -- the autoscaler rides scripted load 1 -> 8 nodes
+  and back down to 1 (fake clock, drain-before-retire), with traffic
+  dispatched after every resize.
+
+Every node scenario asserts the same invariant as the worker ones:
+answers bit-identical to serial ``forward_rows`` through the event,
+and the cluster restored to full routable capacity afterwards.
+
 The runner emits a ``repro.chaos/v1`` JSON report.
 """
 
@@ -409,6 +427,247 @@ def _scenario_breaker_cycle(quick: bool, marker_dir: str) -> Dict:
         server.stop()
 
 
+# -- node-level scenarios (cluster layer) ------------------------------------
+
+
+def _cluster_workload(quick: bool, node_workers: int):
+    """A router over two pool nodes plus the serial reference answer."""
+    from repro.cluster import ClusterRouter, PoolNode
+
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    router = ClusterRouter(compiled)
+    for i in range(2):
+        router.join(PoolNode(
+            f"node-{i}", compiled, workers=node_workers
+        ))
+    return compiled, rows, want, router
+
+
+def _affinity_owner(router, rows):
+    """The node the consistent-hash ring routes ``rows`` to."""
+    key = router.affinity_key(rows)
+    return router.node(router._ring.route(key))
+
+
+def _scenario_node_kill(quick: bool, marker_dir: str) -> Dict:
+    """A whole node dies *mid-batch*: its workers are SIGKILLed and the
+    host flag flips while the dispatch is executing, so the in-flight
+    answer is lost with the host.  The router must re-dispatch exactly
+    once to the healthy node (bit-identical answer), evict the corpse
+    from the ring, and a replacement node must restore capacity."""
+    compiled, rows, want, router = _cluster_workload(
+        quick, node_workers=WORKERS
+    )
+    try:
+        victim = _affinity_owner(router, rows)
+        survivor = next(
+            router.node(n) for n in router.node_ids()
+            if n != victim.node_id
+        )
+        # Arm the mid-batch death: the victim's forward path kills the
+        # node (SIGKILL to its pool workers, state -> dead) and then
+        # proceeds -- whatever the doomed pool manages to compute, the
+        # node is dead when the call resolves, so the answer is lost
+        # and the dispatch must raise NodeUnavailableError internally.
+        original_forward = victim._forward
+
+        def dying_forward(batch_rows):
+            victim.kill()
+            return original_forward(batch_rows)
+
+        victim._forward = dying_forward
+        got = router.dispatch(rows)
+        _check_equal(got, want, "node-kill")
+        _check(victim.state == "dead", "node-kill: victim is not dead")
+        _check(router.retries == 1,
+               f"node-kill: expected exactly one re-dispatch, "
+               f"got {router.retries}")
+        _check(router.evictions == 1,
+               f"node-kill: evictions={router.evictions} != 1")
+        _check(victim.node_id not in router._ring,
+               "node-kill: dead node still owns ring points")
+        _check(survivor.healthy, "node-kill: survivor degraded")
+        # Traffic keeps flowing on the survivor with no further retry.
+        _check_equal(router.dispatch(rows), want, "node-kill follow-up")
+        _check(router.retries == 1,
+               "node-kill: follow-up dispatch needed a retry")
+        # Recovery: a replacement node restores routable capacity.
+        from repro.cluster import PoolNode
+
+        router.join(PoolNode("node-repl", compiled, workers=WORKERS))
+        _check(router.alive_count() == 2,
+               "node-kill: cluster not restored to two routable nodes")
+        _check_equal(router.dispatch(rows), want, "node-kill recovered")
+        return {
+            "victim": victim.node_id,
+            "retries": router.retries,
+            "evictions": router.evictions,
+            "rebalances": router.rebalances,
+            "nodes_routable": router.alive_count(),
+        }
+    finally:
+        router.shutdown()
+
+
+def _scenario_node_partition(quick: bool, marker_dir: str) -> Dict:
+    """A node is partitioned from the router: dispatches and probes
+    fail while its processes stay healthy.  The health sweep must
+    quarantine it out of the ring (traffic re-routes, zero wrong
+    answers), and after the partition heals the sweep must rejoin it
+    and hand its affinity back."""
+    compiled, rows, want, router = _cluster_workload(
+        quick, node_workers=WORKERS
+    )
+    try:
+        owner = _affinity_owner(router, rows)
+        _check_equal(router.dispatch(rows), want, "node-partition baseline")
+        _check(router.affinity_hits == 1,
+               "node-partition: baseline missed its affinity owner")
+
+        owner.partition()
+        # Dispatch *before* any probe: selection skips the unreachable
+        # node (it is no longer dispatchable) -- a routed-around
+        # fallback, not a retry, and still the exact serial answer.
+        _check_equal(router.dispatch(rows), want,
+                     "node-partition during partition")
+        _check(router.retries == 0,
+               "node-partition: routing around should not burn a retry")
+        _check(router.fallbacks >= 1,
+               "node-partition: expected a fallback dispatch")
+
+        # The health sweep quarantines it out of the ring.
+        verdicts = router.probe_all()
+        _check(verdicts[owner.node_id] is False,
+               "node-partition: probe reached a partitioned node")
+        _check(owner.node_id not in router._ring,
+               "node-partition: quarantined node still in the ring")
+        _check(router.quarantines == 1,
+               f"node-partition: quarantines={router.quarantines} != 1")
+        _check_equal(router.dispatch(rows), want,
+                     "node-partition quarantined")
+
+        # Heal: the next sweep rejoins it and affinity returns.
+        owner.heal_partition()
+        verdicts = router.probe_all()
+        _check(verdicts[owner.node_id] is True,
+               "node-partition: healed node still failing probes")
+        _check(owner.node_id in router._ring,
+               "node-partition: healed node not rejoined")
+        _check(router.rejoins == 1,
+               f"node-partition: rejoins={router.rejoins} != 1")
+        hits_before = router.affinity_hits
+        _check_equal(router.dispatch(rows), want, "node-partition healed")
+        _check(router.affinity_hits == hits_before + 1,
+               "node-partition: healed node did not get its "
+               "affinity back")
+        _check(owner.alive_workers() == WORKERS,
+               "node-partition: node not at full worker strength")
+        return {
+            "owner": owner.node_id,
+            "fallbacks": router.fallbacks,
+            "quarantines": router.quarantines,
+            "rejoins": router.rejoins,
+            "rebalances": router.rebalances,
+        }
+    finally:
+        router.shutdown()
+
+
+def _scenario_scale_storm(quick: bool, marker_dir: str) -> Dict:
+    """Autoscaler storm, fully deterministic: a fake clock and scripted
+    gauges drive the cluster 1 -> 8 nodes under sustained "load", then
+    back down to 1 (drain-before-retire), with a real dispatch checked
+    bit-identical after every resize.  Quick mode uses serial nodes
+    (routing is what's under test); the full campaign spawns real pools
+    on every node."""
+    from repro.cluster import (
+        Autoscaler,
+        AutoscalerConfig,
+        ClusterRouter,
+        PoolNode,
+    )
+
+    compiled, rows = _workload(quick)
+    want = compiled.forward_rows(rows)
+    node_workers = 0 if quick else WORKERS
+    router = ClusterRouter(compiled)
+    seq = [0]
+
+    def factory(node_id: str) -> PoolNode:
+        seq[0] += 1
+        return PoolNode(f"{node_id}-{seq[0]}", compiled,
+                        workers=node_workers)
+
+    router.join(factory("seed"))
+
+    class _FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = _FakeClock()
+    config = AutoscalerConfig(
+        min_nodes=1, max_nodes=8, hysteresis=2, cooldown_s=5.0,
+        scale_up_queue_depth=8.0, scale_down_queue_depth=1.0,
+        scale_up_latency_ms=250.0, scale_down_latency_ms=50.0,
+    )
+    scaler = Autoscaler(router, factory, config=config, clock=clock)
+
+    sizes = [router.alive_count()]
+    # Sustained overload: every tick reports hot gauges.  Hysteresis
+    # needs 2 breaching ticks per action; cooldown 5s between actions.
+    while router.alive_count() < 8:
+        clock.now += 6.0
+        scaler.tick(queue_depth=32.0, latency_ms_p95=400.0)
+        action = scaler.tick(queue_depth=32.0, latency_ms_p95=400.0)
+        _check(action == "scale-up",
+               f"scale-storm: expected scale-up at {len(sizes)} nodes, "
+               f"got {action}")
+        sizes.append(router.alive_count())
+        _check_equal(router.dispatch(rows), want,
+                     f"scale-storm at {router.alive_count()} nodes (up)")
+    _check(sizes == [1, 2, 3, 4, 5, 6, 7, 8],
+           f"scale-storm: up trajectory {sizes}")
+    _check(scaler.scale_ups == 7,
+           f"scale-storm: scale_ups={scaler.scale_ups} != 7")
+
+    # The storm breaks: idle gauges drain the cluster back down.
+    while router.alive_count() > 1:
+        clock.now += 6.0
+        scaler.tick(queue_depth=0.0, latency_ms_p95=1.0)
+        action = scaler.tick(queue_depth=0.0, latency_ms_p95=1.0)
+        _check(action == "scale-down",
+               f"scale-storm: expected scale-down, got {action}")
+        sizes.append(router.alive_count())
+        _check_equal(router.dispatch(rows), want,
+                     f"scale-storm at {router.alive_count()} nodes (down)")
+    _check(sizes[-1] == 1, f"scale-storm: final size {sizes[-1]} != 1")
+    _check(scaler.scale_downs == 7,
+           f"scale-storm: scale_downs={scaler.scale_downs} != 7")
+    # Another idle tick must NOT retire the last node (min_nodes=1).
+    clock.now += 6.0
+    scaler.tick(queue_depth=0.0, latency_ms_p95=1.0)
+    scaler.tick(queue_depth=0.0, latency_ms_p95=1.0)
+    _check(router.alive_count() == 1,
+           "scale-storm: autoscaler breached min_nodes")
+    _check_equal(router.dispatch(rows), want, "scale-storm settled")
+    _check(router.retries == 0 and router.serial_fallbacks == 0,
+           "scale-storm: resizing lost or re-routed in-flight work")
+    actions = [e["action"] for e in scaler.events]
+    router.shutdown()
+    return {
+        "sizes": sizes,
+        "scale_ups": scaler.scale_ups,
+        "scale_downs": scaler.scale_downs,
+        "actions": actions,
+        "rebalances": router.rebalances,
+        "node_workers": node_workers,
+    }
+
+
 SCENARIOS: Dict[str, Callable[[bool, str], Dict]] = {
     "worker-kill": _scenario_worker_kill,
     "worker-freeze": _scenario_worker_freeze,
@@ -416,6 +675,9 @@ SCENARIOS: Dict[str, Callable[[bool, str], Dict]] = {
     "shm-corrupt": _scenario_shm_corrupt,
     "poison-batch": _scenario_poison_batch,
     "breaker-cycle": _scenario_breaker_cycle,
+    "node-kill": _scenario_node_kill,
+    "node-partition": _scenario_node_partition,
+    "scale-storm": _scenario_scale_storm,
 }
 
 

@@ -154,6 +154,12 @@ class InferenceServer:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=queue_max)
         self._holdback: Optional[_Request] = None
+        # Guards the accepting-check/enqueue handshake against drain():
+        # a submit that passed the check is counted in _admissions until
+        # its request is actually queued, so drain cannot declare the
+        # server settled while an admission is still in flight.
+        self._admission_lock = threading.Lock()
+        self._admissions = 0
         self._metrics = MetricsRecorder()
         self._pool = None
         self._thread: Optional[threading.Thread] = None
@@ -209,14 +215,30 @@ class InferenceServer:
         cancelled).  The dispatcher keeps running -- call :meth:`stop`
         afterwards to shut down, or flip :meth:`start` semantics back by
         restarting.  Returns ``True`` once fully drained, ``False`` on
-        timeout (remaining work keeps draining in the background)."""
-        self._accepting = False
+        timeout (remaining work keeps draining in the background).
+
+        Idempotent and safe to call concurrently -- with other
+        :meth:`drain` calls (each independently waits for quiescence)
+        and with in-flight :meth:`submit` / :meth:`infer`: a request
+        that passed the accepting-check before the flip is either
+        counted by ``_admissions`` (drain waits for it to land in the
+        queue) or already queued (drain waits for its resolution), so
+        ``True`` never strands an accepted request."""
+        with self._admission_lock:
+            self._accepting = False
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if (self._queue.empty() and self._holdback is None
-                    and self.stats().pending == 0):
-                return True
+        while not self._settled():
+            if time.monotonic() >= deadline:
+                return self._settled()
             time.sleep(0.005)
+        return True
+
+    def _settled(self) -> bool:
+        """No admission mid-handshake, nothing queued or held back, and
+        every accepted request resolved."""
+        with self._admission_lock:
+            if self._admissions > 0:
+                return False
         return (self._queue.empty() and self._holdback is None
                 and self.stats().pending == 0)
 
@@ -294,8 +316,23 @@ class InferenceServer:
             deadline=(now + deadline_ms / 1000.0
                       if deadline_ms is not None else None),
         )
-        self._queue.put(request, timeout=timeout)
-        self._metrics.record_submit()
+        # Re-check acceptance under the admission lock and hold an
+        # admission slot across the (possibly blocking) enqueue, so a
+        # concurrent drain() either rejects this request here or waits
+        # for it -- it can never return True with the request stranded
+        # between the check and the queue.
+        with self._admission_lock:
+            if not self._running or not self._accepting:
+                raise ConfigurationError(
+                    "server is not accepting requests; call start()"
+                )
+            self._admissions += 1
+        try:
+            self._queue.put(request, timeout=timeout)
+            self._metrics.record_submit()
+        finally:
+            with self._admission_lock:
+                self._admissions -= 1
         return future
 
     def infer(

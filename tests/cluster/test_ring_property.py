@@ -1,0 +1,167 @@
+"""Property tests for the consistent-hash ring (satellite of PR 8).
+
+Two properties make consistent hashing the right routing structure for
+the cluster (docs/CLUSTER.md):
+
+* **Balance** -- with 64 virtual replicas per node, every node's share
+  of a large key population stays within a constant factor of fair
+  share, for any node-id set hypothesis can dream up.
+* **Minimal remapping** -- node join moves keys only *onto* the
+  joiner; node leave moves only the leaver's keys.  Checked exactly,
+  key by key, not statistically: a single stray remap is a failure.
+
+Plus the determinism glue the router relies on: same members => same
+ownership regardless of insertion order, and ``preference()`` order is
+consistent with ownership after removals (the fallback node for a key
+is exactly who inherits it).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ConsistentHashRing
+from repro.errors import ConfigurationError
+
+node_ids = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1, max_size=12,
+    ),
+    min_size=1, max_size=8, unique=True,
+)
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+
+def _shares(ring, keys):
+    counts = {node: 0 for node in ring.node_ids}
+    for key in keys:
+        counts[ring.route(key)] += 1
+    return counts
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nodes=node_ids)
+def test_balance_within_constant_factor_of_fair_share(nodes):
+    ring = ConsistentHashRing(replicas=64, nodes=nodes)
+    counts = _shares(ring, KEYS)
+    assert sum(counts.values()) == len(KEYS)
+    fair = len(KEYS) / len(nodes)
+    # 64 replicas keeps every share within ~2.5x fair share (and every
+    # node gets *some* keys once fair share is non-trivial).
+    for node, count in counts.items():
+        assert count <= 2.5 * fair, (
+            f"node {node!r} owns {count} keys, fair share {fair:.0f}"
+        )
+        if len(nodes) <= 6:
+            assert count > 0, f"node {node!r} owns no keys"
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nodes=node_ids, joiner=st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+    min_size=1, max_size=12,
+))
+def test_join_moves_keys_only_onto_the_joiner(nodes, joiner):
+    if joiner in nodes:
+        return
+    ring = ConsistentHashRing(replicas=64, nodes=nodes)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add(joiner)
+    after = {key: ring.route(key) for key in KEYS}
+    for key in KEYS:
+        if after[key] != before[key]:
+            assert after[key] == joiner, (
+                f"key {key!r} moved {before[key]!r} -> {after[key]!r}, "
+                f"not onto the joiner {joiner!r}"
+            )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nodes=node_ids, data=st.data())
+def test_leave_moves_only_the_leavers_keys(nodes, data):
+    if len(nodes) < 2:
+        return
+    leaver = data.draw(st.sampled_from(nodes))
+    ring = ConsistentHashRing(replicas=64, nodes=nodes)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.remove(leaver)
+    after = {key: ring.route(key) for key in KEYS}
+    for key in KEYS:
+        if before[key] == leaver:
+            assert after[key] != leaver
+        else:
+            assert after[key] == before[key], (
+                f"key {key!r} moved {before[key]!r} -> {after[key]!r} "
+                f"though only {leaver!r} left"
+            )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nodes=node_ids, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_ownership_is_insertion_order_independent(nodes, seed):
+    import random
+
+    shuffled = list(nodes)
+    random.Random(seed).shuffle(shuffled)
+    a = ConsistentHashRing(replicas=32, nodes=nodes)
+    b = ConsistentHashRing(replicas=32, nodes=shuffled)
+    for key in KEYS[:500]:
+        assert a.route(key) == b.route(key)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nodes=node_ids)
+def test_preference_order_predicts_inheritance(nodes):
+    """preference(key)[1] is exactly who inherits the key when the
+    owner leaves -- the router's fallback choice equals the ring's
+    post-removal ownership."""
+    if len(nodes) < 2:
+        return
+    ring = ConsistentHashRing(replicas=32, nodes=nodes)
+    for key in KEYS[:200]:
+        order = ring.preference(key)
+        assert order[0] == ring.route(key)
+        assert sorted(order) == sorted(ring.node_ids)
+        shadow = ConsistentHashRing(replicas=32, nodes=nodes)
+        shadow.remove(order[0])
+        assert shadow.route(key) == order[1]
+
+
+class TestRingBasics:
+    def test_empty_ring_route_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().route("anything")
+
+    def test_empty_ring_preference_is_empty(self):
+        assert ConsistentHashRing().preference("anything") == []
+
+    def test_add_remove_idempotent(self):
+        ring = ConsistentHashRing(replicas=8)
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        assert ring.route("k") == "a"
+        ring.remove("a")
+        ring.remove("a")
+        assert len(ring) == 0
+        assert "a" not in ring
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing(replicas=8, nodes=["solo"])
+        assert all(ring.route(k) == "solo" for k in KEYS[:100])
+
+    def test_preference_count_bounds(self):
+        ring = ConsistentHashRing(replicas=8, nodes=["a", "b", "c"])
+        assert len(ring.preference("k", count=2)) == 2
+        assert len(ring.preference("k", count=99)) == 3
+
+    def test_replicas_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(replicas=0)

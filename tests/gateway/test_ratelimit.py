@@ -151,3 +151,138 @@ class TestAdmissionController:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             AdmissionController(_StubServer(), queue_limit=0)
+
+
+class _RealBreakerServer:
+    """Stub backend wired to a *real* breaker on the injectable clock,
+    so breaker-state transitions during the precedence tests are the
+    production ones, not stub flips."""
+
+    def __init__(self, breaker, ready=True, depth=0):
+        self.breaker = breaker
+        self.ready = ready
+        self.depth = depth
+
+    def readiness(self):
+        return self.ready
+
+    def queue_depth(self):
+        return self.depth
+
+
+class TestAdmissionPrecedenceUnderFlips:
+    """The not_ready -> breaker_open race: readiness can flip between
+    two admission checks (a drain or stop landing mid-request) while
+    the breaker is independently opening or cooling down.  Each check
+    must report the highest-precedence reason *at that instant* --
+    not_ready > breaker_open > queue_full -- and the trajectory across
+    the flip must follow the breaker's clock, never a stale blend."""
+
+    def test_not_ready_wins_while_breaker_is_open(self, clock):
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker, ready=True)
+        controller = AdmissionController(server)
+        assert controller.check() is None
+
+        breaker.record_failure()  # pool died: breaker opens
+        assert controller.check() == "breaker_open"
+
+        # A drain lands between this client's retries: readiness flips
+        # mid-request and must override the (still open) breaker.
+        server.ready = False
+        assert controller.check() == "not_ready"
+
+        # Drain is cancelled (restart): the open breaker surfaces again
+        # -- the controller never cached the not_ready verdict.
+        server.ready = True
+        assert controller.check() == "breaker_open"
+
+    def test_flip_back_lands_in_half_open_admission(self, clock):
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker, ready=True)
+        controller = AdmissionController(server)
+        breaker.record_failure()
+        server.ready = False
+        assert controller.check() == "not_ready"
+
+        # While the backend was not ready the breaker cool-down ran
+        # out: when readiness flips back the very next check must admit
+        # (half-open probes are allowed through), not shed on a stale
+        # "open" observation.
+        clock.advance(5.0)
+        server.ready = True
+        assert breaker.state == "half-open"
+        assert controller.check() is None
+
+    def test_open_boundary_is_exact_on_the_injectable_clock(self, clock):
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker, ready=True)
+        controller = AdmissionController(server)
+        breaker.record_failure()
+        clock.advance(4.999)
+        assert controller.check() == "breaker_open"
+        clock.advance(0.001)  # exactly reset_timeout_s
+        assert controller.check() is None
+
+    def test_queue_full_is_masked_by_both_higher_reasons(self, clock):
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker, ready=True, depth=100)
+        controller = AdmissionController(server, queue_limit=10)
+        assert controller.check() == "queue_full"
+        breaker.record_failure()
+        assert controller.check() == "breaker_open"
+        server.ready = False
+        assert controller.check() == "not_ready"
+        # Unwind in reverse: each recovery reveals the next reason.
+        server.ready = True
+        assert controller.check() == "breaker_open"
+        clock.advance(5.0)
+        assert controller.check() == "queue_full"
+        server.depth = 0
+        assert controller.check() is None
+
+    def test_readiness_flip_during_check_is_not_blended(self, clock):
+        """A readiness probe that flips False *as it is consulted*
+        (stop() landing inside the check) must yield not_ready -- the
+        check reads each signal once, in precedence order, so the
+        verdict matches the instant the readiness probe ran."""
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker, ready=True)
+        controller = AdmissionController(server)
+
+        calls = []
+        original = server.readiness
+
+        def flipping_readiness():
+            verdict = original()
+            calls.append(verdict)
+            server.ready = False  # stop() lands right after the read
+            return verdict
+
+        server.readiness = flipping_readiness
+        # First check read readiness=True before the flip: it must
+        # fall through to the breaker (closed) and admit.
+        assert controller.check() is None
+        # Second check sees the flipped backend: not_ready.
+        assert controller.check() == "not_ready"
+        assert calls == [True, False]

@@ -57,6 +57,17 @@ REGISTRY = {
         "campaign": {"passed", "quick", "scenarios", "schema",
                      "totals", "workload"},
     },
+    "BENCH_cluster.json": {
+        "note": None,
+        "version": None,
+        "recovery_latency_s": None,
+        "campaign": {"passed", "quick", "scenarios", "schema",
+                     "workers"},
+        "routing": {"nodes", "blocks", "plan", "counters",
+                    "per_node_dispatches", "dispatch_throughput_rps"},
+        "ring_balance": {"nodes", "keys", "replicas", "min_share",
+                         "max_share", "max_over_fair"},
+    },
 }
 
 SCENARIO_FIELDS = {
@@ -104,7 +115,7 @@ def test_gateway_baseline_internal_consistency():
     scenarios = campaign["scenarios"]
     assert [s["name"] for s in scenarios] == [
         "steady-closed", "poisson-open", "flash-crowd", "tenant-skew",
-        "deadline-storm", "breaker-open",
+        "deadline-storm", "breaker-open", "node-failure",
     ]
     for entry in scenarios:
         missing = SCENARIO_FIELDS - set(entry)
@@ -127,3 +138,31 @@ def test_chaos_baseline_scenarios_all_passed():
     for entry in campaign["scenarios"]:
         assert entry["passed"] is True, entry["name"]
         assert entry["error"] is None
+
+
+def test_chaos_baseline_covers_node_scenarios():
+    campaign = load("BENCH_chaos.json")["campaign"]
+    names = {entry["name"] for entry in campaign["scenarios"]}
+    assert {"node-kill", "node-partition", "scale-storm"} <= names
+
+
+def test_cluster_baseline_internal_consistency():
+    payload = load("BENCH_cluster.json")
+    campaign = payload["campaign"]
+    assert campaign["passed"] is True
+    assert [s["name"] for s in campaign["scenarios"]] == [
+        "node-kill", "node-partition", "scale-storm",
+    ]
+    for entry in campaign["scenarios"]:
+        assert entry["passed"] is True, entry["name"]
+        assert entry["error"] is None
+    storm = campaign["scenarios"][2]["details"]
+    assert storm["sizes"][:8] == [1, 2, 3, 4, 5, 6, 7, 8]
+    assert storm["sizes"][-1] == 1
+    # Routing is affine and complete: every dispatch landed somewhere.
+    routing = payload["routing"]
+    assert sum(routing["per_node_dispatches"].values()) == \
+        routing["blocks"]
+    assert routing["counters"]["serial_fallbacks"] == 0
+    balance = payload["ring_balance"]
+    assert balance["max_over_fair"] <= 2.5

@@ -70,7 +70,17 @@ class TestRunner:
         assert set(SCENARIOS) == {
             "worker-kill", "worker-freeze", "shm-unlink",
             "shm-corrupt", "poison-batch", "breaker-cycle",
+            "node-kill", "node-partition", "scale-storm",
         }
+
+    def test_node_scenarios_run_quick(self):
+        """The node-level scenarios (cluster layer) pass end-to-end;
+        scale-storm is pure routing (serial nodes in quick mode) so it
+        is cheap enough to pin here alongside the registry."""
+        entry = run_scenario("scale-storm", quick=True)
+        assert entry["passed"], entry["error"]
+        assert entry["details"]["sizes"][:8] == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert entry["details"]["sizes"][-1] == 1
 
     def test_unknown_scenario_is_rejected(self):
         with pytest.raises(KeyError):

@@ -480,3 +480,116 @@ class TestRobustness:
             server.submit(trains[:, 0, :])
         assert not server.readiness()
         server.stop()
+
+    def test_drain_is_idempotent(self, workload):
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        ).start()
+        future = server.submit(trains[:, 0, :])
+        assert server.drain(timeout=30.0)
+        assert future.result(timeout=5.0).steps == trains.shape[0]
+        # Repeated drains settle instantly and stay True.
+        for _ in range(3):
+            start = time.monotonic()
+            assert server.drain(timeout=30.0)
+            assert time.monotonic() - start < 1.0
+        with pytest.raises(ConfigurationError):
+            server.submit(trains[:, 0, :])
+        server.stop()
+
+    def test_concurrent_drains_with_inflight_infer(self, workload):
+        """Several threads drain while requests are still executing:
+        every drain must report True and every accepted request must
+        resolve -- no strands, no crashes."""
+        import threading
+
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=1.0,
+        ).start()
+        original = server._forward
+
+        def slow_forward(rows):
+            time.sleep(0.05)
+            return original(rows)
+
+        server._forward = slow_forward
+        try:
+            futures = [server.submit(trains[:, b % 4, :])
+                       for b in range(8)]
+            verdicts = []
+
+            def drainer():
+                verdicts.append(server.drain(timeout=30.0))
+
+            threads = [threading.Thread(target=drainer)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert verdicts == [True] * 4
+            for future in futures:
+                assert future.result(timeout=5.0).steps == trains.shape[0]
+            assert server.stats().pending == 0
+        finally:
+            server._forward = original
+            server.stop()
+
+    def test_drain_waits_for_a_submit_caught_mid_admission(self, workload):
+        """Regression: a submit that passed the accepting-check but has
+        not yet enqueued its request must not be stranded by a
+        concurrent drain().  The enqueue is stalled deterministically;
+        drain must block on the in-flight admission, then both resolve."""
+        import threading
+
+        network, trains = workload
+        server = InferenceServer(
+            network, chip_n=CHIP_N, sc_per_npe=SC, plan_cache=None,
+            deadline_ms=0.0,
+        ).start()
+        entered = threading.Event()
+        release = threading.Event()
+        original_put = server._queue.put
+
+        def stalled_put(item, timeout=None):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return original_put(item, timeout=timeout)
+
+        server._queue.put = stalled_put
+        try:
+            holder: dict = {}
+
+            def submitter():
+                holder["future"] = server.submit(trains[:, 0, :])
+
+            submit_thread = threading.Thread(target=submitter)
+            submit_thread.start()
+            assert entered.wait(timeout=10.0)
+
+            drain_verdict: dict = {}
+
+            def drainer():
+                drain_verdict["settled"] = server.drain(timeout=30.0)
+
+            drain_thread = threading.Thread(target=drainer)
+            drain_thread.start()
+            # The admission is mid-handshake: drain must NOT settle.
+            drain_thread.join(timeout=0.3)
+            assert drain_thread.is_alive(), \
+                "drain returned while a submit was mid-admission"
+
+            release.set()
+            submit_thread.join(timeout=10.0)
+            drain_thread.join(timeout=30.0)
+            assert drain_verdict["settled"] is True
+            result = holder["future"].result(timeout=10.0)
+            assert result.steps == trains.shape[0]
+            assert server.stats().pending == 0
+        finally:
+            server._queue.put = original_put
+            server.stop()
