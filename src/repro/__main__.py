@@ -9,6 +9,7 @@ Usage::
     python -m repro chaos --quick       # serving chaos campaign
     python -m repro serve --port 8787   # HTTP/JSON gateway (docs/GATEWAY.md)
     python -m repro loadtest --quick    # closed-loop gateway load campaign
+    python -m repro explore --quick     # design-space sweep (docs/EXPLORER.md)
 
 Each subcommand owns its flags -- ``python -m repro <name> --help``
 shows them.  Anything that is neither a subcommand nor a known
@@ -68,6 +69,11 @@ def _loadtest_main(argv):
     return loadtest_main(argv)
 
 
+def _explore_main(argv):
+    from repro.explore.cli import main as explore_main
+    return explore_main(argv)
+
+
 #: Subcommand name -> (dispatcher, one-line help).  Each dispatcher
 #: owns its own argparse parser (and therefore its own ``--help``).
 SUBCOMMANDS = {
@@ -77,6 +83,9 @@ SUBCOMMANDS = {
               "HTTP/JSON gateway over the serving stack"),
     "loadtest": (_loadtest_main,
                  "open/closed-loop gateway load campaign"),
+    "explore": (_explore_main,
+                "design-space sweep + Pareto frontier "
+                "(--quick/--workers/--memory)"),
 }
 
 

@@ -1,0 +1,107 @@
+"""``python -m repro explore`` -- run a design-space sweep.
+
+Examples::
+
+    python -m repro explore --quick            # CI smoke grid
+    python -m repro explore --workers 4        # full grid, 4-way pool
+    python -m repro explore --memory vt-ram --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.explore.estimators import memory_technologies
+
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description=(
+            "Sweep NPE count x SC-per-NPE x slice width x bucketing, "
+            "memoizing completed points in the plan cache, and report "
+            "the Pareto frontier (accuracy / FPS / JJ / power)."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke grid (8 points, sub-second cold)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool width; 0 or 1 evaluates serially "
+             "(default: 0)",
+    )
+    parser.add_argument(
+        "--memory", default="ndro", choices=memory_technologies(),
+        help="memory-technology estimator for the crosspoint store "
+             "(default: ndro)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2026,
+        help="workload seed (default: 2026)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the explore-point/plan cache (cold every run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full repro.explore/v1 report as JSON "
+             "('-' for stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.explore.driver import (
+        ExploreConfig,
+        pinned_digest,
+        render_report,
+        run_explore,
+    )
+
+    try:
+        if args.quick:
+            config = ExploreConfig.quick(workers=args.workers)
+        else:
+            config = ExploreConfig(workers=args.workers)
+        if args.memory != config.memory_technology \
+                or args.seed != config.seed:
+            from dataclasses import replace
+
+            config = replace(
+                config, memory_technology=args.memory, seed=args.seed
+            )
+        report = run_explore(
+            config,
+            plan_cache=None if args.no_cache else "default",
+        )
+    except ReproError as exc:
+        print(f"explore: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json == "-":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"report written to {args.json}")
+        print(render_report(report))
+        print(f"\npinned digest: {pinned_digest(report)}")
+        print(f"wall: {report['timing']['wall_s']:.3f}s "
+              f"(workers={report['timing']['workers']}, "
+              f"cache={'on' if report['timing']['cached'] else 'off'})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    raise SystemExit(main())

@@ -1,0 +1,299 @@
+"""Pluggable estimator registry for the design-space explorer.
+
+The paper's scaling claims (Table 2 / Fig. 13 resources, Fig. 17-style
+accuracy/JJ/power/FPS trade-offs) are produced by *cost models*, and
+SuperLoop-style exploration treats each model as a plug-in: a JJ-count
+estimator, an area estimator, a power estimator -- and, crucially,
+alternative *memory technologies* (VT-cell RAM, delay-line memory) as
+drop-in replacements for the baseline NDRO crosspoint storage.
+
+This module provides exactly that socket:
+
+* :class:`Estimator` -- the protocol every plug-in implements: a
+  ``name`` and an ``estimate(point, context)`` returning a flat metric
+  dict.
+* :func:`register_estimator` -- class decorator adding an estimator to
+  the process-wide registry (:func:`get_estimator` /
+  :func:`available_estimators` look it up).
+* Built-ins wrapping the anchored models of :mod:`repro.resources`:
+  ``resources`` (:func:`~repro.resources.estimate_resources`),
+  ``power`` (:class:`~repro.resources.PowerModel`) and ``performance``
+  (:class:`~repro.resources.PerformanceModel`).
+* Memory-technology estimators (``memory-ndro``, ``memory-vt-ram``,
+  ``memory-delay-line``): per-bit JJ/area/bias cost of the crosspoint
+  weight store plus a relative reload-time scale.  The NDRO numbers
+  come from the cell library (the storage the gate-level chip actually
+  builds); the VT-cell and delay-line constants are *speculative
+  sockets* -- plausible per-bit figures for the alternative
+  superconducting memories surveyed by the SFQ design-space literature,
+  kept behind the registry so a calibrated model can drop in without
+  touching the driver.
+
+Every estimate is a pure function of ``(point, context)``: no wall
+clocks, no RNG -- a grid point's metrics are bit-stable across hosts,
+processes and worker counts (the explorer's determinism contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.resources import PerformanceModel, PowerModel, estimate_resources
+from repro.resources.power import BIAS_POWER_PER_JJ_NW
+from repro.rsfq import library
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explore.grid import ExplorePoint
+
+try:  # Protocol is typing_extensions-free from 3.8 on
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+
+#: Registry prefix shared by every memory-technology estimator; the
+#: driver resolves ``ExploreConfig.memory_technology`` ("ndro") to the
+#: registered name ("memory-ndro") through it.
+MEMORY_PREFIX = "memory-"
+
+
+@dataclass(frozen=True)
+class EstimateContext:
+    """Workload-derived inputs shared by every estimator of one sweep.
+
+    Attributes:
+        max_strength: Largest crosspoint gain the swept network needs
+            (drives the configurable-mesh resource estimate).
+        with_weights: Estimate the fully-configurable mesh (True, the
+            explorer's default -- deployable configurations need
+            reloadable weights) or the fixed-weight mesh.
+        synops_per_frame: Measured synaptic operations per inference
+            frame (None before the accuracy evaluation ran, e.g. for
+            infeasible points -- FPS is then omitted).
+        reload_fraction: Share of inference time spent reloading
+            crosspoints, already scaled by the memory technology's
+            reload-time factor.
+        utilisation: Input-sparsity derate for the FPS model.
+    """
+
+    max_strength: int = 1
+    with_weights: bool = True
+    synops_per_frame: Optional[float] = None
+    reload_fraction: Optional[float] = None
+    utilisation: float = 1.0
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """The plug-in protocol: a named, pure metric estimator."""
+
+    name: str
+
+    def estimate(self, point: "ExplorePoint",
+                 context: EstimateContext) -> Dict[str, float]:
+        """Flat metric dict for one grid point (pure, deterministic)."""
+        ...  # pragma: no cover - protocol body
+
+
+_REGISTRY: Dict[str, Estimator] = {}
+
+
+def register_estimator(cls):
+    """Class decorator: instantiate ``cls`` and add it to the registry.
+
+    The class must carry a unique ``name`` attribute and implement the
+    :class:`Estimator` protocol.  Returns the class unchanged so it can
+    still be subclassed/instantiated directly.
+    """
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"estimator {cls!r} needs a non-empty string 'name'"
+        )
+    if name in _REGISTRY:
+        raise ConfigurationError(
+            f"estimator '{name}' is already registered"
+        )
+    instance = cls()
+    if not callable(getattr(instance, "estimate", None)):
+        raise ConfigurationError(
+            f"estimator '{name}' does not implement estimate()"
+        )
+    _REGISTRY[name] = instance
+    return cls
+
+
+def get_estimator(name: str) -> Estimator:
+    """Look a registered estimator up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown estimator '{name}'; available: "
+            f"{available_estimators()}"
+        ) from None
+
+
+def available_estimators() -> List[str]:
+    """Registered estimator names, sorted (stable for reports)."""
+    return sorted(_REGISTRY)
+
+
+def memory_technologies() -> List[str]:
+    """The registered memory technologies (registry names minus the
+    ``memory-`` prefix), sorted."""
+    return sorted(
+        name[len(MEMORY_PREFIX):] for name in _REGISTRY
+        if name.startswith(MEMORY_PREFIX)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-ins: the anchored chip models
+# ---------------------------------------------------------------------------
+
+@register_estimator
+class ResourceEstimator:
+    """JJ and area counts via :func:`repro.resources.estimate_resources`
+    (Table 2 / Fig. 13 calibration)."""
+
+    name = "resources"
+
+    def estimate(self, point, context: EstimateContext) -> Dict[str, float]:
+        r = estimate_resources(
+            point.mesh_n,
+            sc_per_npe=point.sc_per_npe,
+            max_strength=context.max_strength,
+            with_weights=context.with_weights,
+        )
+        return {
+            "total_jj": int(r.total_jj),
+            "logic_jj": int(r.logic_jj),
+            "wiring_jj": int(r.wiring_jj),
+            "area_mm2": round(r.total_area_mm2, 4),
+            "component_area_mm2": round(r.component_area_mm2, 4),
+            "wiring_pct": round(100.0 * r.wiring_fraction, 2),
+        }
+
+
+@register_estimator
+class PowerEstimator:
+    """Static + peak dynamic power via
+    :class:`repro.resources.PowerModel` (Fig. 20 calibration)."""
+
+    name = "power"
+
+    def estimate(self, point, context: EstimateContext) -> Dict[str, float]:
+        model = PowerModel(estimate_resources(
+            point.mesh_n,
+            sc_per_npe=point.sc_per_npe,
+            max_strength=context.max_strength,
+            with_weights=context.with_weights,
+        ))
+        peak_rate = PerformanceModel(point.mesh_n).peak_sops()
+        return {
+            "static_mw": round(model.static_mw, 4),
+            "power_mw": round(model.total_mw(peak_rate), 4),
+        }
+
+
+@register_estimator
+class PerformanceEstimator:
+    """Throughput/FPS via :class:`repro.resources.PerformanceModel`
+    (Fig. 19/21 calibration).  FPS needs the workload's measured
+    ``synops_per_frame``; without it (infeasible points) only the
+    workload-independent figures are reported."""
+
+    name = "performance"
+
+    def estimate(self, point, context: EstimateContext) -> Dict[str, float]:
+        model = PerformanceModel(point.mesh_n)
+        metrics: Dict[str, float] = {
+            "peak_gsops": round(model.peak_gsops(), 4),
+            "efficiency": round(model.efficiency(), 6),
+            "delay_share": round(model.transmission_delay_share(), 4),
+        }
+        if context.synops_per_frame:
+            reload_fraction = min(
+                0.95, max(0.0, context.reload_fraction or 0.0)
+            )
+            metrics["fps"] = round(model.fps(
+                context.synops_per_frame,
+                reload_fraction=reload_fraction,
+                utilisation=context.utilisation,
+            ), 3)
+        return metrics
+
+
+# ---------------------------------------------------------------------------
+# Memory-technology sockets
+# ---------------------------------------------------------------------------
+
+class _MemoryTechnology:
+    """Shared shape of the memory estimators: per-bit constants over the
+    crosspoint weight store (``mesh_n^2 x max_strength`` thermometer
+    bits, matching the gate-level weight structure)."""
+
+    name = ""  # overridden by subclasses
+    jj_per_bit = 0.0
+    area_um2_per_bit = 0.0
+    #: Relative reload time vs the NDRO baseline (1.0); the driver
+    #: scales the measured reload fraction by it, so slow memories
+    #: depress FPS and fast ones raise it.
+    reload_scale = 1.0
+
+    def estimate(self, point, context: EstimateContext) -> Dict[str, float]:
+        bits = point.mesh_n * point.mesh_n * max(1, context.max_strength)
+        jj = int(round(bits * self.jj_per_bit))
+        return {
+            "memory_bits": int(bits),
+            "memory_jj": jj,
+            "memory_area_mm2": round(
+                bits * self.area_um2_per_bit * 1e-6, 6
+            ),
+            "memory_power_mw": round(
+                jj * BIAS_POWER_PER_JJ_NW * 1e-6, 6
+            ),
+            "memory_reload_scale": self.reload_scale,
+        }
+
+
+@register_estimator
+class NdroMemoryEstimator(_MemoryTechnology):
+    """The baseline: one NDRO cell per thermometer bit -- the storage
+    the gate-level chip actually instantiates (and the resource model
+    already counts inside ``logic_jj``)."""
+
+    name = MEMORY_PREFIX + "ndro"
+    jj_per_bit = float(library.NDRO.JJ_COUNT)
+    area_um2_per_bit = float(library.NDRO.AREA_UM2)
+    reload_scale = 1.0
+
+
+@register_estimator
+class VtRamMemoryEstimator(_MemoryTechnology):
+    """VT-cell (vortex-transitional) RAM socket: denser and fewer JJs
+    per bit than NDRO, slightly faster reload.  Speculative constants --
+    a calibrated model drops in by re-registering this name."""
+
+    name = MEMORY_PREFIX + "vt-ram"
+    jj_per_bit = 6.0
+    area_um2_per_bit = 2100.0
+    reload_scale = 0.6
+
+
+@register_estimator
+class DelayLineMemoryEstimator(_MemoryTechnology):
+    """Delay-line (circulating-pulse) memory socket: very few active
+    JJs but long passive lines (area) and serial recirculation (slow
+    reload).  Speculative constants, same caveat as VT-cell RAM."""
+
+    name = MEMORY_PREFIX + "delay-line"
+    jj_per_bit = 2.0
+    area_um2_per_bit = 5200.0
+    reload_scale = 1.8

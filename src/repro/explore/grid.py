@@ -1,0 +1,181 @@
+"""The explorer's sweep grid: explicit, validated, content-addressed.
+
+A sweep enumerates :class:`ExplorePoint` s over four axes -- the axes of
+the paper's own scaling studies plus the compilation knobs the SSNN
+stack exposes:
+
+* **NPE count** (hardware scale; ``npe_count = 2 * mesh_n``, so the
+  paper's 16x16 mesh is the 32-NPE point);
+* **SC per NPE** (membrane capacity ``2**sc_per_npe`` -- the
+  realizability axis: a network whose worst-case counter range exceeds
+  it cannot stream safely and the point is *infeasible*);
+* **bit-slice width** (the mesh width the compiler slices layers onto;
+  at most the hardware mesh width -- narrower widths under-use the mesh
+  but cut reload cost per pass);
+* **bucketing policy** (``reordered`` vs ``naive`` streaming order, the
+  paper's section 5.2 optimisation -- the accuracy axis).
+
+Grid points are content-addressed: :func:`point_fingerprint` hashes the
+schema version, the workload fingerprint, the point coordinates and the
+estimator/memory configuration, so a completed point memoized in the
+:class:`~repro.ssnn.compile.PlanCache` (under :data:`EXPLORE_KIND`) is
+reusable exactly when re-evaluating it would reproduce it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Report schema identifier (the ``repro.campaign/v1`` convention).
+EXPLORE_SCHEMA = "repro.explore/v1"
+
+#: Artifact-kind namespace of memoized explore points in a
+#: :class:`~repro.ssnn.compile.PlanCache` root (SSNN plans use
+#: ``ssnn-plan``, RSFQ traces ``rsfq-trace``).
+EXPLORE_KIND = "explore-point"
+
+#: Bump to invalidate every memoized point (metric semantics changes).
+EXPLORE_SCHEMA_VERSION = 1
+
+#: The streaming-order policies of :mod:`repro.ssnn.bucketing`.
+BUCKETING_POLICIES = ("reordered", "naive")
+
+
+@dataclass(frozen=True, order=True)
+class ExplorePoint:
+    """One configuration of the sweep grid.
+
+    Ordering is lexicographic over the coordinates, which fixes the
+    report order regardless of evaluation order (serial, pool, cache).
+    """
+
+    npe_count: int
+    sc_per_npe: int
+    slice_width: int
+    bucketing: str
+
+    def __post_init__(self):
+        if self.npe_count < 2 or self.npe_count % 2:
+            raise ConfigurationError(
+                f"npe_count must be a positive even number "
+                f"(2 per mesh row/column pair), got {self.npe_count}"
+            )
+        if self.sc_per_npe < 1:
+            raise ConfigurationError("sc_per_npe must be >= 1")
+        if not 1 <= self.slice_width <= self.mesh_n:
+            raise ConfigurationError(
+                f"slice_width must be in [1, mesh_n={self.mesh_n}], "
+                f"got {self.slice_width}"
+            )
+        if self.bucketing not in BUCKETING_POLICIES:
+            raise ConfigurationError(
+                f"unknown bucketing policy '{self.bucketing}'; "
+                f"available: {BUCKETING_POLICIES}"
+            )
+
+    @property
+    def mesh_n(self) -> int:
+        """Hardware mesh size (``n`` of the ``n x n`` crosspoint array)."""
+        return self.npe_count // 2
+
+    @property
+    def reorder(self) -> bool:
+        """The compiler's ``reorder`` flag for this bucketing policy."""
+        return self.bucketing == "reordered"
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity used throughout reports."""
+        return (f"npe{self.npe_count}-sc{self.sc_per_npe}"
+                f"-w{self.slice_width}-{self.bucketing}")
+
+    def to_dict(self) -> dict:
+        return {
+            "npe_count": self.npe_count,
+            "mesh_n": self.mesh_n,
+            "sc_per_npe": self.sc_per_npe,
+            "slice_width": self.slice_width,
+            "bucketing": self.bucketing,
+        }
+
+
+@dataclass(frozen=True)
+class ExploreGrid:
+    """The cartesian sweep specification.
+
+    ``points()`` is the cartesian product of the four axes *minus*
+    structurally impossible combinations (a slice width wider than the
+    mesh), in lexicographic order.  Axes are deduplicated and sorted at
+    construction, so two grids describing the same set compare equal
+    and fingerprint identically.
+    """
+
+    npe_counts: Tuple[int, ...] = (8, 16, 32)
+    sc_per_npe: Tuple[int, ...] = (5, 8, 10)
+    slice_widths: Tuple[int, ...] = (4, 8, 16)
+    bucketing: Tuple[str, ...] = BUCKETING_POLICIES
+
+    def __post_init__(self):
+        for axis in ("npe_counts", "sc_per_npe", "slice_widths",
+                     "bucketing"):
+            values = getattr(self, axis)
+            if not values:
+                raise ConfigurationError(f"grid axis {axis} is empty")
+            object.__setattr__(
+                self, axis, tuple(sorted(set(values)))
+            )
+        widest_mesh = max(self.npe_counts) // 2
+        if min(self.slice_widths) > widest_mesh:
+            raise ConfigurationError(
+                f"no slice width fits the widest mesh "
+                f"(n={widest_mesh}); narrow the slice_widths axis"
+            )
+
+    def points(self) -> Tuple[ExplorePoint, ...]:
+        """Every valid grid point, lexicographically ordered."""
+        out = []
+        for npe, sc, width, policy in itertools.product(
+            self.npe_counts, self.sc_per_npe, self.slice_widths,
+            self.bucketing,
+        ):
+            if width > npe // 2:
+                continue  # slice wider than the mesh: impossible
+            out.append(ExplorePoint(npe, sc, width, policy))
+        return tuple(sorted(out))
+
+    def to_dict(self) -> dict:
+        return {
+            "npe_counts": list(self.npe_counts),
+            "sc_per_npe": list(self.sc_per_npe),
+            "slice_widths": list(self.slice_widths),
+            "bucketing": list(self.bucketing),
+        }
+
+
+def point_fingerprint(
+    point: ExplorePoint,
+    workload_fingerprint: str,
+    memory_technology: str,
+    estimators: Sequence[str],
+) -> str:
+    """Content address of one completed point.
+
+    Any change to the point coordinates, the workload (network weights,
+    rows, steps), the memory technology, the estimator set or the
+    explore schema version produces a new key -- the memoization
+    invalidation rule, in full.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{EXPLORE_SCHEMA}/v{EXPLORE_SCHEMA_VERSION}"
+        f"|workload={workload_fingerprint}"
+        f"|mem={memory_technology}"
+        f"|est={','.join(sorted(estimators))}"
+        f"|{point.key}".encode()
+    )
+    return digest.hexdigest()

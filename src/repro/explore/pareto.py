@@ -1,0 +1,69 @@
+"""Pareto-frontier extraction over evaluated grid points.
+
+The paper's Fig. 17-style trade-off curves are frontiers: for a fixed
+workload, which configurations are *not dominated* on the joint
+(accuracy, throughput, junction count, power) objective?  The explorer
+reports exactly that set.
+
+Semantics (documented, pinned by tests):
+
+* Objectives: **maximize** ``accuracy`` and ``fps``, **minimize**
+  ``total_jj_effective`` and ``power_mw_effective`` (the
+  memory-technology-adjusted totals).
+* Point ``a`` dominates ``b`` iff ``a`` is at least as good on every
+  objective and strictly better on at least one.
+* Only *feasible* points (those that compiled within the SC capacity)
+  participate; infeasible points are realizability failures, not
+  trade-offs.
+* Duplicate metric vectors all survive (none dominates the other), so
+  the frontier is deterministic without tie-break heuristics; output
+  order is the grid's lexicographic point order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: ``(metric key, direction)`` of the frontier objective, in report
+#: order.  Direction is "max" or "min".
+PARETO_AXES: Tuple[Tuple[str, str], ...] = (
+    ("accuracy", "max"),
+    ("fps", "max"),
+    ("total_jj_effective", "min"),
+    ("power_mw_effective", "min"),
+)
+
+
+def _objective_vector(metrics: Dict[str, float]) -> List[float]:
+    """The point's metrics as a maximize-everything vector."""
+    vector = []
+    for key, direction in PARETO_AXES:
+        value = float(metrics[key])
+        vector.append(value if direction == "max" else -value)
+    return vector
+
+
+def dominates(a: Dict[str, float], b: Dict[str, float]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` on :data:`PARETO_AXES`."""
+    va, vb = _objective_vector(a), _objective_vector(b)
+    return all(x >= y for x, y in zip(va, vb)) and va != vb
+
+
+def pareto_frontier(points: Sequence[dict]) -> List[dict]:
+    """The non-dominated subset of ``points`` (entries are report rows
+    whose ``metrics`` hold every :data:`PARETO_AXES` key), preserving
+    input order.  Entries lacking an axis (infeasible points never got
+    an FPS/accuracy measurement) are excluded."""
+    eligible = [
+        entry for entry in points
+        if all(key in entry["metrics"] and entry["metrics"][key] is not None
+               for key, _ in PARETO_AXES)
+    ]
+    frontier = []
+    for candidate in eligible:
+        if not any(
+            dominates(other["metrics"], candidate["metrics"])
+            for other in eligible if other is not candidate
+        ):
+            frontier.append(candidate)
+    return frontier

@@ -412,6 +412,7 @@ class Gateway:
                                 "requests"), "application/json")
 
     def _handle_metrics(self) -> Tuple[int, bytes, str]:
+        from repro.explore.driver import explore_counter_families
         from repro.rsfq.trace import trace_counter_families
 
         families = server_stats_families(self.server.stats())
@@ -423,6 +424,7 @@ class Gateway:
         if callable(cluster_families):
             families.extend(cluster_families())
         families.extend(trace_counter_families())
+        families.extend(explore_counter_families())
         text = render_prometheus(families)
         self.metrics.record("/metrics", 200)
         return (200, text.encode("utf-8"),

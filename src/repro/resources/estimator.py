@@ -31,7 +31,33 @@ class ChipResources:
 
     @property
     def total_area_mm2(self) -> float:
+        """Die area from the paper-calibrated JJ density.
+
+        ``total_jj * AREA_PER_JJ_MM2`` reproduces the paper's reported
+        chip areas (Table 2), which is why it is the anchored figure.
+        It is deliberately *larger* than :attr:`component_area_mm2`:
+        the density calibration folds in everything the cell footprints
+        do not -- routing channels between cells, bias/ground rails,
+        moats and floorplan white space.  The ratio of the two is
+        :attr:`fill_factor`, pinned by regression tests in
+        ``tests/resources/test_models.py``.
+        """
         return self.total_jj * AREA_PER_JJ_MM2
+
+    @property
+    def component_area_mm2(self) -> float:
+        """Sum of the placed-cell footprints (logic + wiring cells).
+
+        This is the lower bound the cell library implies; see
+        :attr:`total_area_mm2` for why the reported die area exceeds it.
+        """
+        return self.logic_area_mm2 + self.wiring_area_mm2
+
+    @property
+    def fill_factor(self) -> float:
+        """Placed-cell area as a fraction of the die area (in (0, 1])."""
+        total = self.total_area_mm2
+        return self.component_area_mm2 / total if total else 0.0
 
     @property
     def wiring_fraction(self) -> float:

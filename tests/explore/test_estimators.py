@@ -1,0 +1,133 @@
+"""Estimator registry: protocol, round-trips, built-in metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import (
+    EstimateContext,
+    Estimator,
+    ExplorePoint,
+    available_estimators,
+    get_estimator,
+    memory_technologies,
+    register_estimator,
+)
+from repro.explore.estimators import _REGISTRY, MEMORY_PREFIX
+from repro.resources import estimate_resources
+
+POINT = ExplorePoint(16, 8, 4, "reordered")
+CTX = EstimateContext(max_strength=1)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"resources", "power", "performance",
+                "memory-ndro", "memory-vt-ram",
+                "memory-delay-line"} <= set(available_estimators())
+
+    def test_memory_technologies_strip_prefix(self):
+        assert memory_technologies() == ["delay-line", "ndro", "vt-ram"]
+
+    def test_round_trip_every_builtin(self):
+        for name in available_estimators():
+            instance = get_estimator(name)
+            assert instance.name == name
+            assert isinstance(instance, Estimator)
+            metrics = instance.estimate(POINT, CTX)
+            assert metrics and isinstance(metrics, dict)
+            for key, value in metrics.items():
+                assert isinstance(key, str)
+                assert isinstance(value, (int, float)), (name, key)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_estimator("does-not-exist")
+
+    def test_register_rejects_duplicates_and_bad_shapes(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            @register_estimator
+            class Duplicate:  # noqa: F811 - intentionally clashing
+                name = "resources"
+
+                def estimate(self, point, context):
+                    return {}
+
+        with pytest.raises(ConfigurationError, match="name"):
+            @register_estimator
+            class Nameless:
+                def estimate(self, point, context):
+                    return {}
+
+        with pytest.raises(ConfigurationError, match="estimate"):
+            @register_estimator
+            class NoEstimate:
+                name = "broken"
+        assert "broken" not in _REGISTRY
+
+    def test_custom_estimator_registers_and_unregisters(self):
+        @register_estimator
+        class Custom:
+            name = "test-custom"
+
+            def estimate(self, point, context):
+                return {"custom_metric": point.npe_count * 2}
+
+        try:
+            assert get_estimator("test-custom").estimate(POINT, CTX) \
+                == {"custom_metric": 32}
+        finally:
+            del _REGISTRY["test-custom"]
+
+
+class TestBuiltins:
+    def test_resources_match_the_anchored_model(self):
+        metrics = get_estimator("resources").estimate(POINT, CTX)
+        anchored = estimate_resources(POINT.mesh_n, sc_per_npe=8)
+        assert metrics["total_jj"] == anchored.total_jj
+        assert metrics["area_mm2"] == round(anchored.total_area_mm2, 4)
+        assert metrics["component_area_mm2"] == \
+            round(anchored.component_area_mm2, 4)
+
+    def test_power_includes_static_floor(self):
+        metrics = get_estimator("power").estimate(POINT, CTX)
+        assert 0 < metrics["static_mw"] < metrics["power_mw"]
+
+    def test_performance_omits_fps_without_workload(self):
+        metrics = get_estimator("performance").estimate(POINT, CTX)
+        assert "fps" not in metrics
+        assert metrics["peak_gsops"] > 0
+
+    def test_performance_fps_with_workload(self):
+        ctx = EstimateContext(synops_per_frame=1000.0,
+                              reload_fraction=0.1, utilisation=0.5)
+        metrics = get_estimator("performance").estimate(POINT, ctx)
+        assert metrics["fps"] > 0
+
+
+class TestMemoryTechnologies:
+    def test_bit_count_tracks_mesh_and_strength(self):
+        ndro = get_estimator(MEMORY_PREFIX + "ndro")
+        base = ndro.estimate(POINT, CTX)
+        assert base["memory_bits"] == POINT.mesh_n ** 2
+        strong = ndro.estimate(POINT, EstimateContext(max_strength=3))
+        assert strong["memory_bits"] == 3 * base["memory_bits"]
+
+    def test_ndro_matches_the_cell_library(self):
+        from repro.rsfq import library
+
+        base = get_estimator(MEMORY_PREFIX + "ndro").estimate(POINT, CTX)
+        assert base["memory_jj"] == \
+            POINT.mesh_n ** 2 * library.NDRO.JJ_COUNT
+        assert base["memory_reload_scale"] == 1.0
+
+    def test_alternative_technologies_differ_from_baseline(self):
+        ndro = get_estimator(MEMORY_PREFIX + "ndro").estimate(POINT, CTX)
+        vt = get_estimator(MEMORY_PREFIX + "vt-ram").estimate(POINT, CTX)
+        delay = get_estimator(
+            MEMORY_PREFIX + "delay-line").estimate(POINT, CTX)
+        # VT RAM: fewer JJs, denser, faster reload.
+        assert vt["memory_jj"] < ndro["memory_jj"]
+        assert vt["memory_reload_scale"] < 1.0
+        # Delay line: fewest JJs, slowest reload.
+        assert delay["memory_jj"] < vt["memory_jj"]
+        assert delay["memory_reload_scale"] > 1.0

@@ -1,0 +1,113 @@
+"""Grid schema: point validation, ordering, content addressing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import (
+    BUCKETING_POLICIES,
+    EXPLORE_KIND,
+    EXPLORE_SCHEMA,
+    ExploreGrid,
+    ExplorePoint,
+    point_fingerprint,
+)
+
+
+class TestExplorePoint:
+    def test_mesh_and_reorder_derivation(self):
+        point = ExplorePoint(32, 10, 16, "reordered")
+        assert point.mesh_n == 16           # the paper's 16x16 chip
+        assert point.reorder is True
+        assert ExplorePoint(8, 8, 4, "naive").reorder is False
+
+    def test_key_is_stable_and_readable(self):
+        assert (ExplorePoint(16, 8, 4, "naive").key
+                == "npe16-sc8-w4-naive")
+
+    @pytest.mark.parametrize("bad", [
+        dict(npe_count=7),    # odd
+        dict(npe_count=0),
+        dict(sc_per_npe=0),
+        dict(slice_width=0),
+        dict(slice_width=9),  # wider than mesh_n=8
+        dict(bucketing="zigzag"),
+    ])
+    def test_validation(self, bad):
+        kwargs = dict(npe_count=16, sc_per_npe=8, slice_width=4,
+                      bucketing="reordered")
+        kwargs.update(bad)
+        with pytest.raises(ConfigurationError):
+            ExplorePoint(**kwargs)
+
+    def test_ordering_is_lexicographic(self):
+        a = ExplorePoint(8, 10, 4, "naive")
+        b = ExplorePoint(16, 5, 4, "naive")
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+
+class TestExploreGrid:
+    def test_axes_dedupe_and_sort(self):
+        grid = ExploreGrid(npe_counts=(16, 8, 16), sc_per_npe=(10, 8),
+                           slice_widths=(4,), bucketing=("naive",))
+        assert grid.npe_counts == (8, 16)
+        assert grid.sc_per_npe == (8, 10)
+        # Equal sets fingerprint identically.
+        assert grid == ExploreGrid(
+            npe_counts=(8, 16), sc_per_npe=(8, 10), slice_widths=(4,),
+            bucketing=("naive",),
+        )
+
+    def test_points_skip_impossible_widths(self):
+        grid = ExploreGrid(npe_counts=(8, 32), sc_per_npe=(8,),
+                           slice_widths=(4, 16), bucketing=("naive",))
+        points = grid.points()
+        # npe8 (mesh 4) only fits width 4; npe32 (mesh 16) fits both.
+        assert [p.key for p in points] == [
+            "npe8-sc8-w4-naive", "npe32-sc8-w4-naive",
+            "npe32-sc8-w16-naive",
+        ]
+
+    def test_points_are_sorted(self):
+        points = ExploreGrid().points()
+        assert list(points) == sorted(points)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExploreGrid(npe_counts=())
+
+    def test_unfittable_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExploreGrid(npe_counts=(8,), slice_widths=(16,))
+
+    def test_default_grid_covers_the_paper_chip(self):
+        keys = {p.key for p in ExploreGrid().points()}
+        assert "npe32-sc10-w16-reordered" in keys  # 16x16 mesh
+        assert len(keys) == 36
+
+    def test_bucketing_policies_constant(self):
+        assert set(BUCKETING_POLICIES) == {"reordered", "naive"}
+
+
+class TestPointFingerprint:
+    def test_sensitivity(self):
+        point = ExplorePoint(16, 8, 4, "naive")
+        base = point_fingerprint(point, "wl", "ndro", ("resources",))
+        assert base != point_fingerprint(
+            ExplorePoint(16, 8, 8, "naive"), "wl", "ndro",
+            ("resources",))
+        assert base != point_fingerprint(point, "other", "ndro",
+                                         ("resources",))
+        assert base != point_fingerprint(point, "wl", "vt-ram",
+                                         ("resources",))
+        assert base != point_fingerprint(point, "wl", "ndro",
+                                         ("resources", "power"))
+
+    def test_estimator_order_is_canonicalised(self):
+        point = ExplorePoint(16, 8, 4, "naive")
+        assert point_fingerprint(point, "wl", "ndro", ("a", "b")) == \
+            point_fingerprint(point, "wl", "ndro", ("b", "a"))
+
+    def test_schema_constants(self):
+        assert EXPLORE_SCHEMA == "repro.explore/v1"
+        assert EXPLORE_KIND == "explore-point"

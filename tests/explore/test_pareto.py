@@ -1,0 +1,77 @@
+"""Pareto semantics: dominance, ties, infeasible exclusion, order."""
+
+from repro.explore import PARETO_AXES, dominates, pareto_frontier
+
+
+def row(key, accuracy, fps, jj, power, feasible=True):
+    metrics = {}
+    if feasible:
+        metrics = {"accuracy": accuracy, "fps": fps,
+                   "total_jj_effective": jj,
+                   "power_mw_effective": power}
+    return {"key": key, "feasible": feasible, "metrics": metrics}
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        a = row("a", 0.9, 100.0, 1000, 5.0)["metrics"]
+        b = row("b", 0.8, 90.0, 2000, 6.0)["metrics"]
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_directionality(self):
+        # Lower JJ/power is better; higher accuracy/FPS is better.
+        cheap = row("c", 0.9, 100.0, 1000, 5.0)["metrics"]
+        pricey = row("p", 0.9, 100.0, 1500, 5.0)["metrics"]
+        assert dominates(cheap, pricey)
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = row("a", 0.9, 100.0, 1000, 5.0)["metrics"]
+        assert not dominates(a, dict(a))
+
+    def test_trade_off_is_incomparable(self):
+        accurate = row("a", 0.95, 100.0, 2000, 5.0)["metrics"]
+        cheap = row("c", 0.80, 100.0, 1000, 5.0)["metrics"]
+        assert not dominates(accurate, cheap)
+        assert not dominates(cheap, accurate)
+
+
+class TestFrontier:
+    def test_dominated_points_are_pruned(self):
+        points = [
+            row("best", 0.9, 100.0, 1000, 5.0),
+            row("worse", 0.8, 90.0, 1100, 5.5),
+            row("tradeoff", 0.95, 80.0, 3000, 9.0),
+        ]
+        assert [r["key"] for r in pareto_frontier(points)] == \
+            ["best", "tradeoff"]
+
+    def test_duplicates_all_survive(self):
+        points = [row("a", 0.9, 100.0, 1000, 5.0),
+                  row("b", 0.9, 100.0, 1000, 5.0)]
+        assert [r["key"] for r in pareto_frontier(points)] == ["a", "b"]
+
+    def test_infeasible_points_are_excluded(self):
+        points = [row("ok", 0.5, 10.0, 9000, 9.0),
+                  row("cap", 0.99, 999.0, 1, 0.1, feasible=False)]
+        assert [r["key"] for r in pareto_frontier(points)] == ["ok"]
+
+    def test_none_valued_axes_are_excluded(self):
+        broken = row("broken", 0.9, 100.0, 1000, 5.0)
+        broken["metrics"]["fps"] = None
+        assert pareto_frontier([broken]) == []
+
+    def test_input_order_is_preserved(self):
+        points = [row("z", 0.9, 100.0, 2000, 5.0),
+                  row("a", 0.9, 100.0, 1000, 9.0)]
+        assert [r["key"] for r in pareto_frontier(points)] == ["z", "a"]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_axes_contract(self):
+        assert PARETO_AXES == (
+            ("accuracy", "max"), ("fps", "max"),
+            ("total_jj_effective", "min"),
+            ("power_mw_effective", "min"),
+        )

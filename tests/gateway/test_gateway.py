@@ -160,6 +160,14 @@ class TestHappyPath:
                         "sushi_trace_cache_misses_total",
                         "sushi_trace_records_total"):
             assert (counter, "") in samples
+        # ... as do the design-space explorer counters (process-wide
+        # totals; see docs/EXPLORER.md "Observability").
+        for counter in ("sushi_explore_sweeps_total",
+                        "sushi_explore_points_evaluated_total",
+                        "sushi_explore_point_cache_hits_total",
+                        "sushi_explore_infeasible_points_total",
+                        "sushi_explore_trace_probe_fallbacks_total"):
+            assert (counter, "") in samples
 
     def test_keep_alive_serves_multiple_requests(self, compiled, train):
         with live_gateway(compiled) as gateway:

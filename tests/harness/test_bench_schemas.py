@@ -68,6 +68,18 @@ REGISTRY = {
         "ring_balance": {"nodes", "keys", "replicas", "min_share",
                          "max_share", "max_over_fair"},
     },
+    "BENCH_explore.json": {
+        "note": None,
+        "version": None,
+        "sweep": {"schema", "points_total", "points_feasible",
+                  "points_infeasible", "pareto",
+                  "workload_fingerprint", "pinned_digest",
+                  "trace_probe_fallbacks"},
+        "memoization": {"warm_hit_rate", "warm_points_evaluated",
+                        "serial_equals_parallel", "parallel_workers"},
+        "timing": {"cold_serial_s", "warm_parallel_s",
+                   "cold_parallel_s", "warm_speedup"},
+    },
 }
 
 SCENARIO_FIELDS = {
@@ -166,3 +178,26 @@ def test_cluster_baseline_internal_consistency():
     assert routing["counters"]["serial_fallbacks"] == 0
     balance = payload["ring_balance"]
     assert balance["max_over_fair"] <= 2.5
+
+
+def test_explore_baseline_internal_consistency():
+    payload = load("BENCH_explore.json")
+    sweep = payload["sweep"]
+    assert sweep["schema"] == "repro.explore/v1"
+    assert sweep["points_total"] == \
+        sweep["points_feasible"] + sweep["points_infeasible"]
+    assert sweep["points_feasible"] > 0
+    # The realizability axis bites: some grid points must be rejected
+    # by the capacity check (else the axis is untested).
+    assert sweep["points_infeasible"] > 0
+    # Every frontier key names a swept point, and the 32-NPE (16x16
+    # mesh, the paper's chip) region is represented.
+    assert sweep["pareto"]
+    assert any(key.startswith("npe32-") for key in sweep["pareto"])
+    assert sweep["trace_probe_fallbacks"] == 0
+    memo = payload["memoization"]
+    # Repeating the identical sweep is 100% point-cache hits ...
+    assert memo["warm_hit_rate"] == 1.0
+    assert memo["warm_points_evaluated"] == 0
+    # ... and serial vs process-pool sweeps are bit-identical.
+    assert memo["serial_equals_parallel"] is True

@@ -1,0 +1,88 @@
+"""Property tests over the resource/power models and the explorer's
+estimator registry.
+
+Monotonicity is the load-bearing property of a design-space explorer:
+if a bigger mesh could report fewer junctions or less power, Pareto
+pruning would silently drop real trade-offs.  Hypothesis sweeps the
+model inputs well beyond the paper's pinned sizes; the registry
+round-trip covers every built-in estimator, including any added later
+(the strategy draws from the live registry).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (
+    EstimateContext,
+    ExplorePoint,
+    available_estimators,
+    get_estimator,
+)
+from repro.resources import PowerModel, estimate_resources
+
+mesh_sizes = st.integers(min_value=1, max_value=24)
+sc_counts = st.integers(min_value=1, max_value=12)
+strengths = st.integers(min_value=1, max_value=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=mesh_sizes, sc=sc_counts, strength=strengths)
+def test_resources_monotone_in_mesh_size(n, sc, strength):
+    small = estimate_resources(n, sc_per_npe=sc, max_strength=strength)
+    large = estimate_resources(n + 1, sc_per_npe=sc,
+                               max_strength=strength)
+    assert large.total_jj > small.total_jj
+    assert large.logic_jj > small.logic_jj
+    assert large.total_area_mm2 > small.total_area_mm2
+    assert large.npe_count == small.npe_count + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=mesh_sizes, sc=sc_counts)
+def test_resources_monotone_in_sc_count(n, sc):
+    assert estimate_resources(n, sc_per_npe=sc + 1).total_jj > \
+        estimate_resources(n, sc_per_npe=sc).total_jj
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=mesh_sizes, sc=sc_counts, strength=strengths)
+def test_component_area_never_exceeds_die_area(n, sc, strength):
+    r = estimate_resources(n, sc_per_npe=sc, max_strength=strength)
+    assert 0.0 < r.component_area_mm2 <= r.total_area_mm2
+    assert 0.0 < r.fill_factor <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=mesh_sizes, sc=sc_counts,
+       rate=st.floats(min_value=0.0, max_value=1e12,
+                      allow_nan=False, allow_infinity=False))
+def test_power_monotone_in_mesh_size(n, sc, rate):
+    small = PowerModel(estimate_resources(n, sc_per_npe=sc))
+    large = PowerModel(estimate_resources(n + 1, sc_per_npe=sc))
+    assert large.static_mw > small.static_mw
+    assert large.total_mw(rate) > small.total_mw(rate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(available_estimators()),
+    npe=st.sampled_from([2, 8, 16, 32, 64]),
+    sc=st.integers(min_value=1, max_value=12),
+    strength=strengths,
+)
+def test_registry_round_trip_every_builtin(name, npe, sc, strength):
+    estimator = get_estimator(name)
+    assert estimator.name == name
+    point = ExplorePoint(npe, sc, min(4, npe // 2), "reordered")
+    metrics = estimator.estimate(
+        point, EstimateContext(max_strength=strength)
+    )
+    assert metrics, name
+    for key, value in metrics.items():
+        assert isinstance(key, str) and key, name
+        assert isinstance(value, (int, float)), (name, key)
+        assert value == value, (name, key)  # no NaNs
+    # Pure: a second call reproduces the dict exactly.
+    assert metrics == estimator.estimate(
+        point, EstimateContext(max_strength=strength)
+    )

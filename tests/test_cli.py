@@ -54,7 +54,8 @@ class TestSubcommandDispatch:
             assert help_text in out
 
     def test_registry_contract(self):
-        assert set(SUBCOMMANDS) >= {"chaos", "serve", "loadtest"}
+        assert set(SUBCOMMANDS) >= {"chaos", "serve", "loadtest",
+                                    "explore"}
         for name, (dispatcher, help_text) in SUBCOMMANDS.items():
             assert callable(dispatcher), name
             assert help_text
