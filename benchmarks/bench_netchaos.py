@@ -1,0 +1,157 @@
+"""Network-chaos benchmark report: ``BENCH_netchaos.json`` writer/checker.
+
+Runs the network-layer chaos campaign (the ``net-*`` scenarios of
+:mod:`repro.harness.chaos`: resilient client -> seeded chaos proxy ->
+live gateway -> server) and pins the deterministic outcomes the way
+``bench_chaos.py`` pins the worker/node campaign:
+
+* **Pinned** (checked by ``--check`` and the CI netchaos-smoke step):
+  the pass/fail verdict of every network scenario (each internally
+  asserts predictions bit-identical to a fault-free serial run and an
+  exactly-once server compute count), the full client retry/hedge/
+  timeout counter ledgers, the proxy's exact fault fire counts, the
+  gateway's idempotent-replay counters, and the overload-shed ledger.
+  Any drift means the retry/hedging/shedding *semantics* changed and
+  must be acknowledged by regenerating the baseline.
+* **Informational** (recorded, never asserted): per-scenario wall
+  time and the proxy byte counters (TCP segmentation and timed-out
+  responses make raw byte totals racy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_netchaos.py --write  # baseline
+    PYTHONPATH=src python benchmarks/bench_netchaos.py --check  # drift gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.gateway.client import CLIENT_COUNTER_FIELDS  # noqa: E402
+from repro.harness.chaos import NETWORK_SCENARIOS, run_chaos  # noqa: E402
+
+REPORT_PATH = Path(__file__).resolve().parent / "BENCH_netchaos.json"
+SCHEMA_VERSION = 1
+
+
+def run_campaign() -> dict:
+    report = run_chaos(quick=True, names=list(NETWORK_SCENARIOS))
+    if not report["passed"]:
+        failing = [s["name"] for s in report["scenarios"]
+                   if not s["passed"]]
+        raise AssertionError(
+            f"network chaos scenarios failed their resilience "
+            f"invariants: {failing}"
+        )
+    return report
+
+
+def measure() -> dict:
+    campaign = run_campaign()
+    wall = {
+        entry["name"]: entry["elapsed_s"]
+        for entry in campaign["scenarios"]
+    }
+    return {
+        "version": SCHEMA_VERSION,
+        "note": ("scenario verdicts, client retry/hedge ledgers, proxy "
+                 "fire counts, gateway replay counters and the shed "
+                 "ledger are pinned by --check; wall times and byte "
+                 "counters are informational"),
+        "campaign": campaign,
+        "wall_time_s": wall,
+    }
+
+
+def _pinned_view(report: dict) -> dict:
+    view = {}
+    scenarios = {
+        entry["name"]: entry
+        for entry in report.get("campaign", {}).get("scenarios", [])
+    }
+    for name, entry in scenarios.items():
+        view[f"netchaos.{name}.passed"] = entry.get("passed")
+        details = entry.get("details") or {}
+        for ledger in ("client", "shed_client"):
+            counters = details.get(ledger)
+            if counters is None:
+                continue
+            for field in CLIENT_COUNTER_FIELDS:
+                view[f"netchaos.{name}.{ledger}.{field}"] = (
+                    counters.get(field)
+                )
+        proxy = details.get("proxy") or {}
+        if proxy:
+            view[f"netchaos.{name}.fired"] = proxy.get("fired")
+            view[f"netchaos.{name}.connections"] = (
+                proxy.get("connections")
+            )
+        for key in ("gateway_replays", "sheds", "admitted", "n_trains"):
+            if key in details:
+                view[f"netchaos.{name}.{key}"] = details[key]
+    view["netchaos.schema"] = report.get("campaign", {}).get("schema")
+    view["netchaos.all_passed"] = report.get("campaign", {}).get("passed")
+    return view
+
+
+def write(path: Path = REPORT_PATH) -> dict:
+    report = measure()
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return report
+
+
+def check(path: Path = REPORT_PATH) -> int:
+    if not path.exists():
+        print(f"missing baseline {path}; run with --write first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(path.read_text())
+    if baseline.get("version") != SCHEMA_VERSION:
+        print(f"baseline schema {baseline.get('version')} != "
+              f"{SCHEMA_VERSION}; regenerate with --write", file=sys.stderr)
+        return 2
+    expected = _pinned_view(baseline)
+    actual = _pinned_view(measure())
+    drift = {
+        key: (expected.get(key), actual.get(key))
+        for key in sorted(set(expected) | set(actual))
+        if expected.get(key) != actual.get(key)
+    }
+    if drift:
+        print("network chaos drift against BENCH_netchaos.json:",
+              file=sys.stderr)
+        for key, (want, got) in drift.items():
+            print(f"  {key}: baseline={want} measured={got}",
+                  file=sys.stderr)
+        print("(if the change is intentional, regenerate the baseline "
+              "with --write)", file=sys.stderr)
+        return 1
+    print(f"netchaos smoke OK: {len(expected)} pinned fields match "
+          f"{path.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and (re)write the baseline JSON")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on pinned-field drift")
+    args = parser.parse_args(argv)
+    if args.write:
+        report = write()
+        for name, elapsed in report["wall_time_s"].items():
+            print(f"  {name}: settled in {elapsed}s")
+        return 0
+    return check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,36 @@ class WorkerTimeoutError(ReproError):
     """
 
 
+class TransportError(ReproError):
+    """The network path to the gateway failed mid-request.
+
+    Raised by :class:`repro.gateway.client.GatewayClient` when a
+    request could not complete at the transport layer -- connection
+    refused/reset, the socket timed out, or the peer closed the stream
+    mid-response -- and the retry policy's attempts are exhausted.
+    Carries ``category`` (``"timeout"`` or ``"conn_error"``) and
+    ``attempts`` so callers and tests can assert *why* the request
+    died, not just that it did.
+    """
+
+    def __init__(self, message: str, *, category: str = "conn_error",
+                 attempts: int = 1):
+        super().__init__(message)
+        self.category = category
+        self.attempts = attempts
+
+
+class RetryBudgetExceededError(TransportError):
+    """The client-wide retry budget ran dry before the request healed.
+
+    Distinct from per-request attempt exhaustion: the budget is a
+    lifetime pool of retry permits shared by every request a
+    :class:`~repro.gateway.client.GatewayClient` sends, so a storm of
+    failing requests degrades to fail-fast instead of retry-amplifying
+    an already-unhealthy backend.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """A wall-clock deadline lapsed before the work could run.
 

@@ -19,18 +19,31 @@ Layers (each its own module, composable and individually testable):
   :class:`AdmissionController` (queue depth, breaker, readiness).
 * :mod:`repro.gateway.server` -- the :class:`Gateway` event loop:
   ``/infer`` ``/healthz`` ``/readyz`` ``/metrics`` ``/drain``.
+* :mod:`repro.gateway.client` -- the resilient blocking client
+  (:class:`GatewayClient`): pooling/keep-alive, deadline propagation,
+  retry budgets with seeded jitter, idempotency keys (exactly-once
+  retries), optional hedging.
 * :mod:`repro.gateway.loadgen` -- ``python -m repro loadtest``: the
   open/closed-loop campaign pinned by
-  ``benchmarks/bench_gateway.py``.
+  ``benchmarks/bench_gateway.py`` (``--proxy`` routes it through the
+  :mod:`repro.netchaos` proxy for a degraded-network run).
 
-See ``docs/GATEWAY.md`` for the endpoint contract and the load-harness
-methodology.
+See ``docs/GATEWAY.md`` for the endpoint contract, the client
+resilience semantics, and the load-harness methodology.
 """
 
 from repro.gateway.auth import ApiKeyAuthenticator, Tenant, demo_tenants
+from repro.gateway.client import (
+    GLOBAL_CLIENT_COUNTERS,
+    ClientResult,
+    GatewayClient,
+    RetryPolicy,
+)
 from repro.gateway.loadgen import SCENARIOS, run_loadtest
 from repro.gateway.protocol import (
     ERROR_CODES,
+    IDEMPOTENCY_KEY_HEADER,
+    REPLAY_HEADER,
     InferRequest,
     ProtocolError,
     parse_infer_request,
@@ -40,17 +53,24 @@ from repro.gateway.ratelimit import (
     RateLimiter,
     TokenBucket,
 )
-from repro.gateway.server import Gateway, GatewayMetrics
+from repro.gateway.server import Gateway, GatewayMetrics, IdempotencyLedger
 
 __all__ = [
     "AdmissionController",
     "ApiKeyAuthenticator",
+    "ClientResult",
     "ERROR_CODES",
     "Gateway",
+    "GatewayClient",
     "GatewayMetrics",
+    "GLOBAL_CLIENT_COUNTERS",
+    "IDEMPOTENCY_KEY_HEADER",
+    "IdempotencyLedger",
     "InferRequest",
     "ProtocolError",
     "RateLimiter",
+    "REPLAY_HEADER",
+    "RetryPolicy",
     "SCENARIOS",
     "Tenant",
     "TokenBucket",

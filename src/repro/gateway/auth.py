@@ -45,12 +45,18 @@ class Tenant:
         rate_per_s: Steady-state token refill rate; ``0`` means the
             bucket never refills (burst-only contract).
         burst: Token-bucket depth (maximum requests in one burst).
+        priority: Shedding class under overload: ``0`` = critical
+            (shed last), ``1`` = standard (default), ``2`` = batch
+            (shed first).  Consumed by
+            :class:`repro.gateway.ratelimit.AdmissionController`'s
+            shed-before-queue path.
     """
 
     name: str
     api_key: str
     rate_per_s: float = 100.0
     burst: int = 100
+    priority: int = 1
 
     def __post_init__(self):
         if not self.name:
@@ -61,6 +67,8 @@ class Tenant:
             raise ConfigurationError("rate_per_s must be >= 0")
         if self.burst < 1:
             raise ConfigurationError("burst must be >= 1")
+        if not isinstance(self.priority, int) or self.priority < 0:
+            raise ConfigurationError("priority must be an int >= 0")
 
 
 class ApiKeyAuthenticator:
@@ -118,9 +126,9 @@ def demo_tenants() -> Sequence[Tenant]:
     fixture, not a production credential store."""
     return (
         Tenant(name="tenant-a", api_key="demo-key-a",
-               rate_per_s=500.0, burst=200),
+               rate_per_s=500.0, burst=200, priority=0),
         Tenant(name="tenant-b", api_key="demo-key-b",
-               rate_per_s=500.0, burst=200),
+               rate_per_s=500.0, burst=200, priority=1),
         Tenant(name="tenant-burst", api_key="demo-key-burst",
-               rate_per_s=0.0, burst=10),
+               rate_per_s=0.0, burst=10, priority=2),
     )

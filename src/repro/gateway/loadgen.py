@@ -25,6 +25,12 @@ NIC:
   re-dispatch keeps every client answer a **200** -- node death is
   invisible at the HTTP edge.
 
+With ``--proxy`` the whole campaign is replayed through a seeded
+:mod:`repro.netchaos` chaos proxy carrying a benign degraded-network
+profile (tiny TCP fragments everywhere, a few milliseconds of seeded
+latency on early responses): the deterministic status expectations
+must hold unchanged on the bad network; only the latency columns move.
+
 Every scenario runs against a **fresh** server+gateway (per-scenario
 counters start at zero) built from one shared compiled plan, and each
 carries its *expected* deterministic status counts: the campaign
@@ -198,12 +204,28 @@ def _make_trains(rng: np.random.Generator, count: int, steps: int,
     ]
 
 
+#: Benign degraded-network profile for ``--proxy`` runs: every frame is
+#: fragmented into tiny TCP pieces, and the first few responses pick up
+#: a couple of milliseconds of seeded latency.  Nothing here may change
+#: a status code -- the campaign's deterministic expectations must hold
+#: on a bad network too; only the latency columns are allowed to move.
+_PROXY_FAULTS = (
+    ("split", dict(budget=None, direction="both", chunk_bytes=96)),
+    ("latency", dict(budget=8, direction="down", delay_ms=2.0,
+                     jitter_ms=1.0)),
+)
+
+
 class _ScenarioContext:
-    """A fresh backend + gateway, torn down after each scenario."""
+    """A fresh backend + gateway -- optionally behind a seeded
+    :class:`~repro.netchaos.ChaosProxy` -- torn down after each
+    scenario.  Clients must aim at :attr:`address`, which points at
+    the proxy when one is interposed."""
 
     def __init__(self, compiled, *, deadline_ms: float = 2.0,
                  breaker: Optional[CircuitBreaker] = None,
-                 queue_limit: int = 4096, cluster_nodes: int = 0):
+                 queue_limit: int = 4096, cluster_nodes: int = 0,
+                 proxy: bool = False):
         if cluster_nodes > 0:
             from repro.cluster import ClusterServer
 
@@ -226,13 +248,32 @@ class _ScenarioContext:
                 self.server, queue_limit=queue_limit
             ),
         )
+        self._use_proxy = proxy
+        self.proxy = None
 
     def __enter__(self) -> "_ScenarioContext":
         self.server.start()
         self.gateway.run_in_thread()
+        if self._use_proxy:
+            from repro.netchaos import ChaosProxy, NetFault
+
+            self.proxy = ChaosProxy(
+                self.gateway.address,
+                tuple(NetFault(kind, **opts)
+                      for kind, opts in _PROXY_FAULTS),
+                seed=23,
+            ).start()
         return self
 
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self.proxy is not None:
+            return (self.proxy.host, self.proxy.port)
+        return self.gateway.address
+
     def __exit__(self, *exc) -> None:
+        if self.proxy is not None:
+            self.proxy.close()
         self.gateway.close()
         self.server.stop()
 
@@ -240,16 +281,17 @@ class _ScenarioContext:
 # -- the scenarios -----------------------------------------------------------
 
 
-def _scenario_steady_closed(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_steady_closed(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     users = 6 if quick else 16
     per_user = 5 if quick else 25
     rng = np.random.default_rng(seed)
-    with _ScenarioContext(compiled) as ctx:
+    with _ScenarioContext(compiled, proxy=proxy) as ctx:
         trains = _make_trains(rng, users, 12, compiled.in_features)
         collector = _Collector()
 
         async def user(i: int) -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             key = KEY_A if i % 2 == 0 else KEY_B
             try:
                 for _ in range(per_user):
@@ -270,17 +312,18 @@ def _scenario_steady_closed(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_poisson_open(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_poisson_open(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     arrivals = 40 if quick else 200
     rate_per_s = 300.0
     rng = np.random.default_rng(seed + 1)
     gaps = rng.exponential(1.0 / rate_per_s, size=arrivals)
-    with _ScenarioContext(compiled) as ctx:
+    with _ScenarioContext(compiled, proxy=proxy) as ctx:
         trains = _make_trains(rng, 8, 12, compiled.in_features)
         collector = _Collector()
 
         async def one_shot(i: int) -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             key = KEY_A if i % 2 == 0 else KEY_B
             try:
                 await _timed_request(conn, collector, key,
@@ -304,16 +347,17 @@ def _scenario_poisson_open(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_flash_crowd(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_flash_crowd(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     waves = 3 if quick else 6
     width = 16 if quick else 48
     rng = np.random.default_rng(seed + 2)
-    with _ScenarioContext(compiled) as ctx:
+    with _ScenarioContext(compiled, proxy=proxy) as ctx:
         trains = _make_trains(rng, width, 12, compiled.in_features)
         collector = _Collector()
 
         async def crash_in(i: int) -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             key = KEY_A if i % 2 == 0 else KEY_B
             try:
                 await _timed_request(conn, collector, key,
@@ -337,19 +381,20 @@ def _scenario_flash_crowd(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_tenant_skew(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_tenant_skew(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     # tenant-burst has burst=10 and rate_per_s=0 (never refills), so a
     # sequential closed loop of `greedy` requests deterministically
     # yields 10 accepts + (greedy - 10) rate-limit rejections.
     greedy = 25 if quick else 60
     polite = 5 if quick else 20
     rng = np.random.default_rng(seed + 3)
-    with _ScenarioContext(compiled) as ctx:
+    with _ScenarioContext(compiled, proxy=proxy) as ctx:
         trains = _make_trains(rng, 4, 12, compiled.in_features)
         collector = _Collector()
 
         async def drive() -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             try:
                 for i in range(greedy):
                     await _timed_request(conn, collector, KEY_BURST,
@@ -370,7 +415,8 @@ def _scenario_tenant_skew(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_deadline_storm(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_deadline_storm(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     # Hold the dispatcher busy (chaos-injection idiom: wrap _forward
     # with a sleep, exactly as tests/serve does) while doomed requests
     # with 1 ms deadlines pile up behind the blocker; every one of them
@@ -379,7 +425,8 @@ def _scenario_deadline_storm(compiled, quick: bool, seed: int) -> Dict:
     doomed = 12 if quick else 40
     hold_s = 1.2
     rng = np.random.default_rng(seed + 4)
-    with _ScenarioContext(compiled, deadline_ms=0.0) as ctx:
+    with _ScenarioContext(compiled, deadline_ms=0.0,
+                          proxy=proxy) as ctx:
         trains = _make_trains(rng, 2, 12, compiled.in_features)
         collector = _Collector()
         original = ctx.server._forward
@@ -391,14 +438,14 @@ def _scenario_deadline_storm(compiled, quick: bool, seed: int) -> Dict:
         ctx.server._forward = held_forward
         try:
             async def drive() -> None:
-                blocker_conn = HttpConnection(*ctx.gateway.address)
+                blocker_conn = HttpConnection(*ctx.address)
                 blocker = asyncio.ensure_future(_timed_request(
                     blocker_conn, collector, KEY_A, _infer_body(trains[0])
                 ))
                 await asyncio.sleep(0.15)  # let the dispatcher take it
 
                 async def one_doomed() -> None:
-                    conn = HttpConnection(*ctx.gateway.address)
+                    conn = HttpConnection(*ctx.address)
                     try:
                         await _timed_request(
                             conn, collector, KEY_B,
@@ -423,21 +470,23 @@ def _scenario_deadline_storm(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_breaker_open(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_breaker_open(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     # Trip the pool breaker before traffic arrives (a long cool-down
     # keeps it open for the whole scenario): admission control sheds
     # every request at the edge with a typed 503.
     shots = 10 if quick else 30
     rng = np.random.default_rng(seed + 5)
     breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=300.0)
-    with _ScenarioContext(compiled, breaker=breaker) as ctx:
+    with _ScenarioContext(compiled, breaker=breaker,
+                          proxy=proxy) as ctx:
         ctx.server.breaker.record_failure()
         assert ctx.server.breaker.state == "open"
         trains = _make_trains(rng, 2, 12, compiled.in_features)
         collector = _Collector()
 
         async def drive() -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             try:
                 for _ in range(shots):
                     await _timed_request(conn, collector, KEY_A,
@@ -454,7 +503,8 @@ def _scenario_breaker_open(compiled, quick: bool, seed: int) -> Dict:
     )
 
 
-def _scenario_node_failure(compiled, quick: bool, seed: int) -> Dict:
+def _scenario_node_failure(compiled, quick: bool, seed: int,
+                    proxy: bool = False) -> Dict:
     # Two-node cluster backend; after the first wave a node dies
     # *mid-batch* (its workers are SIGKILLed while it serves, the
     # chaos-harness idiom from `node-kill`).  The router re-dispatches
@@ -463,7 +513,8 @@ def _scenario_node_failure(compiled, quick: bool, seed: int) -> Dict:
     shots_before = 6 if quick else 20
     shots_after = 6 if quick else 20
     rng = np.random.default_rng(seed + 6)
-    with _ScenarioContext(compiled, cluster_nodes=2) as ctx:
+    with _ScenarioContext(compiled, cluster_nodes=2,
+                          proxy=proxy) as ctx:
         trains = _make_trains(rng, shots_before + shots_after, 12,
                               compiled.in_features)
         collector = _Collector()
@@ -471,7 +522,7 @@ def _scenario_node_failure(compiled, quick: bool, seed: int) -> Dict:
         assert router.alive_count() == 2
 
         async def drive() -> None:
-            conn = HttpConnection(*ctx.gateway.address)
+            conn = HttpConnection(*ctx.address)
             try:
                 for i in range(shots_before):
                     await _timed_request(conn, collector, KEY_A,
@@ -544,10 +595,14 @@ def run_loadtest(
     quick: bool = False,
     scenarios: Optional[Sequence[str]] = None,
     seed: int = 7,
+    proxy: bool = False,
 ) -> Dict:
     """Run the load campaign; returns the ``repro.gateway.loadtest/v1``
     report.  ``passed`` is ``True`` iff every scenario's observed
-    status counts equal its deterministic expectation."""
+    status counts equal its deterministic expectation.  With ``proxy``
+    every scenario's traffic crosses a :class:`~repro.netchaos`
+    chaos proxy with a benign degraded-network profile -- the same
+    status expectations must hold, only latency may move."""
     names = list(scenarios) if scenarios else list(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -557,7 +612,7 @@ def run_loadtest(
     compiled = _compile_workload()
     results = []
     for name in names:
-        results.append(SCENARIOS[name](compiled, quick, seed))
+        results.append(SCENARIOS[name](compiled, quick, seed, proxy))
     totals_statuses: Dict[str, int] = {}
     totals_rejections: Dict[str, int] = {}
     for entry in results:
@@ -570,6 +625,7 @@ def run_loadtest(
     return {
         "schema": LOADTEST_SCHEMA,
         "quick": quick,
+        "proxy": proxy,
         "workload": {**WORKLOAD, "sizes": list(WORKLOAD["sizes"]),
                      "fingerprint": compiled.fingerprint},
         "scenarios": results,
@@ -585,7 +641,8 @@ def run_loadtest(
 def format_report(report: Dict) -> str:
     lines = [
         f"gateway load campaign "
-        f"({'quick' if report['quick'] else 'full'}) -- "
+        f"({'quick' if report['quick'] else 'full'}"
+        f"{', degraded network' if report.get('proxy') else ''}) -- "
         f"{'PASS' if report['passed'] else 'FAIL'}",
         f"  workload: sizes={report['workload']['sizes']} "
         f"plan={report['workload']['fingerprint'][:12]}",
@@ -618,10 +675,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scenario", action="append", dest="scenarios",
                         choices=sorted(SCENARIOS),
                         help="run only this scenario (repeatable)")
+    parser.add_argument("--proxy", action="store_true",
+                        help="route all traffic through the netchaos "
+                             "proxy (benign degraded-network profile; "
+                             "status expectations must still hold)")
     parser.add_argument("--out", default=None,
                         help="also write the JSON report to this path")
     args = parser.parse_args(argv)
-    report = run_loadtest(quick=args.quick, scenarios=args.scenarios)
+    report = run_loadtest(quick=args.quick, scenarios=args.scenarios,
+                          proxy=args.proxy)
     print(format_report(report))
     if args.out:
         with open(args.out, "w") as handle:

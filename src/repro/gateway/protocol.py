@@ -61,10 +61,19 @@ ERROR_CODES = (
     "rate_limited",       # tenant token bucket empty
     "queue_full",         # admission control: backend queue over limit
     "breaker_open",       # admission control: pool breaker is open
+    "overloaded",         # admission control: low-priority shed early
     "not_ready",          # backend draining / not accepting
     "deadline_exceeded",  # request expired while queued (504)
     "internal",           # unexpected backend failure
 )
+
+#: Request header carrying the client's exactly-once retry token
+#: (headers are normalised to lowercase by :func:`read_request`).
+IDEMPOTENCY_KEY_HEADER = "idempotency-key"
+
+#: Response header marking an answer served from the idempotency
+#: ledger instead of a fresh backend compute.
+REPLAY_HEADER = "X-Idempotent-Replay"
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 401: "Unauthorized",
@@ -81,15 +90,23 @@ DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
 class ProtocolError(Exception):
-    """A request the gateway refuses, as (status, code, message)."""
+    """A request the gateway refuses, as (status, code, message).
 
-    def __init__(self, status: int, code: str, message: str):
+    ``retry_after_s`` (optional) is the back-off hint the server layer
+    renders as a ``Retry-After`` header on 429/503 rejections --
+    derived from the tenant bucket's refill time or the breaker's
+    remaining cooldown.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after_s: Optional[float] = None):
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 @dataclass

@@ -16,13 +16,23 @@ acceptance tests pin:
   (``not_ready``: draining or stopped), when the pool circuit breaker
   is open (``breaker_open``: the backend is in degraded serial mode, so
   the gateway stops piling load on it), or when the coalescing queue is
-  deeper than ``queue_limit`` (``queue_full``).  Expired per-request
-  deadlines remain the server's job and surface as **504** at the
-  gateway (see :mod:`repro.gateway.server`).
+  deeper than ``queue_limit`` (``queue_full``).  Low-priority tenants
+  (:attr:`~repro.gateway.auth.Tenant.priority` >= ``shed_priority``)
+  are shed *earlier*, at the soft ``shed_queue_depth`` watermark, with
+  code ``overloaded`` -- the shed-before-queue path that keeps
+  headroom for critical traffic.  Expired per-request deadlines remain
+  the server's job and surface as **504** at the gateway (see
+  :mod:`repro.gateway.server`).
+
+Both layers can answer "when should the client come back":
+:meth:`RateLimiter.retry_after_s` from the bucket's refill rate,
+:meth:`AdmissionController.retry_after_s` from the breaker's remaining
+cooldown -- the numbers behind the gateway's ``Retry-After`` headers.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Callable, Dict, Optional
@@ -57,16 +67,28 @@ class TokenBucket:
     def try_acquire(self, tokens: int = 1) -> bool:
         """Take ``tokens`` if available; never blocks."""
         with self._lock:
-            now = self._clock()
-            elapsed = max(0.0, now - self._updated)
-            self._updated = now
-            self._tokens = min(
-                float(self.burst), self._tokens + elapsed * self.rate_per_s
-            )
+            self._refill()
             if self._tokens >= tokens:
                 self._tokens -= tokens
                 return True
             return False
+
+    def _refill(self) -> None:
+        """Mint tokens for the elapsed wall-clock time (lock held).
+
+        A retrograde clock (NTP step, frozen test clock rewound) mints
+        nothing *and* leaves the watermark where it was: moving
+        ``_updated`` backwards would double-count the rewound interval
+        once the clock recovers, silently granting free tokens.
+        """
+        now = self._clock()
+        if now <= self._updated:
+            return
+        elapsed = now - self._updated
+        self._updated = now
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed * self.rate_per_s
+        )
 
     @property
     def tokens(self) -> float:
@@ -75,6 +97,19 @@ class TokenBucket:
             elapsed = max(0.0, self._clock() - self._updated)
             return min(float(self.burst),
                        self._tokens + elapsed * self.rate_per_s)
+
+    def seconds_until(self, tokens: int = 1) -> float:
+        """Wall-clock seconds until ``tokens`` will be available.
+
+        ``0.0`` when they already are; ``inf`` for a burst-only bucket
+        (``rate_per_s == 0``) that cannot refill.
+        """
+        missing = tokens - self.tokens
+        if missing <= 0:
+            return 0.0
+        if self.rate_per_s == 0:
+            return math.inf
+        return missing / self.rate_per_s
 
 
 class RateLimiter:
@@ -99,6 +134,21 @@ class RateLimiter:
         with self._lock:
             return self._buckets.get(tenant_name)
 
+    def retry_after_s(self, tenant: Tenant,
+                      burst_only_s: float = 60.0) -> float:
+        """Back-off hint for a 429: time until the next token exists.
+
+        Burst-only tenants (``rate_per_s == 0``) can never refill, so
+        they get the fixed ``burst_only_s`` hint instead of infinity.
+        """
+        bucket = self.bucket(tenant.name)
+        if bucket is None:
+            return 1.0
+        wait = bucket.seconds_until(1)
+        if math.isinf(wait):
+            return burst_only_s
+        return max(wait, 0.001)
+
 
 class AdmissionController:
     """Queue-depth + breaker + readiness admission in front of submit.
@@ -114,6 +164,14 @@ class AdmissionController:
             breaker sheds load at the edge: the backend is already in
             degraded serial mode, and piling more work on it only grows
             the queue it is trying to drain.
+        shed_queue_depth: Soft watermark for the shed-before-queue
+            path: once the queue is this deep, requests whose tenant
+            priority is ``>= shed_priority`` are shed with
+            ``overloaded`` while higher-priority traffic still fills
+            the remaining ``queue_limit`` headroom.  Defaults to half
+            of ``queue_limit``.
+        shed_priority: Lowest tenant priority admitted past the soft
+            watermark (default 2: batch traffic sheds first).
     """
 
     def __init__(
@@ -121,23 +179,52 @@ class AdmissionController:
         server,
         queue_limit: int = 1024,
         shed_on_breaker_open: bool = True,
+        shed_queue_depth: Optional[int] = None,
+        shed_priority: int = 2,
     ):
         if queue_limit < 1:
             raise ConfigurationError("queue_limit must be >= 1")
+        if shed_queue_depth is None:
+            shed_queue_depth = max(1, queue_limit // 2)
+        if shed_queue_depth < 1:
+            raise ConfigurationError("shed_queue_depth must be >= 1")
         self.server = server
         self.queue_limit = queue_limit
         self.shed_on_breaker_open = shed_on_breaker_open
+        self.shed_queue_depth = shed_queue_depth
+        self.shed_priority = shed_priority
 
-    def check(self) -> Optional[str]:
+    def check(self, priority: int = 0) -> Optional[str]:
         """Return the rejection reason, or ``None`` to admit.
 
-        Reasons are the typed error codes ``not_ready`` /
-        ``breaker_open`` / ``queue_full`` (all 503s at the edge).
+        Reasons, in precedence order, are the typed error codes
+        ``not_ready`` / ``breaker_open`` / ``queue_full`` /
+        ``overloaded`` (all 503s at the edge).  ``priority`` is the
+        requesting tenant's shedding class; only the ``overloaded``
+        reason depends on it.
         """
         if not self.server.readiness():
             return "not_ready"
         if self.shed_on_breaker_open and self.server.breaker.state == "open":
             return "breaker_open"
-        if self.server.queue_depth() >= self.queue_limit:
+        depth = self.server.queue_depth()
+        if depth >= self.queue_limit:
             return "queue_full"
+        if priority >= self.shed_priority and depth >= self.shed_queue_depth:
+            return "overloaded"
         return None
+
+    def retry_after_s(self, reason: str) -> float:
+        """Back-off hint for an admission 503.
+
+        ``breaker_open`` derives from the breaker's remaining cooldown
+        (the honest answer: nothing will be admitted sooner); the
+        queue-pressure reasons get a 1-second "come back soon" since
+        queues drain at serving speed.
+        """
+        if reason == "breaker_open":
+            snap = self.server.breaker.snapshot()
+            if snap.state == "open":
+                remaining = snap.reset_timeout_s - snap.open_for_s
+                return max(0.001, remaining)
+        return 1.0

@@ -29,24 +29,40 @@ path      method  behaviour
 Error mapping (the contract the acceptance tests pin): over-limit
 tenants get **429** ``rate_limited``; an open pool breaker or an
 over-deep queue gets **503** ``breaker_open`` / ``queue_full``; a
-request whose ``deadline_ms`` lapses while queued gets **504**
-``deadline_exceeded``.  Every rejection increments a labelled
-``sushi_gateway_rejections_total`` counter, so ``/metrics`` tells the
-same story the status codes do.
+low-priority tenant past the soft queue watermark gets **503**
+``overloaded`` (shed-before-queue); a request whose ``deadline_ms``
+lapses while queued gets **504** ``deadline_exceeded``.  Every 429/503
+carries a ``Retry-After`` header derived from the bucket refill or
+breaker cooldown.  Every rejection increments a labelled
+``sushi_gateway_rejections_total`` counter (sheds additionally land in
+``sushi_shed_requests_total`` by code and priority), so ``/metrics``
+tells the same story the status codes do.
+
+Exactly-once retries: an ``Idempotency-Key`` request header scopes the
+request into the per-tenant :class:`IdempotencyLedger`.  A retried or
+hedged request whose original was already *accepted* (submitted to the
+backend) awaits / replays the recorded outcome instead of computing
+twice, and the response is marked ``X-Idempotent-Replay: true``.
+Pre-admission rejections (401/429/503) are never recorded, so a
+retry after a shed gets a fresh chance.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import math
 import queue as queue_module
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.gateway.auth import ApiKeyAuthenticator, demo_tenants
 from repro.gateway.protocol import (
     DEFAULT_MAX_BODY_BYTES,
+    IDEMPOTENCY_KEY_HEADER,
+    REPLAY_HEADER,
     HttpRequest,
     ProtocolError,
     error_body,
@@ -59,8 +75,10 @@ from repro.gateway.protocol import (
 from repro.gateway.ratelimit import AdmissionController, RateLimiter
 from repro.serve.metrics import (
     MetricFamily,
+    client_counter_families,
     render_prometheus,
     server_stats_families,
+    shed_families,
 )
 
 GATEWAY_SCHEMA = "repro.gateway/v1"
@@ -89,6 +107,8 @@ class GatewayMetrics:
         self.requests: Dict[Tuple[str, int], int] = {}
         self.rejections: Dict[str, int] = {}
         self.tenant_requests: Dict[Tuple[str, int], int] = {}
+        self.sheds: Dict[Tuple[str, int], int] = {}
+        self.idempotent_replays: Dict[str, int] = {}
         self.connections = 0
         self.in_flight = 0
 
@@ -110,6 +130,17 @@ class GatewayMetrics:
         with self._lock:
             self.connections += 1
 
+    def record_shed(self, code: str, priority: int) -> None:
+        key = (code, int(priority))
+        with self._lock:
+            self.sheds[key] = self.sheds.get(key, 0) + 1
+
+    def record_replay(self, tenant: str) -> None:
+        with self._lock:
+            self.idempotent_replays[tenant] = (
+                self.idempotent_replays.get(tenant, 0) + 1
+            )
+
     def adjust_in_flight(self, delta: int) -> None:
         with self._lock:
             self.in_flight += delta
@@ -120,6 +151,8 @@ class GatewayMetrics:
                 "requests": dict(self.requests),
                 "rejections": dict(self.rejections),
                 "tenant_requests": dict(self.tenant_requests),
+                "sheds": dict(self.sheds),
+                "idempotent_replays": dict(self.idempotent_replays),
                 "connections": self.connections,
                 "in_flight": self.in_flight,
             }
@@ -149,7 +182,74 @@ class GatewayMetrics:
             (f"{n}_gateway_in_flight", "gauge",
              "Requests currently being handled",
              [(None, snap["in_flight"])]),
-        ]
+            (f"{n}_gateway_idempotent_replays_total", "counter",
+             "Responses replayed from the idempotency ledger, by tenant",
+             [({"tenant": tenant}, count)
+              for tenant, count
+              in sorted(snap["idempotent_replays"].items())]
+             or [(None, 0)]),
+        ] + shed_families(snap["sheds"], namespace=n)
+
+
+class IdempotencyLedger:
+    """Per-tenant exactly-once bookkeeping for accepted ``/infer`` work.
+
+    Keys are ``"<tenant>:<Idempotency-Key>"``; values are asyncio
+    futures resolving to the recorded ``(status, body)``.  All access
+    happens on the gateway's single event loop, so plain dict
+    operations are race-free; the only concurrency is multiple
+    handlers awaiting the same pending future (a hedge racing its
+    primary), which is exactly the asyncio future contract.
+
+    Lifecycle: an entry is created the moment the backend *accepts* a
+    submit (``begin``), resolved in place on success (kept, LRU
+    bounded by ``capacity``), and resolved-then-dropped on failure so
+    a later retry gets a fresh compute instead of a replayed 5xx.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, asyncio.Future]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[asyncio.Future]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def begin(self, key: str) -> asyncio.Future:
+        entry = asyncio.get_running_loop().create_future()
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._evict()
+        return entry
+
+    def resolve_success(self, key: str, outcome: Tuple[int, bytes]) -> None:
+        entry = self._entries.get(key)
+        if entry is not None and not entry.done():
+            entry.set_result(outcome)
+
+    def resolve_failure(self, key: str, outcome: Tuple[int, bytes]) -> None:
+        """Wake waiters with the failure, then forget the key: the
+        request never produced an answer worth replaying, so the next
+        retry earns a fresh compute."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and not entry.done():
+            entry.set_result(outcome)
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity:
+            for key, entry in self._entries.items():
+                if entry.done():
+                    del self._entries[key]
+                    break
+            else:  # every entry still in flight: nothing evictable
+                break
 
 
 class Gateway:
@@ -191,6 +291,7 @@ class Gateway:
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         submit_timeout_s: float = 1.0,
+        idempotency_capacity: int = 4096,
     ):
         self.server = server
         self.authenticator = (
@@ -206,17 +307,23 @@ class Gateway:
         self.max_body_bytes = max_body_bytes
         self.submit_timeout_s = submit_timeout_s
         self.metrics = GatewayMetrics()
+        self.idempotency = IdempotencyLedger(capacity=idempotency_capacity)
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._startup_error: Optional[BaseException] = None
         self._started = threading.Event()
+        # writer -> request-in-flight; all mutations happen on the
+        # event loop, so plain dict ops are race-free.
+        self._connections: Dict[asyncio.StreamWriter, bool] = {}
+        self._draining = False
 
     # -- asyncio lifecycle ---------------------------------------------------
 
     async def start(self) -> "Gateway":
         """Bind the listener on the current event loop."""
         self._loop = asyncio.get_running_loop()
+        self._draining = False
         self._asyncio_server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -228,6 +335,13 @@ class Gateway:
         if server is not None:
             server.close()
             await server.wait_closed()
+        # Hang up idle keep-alive connections so their handlers exit
+        # now; a handler mid-request keeps its socket, finishes
+        # writing the response, then sees the drain flag and closes.
+        self._draining = True
+        for writer, busy in list(self._connections.items()):
+            if not busy:
+                writer.close()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled -- the CLI path."""
@@ -311,6 +425,7 @@ class Gateway:
         writer: asyncio.StreamWriter,
     ) -> None:
         self.metrics.record_connection()
+        self._connections[writer] = False
         try:
             while True:
                 try:
@@ -328,18 +443,23 @@ class Gateway:
                     break
                 if request is None:  # clean EOF between requests
                     break
-                status, body, content_type = await self._dispatch(request)
+                self._connections[writer] = True
+                status, body, content_type, extra = \
+                    await self._dispatch(request)
                 writer.write(render_response(
                     status, body,
                     content_type=content_type,
                     keep_alive=request.keep_alive,
+                    extra_headers=extra,
                 ))
                 await writer.drain()
-                if not request.keep_alive:
+                self._connections[writer] = False
+                if not request.keep_alive or self._draining:
                     break
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
             pass  # client went away; nothing to answer
         finally:
+            self._connections.pop(writer, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -348,8 +468,9 @@ class Gateway:
 
     async def _dispatch(
         self, request: HttpRequest
-    ) -> Tuple[int, bytes, str]:
-        """Route one request; returns (status, body, content-type)."""
+    ) -> Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]:
+        """Route one request; returns (status, body, content-type,
+        extra response headers)."""
         self.metrics.adjust_in_flight(+1)
         try:
             path, method = request.path, request.method
@@ -383,14 +504,18 @@ class Gateway:
         path: str,
         exc: ProtocolError,
         tenant: Optional[str] = None,
-    ) -> Tuple[int, bytes, str]:
+    ) -> Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]:
         self.metrics.record(path, exc.status, code=exc.code, tenant=tenant)
+        extra: Tuple[Tuple[str, str], ...] = ()
+        if exc.retry_after_s is not None:
+            seconds = max(1, int(math.ceil(exc.retry_after_s)))
+            extra = (("Retry-After", str(seconds)),)
         return (exc.status, error_body(exc.code, exc.message),
-                "application/json")
+                "application/json", extra)
 
     # -- endpoints -----------------------------------------------------------
 
-    def _handle_healthz(self) -> Tuple[int, bytes, str]:
+    def _handle_healthz(self) -> Tuple[int, bytes, str, Tuple]:
         payload = {
             "schema": GATEWAY_SCHEMA,
             "gateway": {
@@ -401,22 +526,27 @@ class Gateway:
             "backend": self.server.health(),
         }
         self.metrics.record("/healthz", 200)
-        return 200, json_body(payload), "application/json"
+        return 200, json_body(payload), "application/json", ()
 
-    def _handle_readyz(self) -> Tuple[int, bytes, str]:
+    def _handle_readyz(self) -> Tuple[int, bytes, str, Tuple]:
         if self.server.readiness():
             self.metrics.record("/readyz", 200)
-            return 200, json_body({"ready": True}), "application/json"
+            return 200, json_body({"ready": True}), "application/json", ()
         self.metrics.record("/readyz", 503, code="not_ready")
         return (503, error_body("not_ready", "backend is not accepting "
-                                "requests"), "application/json")
+                                "requests"), "application/json",
+                (("Retry-After", "1"),))
 
-    def _handle_metrics(self) -> Tuple[int, bytes, str]:
+    def _handle_metrics(self) -> Tuple[int, bytes, str, Tuple]:
         from repro.explore.driver import explore_counter_families
+        from repro.gateway.client import GLOBAL_CLIENT_COUNTERS
         from repro.rsfq.trace import trace_counter_families
 
         families = server_stats_families(self.server.stats())
         families.extend(self.metrics.families())
+        families.extend(
+            client_counter_families(GLOBAL_CLIENT_COUNTERS.snapshot())
+        )
         # Cluster backends (ClusterServer) expose cluster-wide gauges
         # (nodes alive, per-node breaker state, rebalance count) via a
         # duck-typed hook; single-node backends simply lack it.
@@ -428,11 +558,11 @@ class Gateway:
         text = render_prometheus(families)
         self.metrics.record("/metrics", 200)
         return (200, text.encode("utf-8"),
-                "text/plain; version=0.0.4; charset=utf-8")
+                "text/plain; version=0.0.4; charset=utf-8", ())
 
     async def _handle_drain(
         self, request: HttpRequest
-    ) -> Tuple[int, bytes, str]:
+    ) -> Tuple[int, bytes, str, Tuple]:
         tenant = self.authenticator.authenticate(request.headers)
         loop = asyncio.get_running_loop()
         drained = await loop.run_in_executor(
@@ -440,24 +570,41 @@ class Gateway:
         )
         self.metrics.record("/drain", 200, tenant=tenant.name)
         return (200, json_body({"drained": bool(drained)}),
-                "application/json")
+                "application/json", ())
 
     async def _handle_infer(
         self, request: HttpRequest
-    ) -> Tuple[int, bytes, str]:
+    ) -> Tuple[int, bytes, str, Tuple]:
         tenant = self.authenticator.authenticate(request.headers)
         try:
+            raw_key = request.headers.get(IDEMPOTENCY_KEY_HEADER)
+            idem_key = f"{tenant.name}:{raw_key}" if raw_key else None
+            if idem_key is not None:
+                recorded = self.idempotency.lookup(idem_key)
+                if recorded is not None:
+                    # Exactly-once: the original was accepted; await /
+                    # replay its outcome rather than computing again.
+                    status, body = await asyncio.shield(recorded)
+                    self.metrics.record_replay(tenant.name)
+                    self.metrics.record("/infer", status,
+                                        tenant=tenant.name)
+                    return (status, body, "application/json",
+                            ((REPLAY_HEADER, "true"),))
             if not self.rate_limiter.allow(tenant):
+                self.metrics.record_shed("rate_limited", tenant.priority)
                 raise ProtocolError(
                     429, "rate_limited",
                     f"tenant {tenant.name!r} is over its rate limit "
                     f"({tenant.rate_per_s}/s, burst {tenant.burst})",
+                    retry_after_s=self.rate_limiter.retry_after_s(tenant),
                 )
-            reason = self.admission.check()
+            reason = self.admission.check(priority=tenant.priority)
             if reason is not None:
+                self.metrics.record_shed(reason, tenant.priority)
                 raise ProtocolError(
                     503, reason,
                     f"request shed by admission control ({reason})",
+                    retry_after_s=self.admission.retry_after_s(reason),
                 )
             parsed = parse_infer_request(
                 request.body, self.server.compiled.in_features
@@ -469,29 +616,54 @@ class Gateway:
                     deadline_ms=parsed.deadline_ms,
                 )
             except queue_module.Full:
+                self.metrics.record_shed("queue_full", tenant.priority)
                 raise ProtocolError(
                     503, "queue_full",
                     "backend queue filled while admitting this request",
+                    retry_after_s=1.0,
                 )
             except ConfigurationError as exc:
                 # Post-admission validation inside submit() (e.g. the
                 # backend stopped accepting between check and submit).
                 if not self.server.readiness():
-                    raise ProtocolError(503, "not_ready", str(exc))
+                    raise ProtocolError(503, "not_ready", str(exc),
+                                        retry_after_s=1.0)
                 raise ProtocolError(400, "bad_request", str(exc))
+            # The backend accepted the work: from here on a retry with
+            # the same key must *not* compute twice.  No await sits
+            # between submit and begin, so the entry is visible before
+            # any other handler can run.
+            entry = (self.idempotency.begin(idem_key)
+                     if idem_key is not None else None)
             try:
                 result = await asyncio.wrap_future(future)
-            except DeadlineExceededError as exc:
-                raise ProtocolError(504, "deadline_exceeded", str(exc))
-            except concurrent.futures.CancelledError:
-                raise ProtocolError(503, "not_ready",
-                                    "request cancelled during shutdown")
-            except Exception as exc:
-                raise ProtocolError(500, "internal",
-                                    f"backend failure: {exc}")
+            except BaseException as exc:
+                if isinstance(exc, DeadlineExceededError):
+                    perr = ProtocolError(504, "deadline_exceeded",
+                                         str(exc))
+                elif isinstance(exc, concurrent.futures.CancelledError):
+                    perr = ProtocolError(503, "not_ready",
+                                         "request cancelled during "
+                                         "shutdown", retry_after_s=1.0)
+                elif isinstance(exc, Exception):
+                    perr = ProtocolError(500, "internal",
+                                         f"backend failure: {exc}")
+                else:
+                    raise
+                if entry is not None:
+                    # Wake hedges with the failure, then forget the key
+                    # so a later retry earns a fresh compute.
+                    self.idempotency.resolve_failure(
+                        idem_key,
+                        (perr.status,
+                         error_body(perr.code, perr.message)),
+                    )
+                raise perr
+            body = infer_response_body(result, tenant.name)
+            if entry is not None:
+                self.idempotency.resolve_success(idem_key, (200, body))
             self.metrics.record("/infer", 200, tenant=tenant.name)
-            return (200, infer_response_body(result, tenant.name),
-                    "application/json")
+            return 200, body, "application/json", ()
         except ProtocolError as exc:
             # Tag the rejection with the (authenticated) tenant so the
             # per-tenant counters tell the skew story.

@@ -55,6 +55,29 @@ Every node scenario asserts the same invariant as the worker ones:
 answers bit-identical to serial ``forward_rows`` through the event,
 and the cluster restored to full routable capacity afterwards.
 
+Network-layer scenarios (PR 10) move the blast radius *outside* the
+gateway socket: each runs the full request path -- resilient
+:class:`~repro.gateway.client.GatewayClient` -> seeded
+:class:`~repro.netchaos.ChaosProxy` -> live :class:`Gateway` -> server
+-- and asserts exact client/proxy/server ledgers on top of the
+bit-identical predictions:
+
+* ``net-reset-storm``   -- responses RST mid-flight; idempotent
+  retries replay the recorded answer (exactly-once at the server).
+* ``net-latency-spike`` -- responses delayed past the client timeout;
+  the accepted-then-lost request is retried and replayed, never
+  recomputed.
+* ``net-black-hole``    -- accept-then-silence upstreams; timeouts and
+  retries land on a healthy path with zero duplicate computes.
+* ``net-slow-client``   -- slowloris request trickle; the gateway
+  tolerates slow frames with no retries at all.
+* ``net-hedge-race``    -- a delayed primary loses to a hedged
+  duplicate carrying the same idempotency key (one compute, one
+  replay).
+* ``net-overload-shed`` -- a held backend triggers shed-before-queue:
+  batch-priority traffic sheds as ``overloaded`` with ``Retry-After``
+  while critical traffic still queues and completes.
+
 The runner emits a ``repro.chaos/v1`` JSON report.
 """
 
@@ -67,6 +90,7 @@ import shutil
 import signal
 import sys
 import tempfile
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -668,6 +692,479 @@ def _scenario_scale_storm(quick: bool, marker_dir: str) -> Dict:
     }
 
 
+# -- network-layer scenarios (client -> chaos proxy -> gateway) --------------
+
+
+def _wait_until(predicate: Callable[[], bool], timeout_s: float = 5.0,
+                label: str = "condition") -> None:
+    """Poll ``predicate`` every 5ms until true or ``timeout_s`` lapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise ChaosAssertionError(f"timed out waiting for {label}")
+
+
+def _net_trains(compiled, n_trains: int) -> List[np.ndarray]:
+    """Deterministic spike trains for the network scenarios."""
+    steps = 6
+    rng = np.random.default_rng(29)
+    block = (rng.random((n_trains, steps, compiled.in_features)) < 0.35)
+    return [block[i].astype(np.float64) for i in range(n_trains)]
+
+
+def _serial_answer(compiled, train: np.ndarray):
+    """Fault-free expectation for one spike train: the gateway's
+    ``prediction`` and ``rates`` from a serial ``forward_rows`` pass.
+
+    The server coalesces independent rows step-major, so batched
+    results match this per-train serial formula bit-for-bit; JSON
+    float round-trips are exact (repr-based), so comparing the decoded
+    payload against these floats *is* a bit-identity assertion.
+    """
+    decisions, _, _ = compiled.forward_rows(train)
+    steps = train.shape[0]
+    rates = decisions.reshape(
+        steps, 1, compiled.out_features
+    ).mean(axis=0)[0]
+    return int(rates.argmax()), [float(r) for r in rates]
+
+
+class _NetEdge:
+    """The full request path under test: a live serial
+    :class:`InferenceServer` behind a live :class:`Gateway` behind a
+    seeded :class:`ChaosProxy`, plus a client factory aimed at the
+    proxy.  ``close()`` tears the stack down outside-in."""
+
+    def __init__(self, faults=(), *, seed: int = 13,
+                 queue_limit: int = 64, shed_queue_depth=None):
+        from repro.gateway import (
+            AdmissionController,
+            ApiKeyAuthenticator,
+            Gateway,
+            demo_tenants,
+        )
+        from repro.netchaos import ChaosProxy
+        from repro.serve.server import InferenceServer
+
+        compiled, _ = _workload(True)
+        self.compiled = compiled
+        self.server = InferenceServer(
+            compiled=compiled, workers=0, batch_max=8, deadline_ms=0.5
+        ).start()
+        self.gateway = Gateway(
+            self.server,
+            authenticator=ApiKeyAuthenticator(demo_tenants()),
+            admission=AdmissionController(
+                self.server, queue_limit=queue_limit,
+                shed_queue_depth=shed_queue_depth,
+            ),
+        ).run_in_thread()
+        self.proxy = ChaosProxy(
+            self.gateway.address, tuple(faults), seed=seed
+        ).start()
+
+    def client(self, api_key: str = "demo-key-a", **kwargs):
+        from repro.gateway import GatewayClient
+        return GatewayClient(
+            "127.0.0.1", self.proxy.port, api_key=api_key, **kwargs
+        )
+
+    def close(self) -> None:
+        self.proxy.close()
+        self.gateway.close()
+        self.server.stop(drain=False)
+
+
+def _check_net_results(edge, trains, results, label: str) -> None:
+    """Every result is a 200 whose prediction/rates are bit-identical
+    to the fault-free serial expectation."""
+    _check(len(results) == len(trains),
+           f"{label}: {len(results)} results for {len(trains)} trains")
+    for i, (train, res) in enumerate(zip(trains, results)):
+        want_pred, want_rates = _serial_answer(edge.compiled, train)
+        _check(res.status == 200,
+               f"{label}: request {i} got HTTP {res.status}")
+        _check(res.payload.get("prediction") == want_pred,
+               f"{label}: request {i} prediction "
+               f"{res.payload.get('prediction')} != serial {want_pred}")
+        _check(res.payload.get("rates") == want_rates,
+               f"{label}: request {i} rates diverged from serial")
+
+
+def _scenario_net_reset_storm(quick: bool, marker_dir: str) -> Dict:
+    """Responses RST mid-flight (SO_LINGER-0 after 20 bytes).  The
+    backend computed and recorded each answer before the wire died, so
+    every retry must *replay* the recorded answer -- exactly-once is
+    proven by the server's completed count staying at one compute per
+    train while the retry/replay ledgers match the reset budget."""
+    from repro.gateway import RetryPolicy
+    from repro.netchaos import NetFault
+
+    resets = 2 if quick else 4
+    n_trains = 4 if quick else 8
+    edge = _NetEdge(
+        (NetFault("reset", budget=resets, direction="down",
+                  after_bytes=20),),
+    )
+    try:
+        trains = _net_trains(edge.compiled, n_trains)
+        client = edge.client(retry=RetryPolicy(
+            max_attempts=resets + 2, backoff_base_s=0.01,
+            backoff_cap_s=0.05, budget=resets,
+        ))
+        try:
+            results = [client.infer(t) for t in trains]
+            stats = client.stats()
+        finally:
+            client.close()
+        _check_net_results(edge, trains, results, "net-reset-storm")
+        # Request 0 burns every armed connection: the pool is empty
+        # after each RST, so each retry opens the next armed socket.
+        _check(results[0].attempts == resets + 1,
+               f"net-reset-storm: request 0 took {results[0].attempts} "
+               f"attempts, want {resets + 1}")
+        _check(results[0].replayed,
+               "net-reset-storm: request 0 final answer was not a replay")
+        _check(all(r.attempts == 1 for r in results[1:]),
+               "net-reset-storm: a clean request needed retries")
+        _check(edge.proxy.fired("reset") == resets,
+               f"net-reset-storm: fired {edge.proxy.fired('reset')} "
+               f"resets, want {resets}")
+        _check(stats["retries"] == resets and stats["conn_errors"] == resets,
+               f"net-reset-storm: retries={stats['retries']} "
+               f"conn_errors={stats['conn_errors']}, want {resets} each")
+        _check(stats["timeouts"] == 0 and stats["budget_exhausted"] == 0,
+               "net-reset-storm: unexpected timeouts or budget exhaustion")
+        _check(stats["replays"] == 1,
+               f"net-reset-storm: client saw {stats['replays']} replay "
+               f"responses, want 1 (only the last retry is delivered)")
+        gw = edge.gateway.metrics.snapshot()
+        _check(gw["idempotent_replays"] == {"tenant-a": resets},
+               f"net-reset-storm: gateway replays "
+               f"{gw['idempotent_replays']} != {{'tenant-a': {resets}}}")
+        _check(edge.server.stats().completed == n_trains,
+               "net-reset-storm: server computed a retried request twice")
+        return {
+            "resets": resets,
+            "n_trains": n_trains,
+            "client": stats,
+            "proxy": edge.proxy.stats(),
+            "gateway_replays": dict(gw["idempotent_replays"]),
+        }
+    finally:
+        edge.close()
+
+
+def _scenario_net_latency_spike(quick: bool, marker_dir: str) -> Dict:
+    """Responses delayed 900ms against a 300ms client timeout: the
+    request is accepted-then-lost.  Each timed-out attempt is answered
+    on retry by the idempotency ledger -- never recomputed."""
+    from repro.gateway import RetryPolicy
+    from repro.netchaos import NetFault
+
+    spikes = 1 if quick else 2
+    n_trains = 4 if quick else 8
+    edge = _NetEdge(
+        (NetFault("latency", budget=spikes, direction="down",
+                  delay_ms=900.0),),
+    )
+    try:
+        trains = _net_trains(edge.compiled, n_trains)
+        client = edge.client(
+            timeout_s=0.3,
+            retry=RetryPolicy(max_attempts=spikes + 2,
+                              backoff_base_s=0.01, backoff_cap_s=0.05),
+        )
+        try:
+            results = [client.infer(t) for t in trains]
+            stats = client.stats()
+        finally:
+            client.close()
+        _check_net_results(edge, trains, results, "net-latency-spike")
+        _check(results[0].attempts == spikes + 1 and results[0].replayed,
+               f"net-latency-spike: request 0 attempts="
+               f"{results[0].attempts} replayed={results[0].replayed}, "
+               f"want {spikes + 1} attempts ending in a replay")
+        _check(edge.proxy.fired("latency") == spikes,
+               f"net-latency-spike: fired {edge.proxy.fired('latency')} "
+               f"spikes, want {spikes}")
+        _check(stats["timeouts"] == spikes and stats["retries"] == spikes,
+               f"net-latency-spike: timeouts={stats['timeouts']} "
+               f"retries={stats['retries']}, want {spikes} each")
+        _check(stats["conn_errors"] == 0 and stats["replays"] == 1,
+               f"net-latency-spike: conn_errors={stats['conn_errors']} "
+               f"replays={stats['replays']}, want 0 and 1")
+        gw = edge.gateway.metrics.snapshot()
+        _check(gw["idempotent_replays"] == {"tenant-a": spikes},
+               f"net-latency-spike: gateway replays "
+               f"{gw['idempotent_replays']}")
+        _check(edge.server.stats().completed == n_trains,
+               "net-latency-spike: a timed-out request was recomputed")
+        return {
+            "spikes": spikes,
+            "n_trains": n_trains,
+            "client": stats,
+            "proxy": edge.proxy.stats(),
+            "gateway_replays": dict(gw["idempotent_replays"]),
+        }
+    finally:
+        edge.close()
+
+
+def _scenario_net_black_hole(quick: bool, marker_dir: str) -> Dict:
+    """Accept-then-silence upstreams: armed connections never reach the
+    gateway, so -- unlike the reset/latency storms -- retries compute
+    *fresh* (zero replays) and still land bit-identical."""
+    from repro.gateway import RetryPolicy
+    from repro.netchaos import NetFault
+
+    holes = 1 if quick else 2
+    n_trains = 4 if quick else 8
+    edge = _NetEdge(
+        (NetFault("blackhole", budget=holes, hold_s=10.0),),
+    )
+    try:
+        trains = _net_trains(edge.compiled, n_trains)
+        client = edge.client(
+            timeout_s=0.3,
+            retry=RetryPolicy(max_attempts=holes + 2,
+                              backoff_base_s=0.01, backoff_cap_s=0.05),
+        )
+        try:
+            results = [client.infer(t) for t in trains]
+            stats = client.stats()
+        finally:
+            client.close()
+        _check_net_results(edge, trains, results, "net-black-hole")
+        _check(results[0].attempts == holes + 1
+               and not results[0].replayed,
+               f"net-black-hole: request 0 attempts={results[0].attempts} "
+               f"replayed={results[0].replayed}, want {holes + 1} fresh")
+        _check(edge.proxy.fired("blackhole") == holes,
+               f"net-black-hole: fired {edge.proxy.fired('blackhole')} "
+               f"holes, want {holes}")
+        _check(stats["timeouts"] == holes and stats["retries"] == holes,
+               f"net-black-hole: timeouts={stats['timeouts']} "
+               f"retries={stats['retries']}, want {holes} each")
+        _check(stats["replays"] == 0,
+               "net-black-hole: the gateway never saw the black-holed "
+               "request, so nothing should replay")
+        gw = edge.gateway.metrics.snapshot()
+        _check(gw["idempotent_replays"] == {},
+               f"net-black-hole: gateway replays {gw['idempotent_replays']}")
+        _check(edge.server.stats().completed == n_trains,
+               "net-black-hole: duplicate compute after black-hole retry")
+        return {
+            "holes": holes,
+            "n_trains": n_trains,
+            "client": stats,
+            "proxy": edge.proxy.stats(),
+        }
+    finally:
+        edge.close()
+
+
+def _scenario_net_slow_client(quick: bool, marker_dir: str) -> Dict:
+    """Slowloris request trickle (40-byte chunks, 4ms pauses) on the
+    upload direction.  The gateway must tolerate slow frames: every
+    request completes first try, with no retries anywhere."""
+    from repro.netchaos import NetFault
+
+    slows = 2 if quick else 4
+    n_trains = 4 if quick else 8
+    edge = _NetEdge(
+        (NetFault("slow-send", budget=slows, direction="up",
+                  chunk_bytes=40, pause_ms=4.0),),
+    )
+    try:
+        trains = _net_trains(edge.compiled, n_trains)
+        # keep_alive=False: one connection per request, so exactly
+        # `slows` of the `n_trains` connections are armed.
+        client = edge.client(keep_alive=False, timeout_s=10.0)
+        try:
+            results = [client.infer(t) for t in trains]
+            stats = client.stats()
+        finally:
+            client.close()
+        _check_net_results(edge, trains, results, "net-slow-client")
+        _check(edge.proxy.fired("slow-send") == slows,
+               f"net-slow-client: fired {edge.proxy.fired('slow-send')} "
+               f"slow sockets, want {slows}")
+        _check(stats["retries"] == 0 and stats["timeouts"] == 0
+               and stats["conn_errors"] == 0 and stats["replays"] == 0,
+               f"net-slow-client: expected a clean ledger, got {stats}")
+        _check(stats["connections_opened"] == n_trains,
+               f"net-slow-client: opened {stats['connections_opened']} "
+               f"connections, want {n_trains} (keep-alive off)")
+        _check(edge.server.stats().completed == n_trains,
+               "net-slow-client: completed count diverged")
+        return {
+            "slows": slows,
+            "n_trains": n_trains,
+            "client": stats,
+            "proxy": edge.proxy.stats(),
+        }
+    finally:
+        edge.close()
+
+
+def _scenario_net_hedge_race(quick: bool, marker_dir: str) -> Dict:
+    """One delayed primary races a hedged duplicate carrying the same
+    idempotency key: the hedge wins with a ledger replay -- one
+    compute, one replay, zero retries."""
+    from repro.netchaos import NetFault
+
+    n_trains = 4 if quick else 8
+    edge = _NetEdge(
+        (NetFault("latency", budget=1, direction="down",
+                  delay_ms=700.0),),
+    )
+    try:
+        trains = _net_trains(edge.compiled, n_trains)
+        client = edge.client(hedge_after_ms=150.0, timeout_s=10.0)
+        try:
+            results = [client.infer(t) for t in trains]
+            stats = client.stats()
+        finally:
+            client.close()
+        _check_net_results(edge, trains, results, "net-hedge-race")
+        _check(results[0].hedged and results[0].attempts == 1,
+               f"net-hedge-race: request 0 hedged={results[0].hedged} "
+               f"attempts={results[0].attempts}, want one hedged attempt")
+        _check(results[0].replayed,
+               "net-hedge-race: the winning hedge must be a replay of "
+               "the primary's recorded compute")
+        _check(all(not r.hedged for r in results[1:]),
+               "net-hedge-race: an un-delayed request hedged")
+        _check(stats["hedges"] == 1 and stats["hedge_wins"] == 1,
+               f"net-hedge-race: hedges={stats['hedges']} "
+               f"hedge_wins={stats['hedge_wins']}, want 1 each")
+        _check(stats["retries"] == 0 and stats["timeouts"] == 0,
+               "net-hedge-race: hedging must not consume retries")
+        _check(edge.proxy.fired("latency") == 1,
+               f"net-hedge-race: fired {edge.proxy.fired('latency')}")
+        gw = edge.gateway.metrics.snapshot()
+        _check(gw["idempotent_replays"] == {"tenant-a": 1},
+               f"net-hedge-race: gateway replays {gw['idempotent_replays']}")
+        _check(edge.server.stats().completed == n_trains,
+               "net-hedge-race: the hedge computed a second time")
+        return {
+            "n_trains": n_trains,
+            "client": stats,
+            "proxy": edge.proxy.stats(),
+            "gateway_replays": dict(gw["idempotent_replays"]),
+        }
+    finally:
+        edge.close()
+
+
+def _scenario_net_overload_shed(quick: bool, marker_dir: str) -> Dict:
+    """Shed-before-queue under a wedged backend: with the forward pass
+    held, critical (priority-0) traffic keeps queueing up to the hard
+    limit while batch (priority-2) traffic sheds as ``overloaded`` with
+    a ``Retry-After`` hint at the soft watermark.  Releasing the hold
+    drains every admitted request to a bit-identical answer."""
+    edge = _NetEdge(queue_limit=64, shed_queue_depth=2)
+    try:
+        trains = _net_trains(edge.compiled, 4)
+        release = threading.Event()
+        original_forward = edge.server._forward
+
+        def held_forward(rows):
+            release.wait(15.0)
+            return original_forward(rows)
+
+        edge.server._forward = held_forward
+        results: Dict[int, object] = {}
+        errors: List[BaseException] = []
+
+        def request(i: int) -> None:
+            # Distinct seeds: each client draws its own idempotency-key
+            # stream, so concurrent requests never alias in the ledger.
+            client = edge.client("demo-key-a", seed=i + 1)
+            try:
+                results[i] = client.infer(trains[i])
+            except BaseException as exc:  # surfaced via `errors`
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=request, args=(0,), daemon=True)]
+        threads[0].start()
+        _wait_until(
+            lambda: (edge.server.stats().pending == 1
+                     and edge.server.queue_depth() == 0),
+            label="net-overload-shed: request 0 in flight",
+        )
+        # Two more critical requests stack up behind the held batch.
+        for i in (1, 2):
+            thread = threading.Thread(target=request, args=(i,),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+            _wait_until(lambda i=i: edge.server.queue_depth() >= i,
+                        label=f"net-overload-shed: request {i} queued")
+        # Batch-priority traffic now sheds at the soft watermark.
+        shed_client = edge.client("demo-key-burst", seed=99)
+        try:
+            sheds = [shed_client.infer(trains[3]) for _ in range(3)]
+            shed_stats = shed_client.stats()
+        finally:
+            shed_client.close()
+        for k, res in enumerate(sheds):
+            _check(res.status == 503,
+                   f"net-overload-shed: shed {k} got HTTP {res.status}")
+            _check(res.payload["error"]["code"] == "overloaded",
+                   f"net-overload-shed: shed {k} code "
+                   f"{res.payload['error']['code']!r}")
+            _check(res.retry_after_s == 1.0,
+                   f"net-overload-shed: shed {k} Retry-After "
+                   f"{res.retry_after_s} != 1.0")
+        _check(shed_stats["retries"] == 0,
+               "net-overload-shed: an HTTP 503 must not trigger "
+               "client-side retries")
+        # Critical traffic is still admitted past the soft watermark.
+        threads.append(threading.Thread(target=request, args=(3,),
+                                        daemon=True))
+        threads[-1].start()
+        _wait_until(lambda: edge.server.queue_depth() >= 3,
+                    label="net-overload-shed: request 3 queued")
+        release.set()
+        for thread in threads:
+            thread.join(timeout=15.0)
+        edge.server._forward = original_forward
+        _check(not errors,
+               f"net-overload-shed: unexpected client errors: {errors}")
+        ordered = [results[i] for i in sorted(results)]
+        _check_net_results(edge, trains, ordered, "net-overload-shed")
+        gw = edge.gateway.metrics.snapshot()
+        _check(gw["sheds"] == {("overloaded", 2): 3},
+               f"net-overload-shed: shed ledger {gw['sheds']} != "
+               f"{{('overloaded', 2): 3}}")
+        _check(edge.server.stats().completed == 4,
+               "net-overload-shed: completed count diverged")
+        return {
+            "sheds": {f"{code}:p{prio}": count
+                      for (code, prio), count in gw["sheds"].items()},
+            "admitted": len(ordered),
+            "shed_client": shed_stats,
+        }
+    finally:
+        edge.close()
+
+
+NETWORK_SCENARIOS = (
+    "net-reset-storm",
+    "net-latency-spike",
+    "net-black-hole",
+    "net-slow-client",
+    "net-hedge-race",
+    "net-overload-shed",
+)
+
+
 SCENARIOS: Dict[str, Callable[[bool, str], Dict]] = {
     "worker-kill": _scenario_worker_kill,
     "worker-freeze": _scenario_worker_freeze,
@@ -678,6 +1175,12 @@ SCENARIOS: Dict[str, Callable[[bool, str], Dict]] = {
     "node-kill": _scenario_node_kill,
     "node-partition": _scenario_node_partition,
     "scale-storm": _scenario_scale_storm,
+    "net-reset-storm": _scenario_net_reset_storm,
+    "net-latency-spike": _scenario_net_latency_spike,
+    "net-black-hole": _scenario_net_black_hole,
+    "net-slow-client": _scenario_net_slow_client,
+    "net-hedge-race": _scenario_net_hedge_race,
+    "net-overload-shed": _scenario_net_overload_shed,
 }
 
 

@@ -1,0 +1,34 @@
+"""Deterministic network fault injection for the serving edge.
+
+Everything below the gateway socket is exercised elsewhere (worker
+chaos, node kills, breaker storms); this package attacks the one layer
+those campaigns assume perfect -- the TCP path between a client and the
+gateway.  :class:`ChaosProxy` is a stdlib-only (``socket`` +
+``threading``) TCP proxy that forwards byte streams to an upstream
+while injecting composable :class:`NetFault` behaviours: added latency,
+bandwidth throttling, split/partial writes, mid-response connection
+resets, black-holes (accept-then-silence), and slowloris-style slow
+senders.
+
+Determinism is the point, mirroring the PR 5 chaos hooks: every fault
+carries an exact fire *budget* accounted in a :class:`FireLedger`
+(claimed once per connection, at accept time, in fault order), and all
+randomised behaviour (latency jitter, split sizes) is drawn from a
+per-connection stream seeded as ``seed * K + connection_index`` -- so a
+scenario that opens connections sequentially sees the exact same fault
+schedule on every run and can assert the ledger to the integer.
+"""
+
+from repro.netchaos.proxy import (
+    FAULT_KINDS,
+    ChaosProxy,
+    FireLedger,
+    NetFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosProxy",
+    "FireLedger",
+    "NetFault",
+]

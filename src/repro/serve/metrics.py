@@ -234,6 +234,61 @@ def server_stats_families(
     return families
 
 
+#: Help text for the ``sushi_client_*`` families (the counter names
+#: mirror :data:`repro.gateway.client.CLIENT_COUNTER_FIELDS`).
+_CLIENT_COUNTER_HELP = {
+    "requests": "Client requests issued",
+    "attempts": "Wire attempts (first sends + retries + hedges)",
+    "retries": "Attempts re-sent after a transport failure",
+    "hedges": "Duplicate requests fired after the hedge threshold",
+    "hedge_wins": "Hedged duplicates that answered first",
+    "timeouts": "Attempts that timed out on the socket",
+    "conn_errors": "Attempts that died on reset/refused/EOF",
+    "replays": "Responses served from the server idempotency ledger",
+    "deadline_exceeded": "Requests abandoned after the client deadline",
+    "budget_exhausted": "Retries refused by the lifetime retry budget",
+    "connections_opened": "Fresh TCP connections dialled",
+    "connections_reused": "Requests served off a pooled connection",
+}
+
+
+def client_counter_families(
+    snapshot: Dict[str, int], namespace: str = "sushi"
+) -> List[MetricFamily]:
+    """``sushi_client_*`` families from a client-counter snapshot.
+
+    Takes a plain dict (rather than importing the gateway client) so
+    the serve layer stays import-cycle free; the gateway ``/metrics``
+    handler feeds it ``GLOBAL_CLIENT_COUNTERS.snapshot()``.
+    """
+    n = namespace
+    return [
+        (f"{n}_client_{name}_total", "counter",
+         _CLIENT_COUNTER_HELP.get(name, name),
+         [(None, count)])
+        for name, count in sorted(snapshot.items())
+    ]
+
+
+def shed_families(
+    sheds: Dict[Tuple[str, int], int], namespace: str = "sushi"
+) -> List[MetricFamily]:
+    """``sushi_shed_*`` families from ``(code, priority) -> count``.
+
+    The edge's load-shedding story by typed reason and tenant
+    priority class -- rate limiting and admission control both land
+    here, so one scrape shows *who* is being turned away and *why*.
+    """
+    n = namespace
+    return [
+        (f"{n}_shed_requests_total", "counter",
+         "Requests shed at the edge, by error code and tenant priority",
+         [({"code": code, "priority": str(priority)}, count)
+          for (code, priority), count in sorted(sheds.items())]
+         or [(None, 0)]),
+    ]
+
+
 class MetricsRecorder:
     """Thread-safe accumulator behind :meth:`InferenceServer.stats`."""
 

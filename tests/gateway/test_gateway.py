@@ -10,6 +10,7 @@ deadlines get **504** -- each with the matching typed
 
 import json
 import re
+import threading
 import time
 from contextlib import contextmanager
 from http.client import HTTPConnection
@@ -33,6 +34,8 @@ SC = 8
 TENANTS = (
     Tenant(name="alpha", api_key="key-alpha", rate_per_s=1000, burst=500),
     Tenant(name="tiny", api_key="key-tiny", rate_per_s=0.0, burst=2),
+    Tenant(name="batch", api_key="key-batch", rate_per_s=1000, burst=500,
+           priority=2),
 )
 
 
@@ -51,14 +54,18 @@ def train():
 
 @contextmanager
 def live_gateway(compiled, *, deadline_ms=0.0, breaker=None,
-                 queue_limit=1024, max_body_bytes=1 << 20):
+                 queue_limit=1024, shed_queue_depth=None,
+                 max_body_bytes=1 << 20):
     server = InferenceServer(
         compiled=compiled, deadline_ms=deadline_ms, breaker=breaker
     ).start()
     gateway = Gateway(
         server,
         authenticator=ApiKeyAuthenticator(TENANTS),
-        admission=AdmissionController(server, queue_limit=queue_limit),
+        admission=AdmissionController(
+            server, queue_limit=queue_limit,
+            shed_queue_depth=shed_queue_depth,
+        ),
         max_body_bytes=max_body_bytes,
     )
     try:
@@ -68,23 +75,41 @@ def live_gateway(compiled, *, deadline_ms=0.0, breaker=None,
         server.stop()
 
 
-def call(gateway, method, path, *, key=None, body=None, timeout=15.0):
-    """One HTTP round trip; returns (status, parsed-or-raw body)."""
+def call_full(gateway, method, path, *, key=None, body=None, timeout=15.0,
+              headers=None):
+    """One HTTP round trip; returns (status, body, response headers)."""
     conn = HTTPConnection("127.0.0.1", gateway.port, timeout=timeout)
     try:
-        headers = {}
+        send_headers = dict(headers or {})
         if key is not None:
-            headers["X-API-Key"] = key
+            send_headers["X-API-Key"] = key
         payload = (json.dumps(body).encode() if isinstance(body, dict)
                    else body)
-        conn.request(method, path, body=payload, headers=headers)
+        conn.request(method, path, body=payload, headers=send_headers)
         response = conn.getresponse()
         raw = response.read()
-        if response.headers.get_content_type() == "application/json":
-            return response.status, json.loads(raw)
-        return response.status, raw.decode()
+        parsed = (json.loads(raw)
+                  if response.headers.get_content_type()
+                  == "application/json" else raw.decode())
+        return response.status, parsed, dict(response.headers)
     finally:
         conn.close()
+
+
+def call(gateway, method, path, *, key=None, body=None, timeout=15.0):
+    """One HTTP round trip; returns (status, parsed-or-raw body)."""
+    status, payload, _ = call_full(gateway, method, path, key=key,
+                                   body=body, timeout=timeout)
+    return status, payload
+
+
+def _wait_for(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError("timed out waiting for gateway test condition")
 
 
 def infer(gateway, train, *, key="key-alpha", deadline_ms=None):
@@ -249,11 +274,17 @@ class TestLoadShedding:
             outcomes = [infer(gateway, train, key="key-tiny")[0]
                         for _ in range(5)]
             polite_status, _ = infer(gateway, train, key="key-alpha")
-            _, last_body = infer(gateway, train, key="key-tiny")
+            _, last_body, last_headers = call_full(
+                gateway, "POST", "/infer", key="key-tiny",
+                body={"spike_train": train.astype(int).tolist()},
+            )
             samples = scrape(gateway)
         assert outcomes == [200, 200, 429, 429, 429]
         assert polite_status == 200
         assert last_body["error"]["code"] == "rate_limited"
+        # Burst-only bucket (rate 0) never refills: the Retry-After
+        # hint falls back to the fixed 60s "come back much later".
+        assert last_headers["Retry-After"] == "60"
         assert rejection_count(samples, "rate_limited") == 4.0
         assert samples[
             ("sushi_gateway_tenant_requests_total",
@@ -270,10 +301,15 @@ class TestLoadShedding:
             breaker.record_failure()
             assert breaker.state == "open"
             statuses = [infer(gateway, train)[0] for _ in range(3)]
-            _, body = infer(gateway, train)
+            _, body, headers = call_full(
+                gateway, "POST", "/infer", key="key-alpha",
+                body={"spike_train": train.astype(int).tolist()},
+            )
             samples = scrape(gateway)
         assert statuses == [503, 503, 503]
         assert body["error"]["code"] == "breaker_open"
+        # Retry-After is the breaker's remaining cooldown, rounded up.
+        assert 290 <= int(headers["Retry-After"]) <= 300
         assert rejection_count(samples, "breaker_open") == 4.0
         assert samples[
             ("sushi_server_breaker_state", 'state="open"')
@@ -345,6 +381,191 @@ class TestLoadShedding:
         assert status == 503
         assert payload["error"]["code"] == "queue_full"
         assert rejection_count(samples, "queue_full") == 1.0
+
+
+class TestPriorityShedding:
+    def test_batch_priority_sheds_overloaded_while_critical_admitted(
+        self, compiled, train
+    ):
+        """Shed-before-queue: past the soft watermark, priority-2
+        traffic gets 503 ``overloaded`` (Retry-After: 1) while
+        priority-0 traffic still fills the remaining headroom."""
+        with live_gateway(compiled, queue_limit=8,
+                          shed_queue_depth=1) as gateway:
+            server = gateway.server
+            release = threading.Event()
+            original = server._forward
+
+            def held_forward(rows):
+                release.wait(15.0)
+                return original(rows)
+
+            server._forward = held_forward
+            try:
+                results = {}
+
+                def alpha_request(tag):
+                    results[tag] = infer(gateway, train)
+
+                blocker = threading.Thread(target=alpha_request,
+                                           args=("blocker",))
+                blocker.start()
+                _wait_for(lambda: server.stats().pending >= 1)
+                # One queued row puts depth at the shed watermark.
+                queued = server.submit(train)
+                _wait_for(lambda: server.queue_depth() >= 1)
+                status, body, headers = call_full(
+                    gateway, "POST", "/infer", key="key-batch",
+                    body={"spike_train": train.astype(int).tolist()},
+                )
+                # Critical traffic is still admitted past the
+                # watermark (it blocks until the dispatcher resumes).
+                second = threading.Thread(target=alpha_request,
+                                          args=("critical",))
+                second.start()
+                _wait_for(lambda: server.stats().pending >= 3)
+                release.set()
+                blocker.join(timeout=30)
+                second.join(timeout=30)
+                queued.result(timeout=30)
+            finally:
+                release.set()
+                server._forward = original
+            samples = scrape(gateway)
+        assert status == 503
+        assert body["error"]["code"] == "overloaded"
+        assert headers["Retry-After"] == "1"
+        assert results["blocker"][0] == 200
+        assert results["critical"][0] == 200
+        assert rejection_count(samples, "overloaded") == 1.0
+        assert samples[
+            ("sushi_shed_requests_total",
+             'code="overloaded",priority="2"')
+        ] == 1.0
+
+
+class TestIdempotency:
+    def test_same_key_replays_without_recomputing(self, compiled, train):
+        body = {"spike_train": train.astype(int).tolist()}
+        with live_gateway(compiled) as gateway:
+            first = call_full(gateway, "POST", "/infer", key="key-alpha",
+                              body=body,
+                              headers={"Idempotency-Key": "retry-1"})
+            second = call_full(gateway, "POST", "/infer", key="key-alpha",
+                               body=body,
+                               headers={"Idempotency-Key": "retry-1"})
+            fresh = call_full(gateway, "POST", "/infer", key="key-alpha",
+                              body=body,
+                              headers={"Idempotency-Key": "retry-2"})
+            # The backend bumps `completed` a beat after resolving the
+            # response future, so poll rather than read-once.
+            _wait_for(lambda: gateway.server.stats().completed >= 2)
+            completed = gateway.server.stats().completed
+            samples = scrape(gateway)
+        assert first[0] == second[0] == fresh[0] == 200
+        assert "X-Idempotent-Replay" not in first[2]
+        assert second[2]["X-Idempotent-Replay"] == "true"
+        assert "X-Idempotent-Replay" not in fresh[2]
+        # The replay is byte-for-byte the original answer, and the
+        # backend computed once per distinct key.
+        assert second[1] == first[1]
+        assert completed == 2
+        assert samples[
+            ("sushi_gateway_idempotent_replays_total", 'tenant="alpha"')
+        ] == 1.0
+
+    def test_keys_are_tenant_scoped(self, compiled, train):
+        body = {"spike_train": train.astype(int).tolist()}
+        with live_gateway(compiled) as gateway:
+            alpha = call_full(gateway, "POST", "/infer", key="key-alpha",
+                              body=body,
+                              headers={"Idempotency-Key": "shared"})
+            batch = call_full(gateway, "POST", "/infer", key="key-batch",
+                              body=body,
+                              headers={"Idempotency-Key": "shared"})
+            _wait_for(lambda: gateway.server.stats().completed >= 2)
+            completed = gateway.server.stats().completed
+        assert alpha[0] == batch[0] == 200
+        # Same raw key, different tenants: no cross-tenant replay.
+        assert "X-Idempotent-Replay" not in batch[2]
+        assert completed == 2
+
+
+class TestMetricsFamilies:
+    def test_client_and_shed_families_are_exported(self, compiled, train):
+        with live_gateway(compiled) as gateway:
+            statuses = [infer(gateway, train, key="key-tiny")[0]
+                        for _ in range(3)]
+            samples = scrape(gateway)
+        assert statuses == [200, 200, 429]
+        names = {name for name, _ in samples}
+        # Every client counter surfaces as its own family (the values
+        # are process-wide totals, so only presence is asserted here).
+        from repro.gateway.client import CLIENT_COUNTER_FIELDS
+        for field in CLIENT_COUNTER_FIELDS:
+            assert f"sushi_client_{field}_total" in names
+        assert samples[
+            ("sushi_shed_requests_total",
+             'code="rate_limited",priority="1"')
+        ] == 1.0
+
+
+class TestCloseWithInflight:
+    def test_close_lets_inflight_keepalive_request_complete(
+        self, compiled, train
+    ):
+        """``Gateway.close()`` mid-response: the event-loop thread
+        drains in-flight handler tasks before the loop closes, so a
+        request already accepted on a keep-alive connection still gets
+        its 200 over the live socket."""
+        server = InferenceServer(compiled=compiled).start()
+        gateway = Gateway(
+            server,
+            authenticator=ApiKeyAuthenticator(TENANTS),
+            admission=AdmissionController(server),
+        ).run_in_thread()
+        release = threading.Event()
+        original = server._forward
+
+        def held_forward(rows):
+            release.wait(15.0)
+            return original(rows)
+
+        server._forward = held_forward
+        conn = HTTPConnection("127.0.0.1", gateway.port, timeout=30)
+        results = {}
+        try:
+            body = json.dumps(
+                {"spike_train": train.astype(int).tolist()}
+            ).encode()
+
+            def request():
+                conn.request("POST", "/infer", body=body,
+                             headers={"X-API-Key": "key-alpha"})
+                response = conn.getresponse()
+                results["status"] = response.status
+                results["payload"] = json.loads(response.read())
+
+            reader = threading.Thread(target=request)
+            reader.start()
+            _wait_for(lambda: server.stats().pending >= 1)
+            closer = threading.Thread(target=gateway.close)
+            closer.start()
+            time.sleep(0.05)  # close is now waiting on the handler
+            release.set()
+            reader.join(timeout=30)
+            closer.join(timeout=30)
+            assert not closer.is_alive()
+        finally:
+            release.set()
+            server._forward = original
+            conn.close()
+            gateway.close()
+            server.stop()
+        assert results["status"] == 200
+        assert results["payload"]["tenant"] == "alpha"
+        rates = np.asarray(results["payload"]["rates"])
+        assert results["payload"]["prediction"] == int(rates.argmax())
 
 
 class TestDrainLifecycle:

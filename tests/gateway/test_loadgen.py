@@ -108,3 +108,22 @@ class TestCli:
         written = json.loads(out.read_text())
         assert written["schema"] == LOADTEST_SCHEMA
         assert written["passed"] is True
+
+
+class TestProxyMode:
+    def test_degraded_network_keeps_the_status_contract(self):
+        """--proxy interposes the chaos proxy's benign profile
+        (fragmentation + small latency spikes): the pinned status
+        expectations must still hold -- resilience means degraded
+        latency, never changed answers."""
+        report = run_loadtest(quick=True, scenarios=["tenant-skew"],
+                              proxy=True)
+        assert report["passed"] is True
+        assert report["proxy"] is True
+        entry = report["scenarios"][0]
+        assert entry["statuses"] == entry["expected_statuses"]
+        assert "degraded network" in format_report(report)
+
+    def test_proxy_off_is_recorded(self, report):
+        assert report["proxy"] is False
+        assert "degraded network" not in format_report(report)

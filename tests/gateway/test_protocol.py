@@ -209,3 +209,27 @@ class TestInferPayload:
         assert payload["rates"] == [0.1, 0.2, 0.7]
         assert payload["latency_ms"] == 1.235
         assert payload["tenant"] == "t-a"
+
+
+class TestDocsContract:
+    def test_gateway_docs_error_table_matches_error_codes(self):
+        """docs/GATEWAY.md's error table is part of the wire contract:
+        every code in ERROR_CODES must be documented there, and the
+        docs must not advertise codes the gateway cannot emit."""
+        import re
+        from pathlib import Path
+
+        docs = (Path(__file__).resolve().parents[2] / "docs"
+                / "GATEWAY.md").read_text()
+        start = docs.index("| HTTP | `code`")
+        table = docs[start:].split("\n\n")[0]
+        documented = set()
+        for line in table.splitlines()[2:]:  # skip header + separator
+            cells = line.split("|")
+            assert len(cells) >= 4, f"malformed table row: {line!r}"
+            documented.update(re.findall(r"`([a-z_]+)`", cells[2]))
+        assert documented == set(ERROR_CODES), (
+            f"docs table vs ERROR_CODES: missing from docs "
+            f"{set(ERROR_CODES) - documented}, stale in docs "
+            f"{documented - set(ERROR_CODES)}"
+        )

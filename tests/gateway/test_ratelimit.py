@@ -65,6 +65,42 @@ class TestTokenBucket:
         with pytest.raises(ConfigurationError):
             TokenBucket(rate_per_s=1, burst=0)
 
+    def test_retrograde_clock_mints_nothing(self, clock):
+        """Regression: an NTP step (or rewound test clock) must not
+        mint tokens, and must not move the refill watermark backwards
+        -- doing so would double-count the rewound interval once the
+        clock recovers, silently granting free tokens."""
+        bucket = TokenBucket(rate_per_s=1.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()  # empty at t=1000
+
+        clock.advance(-10.0)  # clock steps backwards
+        assert not bucket.try_acquire()
+        assert bucket.tokens == 0.0
+
+        # Clock recovers to exactly where it was: still nothing --
+        # the watermark never moved, so the rewound 10s don't count
+        # as elapsed time.
+        clock.advance(10.0)
+        assert not bucket.try_acquire()
+        assert bucket.tokens == 0.0
+
+        # Genuine forward progress refills at the configured rate.
+        clock.advance(1.0)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_seconds_until_refill(self, clock):
+        bucket = TokenBucket(rate_per_s=2.0, burst=2, clock=clock)
+        assert bucket.seconds_until(1) == 0.0
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert bucket.seconds_until(1) == pytest.approx(0.5)
+        empty = TokenBucket(rate_per_s=0.0, burst=1, clock=clock)
+        empty.try_acquire()
+        assert empty.seconds_until(1) == float("inf")
+
 
 class TestRateLimiter:
     def test_buckets_are_per_tenant(self, clock):
@@ -83,6 +119,27 @@ class TestRateLimiter:
         assert limiter.bucket("t") is None
         limiter.allow(tenant)
         assert limiter.bucket("t").burst == 7
+
+    def test_retry_after_tracks_the_refill_rate(self, clock):
+        limiter = RateLimiter(clock=clock)
+        tenant = Tenant(name="t", api_key="k", rate_per_s=2.0, burst=1)
+        assert limiter.allow(tenant)
+        assert not limiter.allow(tenant)
+        # One token at 2/s: ~0.5s away (floored at 1ms, never 0).
+        assert limiter.retry_after_s(tenant) == pytest.approx(0.5)
+        # No bucket yet (never seen tenant): generic 1s hint.
+        ghost = Tenant(name="ghost", api_key="kg", rate_per_s=1, burst=1)
+        assert limiter.retry_after_s(ghost) == 1.0
+
+    def test_retry_after_burst_only_is_finite(self, clock):
+        limiter = RateLimiter(clock=clock)
+        tenant = Tenant(name="b", api_key="kb", rate_per_s=0.0, burst=1)
+        limiter.allow(tenant)
+        assert not limiter.allow(tenant)
+        # rate 0 never refills: the hint must be the fixed fallback,
+        # never infinity (it becomes a Retry-After header).
+        assert limiter.retry_after_s(tenant) == 60.0
+        assert limiter.retry_after_s(tenant, burst_only_s=5.0) == 5.0
 
 
 class _StubBreaker:
@@ -151,6 +208,62 @@ class TestAdmissionController:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             AdmissionController(_StubServer(), queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(_StubServer(), shed_queue_depth=0)
+
+
+class TestShedBeforeQueue:
+    def test_low_priority_sheds_at_the_soft_watermark(self):
+        controller = AdmissionController(
+            _StubServer(depth=4), queue_limit=10, shed_queue_depth=4,
+            shed_priority=2,
+        )
+        assert controller.check(priority=2) == "overloaded"
+        assert controller.check(priority=3) == "overloaded"
+        # Higher-priority traffic still fills the remaining headroom.
+        assert controller.check(priority=0) is None
+        assert controller.check(priority=1) is None
+
+    def test_below_the_watermark_everyone_is_admitted(self):
+        controller = AdmissionController(
+            _StubServer(depth=3), queue_limit=10, shed_queue_depth=4,
+        )
+        assert controller.check(priority=2) is None
+
+    def test_queue_full_outranks_overloaded(self):
+        # At the hard bound even priority-0 is shed, and the reason is
+        # queue_full for every class (the queue truly is full).
+        controller = AdmissionController(
+            _StubServer(depth=10), queue_limit=10, shed_queue_depth=4,
+        )
+        assert controller.check(priority=0) == "queue_full"
+        assert controller.check(priority=2) == "queue_full"
+
+    def test_default_watermark_is_half_the_limit(self):
+        controller = AdmissionController(_StubServer(), queue_limit=64)
+        assert controller.shed_queue_depth == 32
+
+    def test_retry_after_hints(self, clock):
+        from repro.serve import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=30.0, clock=clock
+        )
+        server = _RealBreakerServer(breaker)
+        controller = AdmissionController(server)
+        # Queue-pressure reasons: fixed 1s "come back soon".
+        assert controller.retry_after_s("queue_full") == 1.0
+        assert controller.retry_after_s("overloaded") == 1.0
+        assert controller.retry_after_s("not_ready") == 1.0
+        # breaker_open: the remaining cooldown on the injectable clock.
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert controller.retry_after_s("breaker_open") == \
+            pytest.approx(20.0)
+        # Cooldown elapsed: the hint floors at the 1ms minimum (the
+        # gateway ceils it to a Retry-After of "1"), never negative.
+        clock.advance(20.0)
+        assert controller.retry_after_s("breaker_open") == 0.001
 
 
 class _RealBreakerServer:

@@ -68,6 +68,13 @@ REGISTRY = {
         "ring_balance": {"nodes", "keys", "replicas", "min_share",
                          "max_share", "max_over_fair"},
     },
+    "BENCH_netchaos.json": {
+        "note": None,
+        "version": None,
+        "wall_time_s": None,
+        "campaign": {"passed", "quick", "scenarios", "schema",
+                     "workers"},
+    },
     "BENCH_explore.json": {
         "note": None,
         "version": None,
@@ -156,6 +163,28 @@ def test_chaos_baseline_covers_node_scenarios():
     campaign = load("BENCH_chaos.json")["campaign"]
     names = {entry["name"] for entry in campaign["scenarios"]}
     assert {"node-kill", "node-partition", "scale-storm"} <= names
+
+
+def test_netchaos_baseline_internal_consistency():
+    campaign = load("BENCH_netchaos.json")["campaign"]
+    assert campaign["schema"] == "repro.chaos/v1"
+    assert campaign["passed"] is True
+    assert [s["name"] for s in campaign["scenarios"]] == [
+        "net-reset-storm", "net-latency-spike", "net-black-hole",
+        "net-slow-client", "net-hedge-race", "net-overload-shed",
+    ]
+    for entry in campaign["scenarios"]:
+        assert entry["passed"] is True, entry["name"]
+        assert entry["error"] is None
+    # The fault-specific ledgers really fired: a baseline where every
+    # counter is zero would pin a campaign that injected nothing.
+    by_name = {s["name"]: s["details"] for s in campaign["scenarios"]}
+    assert by_name["net-reset-storm"]["client"]["conn_errors"] > 0
+    assert by_name["net-latency-spike"]["client"]["timeouts"] > 0
+    assert by_name["net-black-hole"]["client"]["replays"] == 0
+    assert by_name["net-slow-client"]["client"]["retries"] == 0
+    assert by_name["net-hedge-race"]["client"]["hedge_wins"] == 1
+    assert by_name["net-overload-shed"]["sheds"] == {"overloaded:p2": 3}
 
 
 def test_cluster_baseline_internal_consistency():

@@ -71,7 +71,18 @@ class TestRunner:
             "worker-kill", "worker-freeze", "shm-unlink",
             "shm-corrupt", "poison-batch", "breaker-cycle",
             "node-kill", "node-partition", "scale-storm",
+            "net-reset-storm", "net-latency-spike", "net-black-hole",
+            "net-slow-client", "net-hedge-race", "net-overload-shed",
         }
+
+    def test_network_scenarios_are_registered_in_order(self):
+        from repro.harness.chaos import NETWORK_SCENARIOS
+
+        assert NETWORK_SCENARIOS == (
+            "net-reset-storm", "net-latency-spike", "net-black-hole",
+            "net-slow-client", "net-hedge-race", "net-overload-shed",
+        )
+        assert all(name in SCENARIOS for name in NETWORK_SCENARIOS)
 
     def test_node_scenarios_run_quick(self):
         """The node-level scenarios (cluster layer) pass end-to-end;
